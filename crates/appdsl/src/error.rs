@@ -1,0 +1,54 @@
+//! Error types for the handler language.
+
+use std::fmt;
+
+/// Errors from parsing or running DSL programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DslError {
+    /// A syntax error with byte position.
+    Parse {
+        /// Description.
+        message: String,
+        /// Byte offset.
+        offset: usize,
+    },
+    /// An unbound name was referenced.
+    Unbound(String),
+    /// A value had the wrong runtime kind (e.g. field access on a scalar).
+    Kind(String),
+    /// A SQL parameter could not be resolved from the environment.
+    UnresolvedSqlParam(String),
+    /// The underlying database or proxy failed.
+    Port(String),
+    /// Execution exceeded the configured step budget (runaway loop guard).
+    StepBudgetExceeded,
+}
+
+impl DslError {
+    /// Creates a parse error.
+    pub fn parse(message: impl Into<String>, offset: usize) -> DslError {
+        DslError::Parse {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Parse { message, offset } => {
+                write!(f, "DSL parse error at byte {offset}: {message}")
+            }
+            DslError::Unbound(n) => write!(f, "unbound name: {n}"),
+            DslError::Kind(msg) => write!(f, "kind error: {msg}"),
+            DslError::UnresolvedSqlParam(p) => {
+                write!(f, "SQL parameter ?{p} not found in scope")
+            }
+            DslError::Port(msg) => write!(f, "query port error: {msg}"),
+            DslError::StepBudgetExceeded => f.write_str("execution step budget exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for DslError {}

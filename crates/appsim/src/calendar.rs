@@ -1,0 +1,170 @@
+//! The paper's calendar application (Examples 2.1 and 3.1, Listing 1).
+
+use crate::simapp::SimApp;
+
+/// The calendar application definition.
+pub const CALENDAR: SimApp = SimApp {
+    name: "calendar",
+    ddl: &[
+        "CREATE TABLE Users (UId INT PRIMARY KEY, Name TEXT NOT NULL)",
+        "CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT NOT NULL, Kind TEXT NOT NULL)",
+        "CREATE TABLE Attendance (UId INT NOT NULL, EId INT NOT NULL, Notes TEXT, \
+         PRIMARY KEY (UId, EId), \
+         FOREIGN KEY (UId) REFERENCES Users (UId), \
+         FOREIGN KEY (EId) REFERENCES Events (EId))",
+    ],
+    source: r#"
+        // Listing 1 of the paper.
+        handler show_event(event_id) {
+            let rows = sql("SELECT 1 FROM Attendance
+                            WHERE UId = ?MyUId AND EId = ?event_id");
+            if rows.is_empty() {
+                abort(404);
+            }
+            emit sql("SELECT EId, Title, Kind FROM Events WHERE EId = ?event_id");
+        }
+
+        handler my_events() {
+            emit sql("SELECT a.EId, e.Title FROM Attendance a
+                      JOIN Events e ON a.EId = e.EId
+                      WHERE a.UId = ?MyUId");
+        }
+
+        handler event_notes(event_id) {
+            emit sql("SELECT Notes FROM Attendance
+                      WHERE UId = ?MyUId AND EId = ?event_id");
+        }
+
+        handler attendees(event_id) {
+            let mine = sql("SELECT 1 FROM Attendance
+                            WHERE UId = ?MyUId AND EId = ?event_id");
+            if mine.is_empty() {
+                abort(404);
+            }
+            emit sql("SELECT u.Name FROM Users u
+                      JOIN Attendance a ON u.UId = a.UId
+                      WHERE a.EId = ?event_id");
+        }
+
+        handler join_event(event_id) {
+            let exists = sql("SELECT 1 FROM Events WHERE EId = ?event_id");
+            if exists.is_empty() {
+                abort(404);
+            }
+            run sql("INSERT INTO Attendance (UId, EId, Notes)
+                     VALUES (?MyUId, ?event_id, NULL)");
+        }
+    "#,
+    buggy_source: r#"
+        // BUG: the developer forgot the attendance check (the WordPress-
+        // style disclosure the paper's intro cites).
+        handler show_event_nocheck(event_id) {
+            emit sql("SELECT EId, Title, Kind FROM Events WHERE EId = ?event_id");
+        }
+
+        // BUG: shows everyone's notes, not just the current user's.
+        handler event_notes_all(event_id) {
+            emit sql("SELECT UId, Notes FROM Attendance WHERE EId = ?event_id");
+        }
+    "#,
+    ground_truth: &[
+        ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+        (
+            "V2",
+            "SELECT e.EId, e.Title, e.Kind FROM Events e \
+             JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId",
+        ),
+        ("V3", "SELECT EId, Notes FROM Attendance WHERE UId = ?MyUId"),
+        (
+            "V4",
+            "SELECT a.EId, u.Name FROM Users u \
+             JOIN Attendance a ON u.UId = a.UId \
+             JOIN Attendance mine ON mine.EId = a.EId \
+             WHERE mine.UId = ?MyUId",
+        ),
+        // Existence of events is public (join_event probes it).
+        ("V5", "SELECT EId FROM Events"),
+    ],
+    session_params: &["MyUId"],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::{run_handler, Limits, Outcome};
+    use sqlir::Value;
+
+    #[test]
+    fn definition_is_wellformed() {
+        let app = CALENDAR.app();
+        assert_eq!(app.handlers.len(), 5);
+        assert_eq!(CALENDAR.app_with_bugs().handlers.len(), 7);
+        let policy = CALENDAR.policy().unwrap();
+        assert_eq!(policy.len(), 5);
+        assert_eq!(policy.params(), vec!["MyUId"]);
+    }
+
+    #[test]
+    fn handlers_run_against_seeded_db() {
+        let mut db = CALENDAR.empty_db();
+        db.execute_sql("INSERT INTO Users (UId, Name) VALUES (101, 'ann'), (102, 'bob')")
+            .unwrap();
+        db.execute_sql(
+            "INSERT INTO Events (EId, Title, Kind) VALUES (1, 'standup', 'work'), \
+             (2, 'party', 'fun')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (101, 1, NULL), (102, 1, 'x')",
+        )
+        .unwrap();
+
+        let app = CALENDAR.app();
+        let session = vec![("MyUId".to_string(), Value::Int(101))];
+
+        let r = run_handler(
+            &mut db,
+            app.handler("show_event").unwrap(),
+            &session,
+            &[("event_id".into(), Value::Int(1))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+
+        let r = run_handler(
+            &mut db,
+            app.handler("show_event").unwrap(),
+            &session,
+            &[("event_id".into(), Value::Int(2))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Http(404));
+
+        let r = run_handler(
+            &mut db,
+            app.handler("attendees").unwrap(),
+            &session,
+            &[("event_id".into(), Value::Int(1))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+        match &r.emitted[0] {
+            appdsl::Emitted::Rows(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let r = run_handler(
+            &mut db,
+            app.handler("join_event").unwrap(),
+            &session,
+            &[("event_id".into(), Value::Int(2))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+        assert_eq!(db.table("Attendance").unwrap().len(), 3);
+    }
+}

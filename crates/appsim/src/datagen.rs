@@ -1,0 +1,300 @@
+//! Seeded random data population for the simulated applications.
+
+use minidb::Database;
+use rand::Rng;
+
+/// Data-set scale knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of users (patients/employees for the respective apps).
+    pub users: usize,
+    /// Number of primary entities (events/groups/doctors).
+    pub entities: usize,
+    /// Links per user (attendance/membership rows).
+    pub links_per_user: usize,
+}
+
+impl Scale {
+    /// A small data set for tests.
+    pub fn small() -> Scale {
+        Scale {
+            users: 8,
+            entities: 6,
+            links_per_user: 2,
+        }
+    }
+
+    /// A medium data set for benchmarks.
+    pub fn medium() -> Scale {
+        Scale {
+            users: 50,
+            entities: 30,
+            links_per_user: 5,
+        }
+    }
+
+    /// A larger data set for throughput measurements.
+    pub fn large() -> Scale {
+        Scale {
+            users: 200,
+            entities: 100,
+            links_per_user: 8,
+        }
+    }
+}
+
+/// User ids start here (kept clear of entity ids so black-box session
+/// linking can't confuse a user id with an event id).
+pub const FIRST_UID: i64 = 101;
+
+const KINDS: &[&str] = &["work", "fun", "family", "errand"];
+const DISEASES: &[&str] = &["pneumonia", "tuberculosis", "flu", "migraine", "asthma"];
+const DEPTS: &[&str] = &["eng", "ops", "sales", "legal"];
+
+/// Populates the calendar schema.
+pub fn seed_calendar(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    for u in 0..scale.users {
+        let uid = FIRST_UID + u as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Users (UId, Name) VALUES ({uid}, 'user{u}')"
+        ))
+        .expect("seed user");
+    }
+    for e in 0..scale.entities {
+        let eid = 1 + e as i64;
+        let kind = KINDS[rng.gen_range(0..KINDS.len())];
+        db.execute_sql(&format!(
+            "INSERT INTO Events (EId, Title, Kind) VALUES ({eid}, 'event{e}', '{kind}')"
+        ))
+        .expect("seed event");
+    }
+    for u in 0..scale.users {
+        let uid = FIRST_UID + u as i64;
+        let mut joined: Vec<i64> = Vec::new();
+        for _ in 0..scale.links_per_user {
+            let eid = 1 + rng.gen_range(0..scale.entities) as i64;
+            if joined.contains(&eid) {
+                continue;
+            }
+            joined.push(eid);
+            let notes = if rng.gen_bool(0.3) {
+                format!("'note{u}x{eid}'")
+            } else {
+                "NULL".into()
+            };
+            db.execute_sql(&format!(
+                "INSERT INTO Attendance (UId, EId, Notes) VALUES ({uid}, {eid}, {notes})"
+            ))
+            .expect("seed attendance");
+        }
+    }
+}
+
+/// Populates the hospital schema.
+pub fn seed_hospital(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    for p in 0..scale.users {
+        let pid = 1 + p as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Patients (PId, Name) VALUES ({pid}, 'patient{p}')"
+        ))
+        .expect("seed patient");
+    }
+    let doctors = scale.entities.max(1);
+    for d in 0..doctors {
+        let did = 500 + d as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Doctors (DId, Name) VALUES ({did}, 'dr{d}')"
+        ))
+        .expect("seed doctor");
+    }
+    for p in 0..scale.users {
+        let pid = 1 + p as i64;
+        let did = 500 + rng.gen_range(0..doctors) as i64;
+        let disease = DISEASES[rng.gen_range(0..DISEASES.len())];
+        db.execute_sql(&format!(
+            "INSERT INTO Treatment (PId, DId, Disease) VALUES ({pid}, {did}, '{disease}')"
+        ))
+        .expect("seed treatment");
+    }
+}
+
+/// Populates the employees schema.
+pub fn seed_employees(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    for e in 0..scale.users {
+        let id = 1 + e as i64;
+        let age = rng.gen_range(16..70);
+        let dept = DEPTS[rng.gen_range(0..DEPTS.len())];
+        let salary = rng.gen_range(50..250) * 1000;
+        db.execute_sql(&format!(
+            "INSERT INTO Employees (EmpId, Name, Age, Dept, Salary) VALUES \
+             ({id}, 'emp{e}', {age}, '{dept}', {salary})"
+        ))
+        .expect("seed employee");
+    }
+}
+
+/// Populates the forum schema.
+pub fn seed_forum(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    for u in 0..scale.users {
+        let uid = FIRST_UID + u as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Users (UId, Name) VALUES ({uid}, 'user{u}')"
+        ))
+        .expect("seed user");
+    }
+    for g in 0..scale.entities {
+        let gid = 1 + g as i64;
+        let public = if rng.gen_bool(0.25) { "TRUE" } else { "FALSE" };
+        db.execute_sql(&format!(
+            "INSERT INTO Groups (GId, Name, Public) VALUES ({gid}, 'group{g}', {public})"
+        ))
+        .expect("seed group");
+    }
+    for u in 0..scale.users {
+        let uid = FIRST_UID + u as i64;
+        let mut joined: Vec<i64> = Vec::new();
+        for _ in 0..scale.links_per_user {
+            let gid = 1 + rng.gen_range(0..scale.entities) as i64;
+            if joined.contains(&gid) {
+                continue;
+            }
+            joined.push(gid);
+            let role = if rng.gen_bool(0.1) { "admin" } else { "member" };
+            db.execute_sql(&format!(
+                "INSERT INTO Membership (UId, GId, Role) VALUES ({uid}, {gid}, '{role}')"
+            ))
+            .expect("seed membership");
+        }
+    }
+    let posts = scale.entities * 2;
+    for p in 0..posts {
+        let pid = 1000 + p as i64;
+        let gid = 1 + rng.gen_range(0..scale.entities) as i64;
+        let author = FIRST_UID + rng.gen_range(0..scale.users) as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Posts (PId, GId, AuthorId, Title, Body) VALUES \
+             ({pid}, {gid}, {author}, 'post{p}', 'body of post {p}')"
+        ))
+        .expect("seed post");
+        // A couple of comments per post.
+        for c in 0..rng.gen_range(0..3) {
+            let cid = pid * 10 + c;
+            let commenter = FIRST_UID + rng.gen_range(0..scale.users) as i64;
+            db.execute_sql(&format!(
+                "INSERT INTO Comments (CId, PId, AuthorId, Body) VALUES \
+                 ({cid}, {pid}, {commenter}, 'comment {cid}')"
+            ))
+            .expect("seed comment");
+        }
+    }
+}
+
+/// Populates the wiki schema. The space distribution is deliberately
+/// skewed (most documents land in the first space) so that small workloads
+/// leave the analytics probe's space id invariant — the trap active
+/// constraint discovery exists to undo.
+pub fn seed_wiki(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    for u in 0..scale.users {
+        let uid = FIRST_UID + u as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Users (UId, Name) VALUES ({uid}, 'user{u}')"
+        ))
+        .expect("seed user");
+    }
+    let spaces = scale.entities.clamp(2, 8);
+    for s in 0..spaces {
+        let sid = 1 + s as i64;
+        db.execute_sql(&format!(
+            "INSERT INTO Spaces (SId, Name) VALUES ({sid}, 'space{s}')"
+        ))
+        .expect("seed space");
+    }
+    for u in 0..scale.users {
+        let uid = FIRST_UID + u as i64;
+        let mut joined: Vec<i64> = vec![1]; // everyone can read space 1
+        db.execute_sql(&format!("INSERT INTO Access (UId, SId) VALUES ({uid}, 1)"))
+            .expect("seed access");
+        for _ in 0..scale.links_per_user {
+            let sid = 1 + rng.gen_range(0..spaces) as i64;
+            if joined.contains(&sid) {
+                continue;
+            }
+            joined.push(sid);
+            db.execute_sql(&format!(
+                "INSERT INTO Access (UId, SId) VALUES ({uid}, {sid})"
+            ))
+            .expect("seed access");
+        }
+    }
+    for d in 0..scale.entities * 2 {
+        let did = 100 + d as i64;
+        // Skewed: 80% of documents live in space 1.
+        let sid = if rng.gen_bool(0.8) {
+            1
+        } else {
+            1 + rng.gen_range(0..spaces) as i64
+        };
+        db.execute_sql(&format!(
+            "INSERT INTO Docs (DId, SId, Title, Body) VALUES \
+             ({did}, {sid}, 'doc{d}', 'body of doc {d}')"
+        ))
+        .expect("seed doc");
+    }
+}
+
+/// Seeds the database for the named application.
+pub fn seed_app(name: &str, db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    match name {
+        "calendar" => seed_calendar(db, rng, scale),
+        "hospital" => seed_hospital(db, rng, scale),
+        "employees" => seed_employees(db, rng, scale),
+        "forum" => seed_forum(db, rng, scale),
+        "wiki" => seed_wiki(db, rng, scale),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CALENDAR, EMPLOYEES, FORUM, HOSPITAL, WIKI};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn seeding_respects_constraints() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for app in [&CALENDAR, &HOSPITAL, &EMPLOYEES, &FORUM, &WIKI] {
+            let mut db = app.empty_db();
+            seed_app(app.name, &mut db, &mut rng, &Scale::small());
+            assert!(db.total_rows() > 0, "{} seeded", app.name);
+        }
+    }
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut db1 = CALENDAR.empty_db();
+        let mut db2 = CALENDAR.empty_db();
+        seed_calendar(&mut db1, &mut SmallRng::seed_from_u64(42), &Scale::small());
+        seed_calendar(&mut db2, &mut SmallRng::seed_from_u64(42), &Scale::small());
+        assert_eq!(
+            db1.query_sql("SELECT UId, EId FROM Attendance ORDER BY UId, EId")
+                .unwrap(),
+            db2.query_sql("SELECT UId, EId FROM Attendance ORDER BY UId, EId")
+                .unwrap(),
+        );
+    }
+
+    #[test]
+    fn scales_grow() {
+        let mut small = FORUM.empty_db();
+        let mut medium = FORUM.empty_db();
+        seed_forum(&mut small, &mut SmallRng::seed_from_u64(1), &Scale::small());
+        seed_forum(
+            &mut medium,
+            &mut SmallRng::seed_from_u64(1),
+            &Scale::medium(),
+        );
+        assert!(medium.total_rows() > small.total_rows());
+    }
+}

@@ -1,0 +1,109 @@
+//! The employee directory of Example 4.2 (age-threshold queries).
+
+use crate::simapp::SimApp;
+
+/// The employees application definition.
+pub const EMPLOYEES: SimApp = SimApp {
+    name: "employees",
+    ddl: &[
+        "CREATE TABLE Employees (EmpId INT PRIMARY KEY, Name TEXT NOT NULL, \
+         Age INT NOT NULL, Dept TEXT NOT NULL, Salary INT NOT NULL)",
+    ],
+    source: r#"
+        handler directory() {
+            emit sql("SELECT Name FROM Employees WHERE Age >= 18");
+        }
+
+        handler dept_list(dept) {
+            emit sql("SELECT Name FROM Employees WHERE Age >= 18 AND Dept = ?dept");
+        }
+
+        handler adult_count(dept) {
+            let rows = sql("SELECT Name FROM Employees WHERE Age >= 18 AND Dept = ?dept");
+            emit rows.count();
+        }
+    "#,
+    buggy_source: r#"
+        // BUG (or a new requirement the policy does not yet cover): the
+        // seniors report reveals an age-based subset the policy cannot
+        // express from the adults view alone.
+        handler senior_report() {
+            emit sql("SELECT Name FROM Employees WHERE Age >= 60");
+        }
+
+        // BUG: salary disclosure.
+        handler payroll(dept) {
+            emit sql("SELECT Name, Salary FROM Employees WHERE Dept = ?dept");
+        }
+    "#,
+    ground_truth: &[
+        ("Adults", "SELECT Name FROM Employees WHERE Age >= 18"),
+        (
+            "AdultDepts",
+            "SELECT Name, Dept FROM Employees WHERE Age >= 18",
+        ),
+    ],
+    session_params: &[],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::{run_handler, Emitted, Limits};
+    use sqlir::Value;
+
+    fn seeded() -> minidb::Database {
+        let mut db = EMPLOYEES.empty_db();
+        db.execute_sql(
+            "INSERT INTO Employees (EmpId, Name, Age, Dept, Salary) VALUES \
+             (1, 'alex', 62, 'eng', 200), \
+             (2, 'bo', 30, 'eng', 150), \
+             (3, 'cy', 17, 'intern', 10), \
+             (4, 'di', 45, 'ops', 120)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn definition_is_wellformed() {
+        assert_eq!(EMPLOYEES.app().handlers.len(), 3);
+        assert_eq!(EMPLOYEES.policy().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn directory_excludes_minors() {
+        let mut db = seeded();
+        let app = EMPLOYEES.app();
+        let r = run_handler(
+            &mut db,
+            app.handler("directory").unwrap(),
+            &[],
+            &[],
+            Limits::default(),
+        )
+        .unwrap();
+        match &r.emitted[0] {
+            Emitted::Rows(rows) => {
+                assert_eq!(rows.len(), 3);
+                assert!(!rows.rows.iter().any(|r| r[0] == Value::str("cy")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_handler_emits_scalar() {
+        let mut db = seeded();
+        let app = EMPLOYEES.app();
+        let r = run_handler(
+            &mut db,
+            app.handler("adult_count").unwrap(),
+            &[],
+            &[("dept".into(), Value::str("eng"))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.emitted, vec![Emitted::Scalar(Value::Int(2))]);
+    }
+}

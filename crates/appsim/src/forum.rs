@@ -1,0 +1,240 @@
+//! A group-based forum — the largest simulated application, stressing
+//! extraction and enforcement with deeper joins, membership gating, public
+//! content, and multi-step handlers.
+
+use crate::simapp::SimApp;
+
+/// The forum application definition.
+pub const FORUM: SimApp = SimApp {
+    name: "forum",
+    ddl: &[
+        "CREATE TABLE Users (UId INT PRIMARY KEY, Name TEXT NOT NULL)",
+        "CREATE TABLE Groups (GId INT PRIMARY KEY, Name TEXT NOT NULL, Public BOOL NOT NULL)",
+        "CREATE TABLE Membership (UId INT NOT NULL, GId INT NOT NULL, Role TEXT NOT NULL, \
+         PRIMARY KEY (UId, GId), \
+         FOREIGN KEY (UId) REFERENCES Users (UId), \
+         FOREIGN KEY (GId) REFERENCES Groups (GId))",
+        "CREATE TABLE Posts (PId INT PRIMARY KEY, GId INT NOT NULL, AuthorId INT NOT NULL, \
+         Title TEXT NOT NULL, Body TEXT NOT NULL, \
+         FOREIGN KEY (GId) REFERENCES Groups (GId), \
+         FOREIGN KEY (AuthorId) REFERENCES Users (UId))",
+        "CREATE TABLE Comments (CId INT PRIMARY KEY, PId INT NOT NULL, AuthorId INT NOT NULL, \
+         Body TEXT NOT NULL, \
+         FOREIGN KEY (PId) REFERENCES Posts (PId), \
+         FOREIGN KEY (AuthorId) REFERENCES Users (UId))",
+    ],
+    source: r#"
+        handler my_groups() {
+            emit sql("SELECT g.GId, g.Name FROM Groups g
+                      JOIN Membership m ON g.GId = m.GId
+                      WHERE m.UId = ?MyUId");
+        }
+
+        handler public_groups() {
+            emit sql("SELECT GId, Name FROM Groups WHERE Public = TRUE");
+        }
+
+        handler view_post(post_id) {
+            // Fetch only the routing metadata first (post -> group), then
+            // authorize, then fetch the content — the restructuring real
+            // apps adopt under a proxy.
+            let meta = sql("SELECT GId FROM Posts WHERE PId = ?post_id");
+            if meta.is_empty() {
+                abort(404);
+            }
+            let gid = meta.GId;
+            let m = sql("SELECT 1 FROM Membership WHERE UId = ?MyUId AND GId = ?gid");
+            if m.is_empty() {
+                abort(403);
+            }
+            emit sql("SELECT PId, Title, Body, AuthorId FROM Posts WHERE PId = ?post_id");
+        }
+
+        handler group_posts(group_id) {
+            let m = sql("SELECT 1 FROM Membership WHERE UId = ?MyUId AND GId = ?group_id");
+            if m.is_empty() {
+                abort(403);
+            }
+            emit sql("SELECT PId, Title FROM Posts WHERE GId = ?group_id");
+        }
+
+        handler view_comments(post_id) {
+            let meta = sql("SELECT GId FROM Posts WHERE PId = ?post_id");
+            if meta.is_empty() {
+                abort(404);
+            }
+            let gid = meta.GId;
+            let m = sql("SELECT 1 FROM Membership WHERE UId = ?MyUId AND GId = ?gid");
+            if m.is_empty() {
+                abort(403);
+            }
+            emit sql("SELECT CId, AuthorId, Body FROM Comments WHERE PId = ?post_id");
+        }
+
+        handler add_comment(post_id, comment_id, body) {
+            let meta = sql("SELECT GId FROM Posts WHERE PId = ?post_id");
+            if meta.is_empty() {
+                abort(404);
+            }
+            let gid = meta.GId;
+            let m = sql("SELECT 1 FROM Membership WHERE UId = ?MyUId AND GId = ?gid");
+            if m.is_empty() {
+                abort(403);
+            }
+            run sql("INSERT INTO Comments (CId, PId, AuthorId, Body)
+                     VALUES (?comment_id, ?post_id, ?MyUId, ?body)");
+        }
+    "#,
+    buggy_source: r#"
+        // BUG: membership check against the wrong column (the post id
+        // instead of the group id) — a classic confused-deputy slip.
+        handler view_post_confused(post_id) {
+            let m = sql("SELECT 1 FROM Membership
+                         WHERE UId = ?MyUId AND GId = ?post_id");
+            if m.is_empty() {
+                abort(403);
+            }
+            emit sql("SELECT PId, Title, Body, AuthorId FROM Posts WHERE PId = ?post_id");
+        }
+
+        // BUG: no gate at all on comments.
+        handler comments_nocheck(post_id) {
+            emit sql("SELECT CId, AuthorId, Body FROM Comments WHERE PId = ?post_id");
+        }
+    "#,
+    ground_truth: &[
+        // Post routing metadata is observable through the 404/403 split.
+        ("PostGroups", "SELECT PId, GId FROM Posts"),
+        (
+            "MyMemberships",
+            "SELECT GId FROM Membership WHERE UId = ?MyUId",
+        ),
+        (
+            "MyGroups",
+            "SELECT g.GId, g.Name FROM Groups g \
+             JOIN Membership m ON g.GId = m.GId WHERE m.UId = ?MyUId",
+        ),
+        (
+            "PublicGroups",
+            "SELECT GId, Name FROM Groups WHERE Public = TRUE",
+        ),
+        (
+            "GroupPosts",
+            "SELECT p.PId, p.GId, p.Title, p.Body, p.AuthorId FROM Posts p \
+             JOIN Membership m ON p.GId = m.GId WHERE m.UId = ?MyUId",
+        ),
+        (
+            "GroupComments",
+            "SELECT c.CId, c.PId, c.AuthorId, c.Body FROM Comments c \
+             JOIN Posts p ON c.PId = p.PId \
+             JOIN Membership m ON p.GId = m.GId WHERE m.UId = ?MyUId",
+        ),
+    ],
+    session_params: &["MyUId"],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::{run_handler, Limits, Outcome};
+    use sqlir::Value;
+
+    fn seeded() -> minidb::Database {
+        let mut db = FORUM.empty_db();
+        db.execute_sql(
+            "INSERT INTO Users (UId, Name) VALUES (101, 'ann'), (102, 'bob'), (103, 'cy')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Groups (GId, Name, Public) VALUES \
+             (1, 'eng', FALSE), (2, 'announce', TRUE)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Membership (UId, GId, Role) VALUES \
+             (101, 1, 'member'), (102, 1, 'admin'), (102, 2, 'member')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Posts (PId, GId, AuthorId, Title, Body) VALUES \
+             (10, 1, 101, 'design doc', 'secret plans'), \
+             (11, 2, 102, 'welcome', 'hello world')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Comments (CId, PId, AuthorId, Body) VALUES \
+             (100, 10, 102, 'lgtm'), (101, 11, 102, 'hi')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn definition_is_wellformed() {
+        assert_eq!(FORUM.app().handlers.len(), 6);
+        assert_eq!(FORUM.policy().unwrap().len(), 6);
+        assert_eq!(FORUM.policy().unwrap().params(), vec!["MyUId"]);
+    }
+
+    #[test]
+    fn membership_gating_works() {
+        let mut db = seeded();
+        let app = FORUM.app();
+        let ann = vec![("MyUId".to_string(), Value::Int(101))];
+        let cy = vec![("MyUId".to_string(), Value::Int(103))];
+
+        // Ann is in group 1 and can read post 10.
+        let r = run_handler(
+            &mut db,
+            app.handler("view_post").unwrap(),
+            &ann,
+            &[("post_id".into(), Value::Int(10))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+
+        // Cy is in no group: 403.
+        let r = run_handler(
+            &mut db,
+            app.handler("view_post").unwrap(),
+            &cy,
+            &[("post_id".into(), Value::Int(10))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Http(403));
+
+        // Nonexistent post: 404.
+        let r = run_handler(
+            &mut db,
+            app.handler("view_post").unwrap(),
+            &ann,
+            &[("post_id".into(), Value::Int(99))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Http(404));
+    }
+
+    #[test]
+    fn add_comment_inserts_when_authorized() {
+        let mut db = seeded();
+        let app = FORUM.app();
+        let ann = vec![("MyUId".to_string(), Value::Int(101))];
+        let r = run_handler(
+            &mut db,
+            app.handler("add_comment").unwrap(),
+            &ann,
+            &[
+                ("post_id".into(), Value::Int(10)),
+                ("comment_id".into(), Value::Int(999)),
+                ("body".into(), Value::str("nice")),
+            ],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+        assert_eq!(db.table("Comments").unwrap().len(), 3);
+    }
+}

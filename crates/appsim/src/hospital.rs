@@ -1,0 +1,97 @@
+//! The hospital-management system of Example 4.1.
+//!
+//! A single `Treatment(PId, DId, Disease)` relation links a patient, their
+//! assigned doctor, and the disease being treated. The staff-wide policy
+//! reveals (1) the doctor assigned to each patient and (2) the diseases
+//! treated by each doctor; the disease each patient is treated *for* is
+//! sensitive — and, per the paper, partially disclosed anyway.
+
+use crate::simapp::SimApp;
+
+/// The hospital application definition.
+pub const HOSPITAL: SimApp = SimApp {
+    name: "hospital",
+    ddl: &[
+        "CREATE TABLE Patients (PId INT PRIMARY KEY, Name TEXT NOT NULL)",
+        "CREATE TABLE Doctors (DId INT PRIMARY KEY, Name TEXT NOT NULL)",
+        "CREATE TABLE Treatment (PId INT NOT NULL, DId INT NOT NULL, Disease TEXT NOT NULL, \
+         PRIMARY KEY (PId, Disease), \
+         FOREIGN KEY (PId) REFERENCES Patients (PId), \
+         FOREIGN KEY (DId) REFERENCES Doctors (DId))",
+    ],
+    source: r#"
+        handler patient_doctor(patient_id) {
+            emit sql("SELECT DId FROM Treatment WHERE PId = ?patient_id");
+        }
+
+        handler doctor_diseases(doctor_id) {
+            emit sql("SELECT Disease FROM Treatment WHERE DId = ?doctor_id");
+        }
+
+        handler assignments() {
+            emit sql("SELECT PId, DId FROM Treatment");
+        }
+
+        handler specialties() {
+            emit sql("SELECT DId, Disease FROM Treatment");
+        }
+    "#,
+    buggy_source: r#"
+        // BUG: exposes the sensitive patient-disease link directly.
+        handler patient_chart(patient_id) {
+            emit sql("SELECT Disease FROM Treatment WHERE PId = ?patient_id");
+        }
+    "#,
+    ground_truth: &[
+        ("VA", "SELECT PId, DId FROM Treatment"),
+        ("VB", "SELECT DId, Disease FROM Treatment"),
+    ],
+    session_params: &[],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::{run_handler, Limits, Outcome};
+    use sqlir::Value;
+
+    fn seeded() -> minidb::Database {
+        let mut db = HOSPITAL.empty_db();
+        db.execute_sql("INSERT INTO Patients (PId, Name) VALUES (1, 'john'), (2, 'mary')")
+            .unwrap();
+        db.execute_sql("INSERT INTO Doctors (DId, Name) VALUES (10, 'dr. a'), (11, 'dr. b')")
+            .unwrap();
+        db.execute_sql(
+            "INSERT INTO Treatment (PId, DId, Disease) VALUES \
+             (1, 10, 'pneumonia'), (2, 10, 'tuberculosis'), (2, 11, 'flu')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn definition_is_wellformed() {
+        assert_eq!(HOSPITAL.app().handlers.len(), 4);
+        assert_eq!(HOSPITAL.policy().unwrap().len(), 2);
+        assert!(HOSPITAL.policy().unwrap().params().is_empty());
+    }
+
+    #[test]
+    fn views_run() {
+        let mut db = seeded();
+        let app = HOSPITAL.app();
+        let r = run_handler(
+            &mut db,
+            app.handler("patient_doctor").unwrap(),
+            &[],
+            &[("patient_id".into(), Value::Int(1))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+        match &r.emitted[0] {
+            appdsl::Emitted::Rows(rows) => assert_eq!(rows.rows[0][0], Value::Int(10)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The [`SimApp`] bundle: everything one simulated application ships with.
+
+use appdsl::{parse_app, App, DslError, PortOutcome, QueryPort};
+use bep_core::{CoreError, Policy, ProxyResponse, SqlProxy};
+use minidb::Database;
+use qlogic::RelSchema;
+use sqlir::Value;
+
+/// One simulated application: schema, code, and its intended policy.
+#[derive(Debug, Clone, Copy)]
+pub struct SimApp {
+    /// Application name.
+    pub name: &'static str,
+    /// `CREATE TABLE` statements.
+    pub ddl: &'static [&'static str],
+    /// Handler source (the whole application, in the DSL).
+    pub source: &'static str,
+    /// Additional handlers with *injected bugs* (for the diagnosis
+    /// experiments); not part of the correct application.
+    pub buggy_source: &'static str,
+    /// The intended (ground-truth) policy as `(name, SQL)` views.
+    pub ground_truth: &'static [(&'static str, &'static str)],
+    /// Session parameter names (shared with the policy namespace).
+    pub session_params: &'static [&'static str],
+}
+
+impl SimApp {
+    /// Parses the correct application.
+    pub fn app(&self) -> App {
+        parse_app(self.source).unwrap_or_else(|e| panic!("{} source: {e}", self.name))
+    }
+
+    /// Parses the application including the buggy handlers.
+    pub fn app_with_bugs(&self) -> App {
+        let combined = format!("{}\n{}", self.source, self.buggy_source);
+        parse_app(&combined).unwrap_or_else(|e| panic!("{} buggy source: {e}", self.name))
+    }
+
+    /// Creates an empty database with the application's schema.
+    pub fn empty_db(&self) -> Database {
+        let mut db = Database::new();
+        for ddl in self.ddl {
+            db.execute_sql(ddl)
+                .unwrap_or_else(|e| panic!("{} ddl: {e}", self.name));
+        }
+        db
+    }
+
+    /// The relational schema (for the logic layer).
+    pub fn schema(&self) -> RelSchema {
+        bep_core::schema_of_database(&self.empty_db())
+    }
+
+    /// Compiles the ground-truth policy.
+    pub fn policy(&self) -> Result<Policy, CoreError> {
+        Policy::from_sql(&self.schema(), self.ground_truth)
+    }
+
+    /// The ground-truth views as conjunctive queries.
+    pub fn ground_truth_cqs(&self) -> Vec<qlogic::Cq> {
+        self.policy()
+            .expect("ground truth compiles")
+            .views()
+            .iter()
+            .map(|v| v.cq.clone())
+            .collect()
+    }
+}
+
+/// A [`QueryPort`] adapter running handlers through the enforcing proxy.
+pub struct ProxyPort<'a> {
+    /// The proxy.
+    pub proxy: &'a mut SqlProxy,
+    /// The session id to execute under.
+    pub session: u64,
+}
+
+impl QueryPort for ProxyPort<'_> {
+    fn run(&mut self, sql: &str, bindings: &[(String, Value)]) -> Result<PortOutcome, DslError> {
+        match self.proxy.execute(self.session, sql, bindings) {
+            Ok(ProxyResponse::Rows(r)) => Ok(PortOutcome::Rows(r)),
+            Ok(ProxyResponse::Affected(n)) => Ok(PortOutcome::Affected(n)),
+            Ok(ProxyResponse::Blocked(reason)) => Ok(PortOutcome::Blocked(format!("{reason:?}"))),
+            Err(e) => Err(DslError::Port(e.to_string())),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A wiki with group-scoped documents — the fifth application.
+//!
+//! Its role in the evaluation is to exercise the parts of the §3.2.2 mining
+//! pipeline the other apps don't stress:
+//!
+//! * the `show_doc` handler issues an *analytics probe* whose result never
+//!   gates anything — the correlation heuristic conjoins it and invariant
+//!   workloads pin its group id, which only **active constraint discovery**
+//!   can generalize away (every document in the seeded data lives in one of
+//!   two groups, and test workloads tend to touch one);
+//! * the membership gate flows a *field-linked* value (the document's
+//!   group) into the check, the pattern that needs key dependencies.
+
+use crate::simapp::SimApp;
+
+/// The wiki application definition.
+pub const WIKI: SimApp = SimApp {
+    name: "wiki",
+    ddl: &[
+        "CREATE TABLE Users (UId INT PRIMARY KEY, Name TEXT NOT NULL)",
+        "CREATE TABLE Spaces (SId INT PRIMARY KEY, Name TEXT NOT NULL)",
+        "CREATE TABLE Access (UId INT NOT NULL, SId INT NOT NULL, \
+         PRIMARY KEY (UId, SId), \
+         FOREIGN KEY (UId) REFERENCES Users (UId), \
+         FOREIGN KEY (SId) REFERENCES Spaces (SId))",
+        "CREATE TABLE Docs (DId INT PRIMARY KEY, SId INT NOT NULL, Title TEXT NOT NULL, \
+         Body TEXT NOT NULL, \
+         FOREIGN KEY (SId) REFERENCES Spaces (SId))",
+    ],
+    source: r#"
+        handler show_doc(doc_id) {
+            let meta = sql("SELECT SId, Title FROM Docs WHERE DId = ?doc_id");
+            if meta.is_empty() {
+                abort(404);
+            }
+            let sid = meta.SId;
+            // Analytics probe: issued on every hit, result ignored.
+            let probe = sql("SELECT 1 FROM Spaces WHERE SId = ?sid");
+            let m = sql("SELECT 1 FROM Access WHERE UId = ?MyUId AND SId = ?sid");
+            if m.is_empty() {
+                abort(403);
+            }
+            emit sql("SELECT DId, Title, Body FROM Docs WHERE DId = ?doc_id");
+        }
+
+        handler my_spaces() {
+            emit sql("SELECT s.SId, s.Name FROM Spaces s
+                      JOIN Access a ON s.SId = a.SId
+                      WHERE a.UId = ?MyUId");
+        }
+
+        handler space_docs(space_id) {
+            let m = sql("SELECT 1 FROM Access WHERE UId = ?MyUId AND SId = ?space_id");
+            if m.is_empty() {
+                abort(403);
+            }
+            emit sql("SELECT DId, Title FROM Docs WHERE SId = ?space_id");
+        }
+    "#,
+    buggy_source: r#"
+        // BUG: space listing without the access gate — and it leaks the
+        // document bodies, which (unlike titles) the policy protects.
+        handler space_docs_nocheck(space_id) {
+            emit sql("SELECT DId, Title, Body FROM Docs WHERE SId = ?space_id");
+        }
+    "#,
+    ground_truth: &[
+        // Document routing metadata (DId -> SId, Title) is read ungated by
+        // the pre-authorization fetch.
+        ("DocMeta", "SELECT DId, SId, Title FROM Docs"),
+        // The analytics probe reads space existence, always through a
+        // document's SId (the probe never sees a doc-less space).
+        (
+            "DocSpaceProbe",
+            "SELECT d.DId, s.SId FROM Spaces s \
+             JOIN Docs d ON d.SId = s.SId",
+        ),
+        ("MyAccess", "SELECT SId FROM Access WHERE UId = ?MyUId"),
+        (
+            "MySpaces",
+            "SELECT s.SId, s.Name FROM Spaces s \
+             JOIN Access a ON s.SId = a.SId WHERE a.UId = ?MyUId",
+        ),
+        (
+            "MyDocs",
+            "SELECT d.DId, d.Title, d.Body FROM Docs d \
+             JOIN Access a ON d.SId = a.SId WHERE a.UId = ?MyUId",
+        ),
+    ],
+    session_params: &["MyUId"],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::{run_handler, Limits, Outcome};
+    use sqlir::Value;
+
+    fn seeded() -> minidb::Database {
+        let mut db = WIKI.empty_db();
+        db.execute_sql("INSERT INTO Users (UId, Name) VALUES (101, 'ann'), (102, 'bob')")
+            .unwrap();
+        db.execute_sql("INSERT INTO Spaces (SId, Name) VALUES (7, 'eng'), (8, 'ops')")
+            .unwrap();
+        db.execute_sql("INSERT INTO Access (UId, SId) VALUES (101, 7)")
+            .unwrap();
+        db.execute_sql(
+            "INSERT INTO Docs (DId, SId, Title, Body) VALUES \
+             (51, 7, 'road map', 'q3 plans'), (52, 8, 'oncall', 'rotations')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn definition_is_wellformed() {
+        assert_eq!(WIKI.app().handlers.len(), 3);
+        assert_eq!(WIKI.policy().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn gate_works() {
+        let mut db = seeded();
+        let app = WIKI.app();
+        let ann = vec![("MyUId".to_string(), Value::Int(101))];
+        let r = run_handler(
+            &mut db,
+            app.handler("show_doc").unwrap(),
+            &ann,
+            &[("doc_id".into(), Value::Int(51))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Ok);
+        let r = run_handler(
+            &mut db,
+            app.handler("show_doc").unwrap(),
+            &ann,
+            &[("doc_id".into(), Value::Int(52))],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, Outcome::Http(403), "no access to space 8");
+    }
+
+    #[test]
+    fn runs_clean_under_ground_truth_policy() {
+        use crate::simapp::ProxyPort;
+        let db = seeded();
+        let checker = bep_core::ComplianceChecker::new(WIKI.schema(), WIKI.policy().unwrap());
+        let mut proxy = bep_core::SqlProxy::new(db, checker, bep_core::ProxyConfig::default());
+        let app = WIKI.app();
+        let ann = vec![("MyUId".to_string(), Value::Int(101))];
+        for (handler, params) in [
+            ("show_doc", vec![("doc_id".to_string(), Value::Int(51))]),
+            ("my_spaces", vec![]),
+            ("space_docs", vec![("space_id".to_string(), Value::Int(7))]),
+        ] {
+            let session = proxy.begin_session(ann.clone());
+            let mut port = ProxyPort {
+                proxy: &mut proxy,
+                session,
+            };
+            let r = run_handler(
+                &mut port,
+                app.handler(handler).unwrap(),
+                &ann,
+                &params,
+                Limits::default(),
+            )
+            .unwrap();
+            assert!(
+                !matches!(r.outcome, Outcome::Blocked { .. }),
+                "{handler} blocked: {:?}",
+                r.outcome
+            );
+            proxy.end_session(session);
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Request workload generation.
+//!
+//! Workloads mix authorized and unauthorized requests (probing events the
+//! user does not attend, groups they are not in) so that enforcement,
+//! extraction, and diagnosis all see both sides of every check.
+
+use appdsl::Request;
+use minidb::Database;
+use rand::Rng;
+use sqlir::Value;
+
+/// Reads the distinct values of one integer column.
+fn int_column(db: &Database, sql: &str) -> Vec<i64> {
+    db.query_sql(sql)
+        .map(|rows| rows.rows.iter().filter_map(|r| r[0].as_int()).collect())
+        .unwrap_or_default()
+}
+
+fn pick<T: Copy>(rng: &mut impl Rng, items: &[T]) -> Option<T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(items[rng.gen_range(0..items.len())])
+    }
+}
+
+fn session(uid: i64) -> Vec<(String, Value)> {
+    vec![("MyUId".to_string(), Value::Int(uid))]
+}
+
+/// Generates a calendar workload of `n` requests.
+pub fn calendar_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+    let users = int_column(db, "SELECT UId FROM Users");
+    let events = int_column(db, "SELECT EId FROM Events");
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let Some(uid) = pick(rng, &users) else { break };
+        let request = match rng.gen_range(0..10) {
+            0..=3 => Request {
+                handler: "show_event".into(),
+                session: session(uid),
+                params: vec![(
+                    "event_id".into(),
+                    Value::Int(pick(rng, &events).unwrap_or(1)),
+                )],
+            },
+            4..=5 => Request {
+                handler: "my_events".into(),
+                session: session(uid),
+                params: vec![],
+            },
+            6..=7 => Request {
+                handler: "event_notes".into(),
+                session: session(uid),
+                params: vec![(
+                    "event_id".into(),
+                    Value::Int(pick(rng, &events).unwrap_or(1)),
+                )],
+            },
+            _ => Request {
+                handler: "attendees".into(),
+                session: session(uid),
+                params: vec![(
+                    "event_id".into(),
+                    Value::Int(pick(rng, &events).unwrap_or(1)),
+                )],
+            },
+        };
+        out.push(request);
+    }
+    out
+}
+
+/// Generates a hospital workload (staff sessions carry no parameters).
+pub fn hospital_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+    let patients = int_column(db, "SELECT PId FROM Patients");
+    let doctors = int_column(db, "SELECT DId FROM Doctors");
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let request = match rng.gen_range(0..4) {
+            0 => Request {
+                handler: "patient_doctor".into(),
+                session: vec![],
+                params: vec![(
+                    "patient_id".into(),
+                    Value::Int(pick(rng, &patients).unwrap_or(1)),
+                )],
+            },
+            1 => Request {
+                handler: "doctor_diseases".into(),
+                session: vec![],
+                params: vec![(
+                    "doctor_id".into(),
+                    Value::Int(pick(rng, &doctors).unwrap_or(500)),
+                )],
+            },
+            2 => Request {
+                handler: "assignments".into(),
+                session: vec![],
+                params: vec![],
+            },
+            _ => Request {
+                handler: "specialties".into(),
+                session: vec![],
+                params: vec![],
+            },
+        };
+        out.push(request);
+    }
+    out
+}
+
+const DEPTS: &[&str] = &["eng", "ops", "sales", "legal"];
+
+/// Generates an employees workload.
+pub fn employees_workload(_db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let dept = DEPTS[rng.gen_range(0..DEPTS.len())];
+        let request = match rng.gen_range(0..3) {
+            0 => Request {
+                handler: "directory".into(),
+                session: vec![],
+                params: vec![],
+            },
+            1 => Request {
+                handler: "dept_list".into(),
+                session: vec![],
+                params: vec![("dept".into(), Value::str(dept))],
+            },
+            _ => Request {
+                handler: "adult_count".into(),
+                session: vec![],
+                params: vec![("dept".into(), Value::str(dept))],
+            },
+        };
+        out.push(request);
+    }
+    out
+}
+
+/// Generates a forum workload of `n` requests.
+pub fn forum_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+    let users = int_column(db, "SELECT UId FROM Users");
+    let groups = int_column(db, "SELECT GId FROM Groups");
+    let posts = int_column(db, "SELECT PId FROM Posts");
+    let mut out = Vec::with_capacity(n);
+    let mut next_comment = 900_000i64;
+    for _ in 0..n {
+        let Some(uid) = pick(rng, &users) else { break };
+        let request = match rng.gen_range(0..12) {
+            0..=3 => Request {
+                handler: "view_post".into(),
+                session: session(uid),
+                params: vec![(
+                    "post_id".into(),
+                    Value::Int(pick(rng, &posts).unwrap_or(1000)),
+                )],
+            },
+            4..=5 => Request {
+                handler: "group_posts".into(),
+                session: session(uid),
+                params: vec![(
+                    "group_id".into(),
+                    Value::Int(pick(rng, &groups).unwrap_or(1)),
+                )],
+            },
+            6..=7 => Request {
+                handler: "my_groups".into(),
+                session: session(uid),
+                params: vec![],
+            },
+            8 => Request {
+                handler: "public_groups".into(),
+                session: session(uid),
+                params: vec![],
+            },
+            9..=10 => Request {
+                handler: "view_comments".into(),
+                session: session(uid),
+                params: vec![(
+                    "post_id".into(),
+                    Value::Int(pick(rng, &posts).unwrap_or(1000)),
+                )],
+            },
+            _ => {
+                next_comment += 1;
+                Request {
+                    handler: "add_comment".into(),
+                    session: session(uid),
+                    params: vec![
+                        (
+                            "post_id".into(),
+                            Value::Int(pick(rng, &posts).unwrap_or(1000)),
+                        ),
+                        ("comment_id".into(), Value::Int(next_comment)),
+                        ("body".into(), Value::str("generated")),
+                    ],
+                }
+            }
+        };
+        out.push(request);
+    }
+    out
+}
+
+/// Generates a wiki workload of `n` requests.
+pub fn wiki_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+    let users = int_column(db, "SELECT UId FROM Users");
+    let docs = int_column(db, "SELECT DId FROM Docs");
+    let spaces = int_column(db, "SELECT SId FROM Spaces");
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let Some(uid) = pick(rng, &users) else { break };
+        let request = match rng.gen_range(0..6) {
+            0..=2 => Request {
+                handler: "show_doc".into(),
+                session: session(uid),
+                params: vec![("doc_id".into(), Value::Int(pick(rng, &docs).unwrap_or(100)))],
+            },
+            3 => Request {
+                handler: "my_spaces".into(),
+                session: session(uid),
+                params: vec![],
+            },
+            _ => Request {
+                handler: "space_docs".into(),
+                session: session(uid),
+                params: vec![(
+                    "space_id".into(),
+                    Value::Int(pick(rng, &spaces).unwrap_or(1)),
+                )],
+            },
+        };
+        out.push(request);
+    }
+    out
+}
+
+/// Generates a workload for the named application.
+pub fn workload_for(name: &str, db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+    match name {
+        "calendar" => calendar_workload(db, rng, n),
+        "hospital" => hospital_workload(db, rng, n),
+        "employees" => employees_workload(db, rng, n),
+        "forum" => forum_workload(db, rng, n),
+        "wiki" => wiki_workload(db, rng, n),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::{seed_app, Scale};
+    use crate::{CALENDAR, EMPLOYEES, FORUM, HOSPITAL, WIKI};
+    use appdsl::{run_handler, Limits};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn workloads_execute_cleanly_on_every_app() {
+        for app in [&CALENDAR, &HOSPITAL, &EMPLOYEES, &FORUM, &WIKI] {
+            let mut rng = SmallRng::seed_from_u64(11);
+            let mut db = app.empty_db();
+            seed_app(app.name, &mut db, &mut rng, &Scale::small());
+            let requests = workload_for(app.name, &db, &mut rng, 30);
+            assert_eq!(requests.len(), 30, "{}", app.name);
+            let parsed = app.app();
+            for req in &requests {
+                let handler = parsed.handler(&req.handler).expect("handler exists");
+                run_handler(
+                    &mut db,
+                    handler,
+                    &req.session,
+                    &req.params,
+                    Limits::default(),
+                )
+                .unwrap_or_else(|e| panic!("{}::{}: {e}", app.name, req.handler));
+            }
+        }
+    }
+
+    #[test]
+    fn workload_mixes_outcomes() {
+        // At small scale with random probing, the calendar workload must
+        // contain both authorized and unauthorized show_event requests.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut db = CALENDAR.empty_db();
+        seed_app("calendar", &mut db, &mut rng, &Scale::small());
+        let requests = calendar_workload(&db, &mut rng, 60);
+        let app = CALENDAR.app();
+        let mut ok = 0;
+        let mut denied = 0;
+        for req in &requests {
+            let handler = app.handler(&req.handler).unwrap();
+            let r = run_handler(
+                &mut db,
+                handler,
+                &req.session,
+                &req.params,
+                Limits::default(),
+            )
+            .unwrap();
+            match r.outcome {
+                appdsl::Outcome::Ok => ok += 1,
+                appdsl::Outcome::Http(_) => denied += 1,
+                appdsl::Outcome::Blocked { .. } => {}
+            }
+        }
+        assert!(ok > 0, "some requests succeed");
+        assert!(denied > 0, "some requests hit the access check");
+    }
+}

@@ -1,0 +1,74 @@
+//! F2 — Disclosure-check latency: the certificate checkers vs the exact
+//! small-model enumerator, as the sensitive query grows (atoms) and as the
+//! bounded universe grows (domain size). The shape claim: certificates stay
+//! in the microsecond-to-millisecond range while exact enumeration explodes
+//! exponentially — which is why the paper asks for practical algorithms.
+
+use bep_disclose::{check_nqi, check_pqi, decide, RelationSpec, Universe};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qlogic::{Atom, Cq, Term, ViewSet};
+
+/// A chain query R0(x0,x1), R1(x1,x2), … with per-relation identity views.
+fn chain(n: usize) -> (ViewSet, Cq) {
+    let mut views = Vec::new();
+    let mut atoms = Vec::new();
+    for i in 0..n {
+        let atom = Atom::new(
+            format!("R{i}"),
+            vec![Term::var(format!("x{i}")), Term::var(format!("x{}", i + 1))],
+        );
+        atoms.push(atom.clone());
+        let mut v = Cq::new(
+            vec![Term::var(format!("x{i}")), Term::var(format!("x{}", i + 1))],
+            vec![atom],
+            vec![],
+        );
+        v.name = Some(format!("V{i}"));
+        views.push(v);
+    }
+    let q = Cq::new(
+        vec![Term::var("x0"), Term::var(format!("x{n}"))],
+        atoms,
+        vec![],
+    );
+    (ViewSet::new(views).unwrap(), q)
+}
+
+fn bench_certificates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_certificates");
+    group.sample_size(20);
+    for n in [1usize, 2, 3, 4] {
+        let (views, q) = chain(n);
+        group.bench_with_input(BenchmarkId::new("pqi", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(check_pqi(&q, &views).holds()));
+        });
+        group.bench_with_input(BenchmarkId::new("nqi", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(check_nqi(&q, &views).holds()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_small_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_small_model");
+    group.sample_size(10);
+    // One binary relation; domain d = 2 or 3 (4^d tuples → 2^(d²) subsets).
+    for d in [2i64, 3] {
+        let (views, q) = chain(1);
+        let universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "R0".into(),
+                arity: 2,
+                max_rows: 2,
+            }],
+            d,
+        );
+        group.bench_with_input(BenchmarkId::new("exact", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(decide(&universe, &views, &q).unwrap().pqi));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_certificates, bench_small_model);
+criterion_main!(benches);

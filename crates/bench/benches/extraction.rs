@@ -1,0 +1,56 @@
+//! T2 — Extraction cost: wall time of symbolic extraction per application
+//! (paths are bounded, per the paper's simple-loop-structure observation)
+//! and of black-box mining as the workload grows.
+
+use appsim::{Scale, ALL_APPS, CALENDAR};
+use bep_bench::app_env;
+use bep_extract::{
+    collect_traces, extract_symbolic, mine_policy, Hints, MineOptions, SymLimits, ViewGenOptions,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_symbolic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_symbolic_extraction");
+    group.sample_size(10);
+    for sim in ALL_APPS {
+        let schema = sim.schema();
+        let app = sim.app();
+        let opts = ViewGenOptions {
+            session_params: sim.session_params.iter().map(|s| s.to_string()).collect(),
+        };
+        group.bench_function(sim.name, |b| {
+            b.iter(|| {
+                let e = extract_symbolic(&schema, &app, SymLimits::default(), &opts).unwrap();
+                std::hint::black_box(e.views.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_mining");
+    group.sample_size(10);
+    let schema = CALENDAR.schema();
+    let app = CALENDAR.app();
+    for n in [25usize, 50, 100] {
+        let env = app_env(&CALENDAR, 7, Scale::small(), n);
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, _| {
+            b.iter(|| {
+                let traces = collect_traces(&env.db, &app, &schema, &env.requests).unwrap();
+                let views = mine_policy(
+                    &traces,
+                    &MineOptions {
+                        hints: Hints::id_columns(&schema),
+                        ..Default::default()
+                    },
+                );
+                std::hint::black_box(views.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic, bench_mining);
+criterion_main!(benches);

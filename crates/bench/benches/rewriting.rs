@@ -1,0 +1,100 @@
+//! Rewriting-engine microbenchmarks: the cost of one equivalent-rewriting
+//! search (the checker's inner loop) as the policy grows, and of the
+//! maximally-contained rewriting used by query patches (F4's engine).
+
+use bep_core::Policy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qlogic::{equivalent_rewriting, maximally_contained, Atom, Cq, RelSchema, Term, ViewSet};
+use sqlir::Value;
+
+/// A policy of n single-table views over distinct relations plus the two
+/// calendar views, instantiated for user 1.
+fn policy_with_decoys(n: usize) -> ViewSet {
+    let mut schema = RelSchema::new();
+    schema.add_table("Events", ["EId", "Title", "Kind"]);
+    schema.add_table("Attendance", ["UId", "EId", "Notes"]);
+    let mut policy = Policy::from_sql(
+        &schema,
+        &[
+            ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+            (
+                "V2",
+                "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                 WHERE a.UId = ?MyUId",
+            ),
+        ],
+    )
+    .unwrap();
+    for i in 0..n {
+        let mut v = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new(
+                format!("T{i}"),
+                vec![Term::var("x"), Term::var("y")],
+            )],
+            vec![],
+        );
+        v.name = Some(format!("D{i}"));
+        policy.add_cq_view(&format!("D{i}"), v).unwrap();
+    }
+    policy
+        .instantiate(&[("MyUId".to_string(), Value::Int(1))])
+        .unwrap()
+}
+
+fn bench_equivalent_rewriting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewriting_equivalent");
+    group.sample_size(20);
+    let q1 = Cq::new(
+        vec![Term::int(1)],
+        vec![Atom::new(
+            "Attendance",
+            vec![Term::int(1), Term::int(2), Term::var("n")],
+        )],
+        vec![],
+    );
+    for n in [0usize, 8, 32] {
+        let views = policy_with_decoys(n);
+        group.bench_with_input(BenchmarkId::new("allow", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(equivalent_rewriting(&q1, &views, &[]).is_some()));
+        });
+        // A deny exhausts the candidate space (worst case).
+        let q_deny = Cq::new(
+            vec![Term::var("t")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        group.bench_with_input(BenchmarkId::new("deny", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(equivalent_rewriting(&q_deny, &views, &[]).is_none()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_maximally_contained(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewriting_mcr");
+    group.sample_size(20);
+    let views = policy_with_decoys(8);
+    let q = Cq::new(
+        vec![Term::var("e"), Term::var("t")],
+        vec![Atom::new(
+            "Events",
+            vec![Term::var("e"), Term::var("t"), Term::var("k")],
+        )],
+        vec![],
+    );
+    group.bench_function("all_events", |b| {
+        b.iter(|| std::hint::black_box(maximally_contained(&q, &views).disjuncts.len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_equivalent_rewriting,
+    bench_maximally_contained
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! F1 — Generalization curve: policy size vs number of traces for the
+//! non-generalizing and generalizing learners (§3.2.2's blowup argument:
+//! "a policy that relies on non-generalizing views must contain a lot of
+//! them — e.g. one for each user in the database").
+//!
+//! Run: `cargo run -p bep-bench --bin f1_generalization --release`
+
+use appsim::{Scale, CALENDAR};
+use bep_bench::{app_env, header, row};
+use bep_extract::{collect_traces, mine_policy, Hints, Learner, MineOptions};
+
+fn main() {
+    let trace_counts = [10usize, 25, 50, 100, 200, 400];
+    let widths = [8usize, 14, 12];
+    header(&["traces", "non-gen views", "gen views"], &widths);
+
+    // A larger population so the blowup has room to show.
+    let env = app_env(
+        &CALENDAR,
+        13,
+        Scale {
+            users: 60,
+            entities: 25,
+            links_per_user: 4,
+        },
+        400,
+    );
+    let schema = CALENDAR.schema();
+
+    let mut series = Vec::new();
+    for &n in &trace_counts {
+        let slice = &env.requests[..n.min(env.requests.len())];
+        let traces = collect_traces(&env.db, &CALENDAR.app(), &schema, slice).expect("traces");
+        let nongen = mine_policy(
+            &traces,
+            &MineOptions {
+                learner: Learner::NonGeneralizing,
+                ..Default::default()
+            },
+        )
+        .len();
+        let gen = mine_policy(
+            &traces,
+            &MineOptions {
+                hints: Hints::id_columns(&schema),
+                ..Default::default()
+            },
+        )
+        .len();
+        row(
+            &[n.to_string(), nongen.to_string(), gen.to_string()],
+            &widths,
+        );
+        series.push((n, nongen, gen));
+    }
+
+    // The shape claim: non-generalizing grows with the workload; the
+    // generalizing learner converges to a constant-size policy.
+    let (first, last) = (series.first().unwrap(), series.last().unwrap());
+    println!(
+        "\nnon-generalizing grew {}x; generalizing grew {}x across a {}x trace increase",
+        last.1 as f64 / first.1.max(1) as f64,
+        last.2 as f64 / first.2.max(1) as f64,
+        last.0 / first.0
+    );
+    assert!(
+        last.1 > first.1 * 3,
+        "non-generalizing learner must blow up with workload size"
+    );
+    assert!(
+        last.2 <= first.2 + 3,
+        "generalizing learner must converge (got {} → {})",
+        first.2,
+        last.2
+    );
+    println!("shape check PASSED: blowup vs convergence, as the paper argues.");
+}

@@ -1,0 +1,100 @@
+//! T4 — Trace-aware enforcement: allow/block decisions across proxy
+//! configurations on the calendar and forum workloads, with cache
+//! effectiveness. The headline row reproduces Example 2.1 at workload
+//! scale: without trace awareness, multi-step handlers break.
+//!
+//! Run: `cargo run -p bep-bench --bin t4_enforcement --release`
+
+use appsim::{ProxyPort, Scale, CALENDAR, FORUM};
+use bep_bench::{app_env, header, proxy_for, row};
+use bep_core::ProxyConfig;
+
+fn main() {
+    let widths = [9usize, 22, 8, 8, 8, 9, 9, 9];
+    header(
+        &[
+            "app", "config", "ok", "denied", "blocked", "tmpl-hit", "sess-hit", "proofs",
+        ],
+        &widths,
+    );
+
+    for sim in [&CALENDAR, &FORUM] {
+        let env = app_env(sim, 17, Scale::small(), 150);
+        let configs: [(&str, ProxyConfig); 4] = [
+            ("full", ProxyConfig::default()),
+            (
+                "no-trace",
+                ProxyConfig {
+                    trace_aware: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "no-caches",
+                ProxyConfig {
+                    template_cache: false,
+                    session_cache: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "no-trace,no-caches",
+                ProxyConfig {
+                    trace_aware: false,
+                    template_cache: false,
+                    session_cache: false,
+                    ..Default::default()
+                },
+            ),
+        ];
+
+        for (label, config) in configs {
+            let mut proxy = proxy_for(&env, config);
+            let app = env.sim.app();
+            let mut counts = [0usize; 3];
+            for req in &env.requests {
+                let handler = app.handler(&req.handler).expect("handler");
+                let session = proxy.begin_session(req.session.clone());
+                let mut port = ProxyPort {
+                    proxy: &mut proxy,
+                    session,
+                };
+                let result = appdsl::run_handler(
+                    &mut port,
+                    handler,
+                    &req.session,
+                    &req.params,
+                    appdsl::Limits::default(),
+                )
+                .expect("run");
+                match result.outcome {
+                    appdsl::Outcome::Ok => counts[0] += 1,
+                    appdsl::Outcome::Http(_) => counts[1] += 1,
+                    appdsl::Outcome::Blocked { .. } => counts[2] += 1,
+                }
+                proxy.end_session(session);
+            }
+            let stats = proxy.stats();
+            row(
+                &[
+                    sim.name.to_string(),
+                    label.to_string(),
+                    counts[0].to_string(),
+                    counts[1].to_string(),
+                    counts[2].to_string(),
+                    stats.template_cache_hits.to_string(),
+                    stats.session_cache_hits.to_string(),
+                    (stats.template_proofs + stats.concrete_proofs).to_string(),
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+
+    println!("Shape claims:");
+    println!("  - 'full' and 'no-caches' block 0 requests (the correct app is compliant;");
+    println!("    caches change cost, not decisions);");
+    println!("  - 'no-trace' blocks every multi-step handler (Example 2.1's point);");
+    println!("  - template-cache hits dominate once templates are proven.");
+}

@@ -1,0 +1,212 @@
+//! T5 — Violation diagnosis: run every injected-bug handler across the
+//! applications, collect the blocked queries, and report per violation:
+//! counterexample found, patch kinds generated, whether applying the best
+//! patch unblocks, culprit heuristic, and diagnosis latency.
+//!
+//! Run: `cargo run -p bep-bench --bin t5_diagnosis --release`
+
+use std::time::Instant;
+
+use appsim::{ProxyPort, Scale, ALL_APPS};
+use bep_bench::{app_env, header, proxy_for, row};
+use bep_core::ProxyConfig;
+use bep_diagnose::{diagnose, DiagnosisInput, Patch};
+use bep_extract::{extract_symbolic, SymLimits, ViewGenOptions};
+use sqlir::Value;
+
+fn main() {
+    let widths = [10usize, 22, 8, 14, 9, 8, 12, 9];
+    header(
+        &[
+            "app",
+            "handler",
+            "blocked",
+            "counterexample",
+            "patches",
+            "unblocks",
+            "culprit",
+            "ms",
+        ],
+        &widths,
+    );
+
+    let mut violations = 0;
+    let mut diagnosed = 0;
+    let mut patched = 0;
+
+    for sim in ALL_APPS {
+        let env = app_env(sim, 29, Scale::small(), 0);
+        let schema = sim.schema();
+        let policy = sim.policy().expect("policy");
+        let app = sim.app_with_bugs();
+        let buggy: Vec<String> = app
+            .handlers
+            .iter()
+            .map(|h| h.name.clone())
+            .filter(|n| sim.app().handler(n).is_none())
+            .collect();
+
+        // Extraction over the buggy app supplies policy-patch candidates.
+        let opts = ViewGenOptions {
+            session_params: sim.session_params.iter().map(|s| s.to_string()).collect(),
+        };
+        let extracted = extract_symbolic(&schema, &app, SymLimits::default(), &opts)
+            .expect("symex")
+            .views;
+
+        for handler_name in &buggy {
+            let handler = app.handler(handler_name).unwrap();
+            // Drive the buggy handler with plausible parameters until the
+            // proxy blocks something.
+            let mut proxy = proxy_for(&env, ProxyConfig::default());
+            let session_bindings: Vec<(String, Value)> = sim
+                .session_params
+                .iter()
+                .map(|p| (p.to_string(), Value::Int(101)))
+                .collect();
+            let session = proxy.begin_session(session_bindings.clone());
+            let mut blocked_sql = None;
+            for candidate in [2i64, 3, 7, 10, 1000, 1001] {
+                let params: Vec<(String, Value)> = handler
+                    .params
+                    .iter()
+                    .map(|p| (p.clone(), Value::Int(candidate)))
+                    .collect();
+                let mut port = ProxyPort {
+                    proxy: &mut proxy,
+                    session,
+                };
+                let r = appdsl::run_handler(
+                    &mut port,
+                    handler,
+                    &session_bindings,
+                    &params,
+                    appdsl::Limits::default(),
+                );
+                if let Ok(result) = r {
+                    if let appdsl::Outcome::Blocked { sql } = result.outcome {
+                        blocked_sql = Some((sql, params));
+                        break;
+                    }
+                }
+            }
+            let Some((sql, params)) = blocked_sql else {
+                row(
+                    &[
+                        sim.name.to_string(),
+                        handler_name.clone(),
+                        "no".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ],
+                    &widths,
+                );
+                continue;
+            };
+            violations += 1;
+
+            // Build the instantiated blocked query.
+            let mut bindings = session_bindings.clone();
+            bindings.extend(params);
+            let parsed = sqlir::parse_query(&sql).expect("blocked sql parses");
+            let cq = qlogic::sql_to_ucq(&schema, &parsed)
+                .expect("fragment")
+                .disjuncts
+                .remove(0)
+                .instantiate(&bindings);
+            let views = policy.instantiate(&session_bindings).expect("instantiate");
+            let facts = proxy
+                .session_trace(session)
+                .expect("trace")
+                .facts()
+                .to_vec();
+
+            let start = Instant::now();
+            let report = diagnose(&DiagnosisInput {
+                query: &cq,
+                views: &views,
+                trace_facts: &facts,
+                schema: &schema,
+                extracted: Some(&extracted),
+            });
+            let elapsed = start.elapsed().as_millis();
+
+            match report {
+                Ok(report) => {
+                    diagnosed += 1;
+                    // Validate: does the least-invasive patch unblock?
+                    let unblocks = report.patches.iter().any(|p| match p {
+                        Patch::AccessCheck(ac) => {
+                            let mut with_fact = facts.clone();
+                            with_fact.push(ac.fact.clone());
+                            qlogic::equivalent_rewriting(&cq, &views, &with_fact).is_some()
+                        }
+                        Patch::Query(qp) => {
+                            qlogic::equivalent_rewriting(&qp.expansion, &views, &facts).is_some()
+                        }
+                        Patch::Policy(pp) => {
+                            let mut all: Vec<qlogic::Cq> = views.views().to_vec();
+                            for (i, v) in pp.additions.iter().enumerate() {
+                                let mut n = v.clone();
+                                n.name = Some(format!("N{i}"));
+                                all.push(n);
+                            }
+                            qlogic::ViewSet::new(all)
+                                .ok()
+                                .map(|vs| qlogic::equivalent_rewriting(&cq, &vs, &facts).is_some())
+                                .unwrap_or(false)
+                        }
+                    });
+                    if unblocks {
+                        patched += 1;
+                    }
+                    let kinds: Vec<&str> = report.patches.iter().map(|p| p.kind()).collect();
+                    row(
+                        &[
+                            sim.name.to_string(),
+                            handler_name.clone(),
+                            "yes".into(),
+                            if report.counterexample.is_some() {
+                                "found"
+                            } else {
+                                "-"
+                            }
+                            .to_string(),
+                            format!("{}({})", report.patches.len(), kinds.join(",")),
+                            if unblocks { "yes" } else { "no" }.to_string(),
+                            format!("{:?}", report.likely_culprit()),
+                            elapsed.to_string(),
+                        ],
+                        &widths,
+                    );
+                }
+                Err(e) => {
+                    row(
+                        &[
+                            sim.name.to_string(),
+                            handler_name.clone(),
+                            "yes".into(),
+                            "-".into(),
+                            format!("err:{e}"),
+                            "no".into(),
+                            "-".into(),
+                            elapsed.to_string(),
+                        ],
+                        &widths,
+                    );
+                }
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "summary: {violations} violations provoked, {diagnosed} diagnosed, \
+         {patched} with a validated unblocking patch"
+    );
+    assert!(violations >= 5, "the bug corpus must provoke violations");
+    assert_eq!(violations, diagnosed, "every violation gets a diagnosis");
+}

@@ -1,0 +1,47 @@
+//! Error types for the enforcement core.
+
+use std::fmt;
+
+/// Errors raised while building policies or operating the proxy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A view's SQL failed to parse.
+    Parse(String),
+    /// A view fell outside the conjunctive fragment.
+    OutOfFragment(String),
+    /// Duplicate view name in a policy.
+    DuplicateView(String),
+    /// The referenced session does not exist.
+    NoSuchSession(u64),
+    /// A database error surfaced through the proxy.
+    Db(String),
+    /// An internal invariant failed.
+    Internal(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Parse(msg) => write!(f, "policy parse error: {msg}"),
+            CoreError::OutOfFragment(msg) => write!(f, "view outside supported fragment: {msg}"),
+            CoreError::DuplicateView(name) => write!(f, "duplicate view name: {name}"),
+            CoreError::NoSuchSession(id) => write!(f, "no such session: {id}"),
+            CoreError::Db(msg) => write!(f, "database error: {msg}"),
+            CoreError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<minidb::DbError> for CoreError {
+    fn from(e: minidb::DbError) -> CoreError {
+        CoreError::Db(e.to_string())
+    }
+}
+
+impl From<qlogic::LogicError> for CoreError {
+    fn from(e: qlogic::LogicError) -> CoreError {
+        CoreError::OutOfFragment(e.to_string())
+    }
+}

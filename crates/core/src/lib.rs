@@ -1,0 +1,34 @@
+//! The enforcement setting of "Access Control for Database Applications:
+//! Beyond Policy Enforcement" (HotOS '23): view-based policies, query
+//! traces, a trace-aware compliance checker, and an enforcing SQL proxy.
+//!
+//! This crate is the workspace's reconstruction of the Blockaid-style system
+//! the paper frames its three proposals around (§2.2):
+//!
+//! * [`Policy`] — SQL views parameterized by session values (`?MyUId`);
+//! * [`Trace`] — per-session query history and the ground facts it
+//!   witnesses;
+//! * [`ComplianceChecker`] — decides whether a query's answer is determined
+//!   by the views plus the trace (equivalent-rewriting certificates);
+//! * [`SqlProxy`] — intercepts queries, allows or blocks them *unmodified*,
+//!   and amortizes decisions through template- and session-level caches.
+//!
+//! The crate reproduces Example 2.1 of the paper exactly: `Q1` is allowed by
+//! `V1`; `Q2` alone is blocked; `Q2` after `Q1` returned a row is allowed.
+//! See `checker::tests::example_2_1_full_scenario`.
+
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod decision;
+pub mod error;
+pub mod policy;
+pub mod proxy;
+pub mod trace;
+
+pub use checker::ComplianceChecker;
+pub use decision::{Decision, DecisionSource, DenyReason};
+pub use error::CoreError;
+pub use policy::{schema_of_database, Policy, ViewDef};
+pub use proxy::{ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
+pub use trace::{Observation, Trace, TraceEntry};

@@ -1,0 +1,665 @@
+//! The enforcing SQL proxy.
+//!
+//! [`SqlProxy`] sits between an application and its database (§2.2):
+//! each `SELECT` is intercepted, decided by the [`ComplianceChecker`], and
+//! either executed as-is or blocked outright — never modified. Results of
+//! allowed queries are recorded into the session's [`Trace`], which later
+//! decisions may rely on.
+//!
+//! Two caches amortize decision cost:
+//!
+//! * a global *template cache* of query templates proven compliant with
+//!   parameters symbolic (valid for every session and history), and
+//! * a per-session *concrete cache* of allowed (query, bindings) pairs —
+//!   sound to reuse because compliance is monotone in the trace facts, and a
+//!   session's facts only grow.
+//!
+//! Denials are never cached: a blocked query can become allowed as the trace
+//! grows.
+
+use std::collections::{HashMap, HashSet};
+
+use minidb::{Database, Rows};
+use parking_lot::Mutex;
+use sqlir::{bind_statement, parse_statement, ParamBindings, Statement, Value};
+
+use crate::checker::ComplianceChecker;
+use crate::decision::{Decision, DecisionSource, DenyReason};
+use crate::error::CoreError;
+use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
+
+/// Proxy behaviour toggles (the T4/T6 ablations flip these).
+#[derive(Debug, Clone, Copy)]
+pub struct ProxyConfig {
+    /// Use trace facts in decisions (Example 2.1 requires this).
+    pub trace_aware: bool,
+    /// Enable the global template cache.
+    pub template_cache: bool,
+    /// Enable the per-session concrete cache.
+    pub session_cache: bool,
+    /// Whether DML statements pass through or are blocked.
+    pub allow_writes: bool,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> ProxyConfig {
+        ProxyConfig {
+            trace_aware: true,
+            template_cache: true,
+            session_cache: true,
+            allow_writes: true,
+        }
+    }
+}
+
+/// Counters for reporting (T4/F3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Queries allowed.
+    pub allowed: u64,
+    /// Queries blocked.
+    pub blocked: u64,
+    /// Allowed via the template cache.
+    pub template_cache_hits: u64,
+    /// Allowed via a fresh template-level proof.
+    pub template_proofs: u64,
+    /// Allowed via the per-session cache.
+    pub session_cache_hits: u64,
+    /// Denied via the per-session deny cache.
+    pub deny_cache_hits: u64,
+    /// Allowed via a fresh concrete proof.
+    pub concrete_proofs: u64,
+    /// DML statements passed through.
+    pub writes: u64,
+}
+
+/// One application session (a logged-in user).
+#[derive(Debug, Clone)]
+struct SessionState {
+    bindings: Vec<(String, Value)>,
+    trace: Trace,
+    allowed_cache: HashSet<String>,
+    /// Denials keyed by concrete query, valid while the fact count they were
+    /// proved at is unchanged (more facts can flip a denial, never fewer).
+    /// The stored query is the disjunct that failed, replayed on cache hits
+    /// so diagnosis consumers see the real reason.
+    denied_cache: HashMap<String, (usize, qlogic::Cq)>,
+}
+
+/// The response to a proxied statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProxyResponse {
+    /// Rows of an allowed `SELECT`.
+    Rows(Rows),
+    /// Row count of a pass-through DML statement.
+    Affected(usize),
+    /// The statement was blocked.
+    Blocked(DenyReason),
+}
+
+impl ProxyResponse {
+    /// The rows, if this was an allowed `SELECT`.
+    pub fn rows(&self) -> Option<&Rows> {
+        match self {
+            ProxyResponse::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// `true` unless the statement was blocked.
+    pub fn is_allowed(&self) -> bool {
+        !matches!(self, ProxyResponse::Blocked(_))
+    }
+}
+
+/// The enforcing proxy.
+pub struct SqlProxy {
+    db: Database,
+    checker: ComplianceChecker,
+    config: ProxyConfig,
+    sessions: HashMap<u64, SessionState>,
+    next_session: u64,
+    template_cache: Mutex<HashSet<String>>,
+    stats: ProxyStats,
+}
+
+impl SqlProxy {
+    /// Wraps a database with enforcement.
+    pub fn new(db: Database, checker: ComplianceChecker, config: ProxyConfig) -> SqlProxy {
+        SqlProxy {
+            db,
+            checker,
+            config,
+            sessions: HashMap::new(),
+            next_session: 1,
+            template_cache: Mutex::new(HashSet::new()),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Opens a session with the given policy-parameter bindings
+    /// (e.g. `MyUId = 1`).
+    pub fn begin_session(&mut self, bindings: Vec<(String, Value)>) -> u64 {
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(
+            id,
+            SessionState {
+                bindings,
+                trace: Trace::new(),
+                allowed_cache: HashSet::new(),
+                denied_cache: HashMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Ends a session, discarding its trace.
+    pub fn end_session(&mut self, id: u64) {
+        self.sessions.remove(&id);
+    }
+
+    /// Execution counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// The wrapped database (read access, e.g. for test assertions).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the wrapped database for out-of-band setup.
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// A session's trace (for diagnosis).
+    pub fn session_trace(&self, id: u64) -> Result<&Trace, CoreError> {
+        self.sessions
+            .get(&id)
+            .map(|s| &s.trace)
+            .ok_or(CoreError::NoSuchSession(id))
+    }
+
+    /// Executes a statement template with bindings under enforcement.
+    ///
+    /// `sql` may contain named parameters; `extra_bindings` supplies request
+    /// parameters (the session's own bindings are always in scope).
+    pub fn execute(
+        &mut self,
+        session_id: u64,
+        sql: &str,
+        extra_bindings: &[(String, Value)],
+    ) -> Result<ProxyResponse, CoreError> {
+        let stmt = match parse_statement(sql) {
+            Ok(s) => s,
+            Err(e) => {
+                self.stats.blocked += 1;
+                return Ok(ProxyResponse::Blocked(DenyReason::ParseError(
+                    e.to_string(),
+                )));
+            }
+        };
+        let session = self
+            .sessions
+            .get(&session_id)
+            .ok_or(CoreError::NoSuchSession(session_id))?;
+        let mut bindings = session.bindings.clone();
+        for (k, v) in extra_bindings {
+            bindings.retain(|(n, _)| n != k);
+            bindings.push((k.clone(), v.clone()));
+        }
+
+        match &stmt {
+            Statement::Select(q) => {
+                let decision = self.decide_select(session_id, sql, q, &bindings);
+                match decision {
+                    Decision::Allowed { .. } => {
+                        // Binding failures (e.g. a parameter the caller never
+                        // supplied) are the caller's malformed input, not an
+                        // internal error: block, don't fail.
+                        let rows = match self.run_select(&stmt, &bindings) {
+                            Ok(rows) => rows,
+                            Err(CoreError::Parse(msg)) => {
+                                self.stats.blocked += 1;
+                                return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
+                            }
+                            Err(other) => return Err(other),
+                        };
+                        self.stats.allowed += 1;
+                        self.record_observation(session_id, q, &bindings, &rows);
+                        Ok(ProxyResponse::Rows(rows))
+                    }
+                    Decision::Denied { reason } => {
+                        self.stats.blocked += 1;
+                        Ok(ProxyResponse::Blocked(reason))
+                    }
+                }
+            }
+            _ => {
+                if !self.config.allow_writes {
+                    self.stats.blocked += 1;
+                    return Ok(ProxyResponse::Blocked(DenyReason::WriteBlocked));
+                }
+                self.stats.writes += 1;
+                let bound = match bind_to_statement(&stmt, &bindings) {
+                    Ok(b) => b,
+                    Err(CoreError::Parse(msg)) => {
+                        self.stats.writes -= 1;
+                        self.stats.blocked += 1;
+                        return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
+                    }
+                    Err(other) => return Err(other),
+                };
+                match self.db.execute(&bound)? {
+                    minidb::ExecResult::Affected(n) => Ok(ProxyResponse::Affected(n)),
+                    minidb::ExecResult::Created => Ok(ProxyResponse::Affected(0)),
+                    minidb::ExecResult::Rows(r) => Ok(ProxyResponse::Rows(r)),
+                }
+            }
+        }
+    }
+
+    /// Executes without any enforcement (the F3 baseline).
+    pub fn execute_unchecked(
+        &mut self,
+        sql: &str,
+        bindings: &[(String, Value)],
+    ) -> Result<ProxyResponse, CoreError> {
+        let stmt = parse_statement(sql).map_err(|e| CoreError::Parse(e.to_string()))?;
+        let bound = bind_to_statement(&stmt, bindings)?;
+        match self.db.execute(&bound)? {
+            minidb::ExecResult::Rows(r) => Ok(ProxyResponse::Rows(r)),
+            minidb::ExecResult::Affected(n) => Ok(ProxyResponse::Affected(n)),
+            minidb::ExecResult::Created => Ok(ProxyResponse::Affected(0)),
+        }
+    }
+
+    fn decide_select(
+        &mut self,
+        session_id: u64,
+        sql: &str,
+        q: &sqlir::Query,
+        bindings: &[(String, Value)],
+    ) -> Decision {
+        // 1. Template cache.
+        if self.config.template_cache && self.template_cache.lock().contains(sql) {
+            self.stats.template_cache_hits += 1;
+            return Decision::Allowed {
+                source: DecisionSource::TemplateCache,
+                rewritings: Vec::new(),
+            };
+        }
+        // 2. Fresh template-level proof (session-independent).
+        if self.config.template_cache {
+            if let Decision::Allowed { rewritings, .. } = self.checker.check_template(q) {
+                self.template_cache.lock().insert(sql.to_string());
+                self.stats.template_proofs += 1;
+                return Decision::Allowed {
+                    source: DecisionSource::TemplateProof,
+                    rewritings,
+                };
+            }
+        }
+        // 3. Per-session concrete caches (allowals are monotone in the
+        //    trace; denials stay valid while the fact set is unchanged).
+        let concrete_key = concrete_cache_key(sql, bindings);
+        let session = self
+            .sessions
+            .get(&session_id)
+            .expect("session checked by caller");
+        if self.config.session_cache && session.allowed_cache.contains(&concrete_key) {
+            self.stats.session_cache_hits += 1;
+            return Decision::Allowed {
+                source: DecisionSource::SessionCache,
+                rewritings: Vec::new(),
+            };
+        }
+        let fact_count = session.trace.facts().len();
+        if self.config.session_cache {
+            if let Some((at, query)) = session.denied_cache.get(&concrete_key) {
+                if *at == fact_count {
+                    self.stats.deny_cache_hits += 1;
+                    return Decision::Denied {
+                        reason: DenyReason::NotDetermined {
+                            query: query.clone(),
+                        },
+                    };
+                }
+            }
+        }
+        // 4. Fresh concrete proof.
+        let empty = Trace::new();
+        let trace: &Trace = if self.config.trace_aware {
+            &session.trace
+        } else {
+            &empty
+        };
+        let decision = self.checker.check_concrete(q, bindings, trace);
+        if self.config.session_cache {
+            let session = self.sessions.get_mut(&session_id).expect("session exists");
+            if decision.is_allowed() {
+                session.allowed_cache.insert(concrete_key);
+            } else if let Decision::Denied {
+                reason: DenyReason::NotDetermined { query },
+            } = &decision
+            {
+                session
+                    .denied_cache
+                    .insert(concrete_key, (fact_count, query.clone()));
+            }
+        }
+        if decision.is_allowed() {
+            self.stats.concrete_proofs += 1;
+        }
+        decision
+    }
+
+    fn run_select(
+        &self,
+        stmt: &Statement,
+        bindings: &[(String, Value)],
+    ) -> Result<Rows, CoreError> {
+        let bound = bind_to_statement(stmt, bindings)?;
+        match &bound {
+            Statement::Select(q) => Ok(self.db.query(q)?),
+            _ => Err(CoreError::Internal("run_select on non-select".into())),
+        }
+    }
+
+    fn record_observation(
+        &mut self,
+        session_id: u64,
+        q: &sqlir::Query,
+        bindings: &[(String, Value)],
+        rows: &Rows,
+    ) {
+        if !self.config.trace_aware {
+            return;
+        }
+        // Only single-disjunct queries contribute facts: a union's non-empty
+        // answer doesn't say which disjunct held.
+        let Ok(ucq) = self.checker.translate(q) else {
+            return;
+        };
+        if ucq.disjuncts.len() != 1 {
+            return;
+        }
+        let cq = ucq.disjuncts[0].instantiate(bindings);
+        if !cq.params().is_empty() {
+            return; // unbound parameters: nothing definite to record
+        }
+        let obs = Observation::from_rows(&rows.rows, MAX_FACT_ROWS);
+        if let Some(session) = self.sessions.get_mut(&session_id) {
+            session.trace.record(cq, obs);
+        }
+    }
+}
+
+fn bind_to_statement(
+    stmt: &Statement,
+    bindings: &[(String, Value)],
+) -> Result<Statement, CoreError> {
+    let mut pb = ParamBindings::new();
+    for (k, v) in bindings {
+        pb.set(k.clone(), v.clone());
+    }
+    bind_statement(stmt, &pb).map_err(|e| CoreError::Parse(e.to_string()))
+}
+
+fn concrete_cache_key(sql: &str, bindings: &[(String, Value)]) -> String {
+    use std::fmt::Write as _;
+    let mut key = String::with_capacity(sql.len() + 32);
+    key.push_str(sql);
+    key.push('\u{1}');
+    let mut sorted: Vec<_> = bindings.to_vec();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    for (k, v) in sorted {
+        let _ = write!(key, "{k}={};", v.to_sql_literal());
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{schema_of_database, Policy};
+
+    fn calendar_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+            .unwrap();
+        db.execute_sql(
+            "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Events (EId, Title, Kind) VALUES (2, 'standup', 'work'), \
+             (3, 'party', 'fun')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 2, NULL), (2, 3, 'cake')",
+        )
+        .unwrap();
+        db
+    }
+
+    fn proxy(config: ProxyConfig) -> SqlProxy {
+        let db = calendar_db();
+        let schema = schema_of_database(&db);
+        let policy = Policy::from_sql(
+            &schema,
+            &[
+                ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+                (
+                    "V2",
+                    "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                     WHERE a.UId = ?MyUId",
+                ),
+            ],
+        )
+        .unwrap();
+        SqlProxy::new(db, ComplianceChecker::new(schema, policy), config)
+    }
+
+    #[test]
+    fn listing_1_flow_allowed() {
+        let mut p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+
+        // Q1: the access check from Listing 1.
+        let r1 = p
+            .execute(
+                s,
+                "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+                &[("event".into(), Value::Int(2))],
+            )
+            .unwrap();
+        assert!(r1.is_allowed());
+        assert_eq!(r1.rows().unwrap().len(), 1);
+
+        // Q2: fetch the event, allowed thanks to the trace.
+        let r2 = p
+            .execute(
+                s,
+                "SELECT * FROM Events WHERE EId = ?event",
+                &[("event".into(), Value::Int(2))],
+            )
+            .unwrap();
+        assert!(r2.is_allowed(), "{r2:?}");
+        assert_eq!(r2.rows().unwrap().rows[0][1], Value::str("standup"));
+    }
+
+    #[test]
+    fn q2_first_is_blocked() {
+        let mut p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let r = p
+            .execute(
+                s,
+                "SELECT * FROM Events WHERE EId = ?event",
+                &[("event".into(), Value::Int(2))],
+            )
+            .unwrap();
+        assert!(matches!(
+            r,
+            ProxyResponse::Blocked(DenyReason::NotDetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn trace_unaware_proxy_blocks_q2_even_after_q1() {
+        let mut config = ProxyConfig::default();
+        config.trace_aware = false;
+        let mut p = proxy(config);
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.execute(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+        let r = p
+            .execute(
+                s,
+                "SELECT * FROM Events WHERE EId = ?event",
+                &[("event".into(), Value::Int(2))],
+            )
+            .unwrap();
+        assert!(!r.is_allowed(), "without trace awareness Q2 stays blocked");
+    }
+
+    #[test]
+    fn template_cache_serves_repeats() {
+        let mut p = proxy(ProxyConfig::default());
+        let s1 = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let s2 = p.begin_session(vec![("MyUId".into(), Value::Int(2))]);
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        p.execute(s1, sql, &[]).unwrap();
+        p.execute(s2, sql, &[]).unwrap();
+        p.execute(s1, sql, &[]).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.template_proofs, 1);
+        assert_eq!(stats.template_cache_hits, 2);
+        assert_eq!(stats.allowed, 3);
+    }
+
+    #[test]
+    fn session_cache_serves_concrete_repeats() {
+        let mut config = ProxyConfig::default();
+        config.template_cache = false;
+        let mut p = proxy(config);
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let sql = "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2";
+        p.execute(s, sql, &[]).unwrap();
+        p.execute(s, sql, &[]).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.concrete_proofs, 1);
+        assert_eq!(stats.session_cache_hits, 1);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let mut p = proxy(ProxyConfig::default());
+        let s1 = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let s2 = p.begin_session(vec![("MyUId".into(), Value::Int(2))]);
+        // Session 1 probes and learns about event 2.
+        p.execute(
+            s1,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
+            &[],
+        )
+        .unwrap();
+        // Session 2 must NOT benefit from session 1's trace.
+        let r = p
+            .execute(s2, "SELECT * FROM Events WHERE EId = 2", &[])
+            .unwrap();
+        assert!(!r.is_allowed());
+    }
+
+    #[test]
+    fn empty_probe_does_not_unlock() {
+        let mut p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        // User 1 does NOT attend event 3; the probe returns empty.
+        let r1 = p
+            .execute(
+                s,
+                "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 3",
+                &[],
+            )
+            .unwrap();
+        assert!(r1.is_allowed());
+        assert!(r1.rows().unwrap().is_empty());
+        // Fetching event 3 must remain blocked.
+        let r2 = p
+            .execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
+            .unwrap();
+        assert!(!r2.is_allowed(), "an empty probe must not unlock the event");
+    }
+
+    #[test]
+    fn writes_pass_through_or_block_by_config() {
+        let mut p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let r = p
+            .execute(
+                s,
+                "INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 3, NULL)",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(r, ProxyResponse::Affected(1));
+
+        let mut config = ProxyConfig::default();
+        config.allow_writes = false;
+        let mut p = proxy(config);
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let r = p
+            .execute(s, "DELETE FROM Events WHERE EId = 2", &[])
+            .unwrap();
+        assert_eq!(r, ProxyResponse::Blocked(DenyReason::WriteBlocked));
+    }
+
+    #[test]
+    fn unparseable_sql_is_blocked_not_error() {
+        let mut p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let r = p.execute(s, "SELEC whoops", &[]).unwrap();
+        assert!(matches!(
+            r,
+            ProxyResponse::Blocked(DenyReason::ParseError(_))
+        ));
+    }
+
+    #[test]
+    fn stats_count_blocked() {
+        let mut p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
+            .unwrap();
+        assert_eq!(p.stats().blocked, 1);
+    }
+
+    #[test]
+    fn deny_cache_serves_repeats_and_invalidates_on_new_facts() {
+        let mut config = ProxyConfig::default();
+        config.template_cache = false;
+        let mut p = proxy(config);
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let fetch = "SELECT * FROM Events WHERE EId = 2";
+
+        // Two denials: the second is served from the deny cache.
+        assert!(!p.execute(s, fetch, &[]).unwrap().is_allowed());
+        assert!(!p.execute(s, fetch, &[]).unwrap().is_allowed());
+        assert_eq!(p.stats().deny_cache_hits, 1);
+
+        // Learning a new fact invalidates the cached denial: the probe
+        // returns a row, and the fetch flips to allowed.
+        let probe = "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2";
+        assert!(p.execute(s, probe, &[]).unwrap().is_allowed());
+        assert!(p.execute(s, fetch, &[]).unwrap().is_allowed());
+    }
+}

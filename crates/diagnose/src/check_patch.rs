@@ -1,0 +1,330 @@
+//! Access-check patches via abductive inference (§5.2.2, form 2).
+//!
+//! Goal: a statement about database content such that (1) once known to
+//! hold, the blocked query becomes compliant given the existing trace, and
+//! (2) the statement is consistent with the trace. The paper's example: if
+//! `Q2` were issued alone, the statement "the Attendance table contains row
+//! `(UId=1, EId=2)`" unblocks it — and the developer adds exactly Listing
+//! 1's `if`-check.
+//!
+//! The search is enumerative abduction: candidate facts are atoms over the
+//! policy-relevant relations with arguments drawn from the blocked query's
+//! constants (plus existential placeholders); each candidate is tested by
+//! re-running the compliance certificate with the fact assumed.
+
+use qlogic::{equivalent_rewriting, Atom, Cq, RelSchema, Term, ViewSet};
+
+/// One access-check proposal.
+#[derive(Debug, Clone)]
+pub struct AccessCheckPatch {
+    /// The abduced fact (variables are existential: "some such row exists").
+    pub fact: Atom,
+    /// An executable check the developer can add before the query.
+    pub check_sql: String,
+    /// Number of existential positions (more = weaker assumption = better).
+    pub existentials: usize,
+}
+
+/// Search bounds.
+#[derive(Debug, Clone, Copy)]
+pub struct AbductionOptions {
+    /// Maximum candidate facts tested.
+    pub max_candidates: usize,
+    /// Maximum abduced facts per query (1 is the common case).
+    pub max_facts: usize,
+}
+
+impl Default for AbductionOptions {
+    fn default() -> AbductionOptions {
+        AbductionOptions {
+            max_candidates: 2_000,
+            max_facts: 1,
+        }
+    }
+}
+
+/// Abduces access-check patches for a blocked query.
+///
+/// Every returned patch satisfies: `q` has an equivalent rewriting over the
+/// views once `fact` is added to the trace facts. Patches are ordered
+/// weakest-assumption-first (most existential positions).
+pub fn abduce_checks(
+    q: &Cq,
+    views: &ViewSet,
+    trace_facts: &[Atom],
+    schema: &RelSchema,
+    opts: AbductionOptions,
+) -> Vec<AccessCheckPatch> {
+    // Constants (and parameters) available for candidate arguments: those in
+    // the query and in the views.
+    let mut rigid_pool: Vec<Term> = Vec::new();
+    let mut collect = |cq: &Cq| {
+        for a in &cq.atoms {
+            for t in &a.args {
+                if t.is_rigid() && !rigid_pool.contains(t) {
+                    rigid_pool.push(t.clone());
+                }
+            }
+        }
+        for t in &cq.head {
+            if t.is_rigid() && !rigid_pool.contains(t) {
+                rigid_pool.push(t.clone());
+            }
+        }
+    };
+    collect(q);
+    for v in views.views() {
+        collect(v);
+    }
+
+    // Relations worth abducing over: those appearing in view bodies (a fact
+    // about an un-viewed relation cannot change any rewriting).
+    let mut relations: Vec<(String, usize)> = Vec::new();
+    for v in views.views() {
+        for a in &v.atoms {
+            let entry = (a.relation.clone(), a.args.len());
+            if !relations.contains(&entry) {
+                relations.push(entry);
+            }
+        }
+    }
+
+    let mut out: Vec<AccessCheckPatch> = Vec::new();
+    let mut tested = 0usize;
+    for (relation, arity) in relations {
+        // Argument choices per position: each rigid term, or a fresh
+        // existential variable.
+        let mut stack: Vec<Vec<Term>> = vec![Vec::new()];
+        for pos in 0..arity {
+            let mut next = Vec::new();
+            for prefix in &stack {
+                for t in &rigid_pool {
+                    let mut p = prefix.clone();
+                    p.push(t.clone());
+                    next.push(p);
+                }
+                let mut p = prefix.clone();
+                p.push(Term::var(format!("ex·{pos}")));
+                next.push(p);
+            }
+            stack = next;
+            if stack.len() > opts.max_candidates {
+                stack.truncate(opts.max_candidates);
+            }
+        }
+        for args in stack {
+            if tested >= opts.max_candidates {
+                break;
+            }
+            tested += 1;
+            let fact = Atom::new(relation.clone(), args);
+            // Skip facts already known.
+            if trace_facts.contains(&fact) {
+                continue;
+            }
+            let mut facts = trace_facts.to_vec();
+            facts.push(fact.clone());
+            if equivalent_rewriting(q, views, &facts).is_some() {
+                let existentials = fact
+                    .args
+                    .iter()
+                    .filter(|t| matches!(t, Term::Var(_)))
+                    .count();
+                if let Some(check_sql) = fact_check_sql(&fact, schema) {
+                    out.push(AccessCheckPatch {
+                        fact,
+                        check_sql,
+                        existentials,
+                    });
+                }
+            }
+        }
+    }
+
+    // Weakest assumptions first; drop facts subsumed by weaker ones.
+    out.sort_by(|a, b| b.existentials.cmp(&a.existentials));
+    let mut kept: Vec<AccessCheckPatch> = Vec::new();
+    for p in out {
+        let subsumed = kept.iter().any(|k| {
+            k.fact.relation == p.fact.relation
+                && k.fact
+                    .args
+                    .iter()
+                    .zip(&p.fact.args)
+                    .all(|(kt, pt)| matches!(kt, Term::Var(_)) || kt == pt)
+        });
+        if !subsumed {
+            kept.push(p);
+        }
+        if kept.len() >= opts.max_facts.max(4) {
+            break;
+        }
+    }
+    kept.truncate(opts.max_facts.max(1));
+    kept
+}
+
+/// Renders `EXISTS`-style check SQL for an abduced fact.
+fn fact_check_sql(fact: &Atom, schema: &RelSchema) -> Option<String> {
+    let columns = schema.columns(&fact.relation).ok()?;
+    if columns.len() != fact.args.len() {
+        return None;
+    }
+    let mut conds = Vec::new();
+    for (col, t) in columns.iter().zip(&fact.args) {
+        match t {
+            Term::Const(v) => conds.push(format!("{col} = {}", v.to_sql_literal())),
+            Term::Param(p) => conds.push(format!("{col} = ?{p}")),
+            Term::Var(_) => {} // existential: no condition
+        }
+    }
+    let where_clause = if conds.is_empty() {
+        String::new()
+    } else {
+        format!(" WHERE {}", conds.join(" AND "))
+    };
+    Some(format!("SELECT 1 FROM {}{}", fact.relation, where_clause))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new();
+        s.add_table("Events", ["EId", "Title", "Kind"]);
+        s.add_table("Attendance", ["UId", "EId", "Notes"]);
+        s
+    }
+
+    fn calendar_views() -> ViewSet {
+        let mut v1 = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        );
+        v1.name = Some("V1".into());
+        let mut v2 = Cq::new(
+            vec![
+                Term::var("e"),
+                Term::var("t"),
+                Term::var("k"),
+                Term::var("n"),
+            ],
+            vec![
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        v2.name = Some("V2".into());
+        ViewSet::new(vec![v1, v2]).unwrap()
+    }
+
+    #[test]
+    fn reproduces_the_papers_abduction_example() {
+        // Q2 issued alone: the abduced fact must be "Attendance contains
+        // (UId=1, EId=2, ·)" and the check SQL mirrors Listing 1's if.
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let patches = abduce_checks(
+            &q2,
+            &calendar_views(),
+            &[],
+            &schema(),
+            AbductionOptions::default(),
+        );
+        assert!(
+            !patches.is_empty(),
+            "abduction must find the attendance fact"
+        );
+        let p = &patches[0];
+        assert_eq!(p.fact.relation, "Attendance");
+        assert_eq!(p.fact.args[0], Term::int(1));
+        assert_eq!(p.fact.args[1], Term::int(2));
+        assert!(
+            matches!(p.fact.args[2], Term::Var(_)),
+            "notes is existential"
+        );
+        assert_eq!(
+            p.check_sql,
+            "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2"
+        );
+    }
+
+    #[test]
+    fn abduced_fact_actually_unblocks() {
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let views = calendar_views();
+        assert!(
+            equivalent_rewriting(&q2, &views, &[]).is_none(),
+            "starts blocked"
+        );
+        let patches = abduce_checks(&q2, &views, &[], &schema(), AbductionOptions::default());
+        let fact = patches[0].fact.clone();
+        assert!(
+            equivalent_rewriting(&q2, &views, &[fact]).is_some(),
+            "unblocked"
+        );
+    }
+
+    #[test]
+    fn prefers_weakest_assumption() {
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let patches = abduce_checks(
+            &q2,
+            &calendar_views(),
+            &[],
+            &schema(),
+            AbductionOptions {
+                max_candidates: 2_000,
+                max_facts: 3,
+            },
+        );
+        // The top patch leaves Notes existential rather than pinning it.
+        assert!(patches[0].existentials >= 1);
+    }
+
+    #[test]
+    fn hopeless_queries_get_no_patch() {
+        // No view mentions Secrets; no fact about viewed relations helps.
+        let q = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("Secrets", vec![Term::var("x")])],
+            vec![],
+        );
+        let mut s = schema();
+        s.add_table("Secrets", ["x"]);
+        let patches = abduce_checks(&q, &calendar_views(), &[], &s, AbductionOptions::default());
+        assert!(patches.is_empty());
+    }
+}

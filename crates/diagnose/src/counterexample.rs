@@ -1,0 +1,413 @@
+//! Counterexample construction (§5.1).
+//!
+//! A counterexample to compliance is a pair of databases that agree on every
+//! policy view (and contain the trace facts) but disagree on the blocked
+//! query — the formal proof-of-violation the paper notes is hard for a human
+//! to act on directly, which is why the patch generators exist. It is still
+//! produced: the experiments use it to *validate* that blocked queries are
+//! genuinely non-compliant, and the triage example renders it for
+//! illustration.
+//!
+//! Construction: ground the blocked query's canonical database (satisfying
+//! its comparisons), add the trace facts, then search for a sub-instance
+//! that drops some of the query's witness rows without changing any view's
+//! answer. The search is complete for the bounded sizes in play; `None`
+//! means no counterexample was found at this scale (the query may in fact
+//! be compliant, or the blocking was a completeness artifact).
+
+use qlogic::{Atom, CmpOp, Cq, Instance, Subst, Term, ViewSet};
+
+/// A pair of view-indistinguishable databases separating the query.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The database on which the query returns the distinguishing tuple.
+    pub with_tuple: Instance,
+    /// The database on which it does not.
+    pub without_tuple: Instance,
+    /// A tuple in `Q(with_tuple) \ Q(without_tuple)`.
+    pub tuple: Vec<Term>,
+}
+
+/// Evaluation budget.
+const EVAL_LIMIT: usize = 512;
+
+/// Grounds a query body into a concrete instance satisfying its comparisons.
+///
+/// Variables become fresh constants; a bounded backtracking search adjusts
+/// assignments until every comparison evaluates true. Returns the grounding
+/// substitution as well.
+pub fn ground_body(cq: &Cq) -> Option<(Instance, Subst)> {
+    let vars = cq.variables();
+    // Candidate values per variable: fresh large integers (distinct), plus
+    // neighbourhoods of the constants the query compares against.
+    let mut base_candidates: Vec<Term> = Vec::new();
+    for c in &cq.comparisons {
+        for t in [&c.lhs, &c.rhs] {
+            if let Term::Const(v) = t {
+                if let sqlir::Value::Int(i) = v {
+                    for delta in [-1i64, 0, 1] {
+                        let cand = Term::int(i + delta);
+                        if !base_candidates.contains(&cand) {
+                            base_candidates.push(cand);
+                        }
+                    }
+                } else {
+                    let cand = Term::Const(v.clone());
+                    if !base_candidates.contains(&cand) {
+                        base_candidates.push(cand);
+                    }
+                }
+            }
+        }
+    }
+
+    fn assign(vars: &[String], idx: usize, cq: &Cq, base: &[Term], subst: &mut Subst) -> bool {
+        if idx == vars.len() {
+            // All assigned: check comparisons concretely.
+            return cq.comparisons.iter().all(|c| {
+                let m = qlogic::cq::apply_comparison(c, subst);
+                match (&m.lhs, &m.rhs) {
+                    (Term::Const(a), Term::Const(b)) => m.op.eval(a, b).unwrap_or(false),
+                    // Parameters or unassigned terms: treat identity only.
+                    (a, b) => match m.op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => false,
+                    },
+                }
+            });
+        }
+        let fresh = Term::int(9_000 + idx as i64);
+        let mut candidates = vec![fresh];
+        candidates.extend(base.iter().cloned());
+        for cand in candidates {
+            subst.insert(vars[idx].clone(), cand);
+            if assign(vars, idx + 1, cq, base, subst) {
+                return true;
+            }
+        }
+        subst.remove(&vars[idx]);
+        false
+    }
+
+    let mut subst = Subst::new();
+    if !assign(&vars, 0, cq, &base_candidates, &mut subst) {
+        return None;
+    }
+    let grounded = cq.substitute(&subst);
+    let mut inst = Instance::new();
+    for a in grounded.atoms {
+        inst.add(a);
+    }
+    Some((inst, subst))
+}
+
+/// Searches for a counterexample showing the query is not determined by the
+/// views plus the trace facts.
+pub fn find_counterexample(q: &Cq, views: &ViewSet, facts: &[Atom]) -> Option<Counterexample> {
+    // D2: the grounded query witness plus (grounded) trace facts.
+    let (witness, subst) = ground_body(q)?;
+    let tuple: Vec<Term> = q
+        .head
+        .iter()
+        .map(|t| qlogic::cq::apply_term(t, &subst))
+        .collect();
+
+    let mut d2 = witness.clone();
+    let mut fact_atoms: Vec<Atom> = Vec::new();
+    for (i, f) in facts.iter().enumerate() {
+        // Ground fact nulls with fresh constants of their own.
+        let mut fs = Subst::new();
+        for t in &f.args {
+            if let Term::Var(v) = t {
+                fs.entry(v.clone())
+                    .or_insert_with(|| Term::int(8_000 + i as i64));
+            }
+        }
+        let ground = qlogic::cq::apply_atom(f, &fs);
+        fact_atoms.push(ground.clone());
+        d2.add(ground);
+    }
+
+    if !d2.returns_tuple(q, &tuple) {
+        return None; // grounding failed to witness the query
+    }
+
+    // View image on D2.
+    let image = |db: &Instance| -> Vec<Vec<Vec<Term>>> {
+        views
+            .views()
+            .iter()
+            .map(|v| {
+                let mut a = db.eval(v, EVAL_LIMIT);
+                a.sort();
+                a
+            })
+            .collect()
+    };
+    let image2 = image(&d2);
+
+    // D1 candidates: remove non-empty subsets of the witness atoms (trace
+    // facts must stay — D1 must remain consistent with the session history),
+    // or mutate a witness row's grounded cells to fresh values. Mutation
+    // covers the case where a view makes row *existence* public but not its
+    // contents: the two databases then hold the same row skeleton with a
+    // different payload.
+    let removable: Vec<Atom> = witness
+        .atoms
+        .iter()
+        .filter(|a| !fact_atoms.contains(a))
+        .cloned()
+        .collect();
+    let n = removable.len();
+    if n == 0 || n > 12 {
+        return None;
+    }
+    let try_d1 = |d1: &Instance| -> bool { !d1.returns_tuple(q, &tuple) && image(d1) == image2 };
+    for mask in 1u32..(1 << n) {
+        let mut d1 = Instance::new();
+        for a in &d2.atoms {
+            let removed = removable
+                .iter()
+                .enumerate()
+                .any(|(i, r)| mask & (1 << i) != 0 && r == a);
+            if !removed {
+                d1.add(a.clone());
+            }
+        }
+        if try_d1(&d1) {
+            return Some(Counterexample {
+                with_tuple: d2,
+                without_tuple: d1,
+                tuple,
+            });
+        }
+    }
+    // Mutation candidates: for each witness atom, replace the cells that
+    // came from grounded variables (values ≥ the grounding base) with fresh
+    // distinct constants, one subset at a time — plus single-cell mutations
+    // to comparison-boundary neighbours (to flip an `age >= 60` without
+    // leaving the policy's `age >= 18`).
+    let neighbour_values: Vec<Term> = {
+        let mut out = Vec::new();
+        for c in &q.comparisons {
+            for t in [&c.lhs, &c.rhs] {
+                if let Term::Const(sqlir::Value::Int(i)) = t {
+                    for delta in [-1i64, 0, 1] {
+                        let cand = Term::int(i + delta);
+                        if !out.contains(&cand) {
+                            out.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    };
+    for (ai, atom) in removable.iter().enumerate() {
+        let mutable: Vec<usize> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t, Term::Const(sqlir::Value::Int(i)) if *i >= 9_000))
+            .map(|(i, _)| i)
+            .collect();
+        if mutable.is_empty() || mutable.len() > 8 {
+            continue;
+        }
+        let substitute = |mutated: Atom| -> Option<Counterexample> {
+            let mut d1 = Instance::new();
+            for a in &d2.atoms {
+                if a == atom {
+                    d1.add(mutated.clone());
+                } else {
+                    d1.add(a.clone());
+                }
+            }
+            try_d1(&d1).then(|| Counterexample {
+                with_tuple: d2.clone(),
+                without_tuple: d1,
+                tuple: tuple.clone(),
+            })
+        };
+        // Subset mutation to fresh values.
+        for mmask in 1u32..(1 << mutable.len()) {
+            let mut mutated = atom.clone();
+            for (bit, &pos) in mutable.iter().enumerate() {
+                if mmask & (1 << bit) != 0 {
+                    mutated.args[pos] = Term::int(7_000 + (ai * 16 + pos) as i64);
+                }
+            }
+            if let Some(ce) = substitute(mutated) {
+                return Some(ce);
+            }
+        }
+        // Single-cell mutation to comparison neighbours.
+        for &pos in &mutable {
+            for v in &neighbour_values {
+                let mut mutated = atom.clone();
+                mutated.args[pos] = v.clone();
+                if let Some(ce) = substitute(mutated) {
+                    return Some(ce);
+                }
+            }
+        }
+        // Payload swaps: two rows that exchange a payload cell between two
+        // anchors leave every projection-pair view unchanged while flipping
+        // which anchor the payload belongs to (the hospital narrowing).
+        let anchors: Vec<usize> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !mutable.contains(i))
+            .map(|(i, _)| i)
+            .collect();
+        if anchors.is_empty() {
+            continue;
+        }
+        for &swap_pos in &mutable {
+            let fresh_payload = Term::int(7_100 + (ai * 16 + swap_pos) as i64);
+            // A second anchor row.
+            let mut other = atom.clone();
+            for &a in &anchors {
+                other.args[a] = Term::int(7_200 + (ai * 16 + a) as i64);
+            }
+            // D_a: original row + other row with fresh payload.
+            let mut other_a = other.clone();
+            other_a.args[swap_pos] = fresh_payload.clone();
+            let mut da = d2.clone();
+            da.add(other_a);
+            // D_b: payloads exchanged between the two anchor rows.
+            let mut self_b = atom.clone();
+            self_b.args[swap_pos] = fresh_payload.clone();
+            let mut other_b = other.clone();
+            other_b.args[swap_pos] = atom.args[swap_pos].clone();
+            let mut db_ = Instance::new();
+            for a in &d2.atoms {
+                if a == atom {
+                    db_.add(self_b.clone());
+                } else {
+                    db_.add(a.clone());
+                }
+            }
+            db_.add(other_b);
+            if da.returns_tuple(q, &tuple)
+                && !db_.returns_tuple(q, &tuple)
+                && image(&da) == image(&db_)
+            {
+                return Some(Counterexample {
+                    with_tuple: da,
+                    without_tuple: db_,
+                    tuple,
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::Comparison;
+
+    /// Calendar policy instantiated for user 1.
+    fn calendar_views() -> ViewSet {
+        let mut v1 = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        );
+        v1.name = Some("V1".into());
+        let mut v2 = Cq::new(
+            vec![
+                Term::var("e"),
+                Term::var("t"),
+                Term::var("k"),
+                Term::var("n"),
+            ],
+            vec![
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        v2.name = Some("V2".into());
+        ViewSet::new(vec![v1, v2]).unwrap()
+    }
+
+    #[test]
+    fn blocked_q2_has_counterexample() {
+        // Q2 in isolation: SELECT * FROM Events WHERE EId = 2.
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let ce = find_counterexample(&q2, &calendar_views(), &[]).expect("counterexample");
+        // The two databases agree on the views but differ on Q2.
+        assert!(ce.with_tuple.returns_tuple(&q2, &ce.tuple));
+        assert!(!ce.without_tuple.returns_tuple(&q2, &ce.tuple));
+    }
+
+    #[test]
+    fn allowed_q2_with_fact_has_no_counterexample() {
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        // With the trace fact, every consistent database has the attendance
+        // row — the Events row is then view-visible through V2, so removing
+        // it changes the image.
+        let fact = Atom::new(
+            "Attendance",
+            vec![Term::int(1), Term::int(2), Term::var("w")],
+        );
+        assert!(find_counterexample(&q2, &calendar_views(), std::slice::from_ref(&fact)).is_none());
+    }
+
+    #[test]
+    fn grounding_satisfies_comparisons() {
+        let q = Cq::new(
+            vec![Term::var("n")],
+            vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+            vec![
+                Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(60)),
+                Comparison::new(Term::var("a"), CmpOp::Lt, Term::int(65)),
+            ],
+        );
+        let (inst, subst) = ground_body(&q).expect("groundable");
+        assert_eq!(inst.atoms.len(), 1);
+        let age = qlogic::cq::apply_term(&Term::var("a"), &subst);
+        match age {
+            Term::Const(sqlir::Value::Int(i)) => assert!((60..65).contains(&i)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsatisfiable_query_cannot_ground() {
+        let q = Cq::new(
+            vec![],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![Comparison::new(Term::var("x"), CmpOp::Lt, Term::var("x"))],
+        );
+        assert!(ground_body(&q).is_none());
+    }
+}

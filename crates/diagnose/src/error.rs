@@ -1,0 +1,32 @@
+//! Error types for violation diagnosis.
+
+use std::fmt;
+
+/// Errors raised by the diagnosis tooling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagnoseError {
+    /// A logic-layer failure.
+    Logic(String),
+    /// The query was not actually blocked (nothing to diagnose).
+    NotBlocked,
+    /// Schema information was missing for SQL rendering.
+    Schema(String),
+}
+
+impl fmt::Display for DiagnoseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagnoseError::Logic(m) => write!(f, "logic error: {m}"),
+            DiagnoseError::NotBlocked => f.write_str("query is compliant; nothing to diagnose"),
+            DiagnoseError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiagnoseError {}
+
+impl From<qlogic::LogicError> for DiagnoseError {
+    fn from(e: qlogic::LogicError) -> DiagnoseError {
+        DiagnoseError::Logic(e.to_string())
+    }
+}

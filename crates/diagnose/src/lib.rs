@@ -1,0 +1,223 @@
+//! Violation diagnosis (§5 of the paper): when the proxy blocks a query,
+//! help the operator figure out *why* and *what to do*.
+//!
+//! * [`counterexample`] — a pair of databases agreeing on all views (and the
+//!   trace) but disagreeing on the blocked query: the proof-of-violation.
+//! * [`query_patch`] — narrow the offending query via maximally-contained
+//!   rewriting over the views, unfolded back to SQL (§5.2.2 form 1).
+//! * [`check_patch`] — abduce a database-content statement that, once
+//!   checked by the application, makes the query compliant (§5.2.2 form 2):
+//!   the "`Attendance` contains `(UId=1, EId=2)`" example.
+//! * [`policy_patch`] — extraction-delta policy additions (§5.2.1).
+//! * [`rank`] — patch ranking and the application-vs-policy culprit
+//!   heuristic.
+//!
+//! [`diagnose`] assembles everything for one blocked query.
+
+#![warn(missing_docs)]
+
+pub mod check_patch;
+pub mod counterexample;
+pub mod error;
+pub mod policy_patch;
+pub mod query_patch;
+pub mod rank;
+
+use qlogic::{equivalent_rewriting, Atom, Cq, RelSchema, ViewSet};
+
+pub use check_patch::{abduce_checks, AbductionOptions, AccessCheckPatch};
+pub use counterexample::{find_counterexample, ground_body, Counterexample};
+pub use error::DiagnoseError;
+pub use policy_patch::{extraction_delta, propose as propose_policy_patch, PolicyPatch};
+pub use query_patch::{narrow_query, retained_fraction, QueryPatch};
+pub use rank::{Culprit, DiagnosisReport, Patch};
+
+/// Inputs to a full diagnosis.
+pub struct DiagnosisInput<'a> {
+    /// The blocked query (instantiated).
+    pub query: &'a Cq,
+    /// The policy views (instantiated for the session).
+    pub views: &'a ViewSet,
+    /// The session's trace facts at the time of blocking.
+    pub trace_facts: &'a [Atom],
+    /// Schema (for rendering SQL).
+    pub schema: &'a RelSchema,
+    /// Views freshly extracted from the (possibly updated) application, if
+    /// the operator ran extraction; enables policy patches.
+    pub extracted: Option<&'a [Cq]>,
+}
+
+/// Runs the full diagnosis pipeline for a blocked query.
+///
+/// Returns [`DiagnoseError::NotBlocked`] if the query is actually compliant.
+pub fn diagnose(input: &DiagnosisInput<'_>) -> Result<DiagnosisReport, DiagnoseError> {
+    if equivalent_rewriting(input.query, input.views, input.trace_facts).is_some() {
+        return Err(DiagnoseError::NotBlocked);
+    }
+    let counterexample = find_counterexample(input.query, input.views, input.trace_facts);
+
+    let mut patches: Vec<Patch> = Vec::new();
+    for p in abduce_checks(
+        input.query,
+        input.views,
+        input.trace_facts,
+        input.schema,
+        AbductionOptions::default(),
+    ) {
+        patches.push(Patch::AccessCheck(p));
+    }
+    for p in narrow_query(input.query, input.views, input.schema)? {
+        patches.push(Patch::Query(p));
+    }
+    if let Some(extracted) = input.extracted {
+        let current: Vec<Cq> = input.views.views().to_vec();
+        if let Some(p) = policy_patch::propose(&current, extracted, input.query, input.trace_facts)?
+        {
+            patches.push(Patch::Policy(p));
+        }
+    }
+
+    let mut report = DiagnosisReport {
+        query: input.query.clone(),
+        counterexample,
+        patches,
+    };
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::Term;
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new();
+        s.add_table("Events", ["EId", "Title", "Kind"]);
+        s.add_table("Attendance", ["UId", "EId", "Notes"]);
+        s
+    }
+
+    fn calendar_views() -> ViewSet {
+        let mut v1 = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        );
+        v1.name = Some("V1".into());
+        let mut v2 = Cq::new(
+            vec![
+                Term::var("e"),
+                Term::var("t"),
+                Term::var("k"),
+                Term::var("n"),
+            ],
+            vec![
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        v2.name = Some("V2".into());
+        ViewSet::new(vec![v1, v2]).unwrap()
+    }
+
+    #[test]
+    fn full_diagnosis_of_isolated_q2() {
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let views = calendar_views();
+        let schema = schema();
+        let report = diagnose(&DiagnosisInput {
+            query: &q2,
+            views: &views,
+            trace_facts: &[],
+            schema: &schema,
+            extracted: None,
+        })
+        .unwrap();
+        assert!(report.counterexample.is_some());
+        assert!(!report.patches.is_empty());
+        // The least-invasive patch is the access check from the paper.
+        match &report.patches[0] {
+            Patch::AccessCheck(p) => {
+                assert!(p.check_sql.contains("Attendance"));
+            }
+            other => panic!("expected access-check first, got {}", other.kind()),
+        }
+        let text = report.to_string();
+        assert!(text.contains("access-check"));
+    }
+
+    #[test]
+    fn compliant_query_is_rejected() {
+        // Q1 is compliant under the calendar policy.
+        let q1 = Cq::new(
+            vec![Term::int(1)],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::int(2), Term::var("n")],
+            )],
+            vec![],
+        );
+        let views = calendar_views();
+        let schema = schema();
+        let err = diagnose(&DiagnosisInput {
+            query: &q1,
+            views: &views,
+            trace_facts: &[],
+            schema: &schema,
+            extracted: None,
+        })
+        .unwrap_err();
+        assert_eq!(err, DiagnoseError::NotBlocked);
+    }
+
+    #[test]
+    fn policy_patch_included_when_extraction_supplied() {
+        // Current policy: V1 only. Extraction found V2. Blocked Q2 (with
+        // fact) gets a policy patch among its options.
+        let mut v1_only = calendar_views().views()[0].clone();
+        v1_only.name = Some("V1".into());
+        let views = ViewSet::new(vec![v1_only]).unwrap();
+        let extracted: Vec<Cq> = calendar_views().views().to_vec();
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let fact = Atom::new(
+            "Attendance",
+            vec![Term::int(1), Term::int(2), Term::var("w")],
+        );
+        let schema = schema();
+        let report = diagnose(&DiagnosisInput {
+            query: &q2,
+            views: &views,
+            trace_facts: std::slice::from_ref(&fact),
+            schema: &schema,
+            extracted: Some(&extracted),
+        })
+        .unwrap();
+        assert!(report.patches.iter().any(|p| matches!(p, Patch::Policy(_))));
+        assert_eq!(report.likely_culprit(), Culprit::Policy);
+    }
+}

@@ -1,0 +1,184 @@
+//! Policy patches via extraction deltas (§5.2.1).
+//!
+//! "Run the extraction algorithm on the up-to-date source code … and compare
+//! the extracted policy with the current one." A policy patch is the set of
+//! extracted views not already expressible from the current policy, filtered
+//! to those that actually unblock the offending query.
+
+use qlogic::{equivalent_rewriting, Cq, ViewSet};
+
+use crate::error::DiagnoseError;
+
+/// A proposed policy change.
+#[derive(Debug, Clone)]
+pub struct PolicyPatch {
+    /// Views to add to the policy.
+    pub additions: Vec<Cq>,
+}
+
+impl PolicyPatch {
+    /// `true` if nothing needs to change.
+    pub fn is_empty(&self) -> bool {
+        self.additions.is_empty()
+    }
+}
+
+/// Computes the extraction delta: extracted views not expressible from the
+/// current policy.
+pub fn extraction_delta(current: &[Cq], extracted: &[Cq]) -> Result<Vec<Cq>, DiagnoseError> {
+    let named: Vec<Cq> = current
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let mut n = v.clone();
+            n.name = Some(format!("C{i}"));
+            n
+        })
+        .collect();
+    let viewset = ViewSet::new(named)?;
+    Ok(extracted
+        .iter()
+        .filter(|v| equivalent_rewriting(v, &viewset, &[]).is_none())
+        .cloned()
+        .collect())
+}
+
+/// Proposes a policy patch unblocking `q`: the minimal subset of the
+/// extraction delta whose addition makes `q` compliant (given the trace
+/// facts). Returns `None` if even the full delta does not unblock.
+pub fn propose(
+    current: &[Cq],
+    extracted: &[Cq],
+    q: &Cq,
+    trace_facts: &[qlogic::Atom],
+) -> Result<Option<PolicyPatch>, DiagnoseError> {
+    let delta = extraction_delta(current, extracted)?;
+    if delta.is_empty() {
+        return Ok(None);
+    }
+
+    let compliant_with = |additions: &[Cq]| -> Result<bool, DiagnoseError> {
+        let mut all: Vec<Cq> = Vec::with_capacity(current.len() + additions.len());
+        for (i, v) in current.iter().enumerate() {
+            let mut n = v.clone();
+            n.name = Some(format!("C{i}"));
+            all.push(n);
+        }
+        for (i, v) in additions.iter().enumerate() {
+            let mut n = v.clone();
+            n.name = Some(format!("N{i}"));
+            all.push(n);
+        }
+        let viewset = ViewSet::new(all)?;
+        Ok(equivalent_rewriting(q, &viewset, trace_facts).is_some())
+    };
+
+    if !compliant_with(&delta)? {
+        return Ok(None);
+    }
+    // Greedy minimization: drop additions that aren't needed.
+    let mut kept = delta;
+    let mut i = 0;
+    while i < kept.len() {
+        let mut candidate = kept.clone();
+        candidate.remove(i);
+        if compliant_with(&candidate)? {
+            kept = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(Some(PolicyPatch { additions: kept }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::{Atom, Term};
+
+    fn v1() -> Cq {
+        Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        )
+    }
+
+    fn v2() -> Cq {
+        Cq::new(
+            vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            vec![
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn delta_excludes_expressible_views() {
+        // Extracted = {V1, V2}; current = {V1}: delta = {V2}.
+        let delta = extraction_delta(&[v1()], &[v1(), v2()]).unwrap();
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].atoms.len(), 2);
+    }
+
+    #[test]
+    fn proposes_minimal_unblocking_addition() {
+        // Policy = {V1} only; Q2 (with the trace fact) needs V2.
+        let q2 = Cq::new(
+            vec![Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::int(2), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let fact = Atom::new(
+            "Attendance",
+            vec![Term::int(1), Term::int(2), Term::var("w")],
+        );
+        // Extraction found V2 plus an unrelated view.
+        let unrelated = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("Other", vec![Term::var("x")])],
+            vec![],
+        );
+        let patch = propose(
+            &[v1()],
+            &[v1(), v2(), unrelated],
+            &q2,
+            std::slice::from_ref(&fact),
+        )
+        .unwrap()
+        .expect("patch exists");
+        assert_eq!(patch.additions.len(), 1, "minimal: only V2");
+        assert_eq!(patch.additions[0].atoms.len(), 2);
+    }
+
+    #[test]
+    fn no_patch_when_delta_does_not_help() {
+        let q = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("Secrets", vec![Term::var("x")])],
+            vec![],
+        );
+        let patch = propose(&[v1()], &[v1(), v2()], &q, &[]).unwrap();
+        assert!(patch.is_none());
+    }
+
+    #[test]
+    fn empty_delta_when_policies_match() {
+        let delta = extraction_delta(&[v1(), v2()], &[v1(), v2()]).unwrap();
+        assert!(delta.is_empty());
+    }
+}

@@ -1,0 +1,172 @@
+//! Query-narrowing patches (§5.2.2, form 1).
+//!
+//! "Narrowing down the offending query" reduces to finding a *contained
+//! rewriting* of the blocked query using the policy views (Levy et al.),
+//! then unfolding it back to base tables so the developer can paste it into
+//! the application. The maximally-contained rewriting returns as much data
+//! as possible without violating the policy.
+
+use qlogic::{
+    cq_to_sql, equivalent_rewriting, expand, maximally_contained, Cq, Instance, RelSchema, Term,
+    ViewSet,
+};
+
+use crate::error::DiagnoseError;
+
+/// One narrowing proposal.
+#[derive(Debug, Clone)]
+pub struct QueryPatch {
+    /// The rewriting over view names.
+    pub rewriting: Cq,
+    /// Its unfolding over base tables (what the app would execute).
+    pub expansion: Cq,
+    /// The unfolding rendered as SQL.
+    pub sql: String,
+}
+
+/// Proposes narrowing patches for a blocked query, most-retentive first.
+///
+/// Every returned patch is itself compliant: its expansion has an equivalent
+/// rewriting over the views by construction.
+pub fn narrow_query(
+    q: &Cq,
+    views: &ViewSet,
+    schema: &RelSchema,
+) -> Result<Vec<QueryPatch>, DiagnoseError> {
+    let mcr = maximally_contained(q, views);
+    let mut out = Vec::new();
+    for rw in mcr.disjuncts {
+        let expansion = expand(&rw, views)?;
+        // Sanity: the patch must be allowed by the policy it was derived
+        // from (the whole point of the patch).
+        if equivalent_rewriting(&expansion, views, &[]).is_none() {
+            continue;
+        }
+        let sql = cq_to_sql(schema, &expansion)
+            .map(|s| s.to_string())
+            .map_err(|e| DiagnoseError::Schema(e.to_string()))?;
+        out.push(QueryPatch {
+            rewriting: rw,
+            expansion,
+            sql,
+        });
+    }
+    Ok(out)
+}
+
+/// The fraction of the original query's rows a patch retains on a concrete
+/// database (the F4 metric). `1.0` when the original returns nothing.
+pub fn retained_fraction(db: &Instance, original: &Cq, patch: &QueryPatch) -> f64 {
+    const LIMIT: usize = 100_000;
+    let orig: Vec<Vec<Term>> = db.eval(original, LIMIT);
+    if orig.is_empty() {
+        return 1.0;
+    }
+    let kept = db.eval(&patch.expansion, LIMIT);
+    let retained = orig.iter().filter(|t| kept.contains(t)).count();
+    retained as f64 / orig.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::Atom;
+    use sqlir::Value;
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new();
+        s.add_table("Events", ["EId", "Title", "Kind"]);
+        s.add_table("Attendance", ["UId", "EId", "Notes"]);
+        s
+    }
+
+    fn calendar_views() -> ViewSet {
+        let mut v2 = Cq::new(
+            vec![
+                Term::var("e"),
+                Term::var("t"),
+                Term::var("k"),
+                Term::var("n"),
+            ],
+            vec![
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        v2.name = Some("V2".into());
+        ViewSet::new(vec![v2]).unwrap()
+    }
+
+    #[test]
+    fn narrows_all_events_to_attended_events() {
+        // Blocked: SELECT EId, Title FROM Events (all events).
+        let q = Cq::new(
+            vec![Term::var("e"), Term::var("t")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let patches = narrow_query(&q, &calendar_views(), &schema()).unwrap();
+        assert!(!patches.is_empty());
+        let p = &patches[0];
+        // The expansion joins through Attendance — the paper's "add a
+        // conjunct to its WHERE clause" materialized.
+        assert!(p.expansion.atoms.iter().any(|a| a.relation == "Attendance"));
+        assert!(p.sql.contains("Attendance"), "sql: {}", p.sql);
+    }
+
+    #[test]
+    fn retained_fraction_measures_narrowing() {
+        let q = Cq::new(
+            vec![Term::var("e"), Term::var("t")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let patches = narrow_query(&q, &calendar_views(), &schema()).unwrap();
+        let p = &patches[0];
+        // DB: three events, user 1 attends one.
+        let db = Instance::from_rows([
+            (
+                "Events",
+                [
+                    vec![Value::Int(1), Value::str("a"), Value::str("x")],
+                    vec![Value::Int(2), Value::str("b"), Value::str("x")],
+                    vec![Value::Int(3), Value::str("c"), Value::str("x")],
+                ]
+                .as_slice(),
+            ),
+            (
+                "Attendance",
+                [vec![Value::Int(1), Value::Int(2), Value::Null]].as_slice(),
+            ),
+        ]);
+        let f = retained_fraction(&db, &q, p);
+        assert!((f - 1.0 / 3.0).abs() < 1e-9, "retained {f}");
+    }
+
+    #[test]
+    fn no_views_no_patches() {
+        let q = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let views = ViewSet::new(vec![]).unwrap();
+        assert!(narrow_query(&q, &views, &schema()).unwrap().is_empty());
+    }
+}

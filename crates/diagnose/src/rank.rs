@@ -1,0 +1,236 @@
+//! Patch ranking and the assembled diagnosis report (§5.2).
+//!
+//! A violation gets every applicable patch, ranked by how invasive applying
+//! it would be. The paper's observation — "if all policy patches look
+//! unreasonable, the application is the likely culprit" — becomes the
+//! [`DiagnosisReport::likely_culprit`] heuristic: when the only policy
+//! patches grant broad access (views with no session parameter and no
+//! selective constant), the report points at the application.
+
+use std::fmt;
+
+use qlogic::{Cq, Term};
+
+use crate::check_patch::AccessCheckPatch;
+use crate::counterexample::Counterexample;
+use crate::policy_patch::PolicyPatch;
+use crate::query_patch::QueryPatch;
+
+/// Any patch the diagnosis can propose.
+#[derive(Debug, Clone)]
+pub enum Patch {
+    /// Add views to the policy.
+    Policy(PolicyPatch),
+    /// Narrow the query.
+    Query(QueryPatch),
+    /// Add an access check before the query.
+    AccessCheck(AccessCheckPatch),
+}
+
+impl Patch {
+    /// A coarse invasiveness cost: lower sorts first.
+    pub fn cost(&self) -> usize {
+        match self {
+            // An access check is a one-line app change.
+            Patch::AccessCheck(p) => 10 + p.fact.args.len() - p.existentials,
+            // A query rewrite changes app behaviour (fewer rows).
+            Patch::Query(p) => 20 + p.expansion.atoms.len(),
+            // A policy change relaxes security; most invasive.
+            Patch::Policy(p) => 30 + 5 * p.additions.len(),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Patch::Policy(_) => "policy",
+            Patch::Query(_) => "query-rewrite",
+            Patch::AccessCheck(_) => "access-check",
+        }
+    }
+}
+
+/// Who the diagnosis points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Culprit {
+    /// The application requests more than intended.
+    Application,
+    /// The policy is stricter than intended.
+    Policy,
+    /// Not enough signal to say.
+    Unclear,
+}
+
+/// The assembled diagnosis for one blocked query.
+#[derive(Debug, Clone)]
+pub struct DiagnosisReport {
+    /// The blocked query.
+    pub query: Cq,
+    /// A separating pair of databases, if found.
+    pub counterexample: Option<Counterexample>,
+    /// Patches, least-invasive first.
+    pub patches: Vec<Patch>,
+}
+
+impl DiagnosisReport {
+    /// Sorts patches by cost (stable).
+    pub fn sort(&mut self) {
+        self.patches.sort_by_key(Patch::cost);
+    }
+
+    /// Applies the paper's heuristic: if every proposed policy patch is
+    /// unreasonably broad, the application is the likely culprit.
+    pub fn likely_culprit(&self) -> Culprit {
+        let policy_patches: Vec<&PolicyPatch> = self
+            .patches
+            .iter()
+            .filter_map(|p| match p {
+                Patch::Policy(pp) => Some(pp),
+                _ => None,
+            })
+            .collect();
+        if policy_patches.is_empty() {
+            // Only app-side fixes exist (or none at all).
+            return if self.patches.is_empty() {
+                Culprit::Unclear
+            } else {
+                Culprit::Application
+            };
+        }
+        let all_unreasonable = policy_patches
+            .iter()
+            .all(|pp| pp.additions.iter().any(view_is_broad));
+        if all_unreasonable {
+            Culprit::Application
+        } else {
+            Culprit::Policy
+        }
+    }
+}
+
+/// A view is "unreasonably broad" when nothing scopes it to a session or a
+/// selection: no parameter, no constant, single atom (whole-table grant).
+fn view_is_broad(v: &Cq) -> bool {
+    let has_param = v
+        .atoms
+        .iter()
+        .any(|a| a.args.iter().any(|t| matches!(t, Term::Param(_))));
+    let has_const = v
+        .atoms
+        .iter()
+        .any(|a| a.args.iter().any(|t| matches!(t, Term::Const(_))));
+    !has_param && !has_const && v.atoms.len() <= 1 && v.comparisons.is_empty()
+}
+
+impl fmt::Display for DiagnosisReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "blocked query: {}", self.query)?;
+        match &self.counterexample {
+            Some(ce) => {
+                writeln!(
+                    f,
+                    "counterexample (databases agree on views, differ on query):"
+                )?;
+                writeln!(f, "  tuple {:?} present in:", ce.tuple)?;
+                for a in &ce.with_tuple.atoms {
+                    writeln!(f, "    {a}")?;
+                }
+                writeln!(f, "  absent from:")?;
+                for a in &ce.without_tuple.atoms {
+                    writeln!(f, "    {a}")?;
+                }
+            }
+            None => writeln!(f, "no counterexample found at bounded scale")?,
+        }
+        writeln!(f, "patches ({}):", self.patches.len())?;
+        for p in &self.patches {
+            match p {
+                Patch::AccessCheck(ac) => {
+                    writeln!(f, "  [access-check] guard with: {}", ac.check_sql)?;
+                }
+                Patch::Query(qp) => {
+                    writeln!(f, "  [query-rewrite] narrow to: {}", qp.sql)?;
+                }
+                Patch::Policy(pp) => {
+                    writeln!(f, "  [policy] add {} view(s):", pp.additions.len())?;
+                    for v in &pp.additions {
+                        writeln!(f, "      {v}")?;
+                    }
+                }
+            }
+        }
+        writeln!(f, "likely culprit: {:?}", self.likely_culprit())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::Atom;
+
+    fn broad_view() -> Cq {
+        Cq::new(
+            vec![Term::var("x"), Term::var("y")],
+            vec![Atom::new("Events", vec![Term::var("x"), Term::var("y")])],
+            vec![],
+        )
+    }
+
+    fn scoped_view() -> Cq {
+        Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::param("MyUId"), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn broadness_heuristic() {
+        assert!(view_is_broad(&broad_view()));
+        assert!(!view_is_broad(&scoped_view()));
+    }
+
+    #[test]
+    fn culprit_application_when_only_broad_policy_patches() {
+        let mut report = DiagnosisReport {
+            query: broad_view(),
+            counterexample: None,
+            patches: vec![Patch::Policy(PolicyPatch {
+                additions: vec![broad_view()],
+            })],
+        };
+        report.sort();
+        assert_eq!(report.likely_culprit(), Culprit::Application);
+    }
+
+    #[test]
+    fn culprit_policy_when_scoped_patch_exists() {
+        let report = DiagnosisReport {
+            query: broad_view(),
+            counterexample: None,
+            patches: vec![Patch::Policy(PolicyPatch {
+                additions: vec![scoped_view()],
+            })],
+        };
+        assert_eq!(report.likely_culprit(), Culprit::Policy);
+    }
+
+    #[test]
+    fn cost_orders_access_check_first() {
+        let ac = Patch::AccessCheck(AccessCheckPatch {
+            fact: Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::int(2), Term::var("w")],
+            ),
+            check_sql: "SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2".into(),
+            existentials: 1,
+        });
+        let pol = Patch::Policy(PolicyPatch {
+            additions: vec![scoped_view()],
+        });
+        assert!(ac.cost() < pol.cost());
+    }
+}

@@ -1,0 +1,41 @@
+//! Error types for disclosure evaluation.
+
+use std::fmt;
+
+/// Errors raised by the disclosure checkers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiscloseError {
+    /// The configured universe is too large to enumerate.
+    UniverseTooLarge {
+        /// Estimated database count.
+        estimated: u128,
+        /// The configured cap.
+        cap: u128,
+    },
+    /// A schema/query mismatch.
+    Schema(String),
+    /// A logic-layer failure.
+    Logic(String),
+}
+
+impl fmt::Display for DiscloseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscloseError::UniverseTooLarge { estimated, cap } => write!(
+                f,
+                "bounded universe has ~{estimated} databases, beyond the cap of {cap}; \
+                 shrink the domain or use sampling"
+            ),
+            DiscloseError::Schema(m) => write!(f, "schema error: {m}"),
+            DiscloseError::Logic(m) => write!(f, "logic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiscloseError {}
+
+impl From<qlogic::LogicError> for DiscloseError {
+    fn from(e: qlogic::LogicError) -> DiscloseError {
+        DiscloseError::Logic(e.to_string())
+    }
+}

@@ -1,0 +1,44 @@
+//! Policy evaluation for sensitive-data disclosure (§4 of the paper).
+//!
+//! Given a policy's (instantiated) views and a set of *sensitive queries*
+//! the operator wants hidden, this crate answers: how much can an adversary
+//! holding the views infer about the sensitive answers?
+//!
+//! * [`pqi`] / [`nqi`] — the paper's proposed **prior-agnostic** criteria
+//!   (positive/negative query implication, Benedikt et al. Def. 3.5 adapted
+//!   to views), decided by rewriting-based certificates: a *contained*
+//!   rewriting renders answers certain (PQI); a *containing* rewriting
+//!   bounds the answer from above and can rule answers out (NQI). The
+//!   hospital scenario of Example 4.1 yields an NQI certificate — exactly
+//!   the "narrowed down to two diseases" inference.
+//! * [`smallmodel`] — an exact decision procedure over a bounded universe of
+//!   databases, used as ground truth: it also catches closed-world
+//!   inferences the certificates cannot (the hospital PQI);
+//! * [`sampled`] — a randomized estimator for universes beyond exhaustive
+//!   reach (sound for NQI witnesses, evidential for PQI).
+//! * [`bayes`] — the Bayesian-privacy baseline of §4.2 (tuple-independent
+//!   priors), included to demonstrate how its verdicts move with the
+//!   assumed prior while PQI/NQI stay put.
+//! * [`kanon`] — k-anonymity over view releases, extended past the
+//!   single-table setting.
+//! * [`report`] — one-call audits aggregating every criterion.
+
+#![warn(missing_docs)]
+
+pub mod bayes;
+pub mod error;
+pub mod kanon;
+pub mod nqi;
+pub mod pqi;
+pub mod report;
+pub mod sampled;
+pub mod smallmodel;
+
+pub use bayes::{belief_shift, BayesConfig, BayesReport};
+pub use error::DiscloseError;
+pub use kanon::{check_release, k_anonymity_of_rows, KAnonReport};
+pub use nqi::{check_nqi, NqiOutcome};
+pub use pqi::{check_pqi, PqiOutcome};
+pub use report::{audit, DisclosureReport};
+pub use sampled::{decide_sampled, sample_database, SampledVerdict};
+pub use smallmodel::{decide, RelationSpec, SmallModelVerdict, Universe};

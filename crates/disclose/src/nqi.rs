@@ -1,0 +1,168 @@
+//! Negative query implication (NQI) — certificate-based checking.
+//!
+//! `NQI_S(V)` holds if revealing the contents of `V` could render a possible
+//! answer to `S` *impossible*. The certificate: a **containing rewriting**
+//! `R` over the views (`S ⊆ expand(R)`). `R`'s answer, computed from the
+//! view contents alone, is an upper bound on `S`'s — so any tuple outside it
+//! is ruled out. The bound is informative (some possible answer actually
+//! gets excluded on some view image) whenever `S` is satisfiable and the
+//! expansion has at least one relational atom: on the empty database the
+//! views are empty, `R` returns nothing, and every possible answer of `S` is
+//! excluded.
+
+use qlogic::{containing_rewritings, expand, satisfiable, Cq, ViewSet};
+
+/// The outcome of a certificate-based NQI check.
+#[derive(Debug, Clone)]
+pub enum NqiOutcome {
+    /// NQI holds; the rewriting is the certificate.
+    Holds {
+        /// The containing rewriting over the views.
+        certificate: Cq,
+    },
+    /// No certificate found.
+    NotFound,
+    /// The sensitive query is unsatisfiable — nothing to exclude.
+    TrivialQuery,
+}
+
+impl NqiOutcome {
+    /// `true` if a certificate was found.
+    pub fn holds(&self) -> bool {
+        matches!(self, NqiOutcome::Holds { .. })
+    }
+}
+
+/// Maximum view atoms in a containing-rewriting certificate.
+pub const MAX_CERT_ATOMS: usize = 3;
+
+/// Checks NQI for a sensitive query against instantiated policy views.
+pub fn check_nqi(sensitive: &Cq, views: &ViewSet) -> NqiOutcome {
+    if !satisfiable(sensitive) || sensitive.atoms.is_empty() {
+        return NqiOutcome::TrivialQuery;
+    }
+    for rw in containing_rewritings(sensitive, views, MAX_CERT_ATOMS) {
+        let Ok(exp) = expand(&rw, views) else {
+            continue;
+        };
+        if !exp.atoms.is_empty() {
+            return NqiOutcome::Holds { certificate: rw };
+        }
+    }
+    NqiOutcome::NotFound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::{Atom, CmpOp, Comparison, Term};
+
+    fn named(mut cq: Cq, name: &str) -> Cq {
+        cq.name = Some(name.to_string());
+        cq
+    }
+
+    #[test]
+    fn example_4_2_negative_direction() {
+        // V = {Q2: adults}; S = Q1: seniors. If Q2 doesn't return Alex,
+        // neither can Q1: NQI holds.
+        let q2 = named(
+            Cq::new(
+                vec![Term::var("n")],
+                vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+                vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(18))],
+            ),
+            "Q2",
+        );
+        let s = Cq::new(
+            vec![Term::var("n")],
+            vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+            vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(60))],
+        );
+        let views = ViewSet::new(vec![q2]).unwrap();
+        assert!(check_nqi(&s, &views).holds());
+    }
+
+    #[test]
+    fn seniors_view_does_not_bound_adults() {
+        // V = {Q1: seniors}; S = Q2: adults. The seniors view is a lower
+        // bound, not an upper bound, on the adults: no NQI certificate.
+        let q1 = named(
+            Cq::new(
+                vec![Term::var("n")],
+                vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+                vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(60))],
+            ),
+            "Q1",
+        );
+        let s = Cq::new(
+            vec![Term::var("n")],
+            vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+            vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(18))],
+        );
+        let views = ViewSet::new(vec![q1]).unwrap();
+        assert!(!check_nqi(&s, &views).holds());
+    }
+
+    #[test]
+    fn hospital_narrowing_found() {
+        // Example 4.1: patient→doctor and doctor→diseases views bound the
+        // patient→disease query from above, excluding diseases the assigned
+        // doctor does not treat.
+        let v1 = named(
+            Cq::new(
+                vec![Term::var("p"), Term::var("doc")],
+                vec![Atom::new(
+                    "Treatment",
+                    vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+                )],
+                vec![],
+            ),
+            "PatientDoctor",
+        );
+        let v2 = named(
+            Cq::new(
+                vec![Term::var("doc"), Term::var("dis")],
+                vec![Atom::new(
+                    "Treatment",
+                    vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+                )],
+                vec![],
+            ),
+            "DoctorDiseases",
+        );
+        let s = Cq::new(
+            vec![Term::var("p"), Term::var("dis")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+            )],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v1, v2]).unwrap();
+        let outcome = check_nqi(&s, &views);
+        assert!(outcome.holds(), "the V1 ⋈ V2 upper bound certifies NQI");
+        if let NqiOutcome::Holds { certificate } = outcome {
+            assert!(certificate.atoms.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn unrelated_views_no_certificate() {
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("Public", vec![Term::var("x")])],
+                vec![],
+            ),
+            "Pub",
+        );
+        let s = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("Secret", vec![Term::var("y")])],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v]).unwrap();
+        assert!(!check_nqi(&s, &views).holds());
+    }
+}

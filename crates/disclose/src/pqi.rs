@@ -1,0 +1,210 @@
+//! Positive query implication (PQI) — certificate-based checking.
+//!
+//! `PQI_S(V)` holds if revealing the contents of the views `V` could render
+//! a *possible* answer to the sensitive query `S` *certain* (Benedikt et
+//! al., Def. 3.5, adapted to view-based access control per §4.3 of the
+//! paper).
+//!
+//! The certificate: a **contained rewriting** `R` of `S` over `V` whose
+//! expansion is satisfiable and non-trivial. On any database where `R`
+//! (computed from the view contents alone) returns a tuple `t`, every
+//! database consistent with those view contents also has `t ∈ S` — `t` is
+//! certain. Since `S` returns nothing on the empty database, `t` was not
+//! certain a priori, so disclosure occurred.
+//!
+//! Soundness: a returned certificate always witnesses PQI. Completeness:
+//! the certificate reasons about views as *lower bounds* only; inferences
+//! that need the closed view extension ("the doctor treats *only* these
+//! diseases") are invisible to it — the small-model enumerator decides
+//! those exactly at bounded scale, and experiment T3 quantifies the gap.
+
+use qlogic::{contained_rewritings, expand, satisfiable, Cq, ViewSet};
+
+/// The outcome of a certificate-based PQI check.
+#[derive(Debug, Clone)]
+pub enum PqiOutcome {
+    /// PQI holds; the rewriting is the certificate.
+    Holds {
+        /// The contained rewriting over the views.
+        certificate: Cq,
+    },
+    /// No certificate was found (PQI may still hold via closed-world
+    /// reasoning; see the small-model checker).
+    NotFound,
+    /// The sensitive query is unsatisfiable — nothing to disclose.
+    TrivialQuery,
+}
+
+impl PqiOutcome {
+    /// `true` if a certificate was found.
+    pub fn holds(&self) -> bool {
+        matches!(self, PqiOutcome::Holds { .. })
+    }
+}
+
+/// Checks PQI for a sensitive query against instantiated policy views.
+pub fn check_pqi(sensitive: &Cq, views: &ViewSet) -> PqiOutcome {
+    if !satisfiable(sensitive) || sensitive.atoms.is_empty() {
+        return PqiOutcome::TrivialQuery;
+    }
+    for rw in contained_rewritings(sensitive, views) {
+        let Ok(exp) = expand(&rw, views) else {
+            continue;
+        };
+        // The expansion must be able to produce a tuple on some database
+        // (satisfiable) and must actually depend on data (non-trivial).
+        if satisfiable(&exp) && !exp.atoms.is_empty() {
+            return PqiOutcome::Holds { certificate: rw };
+        }
+    }
+    PqiOutcome::NotFound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::{Atom, CmpOp, Comparison, Term};
+
+    fn named(mut cq: Cq, name: &str) -> Cq {
+        cq.name = Some(name.to_string());
+        cq
+    }
+
+    #[test]
+    fn example_4_2_positive_direction() {
+        // V = {Q1: seniors}; S = Q2: adults. Revealing Q1 renders its
+        // answers certain answers of Q2: PQI holds.
+        let q1 = named(
+            Cq::new(
+                vec![Term::var("n")],
+                vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+                vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(60))],
+            ),
+            "Q1",
+        );
+        let s = Cq::new(
+            vec![Term::var("n")],
+            vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+            vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(18))],
+        );
+        let views = ViewSet::new(vec![q1]).unwrap();
+        assert!(check_pqi(&s, &views).holds());
+    }
+
+    #[test]
+    fn reverse_direction_no_certificate() {
+        // V = {Q2: adults}; S = Q1: seniors. Knowing the adults does not
+        // make any senior certain (an adult may be 30).
+        let q2 = named(
+            Cq::new(
+                vec![Term::var("n")],
+                vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+                vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(18))],
+            ),
+            "Q2",
+        );
+        let s = Cq::new(
+            vec![Term::var("n")],
+            vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+            vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(60))],
+        );
+        let views = ViewSet::new(vec![q2]).unwrap();
+        assert!(!check_pqi(&s, &views).holds());
+    }
+
+    #[test]
+    fn hospital_certificate_misses_closed_world() {
+        // The hospital narrowing needs closed-world reasoning about the
+        // view extension; the certificate checker must NOT claim PQI (the
+        // small-model checker finds it instead — see smallmodel tests).
+        let v1 = named(
+            Cq::new(
+                vec![Term::var("p"), Term::var("doc")],
+                vec![Atom::new(
+                    "Treatment",
+                    vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+                )],
+                vec![],
+            ),
+            "PatientDoctor",
+        );
+        let v2 = named(
+            Cq::new(
+                vec![Term::var("doc"), Term::var("dis")],
+                vec![Atom::new(
+                    "Treatment",
+                    vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+                )],
+                vec![],
+            ),
+            "DoctorDiseases",
+        );
+        let s = Cq::new(
+            vec![Term::var("p"), Term::var("dis")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+            )],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v1, v2]).unwrap();
+        assert!(!check_pqi(&s, &views).holds());
+    }
+
+    #[test]
+    fn disjoint_views_disclose_nothing() {
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("Public", vec![Term::var("x")])],
+                vec![],
+            ),
+            "Pub",
+        );
+        let s = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("Secret", vec![Term::var("y")])],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v]).unwrap();
+        assert!(!check_pqi(&s, &views).holds());
+    }
+
+    #[test]
+    fn unsatisfiable_sensitive_query_is_trivial() {
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("R", vec![Term::var("x")])],
+                vec![],
+            ),
+            "V",
+        );
+        let s = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("R", vec![Term::var("y")])],
+            vec![Comparison::new(Term::var("y"), CmpOp::Lt, Term::var("y"))],
+        );
+        let views = ViewSet::new(vec![v]).unwrap();
+        assert!(matches!(check_pqi(&s, &views), PqiOutcome::TrivialQuery));
+    }
+
+    #[test]
+    fn identity_view_is_total_disclosure() {
+        let v = named(
+            Cq::new(
+                vec![Term::var("x"), Term::var("y")],
+                vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
+                vec![],
+            ),
+            "All",
+        );
+        let s = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x"), Term::int(1)])],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v]).unwrap();
+        assert!(check_pqi(&s, &views).holds());
+    }
+}

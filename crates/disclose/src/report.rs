@@ -1,0 +1,181 @@
+//! Aggregated disclosure reports (what "Dora" reads before deploying a
+//! policy, per §4.3's workflow).
+
+use std::fmt;
+
+use qlogic::{Cq, ViewSet};
+
+use crate::bayes::{belief_shift, BayesConfig, BayesReport};
+use crate::error::DiscloseError;
+use crate::nqi::{check_nqi, NqiOutcome};
+use crate::pqi::{check_pqi, PqiOutcome};
+use crate::smallmodel::{decide, SmallModelVerdict, Universe};
+
+/// The full audit result for one sensitive query.
+#[derive(Debug, Clone)]
+pub struct DisclosureReport {
+    /// Display name of the sensitive query.
+    pub sensitive: String,
+    /// §4.1's first check: would the enforcement layer block the direct
+    /// query? (`false` means the policy *answers* the sensitive query
+    /// outright — the audit is moot and the policy needs tightening.)
+    pub directly_blocked: bool,
+    /// Certificate-based PQI.
+    pub pqi: PqiOutcome,
+    /// Certificate-based NQI.
+    pub nqi: NqiOutcome,
+    /// Exact bounded-universe verdict (if a universe was supplied).
+    pub small_model: Option<SmallModelVerdict>,
+    /// Bayesian belief shift (if a universe was supplied).
+    pub bayes: Option<BayesReport>,
+}
+
+impl DisclosureReport {
+    /// `true` if any criterion signals disclosure.
+    pub fn any_disclosure(&self) -> bool {
+        self.pqi.holds()
+            || self.nqi.holds()
+            || self
+                .small_model
+                .as_ref()
+                .map(|v| v.pqi || v.nqi)
+                .unwrap_or(false)
+    }
+}
+
+impl fmt::Display for DisclosureReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "sensitive query: {}", self.sensitive)?;
+        writeln!(
+            f,
+            "  direct query    : {}",
+            if self.directly_blocked {
+                "blocked by the policy"
+            } else {
+                "ANSWERED by the policy (tighten it!)"
+            }
+        )?;
+        writeln!(
+            f,
+            "  PQI certificate : {}",
+            match &self.pqi {
+                PqiOutcome::Holds { certificate } => format!("HOLDS via {certificate}"),
+                PqiOutcome::NotFound => "not found".to_string(),
+                PqiOutcome::TrivialQuery => "trivial query".to_string(),
+            }
+        )?;
+        writeln!(
+            f,
+            "  NQI certificate : {}",
+            match &self.nqi {
+                NqiOutcome::Holds { certificate } => format!("HOLDS via {certificate}"),
+                NqiOutcome::NotFound => "not found".to_string(),
+                NqiOutcome::TrivialQuery => "trivial query".to_string(),
+            }
+        )?;
+        if let Some(v) = &self.small_model {
+            writeln!(
+                f,
+                "  small model     : PQI={} NQI={} ({} databases, {} images)",
+                v.pqi, v.nqi, v.databases, v.images
+            )?;
+        }
+        if let Some(b) = &self.bayes {
+            writeln!(
+                f,
+                "  Bayesian shift  : {:.3} (prior {:.3} → posterior {:.3})",
+                b.max_shift, b.prior, b.posterior
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs every applicable checker for one sensitive query.
+///
+/// The certificate checkers always run; the exact and Bayesian checkers run
+/// only when a bounded universe is supplied (they enumerate databases).
+pub fn audit(
+    sensitive: &Cq,
+    views: &ViewSet,
+    universe: Option<&Universe>,
+    bayes: Option<BayesConfig>,
+) -> Result<DisclosureReport, DiscloseError> {
+    let small_model = match universe {
+        Some(u) => Some(decide(u, views, sensitive)?),
+        None => None,
+    };
+    let bayes_report = match (universe, bayes) {
+        (Some(u), Some(cfg)) => Some(belief_shift(u, views, sensitive, cfg)?),
+        _ => None,
+    };
+    Ok(DisclosureReport {
+        sensitive: sensitive.to_string(),
+        directly_blocked: qlogic::equivalent_rewriting(sensitive, views, &[]).is_none(),
+        pqi: check_pqi(sensitive, views),
+        nqi: check_nqi(sensitive, views),
+        small_model,
+        bayes: bayes_report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smallmodel::RelationSpec;
+    use qlogic::{Atom, Term};
+
+    #[test]
+    fn audit_runs_all_checkers() {
+        let universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "R".into(),
+                arity: 1,
+                max_rows: 2,
+            }],
+            2,
+        );
+        let mut v = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![],
+        );
+        v.name = Some("All".into());
+        let views = ViewSet::new(vec![v]).unwrap();
+        let s = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![],
+        );
+        let report = audit(&s, &views, Some(&universe), Some(BayesConfig::default())).unwrap();
+        assert!(report.any_disclosure());
+        assert!(
+            !report.directly_blocked,
+            "the identity view answers the sensitive query outright"
+        );
+        assert!(report.small_model.is_some());
+        assert!(report.bayes.is_some());
+        let text = report.to_string();
+        assert!(text.contains("PQI certificate"));
+        assert!(text.contains("Bayesian shift"));
+    }
+
+    #[test]
+    fn audit_without_universe_is_certificates_only() {
+        let mut v = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("Public", vec![Term::var("x")])],
+            vec![],
+        );
+        v.name = Some("Pub".into());
+        let views = ViewSet::new(vec![v]).unwrap();
+        let s = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("Secret", vec![Term::var("y")])],
+            vec![],
+        );
+        let report = audit(&s, &views, None, None).unwrap();
+        assert!(!report.any_disclosure());
+        assert!(report.small_model.is_none());
+    }
+}

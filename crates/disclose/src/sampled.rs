@@ -1,0 +1,282 @@
+//! Sampled PQI/NQI estimation for universes too large to enumerate.
+//!
+//! The exact decider of [`crate::smallmodel`] enumerates every database in
+//! the bounded universe; the count grows as roughly `2^(dᵃ)` per relation
+//! (domain `d`, arity `a`) and stops being feasible almost immediately. The
+//! sampler draws random databases instead, groups them by view image, and
+//! looks for PQI/NQI witnesses *within the sample*.
+//!
+//! Semantics of the estimate:
+//!
+//! * a reported **NQI witness is sound**: the tuple is possible (it appeared
+//!   in some sampled database) and is absent from `S` on every sampled
+//!   database of some image group — exhibiting two sampled databases that
+//!   realize the negative inference needs nothing outside the sample;
+//! * a reported **PQI witness is evidence, not proof**: the tuple was in `S`
+//!   on every *sampled* database of its group, but an unsampled database
+//!   with the same image could still miss it. The `group_support` field
+//!   reports the weakest group size used, so callers can judge confidence;
+//! * a `false` is never conclusive (the witness may live outside the
+//!   sample).
+
+use qlogic::{Cq, Instance, ViewSet};
+use rand::Rng;
+use sqlir::Value;
+
+use crate::error::DiscloseError;
+use crate::smallmodel::{Tuple, Universe};
+
+/// The sampled estimate.
+#[derive(Debug, Clone)]
+pub struct SampledVerdict {
+    /// A PQI witness was found in the sample.
+    pub pqi_evidence: bool,
+    /// Supporting group size of the PQI witness (higher = stronger).
+    pub pqi_support: usize,
+    /// An NQI witness was found (sound).
+    pub nqi: bool,
+    /// Databases sampled.
+    pub samples: usize,
+    /// Distinct view images seen.
+    pub images: usize,
+}
+
+/// Evaluation budget per query per database.
+const EVAL_LIMIT: usize = 4096;
+
+/// Draws one random database from the universe.
+pub fn sample_database(universe: &Universe, rng: &mut impl Rng) -> Instance {
+    let mut tables: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+    for spec in &universe.relations {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let n = rng.gen_range(0..=spec.max_rows);
+        for _ in 0..n {
+            let row: Vec<Value> = (0..spec.arity)
+                .map(|_| universe.domain[rng.gen_range(0..universe.domain.len())].clone())
+                .collect();
+            if !rows.contains(&row) {
+                rows.push(row);
+            }
+        }
+        tables.push((spec.name.clone(), rows));
+    }
+    Instance::from_rows(tables.iter().map(|(n, r)| (n.as_str(), r.as_slice())))
+}
+
+/// Estimates PQI/NQI over `samples` random databases.
+pub fn decide_sampled(
+    universe: &Universe,
+    views: &ViewSet,
+    sensitive: &Cq,
+    samples: usize,
+    rng: &mut impl Rng,
+) -> Result<SampledVerdict, DiscloseError> {
+    if universe.domain.is_empty() || universe.relations.is_empty() {
+        return Err(DiscloseError::Schema("empty universe".into()));
+    }
+    let mut groups: Vec<(Vec<Vec<Tuple>>, Vec<Vec<Tuple>>)> = Vec::new();
+    let mut possible: Vec<Tuple> = Vec::new();
+    let mut answer_sets: Vec<Vec<Tuple>> = Vec::new();
+
+    for _ in 0..samples {
+        let db = sample_database(universe, rng);
+        let image: Vec<Vec<Tuple>> = views
+            .views()
+            .iter()
+            .map(|v| {
+                let mut a = db.eval(v, EVAL_LIMIT);
+                a.sort();
+                a
+            })
+            .collect();
+        let mut answers = db.eval(sensitive, EVAL_LIMIT);
+        answers.sort();
+        for t in &answers {
+            if !possible.contains(t) {
+                possible.push(t.clone());
+            }
+        }
+        answer_sets.push(answers.clone());
+        match groups.iter_mut().find(|(img, _)| *img == image) {
+            Some((_, members)) => members.push(answers),
+            None => groups.push((image, vec![answers])),
+        }
+    }
+
+    let certain_overall: Vec<Tuple> = possible
+        .iter()
+        .filter(|t| answer_sets.iter().all(|a| a.contains(t)))
+        .cloned()
+        .collect();
+
+    let mut pqi_evidence = false;
+    let mut pqi_support = 0usize;
+    let mut nqi = false;
+    for (_, members) in &groups {
+        for t in &possible {
+            if !certain_overall.contains(t) && members.iter().all(|a| a.contains(t)) {
+                // Prefer the strongest supporting group.
+                if members.len() > pqi_support {
+                    pqi_evidence = true;
+                    pqi_support = members.len();
+                }
+            }
+            if !nqi && members.iter().all(|a| !a.contains(t)) {
+                nqi = true;
+            }
+        }
+    }
+    Ok(SampledVerdict {
+        pqi_evidence,
+        pqi_support,
+        nqi,
+        samples,
+        images: groups.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smallmodel::RelationSpec;
+    use qlogic::{Atom, Term};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn named(mut cq: Cq, name: &str) -> Cq {
+        cq.name = Some(name.to_string());
+        cq
+    }
+
+    #[test]
+    fn sampler_agrees_with_exact_on_identity() {
+        let universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "R".into(),
+                arity: 1,
+                max_rows: 2,
+            }],
+            2,
+        );
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("R", vec![Term::var("x")])],
+                vec![],
+            ),
+            "All",
+        );
+        let s = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let verdict = decide_sampled(&universe, &views, &s, 200, &mut rng).unwrap();
+        assert!(verdict.pqi_evidence);
+        assert!(verdict.nqi);
+        assert!(verdict.images >= 3, "several images sampled");
+    }
+
+    #[test]
+    fn blind_views_stay_quiet_on_nqi() {
+        let universe = Universe::with_int_domain(
+            vec![
+                RelationSpec {
+                    name: "Sec".into(),
+                    arity: 1,
+                    max_rows: 2,
+                },
+                RelationSpec {
+                    name: "Pub".into(),
+                    arity: 1,
+                    max_rows: 2,
+                },
+            ],
+            2,
+        );
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("Pub", vec![Term::var("x")])],
+                vec![],
+            ),
+            "Pub",
+        );
+        let s = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("Sec", vec![Term::var("y")])],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let verdict = decide_sampled(&universe, &views, &s, 400, &mut rng).unwrap();
+        // NQI reports are sound, so a blind view must never produce one.
+        assert!(!verdict.nqi, "{verdict:?}");
+    }
+
+    #[test]
+    fn handles_larger_universe_than_exact() {
+        // arity 3 over domain 3 would be 2^27-ish databases exhaustively;
+        // sampling handles it in milliseconds.
+        let universe = Universe {
+            relations: vec![RelationSpec {
+                name: "T".into(),
+                arity: 3,
+                max_rows: 4,
+            }],
+            domain: (0..3).map(Value::Int).collect(),
+            cap: 1,
+        };
+        let v1 = named(
+            Cq::new(
+                vec![Term::var("p"), Term::var("d")],
+                vec![Atom::new(
+                    "T",
+                    vec![Term::var("p"), Term::var("d"), Term::var("x")],
+                )],
+                vec![],
+            ),
+            "PD",
+        );
+        let v2 = named(
+            Cq::new(
+                vec![Term::var("d"), Term::var("x")],
+                vec![Atom::new(
+                    "T",
+                    vec![Term::var("p"), Term::var("d"), Term::var("x")],
+                )],
+                vec![],
+            ),
+            "DX",
+        );
+        let s = Cq::new(
+            vec![Term::var("p"), Term::var("x")],
+            vec![Atom::new(
+                "T",
+                vec![Term::var("p"), Term::var("d"), Term::var("x")],
+            )],
+            vec![],
+        );
+        let views = ViewSet::new(vec![v1, v2]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let verdict = decide_sampled(&universe, &views, &s, 300, &mut rng).unwrap();
+        // The exact decider refuses this universe; the sampler answers.
+        assert!(universe.enumerate().is_err());
+        assert!(verdict.nqi, "hospital narrowing found by sampling");
+    }
+
+    #[test]
+    fn empty_universe_is_an_error() {
+        let universe = Universe {
+            relations: vec![],
+            domain: vec![],
+            cap: 10,
+        };
+        let views = ViewSet::new(vec![]).unwrap();
+        let s = Cq::new(vec![], vec![Atom::new("R", vec![Term::var("x")])], vec![]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!(decide_sampled(&universe, &views, &s, 10, &mut rng).is_err());
+    }
+}

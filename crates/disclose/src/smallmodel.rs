@@ -1,0 +1,439 @@
+//! Exact PQI/NQI decisions over a bounded universe (the ground truth for
+//! the certificate checkers, per §4.3's call for practical algorithms).
+//!
+//! All databases over a finite active domain (bounded rows per relation) are
+//! enumerated and grouped by their *view image* — what an adversary holding
+//! the views would see. Within a group:
+//!
+//! * a tuple in `S`'s answer on **every** consistent database is *certain
+//!   given the image*; if it is not certain over all databases, **PQI**
+//!   holds;
+//! * a tuple possible overall but in `S`'s answer on **no** consistent
+//!   database is *impossible given the image*; **NQI** holds.
+//!
+//! The verdict is exact **relative to the bounded universe** — a
+//! disclosure needing a larger domain than configured will be missed, and
+//! (dually) finite domains can make answers certain that an unbounded
+//! domain would not. Experiments therefore treat the enumerator as ground
+//! truth at matched scale, not as an oracle for unbounded semantics.
+
+use qlogic::{Cq, Instance, Term, ViewSet};
+use sqlir::Value;
+
+use crate::error::DiscloseError;
+
+/// A relation in the bounded universe.
+#[derive(Debug, Clone)]
+pub struct RelationSpec {
+    /// Relation name.
+    pub name: String,
+    /// Number of columns.
+    pub arity: usize,
+    /// Maximum rows enumerated for this relation.
+    pub max_rows: usize,
+}
+
+/// The bounded universe of databases.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    /// Relations.
+    pub relations: Vec<RelationSpec>,
+    /// Shared active domain.
+    pub domain: Vec<Value>,
+    /// Hard cap on the number of databases enumerated.
+    pub cap: u128,
+}
+
+impl Universe {
+    /// A universe with the given relations and an integer domain `0..d`.
+    pub fn with_int_domain(relations: Vec<RelationSpec>, d: i64) -> Universe {
+        Universe {
+            relations,
+            domain: (0..d).map(Value::Int).collect(),
+            cap: 2_000_000,
+        }
+    }
+
+    /// All tuples of the given arity over the domain.
+    fn all_tuples(&self, arity: usize) -> Vec<Vec<Value>> {
+        let mut out: Vec<Vec<Value>> = vec![Vec::new()];
+        for _ in 0..arity {
+            let mut next = Vec::with_capacity(out.len() * self.domain.len());
+            for prefix in &out {
+                for v in &self.domain {
+                    let mut t = prefix.clone();
+                    t.push(v.clone());
+                    next.push(t);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+
+    /// All row subsets for a relation (sizes `0..=max_rows`).
+    fn subsets(&self, spec: &RelationSpec) -> Vec<Vec<Vec<Value>>> {
+        let tuples = self.all_tuples(spec.arity);
+        let mut out: Vec<Vec<Vec<Value>>> = Vec::new();
+        let n = tuples.len();
+        // Enumerate bitmasks when feasible; relations are small by design.
+        if n <= 20 {
+            for mask in 0u32..(1 << n) {
+                if (mask.count_ones() as usize) <= spec.max_rows {
+                    out.push(
+                        (0..n)
+                            .filter(|i| mask & (1 << i) != 0)
+                            .map(|i| tuples[i].clone())
+                            .collect(),
+                    );
+                }
+            }
+        } else {
+            // Enumerate by size to stay bounded.
+            fn combos(
+                tuples: &[Vec<Value>],
+                k: usize,
+                start: usize,
+                cur: &mut Vec<Vec<Value>>,
+                out: &mut Vec<Vec<Vec<Value>>>,
+            ) {
+                if cur.len() == k {
+                    out.push(cur.clone());
+                    return;
+                }
+                for i in start..tuples.len() {
+                    cur.push(tuples[i].clone());
+                    combos(tuples, k, i + 1, cur, out);
+                    cur.pop();
+                }
+            }
+            for k in 0..=spec.max_rows.min(n) {
+                combos(&tuples, k, 0, &mut Vec::new(), &mut out);
+            }
+        }
+        out
+    }
+
+    /// Number of row subsets a relation contributes (`Σ C(tuples, k)` for
+    /// `k ≤ max_rows`), computed without materializing anything.
+    fn subset_count(&self, spec: &RelationSpec) -> u128 {
+        let n = (self.domain.len() as u128).saturating_pow(spec.arity as u32);
+        let mut total: u128 = 0;
+        let mut choose: u128 = 1; // C(n, 0)
+        for k in 0..=spec.max_rows as u128 {
+            if k > 0 {
+                if k > n {
+                    break;
+                }
+                choose = choose
+                    .saturating_mul(n - (k - 1))
+                    .checked_div(k)
+                    .unwrap_or(u128::MAX);
+            }
+            total = total.saturating_add(choose);
+            if total > self.cap.saturating_mul(2) {
+                break; // already hopeless; avoid overflow churn
+            }
+        }
+        total
+    }
+
+    /// Enumerates every database in the universe.
+    pub fn enumerate(&self) -> Result<Vec<Instance>, DiscloseError> {
+        // Estimate arithmetically before materializing anything.
+        let mut estimated: u128 = 1;
+        for spec in &self.relations {
+            estimated = estimated.saturating_mul(self.subset_count(spec));
+            if estimated > self.cap {
+                return Err(DiscloseError::UniverseTooLarge {
+                    estimated,
+                    cap: self.cap,
+                });
+            }
+        }
+        let mut per_relation = Vec::new();
+        for spec in &self.relations {
+            per_relation.push((spec.name.clone(), self.subsets(spec)));
+        }
+        let mut dbs: Vec<Vec<(String, Vec<Vec<Value>>)>> = vec![Vec::new()];
+        for (name, subsets) in per_relation {
+            let mut next = Vec::with_capacity(dbs.len() * subsets.len());
+            for db in &dbs {
+                for subset in &subsets {
+                    let mut d = db.clone();
+                    d.push((name.clone(), subset.clone()));
+                    next.push(d);
+                }
+            }
+            dbs = next;
+        }
+        Ok(dbs
+            .into_iter()
+            .map(|tables| {
+                Instance::from_rows(tables.iter().map(|(n, rows)| (n.as_str(), rows.as_slice())))
+            })
+            .collect())
+    }
+}
+
+/// An answer tuple (ground).
+pub type Tuple = Vec<Term>;
+
+/// The exact verdict over the bounded universe.
+#[derive(Debug, Clone)]
+pub struct SmallModelVerdict {
+    /// PQI holds in the universe.
+    pub pqi: bool,
+    /// A witnessing `(view-image index, tuple)` for PQI.
+    pub pqi_witness: Option<Tuple>,
+    /// NQI holds in the universe.
+    pub nqi: bool,
+    /// A witnessing tuple for NQI.
+    pub nqi_witness: Option<Tuple>,
+    /// Databases enumerated.
+    pub databases: usize,
+    /// Distinct view images.
+    pub images: usize,
+}
+
+/// Evaluation budget per query per database.
+const EVAL_LIMIT: usize = 4096;
+
+/// Decides PQI and NQI exactly over the universe.
+pub fn decide(
+    universe: &Universe,
+    views: &ViewSet,
+    sensitive: &Cq,
+) -> Result<SmallModelVerdict, DiscloseError> {
+    let dbs = universe.enumerate()?;
+
+    // Per database: the view image and S's answer set.
+    let mut groups: Vec<(Vec<Vec<Tuple>>, Vec<Vec<Tuple>>)> = Vec::new(); // (image, member answer sets)
+    let mut possible: Vec<Tuple> = Vec::new();
+    let mut s_answers: Vec<Vec<Tuple>> = Vec::with_capacity(dbs.len());
+
+    for db in &dbs {
+        let image: Vec<Vec<Tuple>> = views
+            .views()
+            .iter()
+            .map(|v| {
+                let mut ans = db.eval(v, EVAL_LIMIT);
+                ans.sort();
+                ans
+            })
+            .collect();
+        let mut answers = db.eval(sensitive, EVAL_LIMIT);
+        answers.sort();
+        for t in &answers {
+            if !possible.contains(t) {
+                possible.push(t.clone());
+            }
+        }
+        s_answers.push(answers.clone());
+        match groups.iter_mut().find(|(img, _)| *img == image) {
+            Some((_, members)) => members.push(answers),
+            None => groups.push((image, vec![answers])),
+        }
+    }
+
+    // Certain over all databases (usually empty: the empty DB is included).
+    let certain_overall: Vec<Tuple> = possible
+        .iter()
+        .filter(|t| s_answers.iter().all(|ans| ans.contains(t)))
+        .cloned()
+        .collect();
+
+    let mut pqi_witness = None;
+    let mut nqi_witness = None;
+    for (_, members) in &groups {
+        // Certain within the group.
+        for t in &possible {
+            if !certain_overall.contains(t)
+                && pqi_witness.is_none()
+                && members.iter().all(|ans| ans.contains(t))
+            {
+                pqi_witness = Some(t.clone());
+            }
+            if nqi_witness.is_none() && members.iter().all(|ans| !ans.contains(t)) {
+                nqi_witness = Some(t.clone());
+            }
+        }
+        if pqi_witness.is_some() && nqi_witness.is_some() {
+            break;
+        }
+    }
+
+    Ok(SmallModelVerdict {
+        pqi: pqi_witness.is_some(),
+        pqi_witness,
+        nqi: nqi_witness.is_some(),
+        nqi_witness,
+        databases: dbs.len(),
+        images: groups.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::Atom;
+
+    fn named(mut cq: Cq, name: &str) -> Cq {
+        cq.name = Some(name.to_string());
+        cq
+    }
+
+    /// Hospital schema at miniature scale: Treatment(p, doc, dis) with a
+    /// domain of two values per column.
+    fn hospital() -> (Universe, ViewSet, Cq) {
+        let universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "Treatment".into(),
+                arity: 3,
+                max_rows: 2,
+            }],
+            2,
+        );
+        let v1 = named(
+            Cq::new(
+                vec![Term::var("p"), Term::var("doc")],
+                vec![Atom::new(
+                    "Treatment",
+                    vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+                )],
+                vec![],
+            ),
+            "PatientDoctor",
+        );
+        let v2 = named(
+            Cq::new(
+                vec![Term::var("doc"), Term::var("dis")],
+                vec![Atom::new(
+                    "Treatment",
+                    vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+                )],
+                vec![],
+            ),
+            "DoctorDiseases",
+        );
+        let s = Cq::new(
+            vec![Term::var("p"), Term::var("dis")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+            )],
+            vec![],
+        );
+        (universe, ViewSet::new(vec![v1, v2]).unwrap(), s)
+    }
+
+    #[test]
+    fn hospital_has_both_pqi_and_nqi() {
+        let (universe, views, s) = hospital();
+        let verdict = decide(&universe, &views, &s).unwrap();
+        assert!(
+            verdict.nqi,
+            "diseases outside the doctor's set are excluded"
+        );
+        assert!(
+            verdict.pqi,
+            "closed-world images can pin the disease exactly \
+             (e.g. the assigned doctor treats exactly one)"
+        );
+        assert!(verdict.databases > 0 && verdict.images > 1);
+    }
+
+    #[test]
+    fn blind_views_disclose_nothing() {
+        // A view over an unrelated relation neither certifies nor excludes.
+        let universe = Universe::with_int_domain(
+            vec![
+                RelationSpec {
+                    name: "Secret".into(),
+                    arity: 1,
+                    max_rows: 2,
+                },
+                RelationSpec {
+                    name: "Public".into(),
+                    arity: 1,
+                    max_rows: 2,
+                },
+            ],
+            2,
+        );
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("Public", vec![Term::var("x")])],
+                vec![],
+            ),
+            "Pub",
+        );
+        let s = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("Secret", vec![Term::var("y")])],
+            vec![],
+        );
+        let verdict = decide(&universe, &ViewSet::new(vec![v]).unwrap(), &s).unwrap();
+        assert!(!verdict.pqi);
+        assert!(!verdict.nqi);
+    }
+
+    #[test]
+    fn identity_view_is_total_disclosure() {
+        let universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "R".into(),
+                arity: 1,
+                max_rows: 2,
+            }],
+            2,
+        );
+        let v = named(
+            Cq::new(
+                vec![Term::var("x")],
+                vec![Atom::new("R", vec![Term::var("x")])],
+                vec![],
+            ),
+            "All",
+        );
+        let s = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![],
+        );
+        let verdict = decide(&universe, &ViewSet::new(vec![v]).unwrap(), &s).unwrap();
+        assert!(verdict.pqi);
+        assert!(verdict.nqi);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "R".into(),
+                arity: 3,
+                max_rows: 8,
+            }],
+            3,
+        );
+        universe.cap = 100;
+        let err = universe.enumerate().unwrap_err();
+        assert!(matches!(err, DiscloseError::UniverseTooLarge { .. }));
+    }
+
+    #[test]
+    fn enumeration_counts_match() {
+        // One unary relation over {0,1}, max 2 rows: subsets {}, {0}, {1},
+        // {0,1} = 4 databases.
+        let universe = Universe::with_int_domain(
+            vec![RelationSpec {
+                name: "R".into(),
+                arity: 1,
+                max_rows: 2,
+            }],
+            2,
+        );
+        assert_eq!(universe.enumerate().unwrap().len(), 4);
+    }
+}

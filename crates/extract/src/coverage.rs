@@ -1,0 +1,349 @@
+//! Coverage-guided workload generation (§3.2.2, step 1).
+//!
+//! "First, it must run the application and collect query traces. Here, it is
+//! crucial to achieve good coverage. … we could leverage test generation,
+//! guided fuzzing, or active learning to achieve good coverage."
+//!
+//! This module is that test-generation loop: candidate requests stream from
+//! a generator; each is executed against a scratch copy of the database, and
+//! a request is kept only when it exhibits a *new behaviour signature* — a
+//! new combination of handler, terminal outcome, issued-query templates, and
+//! per-query emptiness flags. The loop stops when a stall budget of
+//! consecutive uninformative candidates is exhausted.
+//!
+//! The result is a small workload that exercises every behaviour the
+//! generator can reach — the input the miner actually needs — instead of a
+//! large redundant one. Experiment F5 plots both curves.
+
+use appdsl::{run_handler, App, Limits, Request};
+use minidb::Database;
+
+use crate::error::ExtractError;
+
+/// One behaviour signature (the deduplication key of the search).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BehaviourSignature {
+    /// Handler name.
+    pub handler: String,
+    /// Terminal outcome (HTTP code, 0 for OK, -1 for blocked).
+    pub outcome: i32,
+    /// Issued templates with their emptiness flags.
+    pub queries: Vec<(String, bool)>,
+}
+
+/// Options for the coverage loop.
+#[derive(Debug, Clone, Copy)]
+pub struct CoverageOptions {
+    /// Hard cap on candidates examined.
+    pub max_candidates: usize,
+    /// Stop after this many consecutive candidates with no new behaviour.
+    pub stall_budget: usize,
+    /// Requests kept per behaviour (> 1 matters for mining: anti-unification
+    /// can only generalize positions that *vary* across exemplars, so a
+    /// single trace per behaviour leaves every constant pinned).
+    pub exemplars: usize,
+}
+
+impl Default for CoverageOptions {
+    fn default() -> CoverageOptions {
+        CoverageOptions {
+            max_candidates: 2_000,
+            stall_budget: 100,
+            exemplars: 3,
+        }
+    }
+}
+
+/// The outcome of a coverage-guided search.
+#[derive(Debug, Clone)]
+pub struct CoverageReport {
+    /// The selected (behaviour-distinct) requests, in discovery order.
+    pub selected: Vec<Request>,
+    /// Candidates examined.
+    pub candidates_tried: usize,
+    /// `(candidates tried, behaviours discovered)` curve points, recorded at
+    /// every discovery.
+    pub curve: Vec<(usize, usize)>,
+}
+
+impl CoverageReport {
+    /// Distinct behaviours found.
+    pub fn behaviours(&self) -> usize {
+        self.curve.len()
+    }
+}
+
+/// Computes a request's behaviour signature on a scratch copy of the
+/// database (side effects do not leak between candidates).
+pub fn signature_of(
+    db: &Database,
+    app: &App,
+    request: &Request,
+) -> Result<BehaviourSignature, ExtractError> {
+    let mut scratch = db.clone();
+    let handler = app
+        .handler(&request.handler)
+        .ok_or_else(|| ExtractError::BadWorkload(format!("no handler {}", request.handler)))?;
+    let result = run_handler(
+        &mut scratch,
+        handler,
+        &request.session,
+        &request.params,
+        Limits::default(),
+    )?;
+    let outcome = match result.outcome {
+        appdsl::Outcome::Ok => 0,
+        appdsl::Outcome::Http(code) => i32::from(code),
+        appdsl::Outcome::Blocked { .. } => -1,
+    };
+    Ok(BehaviourSignature {
+        handler: request.handler.clone(),
+        outcome,
+        queries: result
+            .queries
+            .iter()
+            .map(|q| (q.sql.clone(), q.row_count > 0))
+            .collect(),
+    })
+}
+
+/// Runs the coverage-guided selection loop over a candidate stream.
+///
+/// `candidates` is called with the attempt index and returns the next
+/// candidate request (`None` ends the stream early).
+pub fn coverage_guided(
+    db: &Database,
+    app: &App,
+    mut candidates: impl FnMut(usize) -> Option<Request>,
+    opts: CoverageOptions,
+) -> Result<CoverageReport, ExtractError> {
+    let mut report = CoverageReport {
+        selected: Vec::new(),
+        candidates_tried: 0,
+        curve: Vec::new(),
+    };
+    let mut seen: Vec<(BehaviourSignature, usize)> = Vec::new();
+    let mut behaviours = 0usize;
+    let mut stall = 0usize;
+    let quota = opts.exemplars.max(1);
+    while report.candidates_tried < opts.max_candidates && stall < opts.stall_budget {
+        let Some(request) = candidates(report.candidates_tried) else {
+            break;
+        };
+        report.candidates_tried += 1;
+        let sig = signature_of(db, app, &request)?;
+        match seen.iter_mut().find(|(s, _)| *s == sig) {
+            Some((_, count)) if *count >= quota => {
+                stall += 1;
+                continue;
+            }
+            Some((_, count)) => {
+                // Exact duplicates are dropped *before* consuming quota, so
+                // a repetitive candidate stream cannot starve the miner of
+                // distinct exemplars.
+                if report.selected.contains(&request) {
+                    stall += 1;
+                    continue;
+                }
+                *count += 1;
+                // An extra exemplar of a known behaviour: useful for the
+                // miner, but it neither resets the stall clock nor counts as
+                // a discovery.
+                report.selected.push(request);
+                stall += 1;
+                continue;
+            }
+            None => {
+                seen.push((sig, 1));
+            }
+        }
+        behaviours += 1;
+        report.selected.push(request);
+        report.curve.push((report.candidates_tried, behaviours));
+        stall = 0;
+    }
+    Ok(report)
+}
+
+/// The naive baseline: how many distinct behaviours each prefix of a fixed
+/// workload exhibits. Returns `(prefix length, distinct behaviours)` points.
+pub fn naive_curve(
+    db: &Database,
+    app: &App,
+    workload: &[Request],
+) -> Result<Vec<(usize, usize)>, ExtractError> {
+    let mut seen: Vec<BehaviourSignature> = Vec::new();
+    let mut out = Vec::with_capacity(workload.len());
+    for (i, request) in workload.iter().enumerate() {
+        let sig = signature_of(db, app, request)?;
+        if !seen.contains(&sig) {
+            seen.push(sig);
+        }
+        out.push((i + 1, seen.len()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::parse_app;
+    use sqlir::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE Attendance (UId INT, EId INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO Events (EId, Title) VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        db.execute_sql("INSERT INTO Attendance (UId, EId) VALUES (101, 1)")
+            .unwrap();
+        db
+    }
+
+    fn app() -> appdsl::App {
+        parse_app(
+            r#"
+            handler show(event_id) {
+                let ok = sql("SELECT 1 FROM Attendance
+                              WHERE UId = ?MyUId AND EId = ?event_id");
+                if ok.is_empty() {
+                    abort(404);
+                }
+                emit sql("SELECT Title FROM Events WHERE EId = ?event_id");
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn request(uid: i64, eid: i64) -> Request {
+        Request {
+            handler: "show".into(),
+            session: vec![("MyUId".into(), Value::Int(uid))],
+            params: vec![("event_id".into(), Value::Int(eid))],
+        }
+    }
+
+    #[test]
+    fn selects_one_request_per_behaviour() {
+        let db = db();
+        let app = app();
+        // Candidates cycle through (101,1) ok / (101,2) 404 / duplicates.
+        let pool = [
+            request(101, 1),
+            request(101, 2),
+            request(101, 1),
+            request(101, 2),
+        ];
+        let report = coverage_guided(
+            &db,
+            &app,
+            |i| pool.get(i % pool.len()).cloned(),
+            CoverageOptions {
+                max_candidates: 40,
+                stall_budget: 10,
+                exemplars: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.behaviours(), 2, "ok and 404 behaviours");
+        assert!(report.candidates_tried <= 40);
+        assert_eq!(report.selected.len(), 2);
+    }
+
+    #[test]
+    fn stall_budget_stops_early() {
+        let db = db();
+        let app = app();
+        let report = coverage_guided(
+            &db,
+            &app,
+            |_| Some(request(101, 1)),
+            CoverageOptions {
+                max_candidates: 1_000,
+                stall_budget: 5,
+                exemplars: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.behaviours(), 1);
+        assert_eq!(report.candidates_tried, 6, "1 discovery + 5 stalls");
+    }
+
+    #[test]
+    fn side_effects_do_not_leak() {
+        // A handler with DML: each candidate runs on a scratch clone, so the
+        // same candidate has a stable signature.
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE T (x INT)").unwrap();
+        let app = parse_app(
+            r#"
+            handler add() {
+                run sql("INSERT INTO T (x) VALUES (1)");
+                let n = sql("SELECT x FROM T");
+                emit n.count();
+            }
+            "#,
+        )
+        .unwrap();
+        let req = Request {
+            handler: "add".into(),
+            session: vec![],
+            params: vec![],
+        };
+        let s1 = signature_of(&db, &app, &req).unwrap();
+        let s2 = signature_of(&db, &app, &req).unwrap();
+        assert_eq!(s1, s2);
+        assert!(db.table("T").unwrap().is_empty(), "original untouched");
+    }
+
+    #[test]
+    fn naive_curve_monotone() {
+        let db = db();
+        let app = app();
+        let workload = vec![
+            request(101, 1),
+            request(101, 1),
+            request(101, 2),
+            request(101, 2),
+        ];
+        let curve = naive_curve(&db, &app, &workload).unwrap();
+        assert_eq!(curve, vec![(1, 1), (2, 1), (3, 2), (4, 2)]);
+    }
+
+    #[test]
+    fn exemplar_quota_keeps_varied_requests() {
+        let db = db();
+        let app = app();
+        // Distinct requests with the same behaviour (ok path, different
+        // users attending event 1 would vary — here vary the request by
+        // user id with same outcome via event 1 attendance for 101 only;
+        // use duplicates of the 404 path with different event ids instead).
+        let pool = [
+            request(101, 1),
+            request(101, 2),
+            request(102, 1),
+            request(102, 2),
+        ];
+        let report = coverage_guided(
+            &db,
+            &app,
+            |i| pool.get(i).cloned(),
+            CoverageOptions {
+                max_candidates: 10,
+                stall_budget: 10,
+                exemplars: 3,
+            },
+        )
+        .unwrap();
+        // Behaviours: ok (101,1) and 404 (the rest share the 404 signature
+        // shape-wise but differ in... signature includes only emptiness, so
+        // (101,2)/(102,1)/(102,2) share one behaviour).
+        assert_eq!(report.behaviours(), 2);
+        // Exemplar quota keeps extra distinct 404 requests for the miner.
+        assert_eq!(report.selected.len(), 4);
+    }
+}

@@ -1,0 +1,47 @@
+//! Error types for policy extraction.
+
+use std::fmt;
+
+/// Errors raised by the extraction pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// A handler failed to execute (concretely or symbolically).
+    Execution(String),
+    /// SQL in the application failed to parse.
+    Sql(String),
+    /// A logic-layer failure.
+    Logic(String),
+    /// The workload was empty or otherwise unusable.
+    BadWorkload(String),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Execution(m) => write!(f, "execution error: {m}"),
+            ExtractError::Sql(m) => write!(f, "SQL error: {m}"),
+            ExtractError::Logic(m) => write!(f, "logic error: {m}"),
+            ExtractError::BadWorkload(m) => write!(f, "bad workload: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<appdsl::DslError> for ExtractError {
+    fn from(e: appdsl::DslError) -> ExtractError {
+        ExtractError::Execution(e.to_string())
+    }
+}
+
+impl From<qlogic::LogicError> for ExtractError {
+    fn from(e: qlogic::LogicError) -> ExtractError {
+        ExtractError::Logic(e.to_string())
+    }
+}
+
+impl From<sqlir::ParseError> for ExtractError {
+    fn from(e: sqlir::ParseError) -> ExtractError {
+        ExtractError::Sql(e.to_string())
+    }
+}

@@ -1,0 +1,203 @@
+//! Opaque-identifier hints (§3.2.2, bullet 2).
+//!
+//! An operator can declare that certain columns hold *opaque identifiers* —
+//! values like event ids that carry no meaning beyond identity. A policy
+//! must never pin such a column to a concrete constant ("a concrete event ID
+//! like `EId = 2` should never appear in a policy"), so any constant left in
+//! an opaque position after generalization is promoted to a variable, with
+//! all occurrences of that constant sharing the variable (preserving joins).
+
+use qlogic::{Atom, Comparison, Cq, RelSchema, Term};
+
+/// Declared opaque columns, bound to the schema that resolves positions.
+#[derive(Debug, Clone, Default)]
+pub struct Hints {
+    /// `(table, column)` pairs whose constants must generalize.
+    pub opaque_columns: Vec<(String, String)>,
+    schema: Option<RelSchema>,
+}
+
+impl Hints {
+    /// No hints (the default): constants are kept as observed.
+    pub fn none() -> Hints {
+        Hints::default()
+    }
+
+    /// Attaches the schema used to resolve column positions. Hints have no
+    /// effect until a schema is attached.
+    pub fn with_schema(mut self, schema: RelSchema) -> Hints {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Declares a column opaque.
+    pub fn opaque(mut self, table: impl Into<String>, column: impl Into<String>) -> Hints {
+        self.opaque_columns.push((table.into(), column.into()));
+        self
+    }
+
+    /// Declares every column whose name ends in `Id`/`_id` opaque — the
+    /// convention-based default an operator would start from.
+    pub fn id_columns(schema: &RelSchema) -> Hints {
+        let mut hints = Hints::none();
+        for table in schema.table_names() {
+            if let Ok(columns) = schema.columns(table) {
+                for c in columns {
+                    if c.ends_with("Id") || c.ends_with("_id") || c == "id" {
+                        hints.opaque_columns.push((table.to_string(), c.clone()));
+                    }
+                }
+            }
+        }
+        hints.schema = Some(schema.clone());
+        hints
+    }
+
+    fn is_opaque(&self, table: &str, idx: usize) -> bool {
+        let Some(schema) = &self.schema else {
+            return false;
+        };
+        let Ok(cols) = schema.columns(table) else {
+            return false;
+        };
+        cols.get(idx)
+            .map(|c| {
+                self.opaque_columns
+                    .iter()
+                    .any(|(t, col)| t == table && col == c)
+            })
+            .unwrap_or(false)
+    }
+
+    /// Applies the hints to a view: constants in opaque positions become
+    /// shared head variables.
+    pub fn apply(&self, cq: &Cq) -> Cq {
+        let mut targets: Vec<Term> = Vec::new();
+        for a in &cq.atoms {
+            for (i, t) in a.args.iter().enumerate() {
+                if matches!(t, Term::Const(_))
+                    && self.is_opaque(&a.relation, i)
+                    && !targets.contains(t)
+                {
+                    targets.push(t.clone());
+                }
+            }
+        }
+        if targets.is_empty() {
+            return cq.clone();
+        }
+        let mut out = cq.clone();
+        for (n, target) in targets.iter().enumerate() {
+            let fresh = Term::var(format!("h{n}·opq"));
+            out = replace_term(&out, target, &fresh);
+            // The generalized identifier is request-selected: expose it.
+            if !out.head.contains(&fresh) {
+                out.head.push(fresh);
+            }
+        }
+        out
+    }
+}
+
+/// Replaces every occurrence of `from` with `to` throughout a query.
+fn replace_term(cq: &Cq, from: &Term, to: &Term) -> Cq {
+    let f = |t: &Term| -> Term {
+        if t == from {
+            to.clone()
+        } else {
+            t.clone()
+        }
+    };
+    let mut out = Cq::new(
+        cq.head.iter().map(f).collect(),
+        cq.atoms
+            .iter()
+            .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(f).collect()))
+            .collect(),
+        cq.comparisons
+            .iter()
+            .map(|c| Comparison::new(f(&c.lhs), c.op, f(&c.rhs)))
+            .collect(),
+    );
+    out.name = cq.name.clone();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new();
+        s.add_table("Events", ["EId", "Title", "Kind"]);
+        s.add_table("Attendance", ["UId", "EId", "Notes"]);
+        s
+    }
+
+    #[test]
+    fn promotes_opaque_constants_preserving_joins() {
+        // V :- Events(2, t, k), Attendance(?MyUId, 2, n): EId is opaque, so
+        // both occurrences of 2 become one shared variable.
+        let v = Cq::new(
+            vec![Term::var("t")],
+            vec![
+                Atom::new("Events", vec![Term::int(2), Term::var("t"), Term::var("k")]),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::param("MyUId"), Term::int(2), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        let hints = Hints::none()
+            .opaque("Events", "EId")
+            .opaque("Attendance", "EId")
+            .with_schema(schema());
+        let out = hints.apply(&v);
+        let ev = &out.atoms[0].args[0];
+        let at = &out.atoms[1].args[1];
+        assert!(matches!(ev, Term::Var(_)));
+        assert_eq!(ev, at, "join preserved");
+        assert!(out.head.contains(ev), "generalized id exposed in head");
+    }
+
+    #[test]
+    fn non_opaque_constants_survive() {
+        let v = Cq::new(
+            vec![Term::var("t")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::var("e"), Term::var("t"), Term::str("work")],
+            )],
+            vec![],
+        );
+        let hints = Hints::none().opaque("Events", "EId").with_schema(schema());
+        let out = hints.apply(&v);
+        assert_eq!(out.atoms[0].args[2], Term::str("work"));
+    }
+
+    #[test]
+    fn id_columns_convention() {
+        let hints = Hints::id_columns(&schema());
+        assert!(hints
+            .opaque_columns
+            .contains(&("Events".into(), "EId".into())));
+        assert!(hints
+            .opaque_columns
+            .contains(&("Attendance".into(), "UId".into())));
+        assert!(!hints
+            .opaque_columns
+            .contains(&("Events".into(), "Title".into())));
+    }
+
+    #[test]
+    fn no_schema_means_no_effect() {
+        let v = Cq::new(
+            vec![],
+            vec![Atom::new("Events", vec![Term::int(2)])],
+            vec![],
+        );
+        let hints = Hints::none().opaque("Events", "EId");
+        assert_eq!(hints.apply(&v), v);
+    }
+}

@@ -1,0 +1,117 @@
+//! Policy extraction (§3 of the paper): generating a maximally-restrictive
+//! draft policy from an existing application.
+//!
+//! Two pipelines are provided, mirroring §3.2:
+//!
+//! * **Language-based** ([`symex`] + [`viewgen`], driven by
+//!   [`extract_symbolic`]) — symbolically executes the application's
+//!   handlers, collecting (query, path condition) pairs and compiling them
+//!   into parameterized views. Listing 1 yields exactly the views V1–V2 of
+//!   Example 2.1 (see `viewgen::tests::reproduces_example_3_1`).
+//! * **Language-agnostic** ([`mining`]) — runs the application black-box on
+//!   a workload, observes issued queries and their answers, and learns
+//!   generalized views, with the paper's three over-generalization controls:
+//!   policy-size minimization ([`policy_min`]), opaque-identifier hints
+//!   ([`hints`]), and active constraint discovery ([`active`]).
+//!
+//! [`score`] measures extracted policies against ground truth for the
+//! evaluation harness.
+
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod coverage;
+pub mod error;
+pub mod hints;
+pub mod mining;
+pub mod policy_min;
+pub mod score;
+pub mod symex;
+pub mod viewgen;
+
+use qlogic::{Cq, RelSchema};
+
+use appdsl::App;
+
+pub use active::{refine, ActiveOptions, ActiveStats};
+pub use coverage::{
+    coverage_guided, naive_curve, signature_of, BehaviourSignature, CoverageOptions, CoverageReport,
+};
+pub use error::ExtractError;
+pub use hints::Hints;
+pub use mining::{
+    collect_traces, mine_policy, run_signatures, Learner, MineOptions, Request, TraceSet,
+};
+pub use policy_min::drop_redundant;
+pub use score::{
+    score_exact, score_exact_deps, score_semantic, score_semantic_deps, view_equivalent,
+    view_equivalent_deps, Score,
+};
+pub use symex::{explore, SymLimits, SymPath};
+pub use viewgen::{views_from_paths, CandidateView, ViewGenOptions};
+
+/// The result of a symbolic extraction run.
+#[derive(Debug, Clone)]
+pub struct ExtractedPolicy {
+    /// The extracted views (deduplicated, minimized, unnamed).
+    pub views: Vec<Cq>,
+    /// Views whose guards were over-approximated (operator should review).
+    pub over_approximate: usize,
+    /// Total symbolic paths explored.
+    pub paths_explored: usize,
+}
+
+impl ExtractedPolicy {
+    /// Converts into an enforceable [`bep_core::Policy`], naming views
+    /// `V1..Vn`.
+    pub fn into_policy(self) -> Result<bep_core::Policy, bep_core::CoreError> {
+        let mut policy = bep_core::Policy::empty();
+        for (i, cq) in self.views.into_iter().enumerate() {
+            policy.add_cq_view(&format!("V{}", i + 1), cq)?;
+        }
+        Ok(policy)
+    }
+}
+
+/// Runs the full language-based pipeline over an application.
+pub fn extract_symbolic(
+    schema: &RelSchema,
+    app: &App,
+    limits: SymLimits,
+    opts: &ViewGenOptions,
+) -> Result<ExtractedPolicy, ExtractError> {
+    let mut candidates = Vec::new();
+    let mut paths_explored = 0;
+    for handler in &app.handlers {
+        let paths = explore(handler, limits)?;
+        paths_explored += paths.len();
+        candidates.extend(views_from_paths(schema, &handler.name, &paths, opts));
+    }
+    let candidates = viewgen::dedup_views(candidates);
+    let over_approximate = candidates.iter().filter(|c| c.over_approximate).count();
+    // Final cross-handler dedup on normalized equivalence.
+    let mut views: Vec<Cq> = Vec::new();
+    for c in candidates {
+        if !views.iter().any(|v| score::view_equivalent(v, &c.cq)) {
+            views.push(c.cq);
+        }
+    }
+    Ok(ExtractedPolicy {
+        views,
+        over_approximate,
+        paths_explored,
+    })
+}
+
+/// Runs the full language-agnostic pipeline (mining + optional hints) over
+/// a workload.
+pub fn extract_mined(
+    db: &minidb::Database,
+    app: &App,
+    schema: &RelSchema,
+    requests: &[Request],
+    options: &MineOptions,
+) -> Result<Vec<Cq>, ExtractError> {
+    let traces = collect_traces(db, app, schema, requests)?;
+    Ok(mine_policy(&traces, options))
+}

@@ -1,0 +1,599 @@
+//! Language-agnostic policy extraction: specification mining (§3.2.2).
+//!
+//! The black-box pipeline runs the application on a workload of requests,
+//! observes the (concrete) queries issued and their results, and learns a
+//! policy that generalizes the observed traces:
+//!
+//! 1. **Trace collection** — every issued query, bound to its concrete
+//!    values, translated to a ground conjunctive query; queries in the same
+//!    request run are grouped so correlations between them are visible.
+//! 2. **Session linking** — constants equal to a session field's value are
+//!    re-linked to the policy parameter (`1` → `?MyUId`).
+//! 3. **Correlation guards** — an observed query is conjoined with earlier
+//!    same-trace queries that returned rows and share a constant with it
+//!    (how the miner discovers that the event fetch was guarded by the
+//!    attendance check).
+//! 4. **Generalization** — traces with the same shape are anti-unified;
+//!    positions that varied across traces become shared variables, which
+//!    are exposed in the view head (they are request-selected).
+//!
+//! The non-generalizing learner (used as the F1 baseline) skips steps 2–4
+//! and simply deduplicates ground queries — exhibiting exactly the
+//! one-view-per-user blowup the paper warns about.
+
+use minidb::Database;
+use qlogic::{sql_to_cq, Cq, RelSchema, Term};
+use sqlir::Value;
+
+use crate::error::ExtractError;
+use crate::hints::Hints;
+use appdsl::{run_handler, App, Limits};
+
+pub use appdsl::Request;
+
+/// One observed (concrete) query.
+#[derive(Debug, Clone)]
+pub struct ObservedQuery {
+    /// Ground conjunctive form (all parameters bound).
+    pub cq: Cq,
+    /// The SQL template observed.
+    pub sql: String,
+    /// Rows returned.
+    pub row_count: usize,
+    /// Index of the request run this belongs to.
+    pub run: usize,
+    /// The session fields of that run.
+    pub session: Vec<(String, Value)>,
+}
+
+/// A behaviour signature for one request run (used by active learning to
+/// decide whether a database mutation changed anything observable).
+///
+/// Following §3.2.2's "if the subsequent trace is unaffected", the signature
+/// records *which* queries the application issued (and what it terminated
+/// with), not the row contents — a mutated cell that changes no control flow
+/// leaves the signature unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSignature {
+    /// Handler name.
+    pub handler: String,
+    /// Terminal outcome (HTTP code or 0 for OK, -1 for blocked).
+    pub outcome: i32,
+    /// The sequence of issued query templates.
+    pub issued: Vec<String>,
+    /// The subsequence whose results were shown to the user.
+    pub emitted: Vec<String>,
+}
+
+/// Collected traces plus per-run behaviour signatures.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSet {
+    /// All observed queries across runs.
+    pub observed: Vec<ObservedQuery>,
+    /// One signature per request run.
+    pub signatures: Vec<RunSignature>,
+}
+
+/// Runs the workload against a (fresh clone of the) database, observing all
+/// issued queries black-box.
+pub fn collect_traces(
+    db: &Database,
+    app: &App,
+    schema: &RelSchema,
+    requests: &[Request],
+) -> Result<TraceSet, ExtractError> {
+    let mut out = TraceSet::default();
+    let mut db = db.clone();
+    for (run, req) in requests.iter().enumerate() {
+        let handler = app
+            .handler(&req.handler)
+            .ok_or_else(|| ExtractError::BadWorkload(format!("no handler {}", req.handler)))?;
+        let result = run_handler(
+            &mut db,
+            handler,
+            &req.session,
+            &req.params,
+            Limits::default(),
+        )?;
+        let outcome = match result.outcome {
+            appdsl::Outcome::Ok => 0,
+            appdsl::Outcome::Http(code) => i32::from(code),
+            appdsl::Outcome::Blocked { .. } => -1,
+        };
+        let mut issued = Vec::new();
+        let mut emitted = Vec::new();
+        for q in &result.queries {
+            issued.push(q.sql.clone());
+            if q.emitted {
+                emitted.push(q.sql.clone());
+            }
+            // Translate the *bound* query (what a wire observer sees).
+            let Ok(stmt) = sqlir::parse_statement(&q.sql) else {
+                continue;
+            };
+            let sqlir::Statement::Select(query) = &stmt else {
+                continue;
+            };
+            let mut pb = sqlir::ParamBindings::new();
+            for (k, v) in &q.bindings {
+                pb.set(k.clone(), v.clone());
+            }
+            let Ok(bound) = sqlir::params::bind_query(query, &pb) else {
+                continue;
+            };
+            let Ok(cq) = sql_to_cq(schema, &bound) else {
+                continue;
+            };
+            out.observed.push(ObservedQuery {
+                cq,
+                sql: q.sql.clone(),
+                row_count: q.row_count,
+                run,
+                session: req.session.clone(),
+            });
+        }
+        out.signatures.push(RunSignature {
+            handler: req.handler.clone(),
+            outcome,
+            issued,
+            emitted,
+        });
+    }
+    Ok(out)
+}
+
+/// Which learner to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Learner {
+    /// Deduplicate ground queries only (the blowup baseline).
+    NonGeneralizing,
+    /// Full pipeline: session linking, correlation guards, anti-unification.
+    Generalizing,
+}
+
+/// Mining options.
+#[derive(Debug, Clone)]
+pub struct MineOptions {
+    /// Learner choice.
+    pub learner: Learner,
+    /// Opaque-identifier hints (§3.2.2, bullet 2).
+    pub hints: Hints,
+    /// Drop views expressible from the remaining ones (policy-size control).
+    pub minimize_policy: bool,
+}
+
+impl Default for MineOptions {
+    fn default() -> MineOptions {
+        MineOptions {
+            learner: Learner::Generalizing,
+            hints: Hints::default(),
+            minimize_policy: true,
+        }
+    }
+}
+
+/// Mines a policy from collected traces.
+pub fn mine_policy(traces: &TraceSet, opts: &MineOptions) -> Vec<Cq> {
+    match opts.learner {
+        Learner::NonGeneralizing => mine_non_generalizing(traces),
+        Learner::Generalizing => mine_generalizing(traces, opts),
+    }
+}
+
+fn mine_non_generalizing(traces: &TraceSet) -> Vec<Cq> {
+    let mut views: Vec<Cq> = Vec::new();
+    for o in &traces.observed {
+        if !views.contains(&o.cq) {
+            views.push(o.cq.clone());
+        }
+    }
+    views
+}
+
+fn mine_generalizing(traces: &TraceSet, opts: &MineOptions) -> Vec<Cq> {
+    // 1. Session-link and attach correlation guards, per observation.
+    let mut prepared: Vec<Cq> = Vec::new();
+    for (i, o) in traces.observed.iter().enumerate() {
+        let mut cq = with_correlation_guards(traces, i);
+        for (name, value) in &o.session {
+            cq = qlogic::const_to_param(&cq, value, name);
+        }
+        // Canonical variable names align structurally-equal traces, so
+        // anti-unification introduces fresh variables only where rigid
+        // terms actually differ.
+        prepared.push(qlogic::canonicalize_vars(&cq));
+    }
+
+    // 2. Group by shape and anti-unify each group.
+    let mut groups: Vec<(String, Vec<Cq>)> = Vec::new();
+    for cq in prepared {
+        let key = shape_key(&cq);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, list)) => list.push(cq),
+            None => groups.push((key, vec![cq])),
+        }
+    }
+    let mut views = Vec::new();
+    for (_, group) in groups {
+        let Some(mut generalized) = qlogic::anti_unify_all(group.iter()) else {
+            // Shape key collided but anti-unification failed; keep the
+            // members verbatim rather than lose them.
+            views.extend(group);
+            continue;
+        };
+        expose_generalization_vars(&mut generalized);
+        views.push(generalized);
+    }
+
+    // 3. Apply opaque-identifier hints.
+    let mut views: Vec<Cq> = views.iter().map(|v| opts.hints.apply(v)).collect();
+
+    // 4. Minimize each view and deduplicate.
+    for v in &mut views {
+        *v = qlogic::minimize(v);
+    }
+    let mut deduped: Vec<Cq> = Vec::new();
+    for v in views {
+        if !deduped
+            .iter()
+            .any(|kept| crate::score::view_equivalent(kept, &v))
+        {
+            deduped.push(v);
+        }
+    }
+
+    // 5. Policy-size control: drop views expressible from the others.
+    if opts.minimize_policy {
+        deduped = crate::policy_min::drop_redundant(deduped);
+    }
+    deduped
+}
+
+/// Conjoins the bodies of earlier same-run queries that returned rows and
+/// share a rigid term with the observation (the correlation heuristic).
+fn with_correlation_guards(traces: &TraceSet, idx: usize) -> Cq {
+    let o = &traces.observed[idx];
+    let mut cq = o.cq.rename_vars("m·");
+    let my_rigids = rigid_terms(&o.cq);
+    for (j, earlier) in traces.observed.iter().enumerate() {
+        if j >= idx || earlier.run != o.run || earlier.row_count == 0 {
+            continue;
+        }
+        let their_rigids = rigid_terms(&earlier.cq);
+        let shares = my_rigids.iter().any(|t| their_rigids.contains(t));
+        if shares {
+            let guard = earlier.cq.rename_vars(&format!("g{j}·"));
+            for a in guard.atoms {
+                if !cq.atoms.contains(&a) {
+                    cq.atoms.push(a);
+                }
+            }
+            for c in guard.comparisons {
+                if !cq.comparisons.contains(&c) {
+                    cq.comparisons.push(c);
+                }
+            }
+        }
+    }
+    cq
+}
+
+/// Rigid terms in atom arguments (the correlation signals). Head constants
+/// like `SELECT 1` are excluded — they are query artifacts.
+fn rigid_terms(cq: &Cq) -> Vec<Term> {
+    let mut out = Vec::new();
+    for a in &cq.atoms {
+        for t in &a.args {
+            if t.is_rigid() && !out.contains(t) {
+                out.push(t.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Shape key: traces generalize together only when they came from the same
+/// query template, which the key approximates by the full *structure* —
+/// relation sequence, which argument positions hold rigid terms, where each
+/// head term is bound, and the comparison operators. (Two single-atom
+/// queries over the same table with different selected/projected columns
+/// must NOT merge: anti-unifying a "doctor of patient" probe with a
+/// "diseases of doctor" probe yields garbage.)
+fn shape_key(cq: &Cq) -> String {
+    use std::fmt::Write as _;
+    let mut k = String::new();
+    let _ = write!(k, "h{}|", cq.head.len());
+    for a in &cq.atoms {
+        let _ = write!(k, "{}/{}", a.relation, a.args.len());
+        for t in &a.args {
+            k.push(match t {
+                Term::Var(_) => 'v',
+                Term::Const(_) => 'c',
+                Term::Param(_) => 'p',
+            });
+        }
+        k.push(';');
+    }
+    // Head binding signature: first occurrence of each head term in the
+    // atoms (or 'r' for a rigid head term).
+    for h in &cq.head {
+        match h {
+            Term::Var(_) => {
+                let mut tag = String::from("?");
+                'find: for (ai, a) in cq.atoms.iter().enumerate() {
+                    for (pi, t) in a.args.iter().enumerate() {
+                        if t == h {
+                            tag = format!("{ai}.{pi}");
+                            break 'find;
+                        }
+                    }
+                }
+                let _ = write!(k, "{tag},");
+            }
+            _ => k.push_str("r,"),
+        }
+    }
+    k.push('|');
+    for c in &cq.comparisons {
+        let _ = write!(k, "{:?},", c.op);
+    }
+    k
+}
+
+/// Exposes generalization variables (positions that varied across traces) in
+/// the view head: variation across requests means the data is selected per
+/// request, so the view must reveal it.
+fn expose_generalization_vars(cq: &mut Cq) {
+    let mut to_add: Vec<Term> = Vec::new();
+    for a in &cq.atoms {
+        for t in &a.args {
+            if let Term::Var(v) = t {
+                if v.starts_with('g')
+                    && v[1..].chars().all(|c| c.is_ascii_digit())
+                    && !cq.head.contains(t)
+                    && !to_add.contains(t)
+                {
+                    to_add.push(t.clone());
+                }
+            }
+        }
+    }
+    cq.head.extend(to_add);
+}
+
+/// Computes signatures for a workload on a given database (baseline or
+/// mutated) — the comparison primitive of active learning.
+pub fn run_signatures(
+    db: &Database,
+    app: &App,
+    requests: &[Request],
+) -> Result<Vec<RunSignature>, ExtractError> {
+    let mut db = db.clone();
+    let mut out = Vec::new();
+    for req in requests {
+        let handler = app
+            .handler(&req.handler)
+            .ok_or_else(|| ExtractError::BadWorkload(format!("no handler {}", req.handler)))?;
+        let result = run_handler(
+            &mut db,
+            handler,
+            &req.session,
+            &req.params,
+            Limits::default(),
+        )?;
+        let outcome = match result.outcome {
+            appdsl::Outcome::Ok => 0,
+            appdsl::Outcome::Http(code) => i32::from(code),
+            appdsl::Outcome::Blocked { .. } => -1,
+        };
+        out.push(RunSignature {
+            handler: req.handler.clone(),
+            outcome,
+            issued: result.queries.iter().map(|q| q.sql.clone()).collect(),
+            emitted: result
+                .queries
+                .iter()
+                .filter(|q| q.emitted)
+                .map(|q| q.sql.clone())
+                .collect(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appdsl::parse_app;
+    use qlogic::Atom;
+
+    fn calendar_schema() -> RelSchema {
+        let mut s = RelSchema::new();
+        s.add_table("Events", ["EId", "Title", "Kind"]);
+        s.add_table("Attendance", ["UId", "EId", "Notes"]);
+        s
+    }
+
+    fn calendar_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+            .unwrap();
+        db.execute_sql(
+            "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Events (EId, Title, Kind) VALUES \
+             (2, 'standup', 'work'), (3, 'party', 'fun'), (4, 'retro', 'work')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES \
+             (101, 2, NULL), (101, 4, 'bring notes'), (102, 3, 'cake'), (102, 4, NULL)",
+        )
+        .unwrap();
+        db
+    }
+
+    const APP: &str = r#"
+        handler show_event(event_id) {
+            let rows = sql("SELECT 1 FROM Attendance
+                            WHERE UId = ?MyUId AND EId = ?event_id");
+            if rows.is_empty() {
+                abort(404);
+            }
+            emit sql("SELECT * FROM Events WHERE EId = ?event_id");
+        }
+    "#;
+
+    fn workload() -> Vec<Request> {
+        vec![
+            Request {
+                handler: "show_event".into(),
+                session: vec![("MyUId".into(), Value::Int(101))],
+                params: vec![("event_id".into(), Value::Int(2))],
+            },
+            Request {
+                handler: "show_event".into(),
+                session: vec![("MyUId".into(), Value::Int(101))],
+                params: vec![("event_id".into(), Value::Int(4))],
+            },
+            Request {
+                handler: "show_event".into(),
+                session: vec![("MyUId".into(), Value::Int(102))],
+                params: vec![("event_id".into(), Value::Int(3))],
+            },
+            // A denied request (404 path) also contributes a check trace.
+            Request {
+                handler: "show_event".into(),
+                session: vec![("MyUId".into(), Value::Int(102))],
+                params: vec![("event_id".into(), Value::Int(2))],
+            },
+        ]
+    }
+
+    #[test]
+    fn collects_ground_traces() {
+        let db = calendar_db();
+        let app = parse_app(APP).unwrap();
+        let traces = collect_traces(&db, &app, &calendar_schema(), &workload()).unwrap();
+        // 3 successful runs issue 2 queries; the denied run issues 1.
+        assert_eq!(traces.observed.len(), 7);
+        assert_eq!(traces.signatures.len(), 4);
+        assert_eq!(traces.signatures[3].outcome, 404);
+        // Ground CQ: constants everywhere.
+        let first = &traces.observed[0].cq;
+        assert_eq!(first.atoms[0].args[0], Term::int(101));
+        assert_eq!(first.atoms[0].args[1], Term::int(2));
+    }
+
+    #[test]
+    fn non_generalizing_blows_up_with_workload() {
+        let db = calendar_db();
+        let app = parse_app(APP).unwrap();
+        let traces = collect_traces(&db, &app, &calendar_schema(), &workload()).unwrap();
+        let views = mine_policy(
+            &traces,
+            &MineOptions {
+                learner: Learner::NonGeneralizing,
+                ..Default::default()
+            },
+        );
+        // One view per distinct concrete query: 4 distinct checks + 3
+        // distinct fetches.
+        assert!(views.len() >= 6, "got {}", views.len());
+    }
+
+    #[test]
+    fn generalizing_recovers_v1_and_v2() {
+        let db = calendar_db();
+        let app = parse_app(APP).unwrap();
+        let schema = calendar_schema();
+        let traces = collect_traces(&db, &app, &schema, &workload()).unwrap();
+        let views = mine_policy(&traces, &MineOptions::default());
+
+        // Expected ground truth (Example 2.1).
+        let v1 = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::param("MyUId"), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        );
+        // The mined fetch view exposes the Events columns (what the app
+        // shows), not the Attendance payload — the least-privilege variant
+        // of the paper's V2 (see viewgen's note on the `SELECT *` overshoot).
+        let v2 = Cq::new(
+            vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            vec![
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::param("MyUId"), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        let found_v1 = views.iter().any(|v| crate::score::view_equivalent(v, &v1));
+        let found_v2 = views.iter().any(|v| crate::score::view_equivalent(v, &v2));
+        assert!(
+            found_v1,
+            "missing V1 among: {}",
+            views
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(
+            found_v2,
+            "missing V2 among: {}",
+            views
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    #[test]
+    fn generalizing_policy_is_small() {
+        let db = calendar_db();
+        let app = parse_app(APP).unwrap();
+        let traces = collect_traces(&db, &app, &calendar_schema(), &workload()).unwrap();
+        let views = mine_policy(&traces, &MineOptions::default());
+        assert!(
+            views.len() <= 3,
+            "policy should converge, got {}",
+            views.len()
+        );
+    }
+
+    #[test]
+    fn signatures_detect_behavioural_change() {
+        let db = calendar_db();
+        let app = parse_app(APP).unwrap();
+        let reqs = workload();
+        let base = run_signatures(&db, &app, &reqs).unwrap();
+
+        // Deleting an attendance row flips a 200 into a 404.
+        let mut mutated = db.clone();
+        mutated
+            .execute_sql("DELETE FROM Attendance WHERE UId = 101 AND EId = 2")
+            .unwrap();
+        let after = run_signatures(&mutated, &app, &reqs).unwrap();
+        assert_ne!(base, after);
+
+        // Mutating an irrelevant cell (Notes) changes nothing.
+        let mut mutated = db.clone();
+        mutated
+            .execute_sql("UPDATE Attendance SET Notes = 'scrambled' WHERE UId = 101 AND EId = 2")
+            .unwrap();
+        let after = run_signatures(&mutated, &app, &reqs).unwrap();
+        assert_eq!(base, after);
+    }
+}

@@ -1,0 +1,105 @@
+//! Policy-size minimization (§3.2.2, bullet 1).
+//!
+//! "Limit the size of the generated policy": a view is redundant when its
+//! content is computable from the remaining views — decided with the same
+//! equivalent-rewriting machinery the enforcement checker uses, so dropping
+//! it provably changes nothing about what the policy permits.
+
+use qlogic::{equivalent_rewriting, Cq, ViewSet};
+
+/// Drops views expressible from the remaining ones. Quadratic in the number
+/// of views, with each step running the rewriting engine; fine at
+/// policy scale (tens of views).
+pub fn drop_redundant(views: Vec<Cq>) -> Vec<Cq> {
+    let mut kept = views;
+    loop {
+        let mut dropped = false;
+        for i in 0..kept.len() {
+            let candidate = &kept[i];
+            let others: Vec<Cq> = kept
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(j, v)| {
+                    let mut named = v.clone();
+                    named.name = Some(format!("P{j}"));
+                    named
+                })
+                .collect();
+            let Ok(viewset) = ViewSet::new(others) else {
+                continue;
+            };
+            if equivalent_rewriting(candidate, &viewset, &[]).is_some() {
+                kept.remove(i);
+                dropped = true;
+                break;
+            }
+        }
+        if !dropped {
+            return kept;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::{Atom, Term};
+
+    #[test]
+    fn drops_view_expressible_from_another() {
+        // Wide view exports everything; the narrow view is a projection+
+        // selection of it.
+        let wide = Cq::new(
+            vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let narrow = Cq::new(
+            vec![Term::var("t")],
+            vec![Atom::new(
+                "Events",
+                vec![Term::var("e"), Term::var("t"), Term::var("k")],
+            )],
+            vec![],
+        );
+        let out = drop_redundant(vec![wide.clone(), narrow]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0], wide);
+    }
+
+    #[test]
+    fn keeps_independent_views() {
+        let a = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+            vec![],
+        );
+        let b = Cq::new(
+            vec![Term::var("y")],
+            vec![Atom::new("S", vec![Term::var("y")])],
+            vec![],
+        );
+        assert_eq!(drop_redundant(vec![a, b]).len(), 2);
+    }
+
+    #[test]
+    fn keeps_view_with_hidden_columns() {
+        // The narrow view hides a column the wide view needs; neither is
+        // redundant.
+        let titles = Cq::new(
+            vec![Term::var("t")],
+            vec![Atom::new("Events", vec![Term::var("e"), Term::var("t")])],
+            vec![],
+        );
+        let ids = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new("Events", vec![Term::var("e"), Term::var("t")])],
+            vec![],
+        );
+        assert_eq!(drop_redundant(vec![titles, ids]).len(), 2);
+    }
+}

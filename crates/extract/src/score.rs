@@ -1,0 +1,249 @@
+//! Scoring extracted policies against ground truth (used by experiments
+//! T1/T6).
+//!
+//! Two notions of agreement:
+//!
+//! * **exact** — views matched one-to-one by logical equivalence (heads
+//!   compared as *sets* of revealed terms, since column order carries no
+//!   information);
+//! * **semantic** — a ground-truth view counts as covered when its content
+//!   has an equivalent rewriting over the extracted views (and vice versa
+//!   for precision), which credits policies that decompose the same
+//!   information differently.
+
+use qlogic::{equivalent, equivalent_rewriting_deps, Cq, Dependencies, Term, ViewSet};
+
+/// Precision/recall/F1 for one comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Fraction of extracted views that are justified by the truth.
+    pub precision: f64,
+    /// Fraction of ground-truth views recovered.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// Extracted view count.
+    pub extracted: usize,
+    /// Ground-truth view count.
+    pub truth: usize,
+}
+
+impl Score {
+    fn from_counts(matched_e: usize, extracted: usize, matched_t: usize, truth: usize) -> Score {
+        let precision = if extracted == 0 {
+            1.0
+        } else {
+            matched_e as f64 / extracted as f64
+        };
+        let recall = if truth == 0 {
+            1.0
+        } else {
+            matched_t as f64 / truth as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Score {
+            precision,
+            recall,
+            f1,
+            extracted,
+            truth,
+        }
+    }
+}
+
+/// Normalizes a view head to the *set* of terms it reveals.
+fn head_normalized(cq: &Cq) -> Cq {
+    let mut head: Vec<Term> = Vec::new();
+    for t in &cq.head {
+        // Constant head terms reveal nothing (SELECT 1 artifacts).
+        if t.is_rigid() {
+            continue;
+        }
+        if !head.contains(t) {
+            head.push(t.clone());
+        }
+    }
+    head.sort();
+    let mut out = Cq::new(head, cq.atoms.clone(), cq.comparisons.clone());
+    out.name = None;
+    out
+}
+
+/// View equivalence modulo head order/duplicates/constant artifacts.
+///
+/// Tries positional equivalence on the normalized forms first (fast path),
+/// then falls back to *mutual expressibility*: each view has an equivalent
+/// rewriting over the other. Mutual expressibility is the right notion for
+/// "these reveal the same information" and is insensitive to variable
+/// naming and head ordering.
+pub fn view_equivalent(a: &Cq, b: &Cq) -> bool {
+    view_equivalent_deps(a, b, &Dependencies::none())
+}
+
+/// [`view_equivalent`] under key dependencies (needed when the same base
+/// row appears through several atoms that only the keys can merge).
+pub fn view_equivalent_deps(a: &Cq, b: &Cq, deps: &Dependencies) -> bool {
+    let na = head_normalized(a);
+    let nb = head_normalized(b);
+    if equivalent(&na, &nb) {
+        return true;
+    }
+    expressible_from(&na, &nb, deps) && expressible_from(&nb, &na, deps)
+}
+
+/// `target` has an equivalent rewriting over `{base}`.
+fn expressible_from(target: &Cq, base: &Cq, deps: &Dependencies) -> bool {
+    let mut named = base.clone();
+    named.name = Some("X".to_string());
+    let Ok(viewset) = ViewSet::new(vec![named]) else {
+        return false;
+    };
+    equivalent_rewriting_deps(target, &viewset, &[], deps).is_some()
+}
+
+/// Exact equivalence-based scoring (greedy one-to-one matching).
+pub fn score_exact(extracted: &[Cq], truth: &[Cq]) -> Score {
+    score_exact_deps(extracted, truth, &Dependencies::none())
+}
+
+/// [`score_exact`] under key dependencies.
+pub fn score_exact_deps(extracted: &[Cq], truth: &[Cq], deps: &Dependencies) -> Score {
+    let mut truth_used = vec![false; truth.len()];
+    let mut matched_e = 0;
+    for e in extracted {
+        if let Some(i) = truth
+            .iter()
+            .enumerate()
+            .position(|(i, t)| !truth_used[i] && view_equivalent_deps(e, t, deps))
+        {
+            truth_used[i] = true;
+            matched_e += 1;
+        }
+    }
+    let matched_t = truth_used.iter().filter(|b| **b).count();
+    Score::from_counts(matched_e, extracted.len(), matched_t, truth.len())
+}
+
+/// Semantic scoring: coverage by equivalent rewriting.
+pub fn score_semantic(extracted: &[Cq], truth: &[Cq]) -> Score {
+    score_semantic_deps(extracted, truth, &Dependencies::none())
+}
+
+/// [`score_semantic`] under key dependencies.
+pub fn score_semantic_deps(extracted: &[Cq], truth: &[Cq], deps: &Dependencies) -> Score {
+    let matched_t = covered_count(truth, extracted, deps);
+    let matched_e = covered_count(extracted, truth, deps);
+    Score::from_counts(matched_e, extracted.len(), matched_t, truth.len())
+}
+
+/// How many of `targets` have an equivalent rewriting over `base`.
+fn covered_count(targets: &[Cq], base: &[Cq], deps: &Dependencies) -> usize {
+    let named: Vec<Cq> = base
+        .iter()
+        .enumerate()
+        .map(|(i, v)| {
+            let mut n = v.clone();
+            n.name = Some(format!("B{i}"));
+            n
+        })
+        .collect();
+    let Ok(viewset) = ViewSet::new(named) else {
+        return 0;
+    };
+    targets
+        .iter()
+        .filter(|t| {
+            let normalized = head_normalized(t);
+            equivalent_rewriting_deps(&normalized, &viewset, &[], deps).is_some()
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qlogic::Atom;
+
+    fn v(head: Vec<Term>, atoms: Vec<Atom>) -> Cq {
+        Cq::new(head, atoms, vec![])
+    }
+
+    #[test]
+    fn head_order_does_not_matter() {
+        let a = v(
+            vec![Term::var("x"), Term::var("y")],
+            vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
+        );
+        let b = v(
+            vec![Term::var("y"), Term::var("x"), Term::var("y")],
+            vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
+        );
+        assert!(view_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn constant_head_terms_ignored() {
+        let a = v(
+            vec![Term::int(1), Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+        );
+        let b = v(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+        );
+        assert!(view_equivalent(&a, &b));
+    }
+
+    #[test]
+    fn exact_scoring() {
+        let t1 = v(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x")])],
+        );
+        let t2 = v(
+            vec![Term::var("y")],
+            vec![Atom::new("S", vec![Term::var("y")])],
+        );
+        let e1 = t1.clone();
+        let bogus = v(
+            vec![Term::var("z")],
+            vec![Atom::new("T", vec![Term::var("z")])],
+        );
+        let s = score_exact(&[e1, bogus], &[t1, t2]);
+        assert_eq!(s.precision, 0.5);
+        assert_eq!(s.recall, 0.5);
+    }
+
+    #[test]
+    fn semantic_scoring_credits_decompositions() {
+        // Truth: one wide view. Extracted: projections that jointly... a
+        // narrow projection alone cannot rebuild the wide view, but the wide
+        // view can rebuild the narrow one.
+        let wide = v(
+            vec![Term::var("x"), Term::var("y")],
+            vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
+        );
+        let narrow = v(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
+        );
+        // Extracted = wide; truth = narrow: full recall and precision.
+        let s = score_semantic(&[wide.clone()], &[narrow.clone()]);
+        assert_eq!(s.recall, 1.0, "narrow is expressible from wide");
+        // Wide is NOT expressible from narrow.
+        let s = score_semantic(&[narrow], &[wide]);
+        assert_eq!(s.recall, 0.0);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let t = v(vec![], vec![Atom::new("R", vec![Term::var("x")])]);
+        let s = score_exact(&[], &[t]);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.recall, 0.0);
+    }
+}

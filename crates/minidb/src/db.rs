@@ -1,0 +1,756 @@
+//! The database: catalog, DDL, and constraint-checked DML.
+
+use std::collections::BTreeMap;
+
+use sqlir::{parse_statement, CreateTable, Delete, Expr, Insert, Statement, Update, Value};
+
+use crate::error::DbError;
+use crate::exec::{execute_query, Rows};
+use crate::expr::{value_to_cmp, EvalCtx, Scope, ScopeEntry};
+use crate::schema::TableSchema;
+use crate::table::Table;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecResult {
+    /// Rows from a `SELECT`.
+    Rows(Rows),
+    /// Row count affected by DML.
+    Affected(usize),
+    /// A DDL statement completed.
+    Created,
+}
+
+impl ExecResult {
+    /// The rows of a `SELECT` result.
+    pub fn rows(self) -> Option<Rows> {
+        match self {
+            ExecResult::Rows(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// An in-memory relational database.
+///
+/// `Database` is `Clone`: snapshotting the whole database is how the
+/// diagnosis and active-learning components explore hypothetical states.
+///
+/// # Examples
+///
+/// ```
+/// use minidb::Database;
+///
+/// let mut db = Database::new();
+/// db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, name TEXT)").unwrap();
+/// db.execute_sql("INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')").unwrap();
+/// let rows = db.query_sql("SELECT name FROM t ORDER BY id DESC").unwrap();
+/// assert_eq!(rows.rows.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Result<&Table, DbError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    /// Returns table names in sorted order.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Returns `true` if the table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Parses and executes one statement of SQL text.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<ExecResult, DbError> {
+        let stmt = parse_statement(sql)?;
+        self.execute(&stmt)
+    }
+
+    /// Parses and runs a `SELECT`, returning its rows.
+    pub fn query_sql(&self, sql: &str) -> Result<Rows, DbError> {
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Select(q) => execute_query(self, &q),
+            _ => Err(DbError::Unsupported("query_sql expects a SELECT".into())),
+        }
+    }
+
+    /// Executes a parsed statement.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<ExecResult, DbError> {
+        match stmt {
+            Statement::Select(q) => Ok(ExecResult::Rows(execute_query(self, q)?)),
+            Statement::Insert(ins) => self.insert(ins).map(ExecResult::Affected),
+            Statement::Update(u) => self.update(u).map(ExecResult::Affected),
+            Statement::Delete(d) => self.delete(d).map(ExecResult::Affected),
+            Statement::CreateTable(ct) => {
+                self.create_table(ct)?;
+                Ok(ExecResult::Created)
+            }
+        }
+    }
+
+    /// Runs a parsed `SELECT`.
+    pub fn query(&self, q: &sqlir::Query) -> Result<Rows, DbError> {
+        execute_query(self, q)
+    }
+
+    /// Creates a table from a parsed definition.
+    pub fn create_table(&mut self, ct: &CreateTable) -> Result<(), DbError> {
+        if self.tables.contains_key(&ct.name) {
+            return Err(DbError::TableExists(ct.name.clone()));
+        }
+        let schema = TableSchema::from_create(ct)?;
+        // Validate FK targets eagerly so later inserts can't hit a missing
+        // table mid-check.
+        for fk in &schema.foreign_keys {
+            let target = self.table(&fk.ref_table)?;
+            let ref_cols = self.fk_ref_indices(&target.schema, &fk.ref_columns)?;
+            if ref_cols.len() != fk.columns.len() {
+                return Err(DbError::BadSchema(format!(
+                    "foreign key arity mismatch: {} vs {}",
+                    fk.columns.len(),
+                    ref_cols.len()
+                )));
+            }
+        }
+        self.tables.insert(ct.name.clone(), Table::new(schema));
+        Ok(())
+    }
+
+    fn fk_ref_indices(
+        &self,
+        target: &TableSchema,
+        ref_columns: &[String],
+    ) -> Result<Vec<usize>, DbError> {
+        if ref_columns.is_empty() {
+            if target.primary_key.is_empty() {
+                return Err(DbError::BadSchema(format!(
+                    "foreign key references {} which has no primary key",
+                    target.name
+                )));
+            }
+            Ok(target.primary_key.clone())
+        } else {
+            target.resolve_columns(ref_columns)
+        }
+    }
+
+    /// Inserts literal rows directly (bypassing SQL), with constraint checks.
+    pub fn insert_rows(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, DbError> {
+        let n = rows.len();
+        for row in rows {
+            self.insert_one(table, row)?;
+        }
+        Ok(n)
+    }
+
+    fn insert(&mut self, ins: &Insert) -> Result<usize, DbError> {
+        let table = self.table(&ins.table)?;
+        let schema = table.schema.clone();
+
+        // Map the statement's column list onto schema order.
+        let positions: Vec<usize> = if ins.columns.is_empty() {
+            (0..schema.columns.len()).collect()
+        } else {
+            schema.resolve_columns(&ins.columns)?
+        };
+
+        let mut count = 0;
+        for row_exprs in &ins.rows {
+            if row_exprs.len() != positions.len() {
+                return Err(DbError::ArityMismatch {
+                    table: ins.table.clone(),
+                    expected: positions.len(),
+                    found: row_exprs.len(),
+                });
+            }
+            let mut row = vec![Value::Null; schema.columns.len()];
+            for (pos, e) in positions.iter().zip(row_exprs) {
+                row[*pos] = self.eval_standalone(e)?;
+            }
+            self.insert_one(&ins.table, row)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    fn insert_one(&mut self, table_name: &str, row: Vec<Value>) -> Result<(), DbError> {
+        let table = self.table(table_name)?;
+        table.check_row_shape(&row)?;
+        let schema = table.schema.clone();
+
+        // PK / UNIQUE.
+        if !schema.primary_key.is_empty() {
+            // Primary-key columns are NOT NULL, so `NULL never collides`
+            // does not weaken the check here.
+            if table.has_duplicate_on(&schema.primary_key, &row, None) {
+                return Err(DbError::UniqueViolation {
+                    table: schema.name.clone(),
+                    columns: schema
+                        .primary_key
+                        .iter()
+                        .map(|&i| schema.columns[i].name.clone())
+                        .collect(),
+                });
+            }
+        }
+        for uniq in &schema.uniques {
+            if table.has_duplicate_on(uniq, &row, None) {
+                return Err(DbError::UniqueViolation {
+                    table: schema.name.clone(),
+                    columns: uniq
+                        .iter()
+                        .map(|&i| schema.columns[i].name.clone())
+                        .collect(),
+                });
+            }
+        }
+
+        // Foreign keys.
+        for fk in &schema.foreign_keys {
+            if fk.columns.iter().any(|&c| row[c].is_null()) {
+                continue; // NULL FKs are vacuously satisfied.
+            }
+            let target = self.table(&fk.ref_table)?;
+            let ref_idx = self.fk_ref_indices(&target.schema, &fk.ref_columns)?;
+            let values: Vec<Value> = fk.columns.iter().map(|&c| row[c].clone()).collect();
+            if !target.contains_on(&ref_idx, &values) {
+                return Err(DbError::ForeignKeyViolation {
+                    table: schema.name.clone(),
+                    ref_table: fk.ref_table.clone(),
+                });
+            }
+        }
+
+        self.tables
+            .get_mut(table_name)
+            .expect("existence checked above")
+            .push_row(row);
+        Ok(())
+    }
+
+    fn update(&mut self, u: &Update) -> Result<usize, DbError> {
+        let table = self.table(&u.table)?;
+        let schema = table.schema.clone();
+        let assignments: Vec<(usize, &Expr)> = u
+            .assignments
+            .iter()
+            .map(|a| {
+                schema
+                    .column_index(&a.column)
+                    .map(|i| (i, &a.value))
+                    .ok_or_else(|| DbError::NoSuchColumn(format!("{}.{}", u.table, a.column)))
+            })
+            .collect::<Result<_, _>>()?;
+
+        // Compute the new row set first, then validate it wholesale. This
+        // keeps multi-row updates atomic: either all rows change or none do.
+        let matching = self.matching_row_indices(&u.table, &u.where_clause)?;
+        let mut new_rows: Vec<(usize, Vec<Value>)> = Vec::with_capacity(matching.len());
+        {
+            let table = self.table(&u.table)?;
+            for &idx in &matching {
+                let old = &table.rows_slice()[idx];
+                let scope = Scope {
+                    entries: vec![ScopeEntry {
+                        binding: u.table.clone(),
+                        columns: &schema.columns,
+                        offset: 0,
+                    }],
+                };
+                let ctx = EvalCtx {
+                    db: self,
+                    scope: &scope,
+                    row: old,
+                    outer: None,
+                };
+                let mut new = old.clone();
+                for (col, e) in &assignments {
+                    new[*col] = ctx.eval(e)?;
+                }
+                table.check_row_shape(&new)?;
+                new_rows.push((idx, new));
+            }
+        }
+
+        // Validate uniqueness against the post-update state.
+        let mut future = self.table(&u.table)?.rows_slice().to_vec();
+        for (idx, new) in &new_rows {
+            future[*idx] = new.clone();
+        }
+        let key_sets: Vec<Vec<usize>> = std::iter::once(schema.primary_key.clone())
+            .filter(|k| !k.is_empty())
+            .chain(schema.uniques.iter().cloned())
+            .collect();
+        for keys in &key_sets {
+            for (i, a) in future.iter().enumerate() {
+                if keys.iter().any(|&c| a[c].is_null()) {
+                    continue;
+                }
+                for b in future.iter().skip(i + 1) {
+                    if keys.iter().all(|&c| a[c] == b[c]) {
+                        return Err(DbError::UniqueViolation {
+                            table: schema.name.clone(),
+                            columns: keys
+                                .iter()
+                                .map(|&c| schema.columns[c].name.clone())
+                                .collect(),
+                        });
+                    }
+                }
+            }
+        }
+
+        // FK checks on the new values.
+        for fk in &schema.foreign_keys {
+            let target = self.table(&fk.ref_table)?;
+            let ref_idx = self.fk_ref_indices(&target.schema, &fk.ref_columns)?;
+            for (_, new) in &new_rows {
+                if fk.columns.iter().any(|&c| new[c].is_null()) {
+                    continue;
+                }
+                let values: Vec<Value> = fk.columns.iter().map(|&c| new[c].clone()).collect();
+                if !target.contains_on(&ref_idx, &values) {
+                    return Err(DbError::ForeignKeyViolation {
+                        table: schema.name.clone(),
+                        ref_table: fk.ref_table.clone(),
+                    });
+                }
+            }
+        }
+
+        // Referential integrity for tables referencing this one: the old key
+        // values being changed must not be referenced elsewhere.
+        self.check_not_referenced(&u.table, &matching, Some(&new_rows))?;
+
+        let count = new_rows.len();
+        let table = self.tables.get_mut(&u.table).expect("checked");
+        for (idx, new) in new_rows {
+            *table.row_mut(idx) = new;
+        }
+        Ok(count)
+    }
+
+    fn delete(&mut self, d: &Delete) -> Result<usize, DbError> {
+        let matching = self.matching_row_indices(&d.table, &d.where_clause)?;
+        self.check_not_referenced(&d.table, &matching, None)?;
+        let count = matching.len();
+        self.tables
+            .get_mut(&d.table)
+            .expect("checked by matching_row_indices")
+            .remove_rows(matching);
+        Ok(count)
+    }
+
+    /// Restrict-mode referential check: rows being removed (or whose key is
+    /// being changed) must not be referenced by any foreign key.
+    fn check_not_referenced(
+        &self,
+        table_name: &str,
+        row_indices: &[usize],
+        replacements: Option<&[(usize, Vec<Value>)]>,
+    ) -> Result<(), DbError> {
+        let target = self.table(table_name)?;
+        for (other_name, other) in &self.tables {
+            for fk in &other.schema.foreign_keys {
+                if fk.ref_table != table_name {
+                    continue;
+                }
+                let ref_idx = self.fk_ref_indices(&target.schema, &fk.ref_columns)?;
+                for &ri in row_indices {
+                    let old_row = &target.rows_slice()[ri];
+                    let old_key: Vec<Value> = ref_idx.iter().map(|&c| old_row[c].clone()).collect();
+                    if let Some(reps) = replacements {
+                        // Updates only violate if the key actually changes.
+                        if let Some((_, new_row)) = reps.iter().find(|(i, _)| *i == ri) {
+                            let new_key: Vec<Value> =
+                                ref_idx.iter().map(|&c| new_row[c].clone()).collect();
+                            if new_key == old_key {
+                                continue;
+                            }
+                        }
+                    }
+                    if other.contains_on(&fk.columns, &old_key) {
+                        return Err(DbError::ForeignKeyViolation {
+                            table: other_name.clone(),
+                            ref_table: table_name.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn matching_row_indices(
+        &self,
+        table_name: &str,
+        where_clause: &Option<Expr>,
+    ) -> Result<Vec<usize>, DbError> {
+        let table = self.table(table_name)?;
+        let scope = Scope {
+            entries: vec![ScopeEntry {
+                binding: table_name.to_string(),
+                columns: &table.schema.columns,
+                offset: 0,
+            }],
+        };
+        let mut out = Vec::new();
+        for (i, row) in table.rows_slice().iter().enumerate() {
+            let keep = match where_clause {
+                None => true,
+                Some(w) => {
+                    let ctx = EvalCtx {
+                        db: self,
+                        scope: &scope,
+                        row,
+                        outer: None,
+                    };
+                    value_to_cmp(&ctx.eval(w)?)?.is_true()
+                }
+            };
+            if keep {
+                out.push(i);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Evaluates an expression with no row context (literals and arithmetic).
+    fn eval_standalone(&self, e: &Expr) -> Result<Value, DbError> {
+        let scope = Scope::default();
+        let ctx = EvalCtx {
+            db: self,
+            scope: &scope,
+            row: &[],
+            outer: None,
+        };
+        ctx.eval(e)
+    }
+
+    /// Total row count across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+
+    /// Direct mutable access to a table's rows, bypassing constraints.
+    ///
+    /// Used by diagnosis/counterexample search, which explores hypothetical
+    /// databases and re-validates separately.
+    pub fn table_mut_unchecked(&mut self, name: &str) -> Result<&mut Table, DbError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calendar_db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE Users (UId INT PRIMARY KEY, Name TEXT NOT NULL)")
+            .unwrap();
+        db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT NOT NULL, Kind TEXT)")
+            .unwrap();
+        db.execute_sql(
+            "CREATE TABLE Attendance (UId INT NOT NULL, EId INT NOT NULL, Notes TEXT, \
+             PRIMARY KEY (UId, EId), \
+             FOREIGN KEY (UId) REFERENCES Users (UId), \
+             FOREIGN KEY (EId) REFERENCES Events (EId))",
+        )
+        .unwrap();
+        db.execute_sql("INSERT INTO Users (UId, Name) VALUES (1, 'ann'), (2, 'bob')")
+            .unwrap();
+        db.execute_sql(
+            "INSERT INTO Events (EId, Title, Kind) VALUES (2, 'standup', 'work'), \
+             (3, 'party', 'fun')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 2, NULL), (2, 3, 'bring cake')",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn example_2_1_queries_run() {
+        let db = calendar_db();
+        // Q1: does user 1 attend event 2?
+        let q1 = db
+            .query_sql("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2")
+            .unwrap();
+        assert_eq!(q1.len(), 1);
+        // Q2: fetch event 2's details.
+        let q2 = db.query_sql("SELECT * FROM Events WHERE EId = 2").unwrap();
+        assert_eq!(q2.columns, vec!["EId", "Title", "Kind"]);
+        assert_eq!(q2.rows[0][1], Value::str("standup"));
+    }
+
+    #[test]
+    fn join_with_alias() {
+        let db = calendar_db();
+        let rows = db
+            .query_sql(
+                "SELECT e.Title FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                 WHERE a.UId = 1",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("standup")]]);
+    }
+
+    #[test]
+    fn pk_violation_rejected() {
+        let mut db = calendar_db();
+        let err = db
+            .execute_sql("INSERT INTO Users (UId, Name) VALUES (1, 'dup')")
+            .unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn fk_violation_rejected() {
+        let mut db = calendar_db();
+        let err = db
+            .execute_sql("INSERT INTO Attendance (UId, EId, Notes) VALUES (9, 2, NULL)")
+            .unwrap_err();
+        assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn delete_restricted_by_fk() {
+        let mut db = calendar_db();
+        let err = db
+            .execute_sql("DELETE FROM Users WHERE UId = 1")
+            .unwrap_err();
+        assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
+        // Deleting the attendance first unblocks the user delete.
+        db.execute_sql("DELETE FROM Attendance WHERE UId = 1")
+            .unwrap();
+        assert_eq!(
+            db.execute_sql("DELETE FROM Users WHERE UId = 1").unwrap(),
+            ExecResult::Affected(1)
+        );
+    }
+
+    #[test]
+    fn update_applies_and_validates() {
+        let mut db = calendar_db();
+        let n = db
+            .execute_sql("UPDATE Events SET Title = 'sprint' WHERE EId = 2")
+            .unwrap();
+        assert_eq!(n, ExecResult::Affected(1));
+        let rows = db
+            .query_sql("SELECT Title FROM Events WHERE EId = 2")
+            .unwrap();
+        assert_eq!(rows.rows[0][0], Value::str("sprint"));
+
+        // Updating a referenced key is restricted.
+        let err = db
+            .execute_sql("UPDATE Events SET EId = 99 WHERE EId = 2")
+            .unwrap_err();
+        assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn update_unique_conflict_is_atomic() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
+        db.execute_sql("INSERT INTO t (id, v) VALUES (1, 10), (2, 20)")
+            .unwrap();
+        // Setting both ids to 5 must fail and change nothing.
+        let err = db.execute_sql("UPDATE t SET id = 5").unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        let rows = db.query_sql("SELECT id FROM t ORDER BY id").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn aggregates_group_having() {
+        let db = calendar_db();
+        let rows = db
+            .query_sql("SELECT Kind, COUNT(*) AS n FROM Events GROUP BY Kind ORDER BY Kind")
+            .unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![
+                vec![Value::str("fun"), Value::Int(1)],
+                vec![Value::str("work"), Value::Int(1)],
+            ]
+        );
+        let rows = db
+            .query_sql("SELECT COUNT(*) FROM Events WHERE Kind = 'nope'")
+            .unwrap();
+        assert_eq!(rows.scalar(), Some(&Value::Int(0)));
+    }
+
+    #[test]
+    fn sum_min_max_avg() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE n (x INT)").unwrap();
+        db.execute_sql("INSERT INTO n (x) VALUES (1), (2), (3), (NULL)")
+            .unwrap();
+        let rows = db
+            .query_sql("SELECT SUM(x), MIN(x), MAX(x), AVG(x), COUNT(x), COUNT(*) FROM n")
+            .unwrap();
+        assert_eq!(
+            rows.rows[0],
+            vec![
+                Value::Int(6),
+                Value::Int(1),
+                Value::Int(3),
+                Value::Int(2),
+                Value::Int(3),
+                Value::Int(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn distinct_and_limit() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+        db.execute_sql("INSERT INTO t (x) VALUES (1), (1), (2), (2), (3)")
+            .unwrap();
+        let rows = db
+            .query_sql("SELECT DISTINCT x FROM t ORDER BY x LIMIT 2")
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn correlated_exists_subquery() {
+        let db = calendar_db();
+        let rows = db
+            .query_sql(
+                "SELECT u.Name FROM Users u WHERE EXISTS \
+                 (SELECT 1 FROM Attendance a WHERE a.UId = u.UId AND a.EId = 3)",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("bob")]]);
+    }
+
+    #[test]
+    fn in_subquery() {
+        let db = calendar_db();
+        let rows = db
+            .query_sql(
+                "SELECT Title FROM Events WHERE EId IN \
+                 (SELECT EId FROM Attendance WHERE UId = 2) ORDER BY Title",
+            )
+            .unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::str("party")]]);
+    }
+
+    #[test]
+    fn null_semantics_in_where() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+        db.execute_sql("INSERT INTO t (x) VALUES (1), (NULL)")
+            .unwrap();
+        // NULL = NULL is unknown, so only x = 1 matches x = x? No: x = x is
+        // unknown for NULL rows, true otherwise.
+        assert_eq!(
+            db.query_sql("SELECT x FROM t WHERE x = x").unwrap().len(),
+            1
+        );
+        assert_eq!(
+            db.query_sql("SELECT x FROM t WHERE x IS NULL")
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.query_sql("SELECT x FROM t WHERE x <> 1 OR x = 1")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn not_in_with_null_list_is_empty() {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE t (x INT)").unwrap();
+        db.execute_sql("INSERT INTO t (x) VALUES (1), (2)").unwrap();
+        // x NOT IN (2, NULL) is never TRUE (unknown for 1, false for 2).
+        assert_eq!(
+            db.query_sql("SELECT x FROM t WHERE x NOT IN (2, NULL)")
+                .unwrap()
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn ambiguous_column_is_an_error() {
+        let db = calendar_db();
+        let err = db
+            .query_sql("SELECT UId FROM Users u JOIN Attendance a ON u.UId = a.UId")
+            .unwrap_err();
+        assert!(matches!(err, DbError::AmbiguousColumn(_)));
+    }
+
+    #[test]
+    fn cross_product_from_list() {
+        let db = calendar_db();
+        let rows = db.query_sql("SELECT COUNT(*) FROM Users, Events").unwrap();
+        assert_eq!(rows.scalar(), Some(&Value::Int(4)));
+    }
+
+    #[test]
+    fn select_without_from() {
+        let db = Database::new();
+        let rows = db.query_sql("SELECT 1 + 2").unwrap();
+        assert_eq!(rows.rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn order_by_alias_and_desc() {
+        let db = calendar_db();
+        let rows = db
+            .query_sql("SELECT Title AS t FROM Events ORDER BY t DESC")
+            .unwrap();
+        assert_eq!(
+            rows.rows,
+            vec![vec![Value::str("standup")], vec![Value::str("party")]]
+        );
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let db = Database::new();
+        assert!(matches!(
+            db.query_sql("SELECT 1 / 0"),
+            Err(DbError::Eval(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_semantics_via_clone() {
+        let mut db = calendar_db();
+        let snapshot = db.clone();
+        db.execute_sql("DELETE FROM Attendance WHERE UId = 2")
+            .unwrap();
+        assert_eq!(db.table("Attendance").unwrap().len(), 1);
+        assert_eq!(snapshot.table("Attendance").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Error types for the database engine.
+
+use std::fmt;
+
+use sqlir::ParseError;
+
+/// Errors produced when defining schemas or executing statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The SQL text failed to parse.
+    Parse(ParseError),
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// An unqualified column name matched more than one table in scope.
+    AmbiguousColumn(String),
+    /// A value's type does not match the column's declared type.
+    TypeMismatch {
+        /// The offending column.
+        column: String,
+        /// The declared type name.
+        expected: String,
+        /// Description of the value found.
+        found: String,
+    },
+    /// A `NOT NULL` column received `NULL`.
+    NullViolation(String),
+    /// A primary-key or unique constraint was violated.
+    UniqueViolation {
+        /// The constrained table.
+        table: String,
+        /// The constrained columns.
+        columns: Vec<String>,
+    },
+    /// A foreign-key constraint was violated.
+    ForeignKeyViolation {
+        /// The referencing table.
+        table: String,
+        /// The referenced table.
+        ref_table: String,
+    },
+    /// Row width or column list does not match the table schema.
+    ArityMismatch {
+        /// The target table.
+        table: String,
+        /// Expected column count.
+        expected: usize,
+        /// Provided value count.
+        found: usize,
+    },
+    /// The statement used a SQL feature outside the supported subset.
+    Unsupported(String),
+    /// A parameter placeholder survived to execution time.
+    UnboundParameter(String),
+    /// A runtime expression error (e.g. division by zero, bad operand types).
+    Eval(String),
+    /// A constraint declaration was invalid.
+    BadSchema(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => e.fmt(f),
+            DbError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            DbError::TableExists(t) => write!(f, "table already exists: {t}"),
+            DbError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            DbError::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            DbError::TypeMismatch {
+                column,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch for column {column}: expected {expected}, found {found}"
+                )
+            }
+            DbError::NullViolation(c) => write!(f, "NOT NULL violation on column {c}"),
+            DbError::UniqueViolation { table, columns } => {
+                write!(f, "unique violation on {table}({})", columns.join(", "))
+            }
+            DbError::ForeignKeyViolation { table, ref_table } => {
+                write!(f, "foreign-key violation: {table} references {ref_table}")
+            }
+            DbError::ArityMismatch {
+                table,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch for {table}: expected {expected} values, found {found}"
+                )
+            }
+            DbError::Unsupported(what) => write!(f, "unsupported SQL feature: {what}"),
+            DbError::UnboundParameter(p) => write!(f, "unbound parameter reached executor: {p}"),
+            DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DbError::BadSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> DbError {
+        DbError::Parse(e)
+    }
+}

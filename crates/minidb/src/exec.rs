@@ -1,0 +1,528 @@
+//! Query execution: joins, filtering, grouping, projection, ordering.
+
+use sqlir::{Distinctness, Expr, Query, SelectItem, SetFunc, Value};
+
+use crate::db::Database;
+use crate::error::DbError;
+use crate::expr::{value_to_cmp, EvalCtx, Scope, ScopeEntry};
+
+/// A query result: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rows {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Rows {
+    /// An empty result with no columns.
+    pub fn empty() -> Rows {
+        Rows {
+            columns: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// `true` if there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The single value of a 1x1 result, if that is the shape.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Index of a named output column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+}
+
+/// Executes a `SELECT` against the database.
+pub fn execute_query(db: &Database, q: &Query) -> Result<Rows, DbError> {
+    execute_query_with_outer(db, q, None)
+}
+
+/// Executes a `SELECT`, with an optional outer context for correlated
+/// subqueries.
+pub(crate) fn execute_query_with_outer(
+    db: &Database,
+    q: &Query,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<Rows, DbError> {
+    // 1. Build the scope and enumerate source rows.
+    let mut scope = Scope::default();
+    let mut source_rows: Vec<Vec<Value>> = vec![Vec::new()];
+
+    for tref in &q.from {
+        let table = db.table(&tref.table)?;
+        push_binding(&mut scope, tref.binding(), &table.schema.columns)?;
+        let mut next = Vec::new();
+        for base in &source_rows {
+            for row in table.rows() {
+                let mut r = base.clone();
+                r.extend(row.iter().cloned());
+                next.push(r);
+            }
+        }
+        source_rows = next;
+    }
+
+    for join in &q.joins {
+        let table = db.table(&join.table.table)?;
+        push_binding(&mut scope, join.table.binding(), &table.schema.columns)?;
+        let mut next = Vec::new();
+        for base in &source_rows {
+            for row in table.rows() {
+                let mut r = base.clone();
+                r.extend(row.iter().cloned());
+                let ctx = EvalCtx {
+                    db,
+                    scope: &scope,
+                    row: &r,
+                    outer,
+                };
+                if value_to_cmp(&ctx.eval(&join.on)?)?.is_true() {
+                    next.push(r);
+                }
+            }
+        }
+        source_rows = next;
+    }
+
+    if q.from.is_empty() {
+        // `SELECT 1` style: a single empty source row, no bindings.
+        source_rows = vec![Vec::new()];
+    }
+
+    // 2. WHERE filter.
+    let mut filtered = Vec::with_capacity(source_rows.len());
+    for r in source_rows {
+        let keep = match &q.where_clause {
+            None => true,
+            Some(w) => {
+                let ctx = EvalCtx {
+                    db,
+                    scope: &scope,
+                    row: &r,
+                    outer,
+                };
+                value_to_cmp(&ctx.eval(w)?)?.is_true()
+            }
+        };
+        if keep {
+            filtered.push(r);
+        }
+    }
+
+    // 3. Grouping / projection.
+    let grouped = q.has_aggregates() || !q.group_by.is_empty();
+    let (columns, mut out): (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>) = if grouped {
+        project_grouped(db, q, &scope, filtered, outer)?
+    } else {
+        project_plain(db, q, &scope, filtered, outer)?
+    };
+
+    // 4. DISTINCT.
+    if q.distinct == Distinctness::Distinct {
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|(row, _)| seen.insert(row.clone()));
+    }
+
+    // 5. ORDER BY (sort keys were computed during projection).
+    if !q.order_by.is_empty() {
+        out.sort_by(|(_, ka), (_, kb)| {
+            for (i, key) in q.order_by.iter().enumerate() {
+                let ord = ka[i].total_cmp(&kb[i]);
+                let ord = if key.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // 6. LIMIT.
+    let mut rows: Vec<Vec<Value>> = out.into_iter().map(|(row, _)| row).collect();
+    if let Some(n) = q.limit {
+        rows.truncate(n as usize);
+    }
+    Ok(Rows { columns, rows })
+}
+
+fn push_binding<'a>(
+    scope: &mut Scope<'a>,
+    binding: &str,
+    columns: &'a [crate::schema::Column],
+) -> Result<(), DbError> {
+    if scope.entries.iter().any(|e| e.binding == binding) {
+        return Err(DbError::Unsupported(format!(
+            "duplicate table binding `{binding}` (add an alias)"
+        )));
+    }
+    let offset = scope.width();
+    scope.entries.push(ScopeEntry {
+        binding: binding.to_string(),
+        columns,
+        offset,
+    });
+    Ok(())
+}
+
+/// Resolves output column names for the projection.
+fn output_name(item: &SelectItem, idx: usize) -> String {
+    match item {
+        SelectItem::Wildcard | SelectItem::QualifiedWildcard(_) => {
+            // Callers expand wildcards before asking for names.
+            unreachable!("wildcards expanded before naming")
+        }
+        SelectItem::Expr { alias: Some(a), .. } => a.clone(),
+        SelectItem::Expr {
+            expr: Expr::Column(c),
+            ..
+        } => c.column.clone(),
+        SelectItem::Expr { expr, .. } => {
+            let printed = expr.to_string();
+            if printed.len() <= 24 {
+                printed
+            } else {
+                format!("col{idx}")
+            }
+        }
+    }
+}
+
+/// Plain (non-aggregate) projection. Returns `(names, [(row, sort_keys)])`.
+fn project_plain(
+    db: &Database,
+    q: &Query,
+    scope: &Scope<'_>,
+    source: Vec<Vec<Value>>,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), DbError> {
+    // Expand wildcards into concrete expressions.
+    let mut names = Vec::new();
+    let mut exprs: Vec<Expr> = Vec::new();
+    for (i, item) in q.items.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                for e in &scope.entries {
+                    for c in e.columns {
+                        names.push(c.name.clone());
+                        exprs.push(Expr::qcol(e.binding.clone(), c.name.clone()));
+                    }
+                }
+            }
+            SelectItem::QualifiedWildcard(t) => {
+                let entry = scope
+                    .entries
+                    .iter()
+                    .find(|e| &e.binding == t)
+                    .ok_or_else(|| DbError::NoSuchTable(t.clone()))?;
+                for c in entry.columns {
+                    names.push(c.name.clone());
+                    exprs.push(Expr::qcol(t.clone(), c.name.clone()));
+                }
+            }
+            SelectItem::Expr { expr, .. } => {
+                names.push(output_name(item, i));
+                exprs.push(expr.clone());
+            }
+        }
+    }
+
+    let mut out = Vec::with_capacity(source.len());
+    for r in &source {
+        let ctx = EvalCtx {
+            db,
+            scope,
+            row: r,
+            outer,
+        };
+        let mut row = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            row.push(ctx.eval(e)?);
+        }
+        let mut keys = Vec::with_capacity(q.order_by.len());
+        for k in &q.order_by {
+            keys.push(eval_order_key(&ctx, &k.expr, &names, &row)?);
+        }
+        out.push((row, keys));
+    }
+    Ok((names, out))
+}
+
+/// Order keys may name an output column (alias) or any source expression.
+fn eval_order_key(
+    ctx: &EvalCtx<'_>,
+    key: &Expr,
+    names: &[String],
+    output_row: &[Value],
+) -> Result<Value, DbError> {
+    if let Expr::Column(c) = key {
+        if c.table.is_none() {
+            if let Some(i) = names.iter().position(|n| n == &c.column) {
+                return Ok(output_row[i].clone());
+            }
+        }
+    }
+    ctx.eval(key)
+}
+
+/// Aggregate projection: group rows, compute aggregates per group.
+fn project_grouped(
+    db: &Database,
+    q: &Query,
+    scope: &Scope<'_>,
+    source: Vec<Vec<Value>>,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), DbError> {
+    for item in &q.items {
+        if matches!(
+            item,
+            SelectItem::Wildcard | SelectItem::QualifiedWildcard(_)
+        ) {
+            return Err(DbError::Unsupported("wildcard in aggregate query".into()));
+        }
+    }
+
+    // Group rows by the GROUP BY key values.
+    let mut groups: Vec<(Vec<Value>, Vec<Vec<Value>>)> = Vec::new();
+    for r in source {
+        let ctx = EvalCtx {
+            db,
+            scope,
+            row: &r,
+            outer,
+        };
+        let key: Vec<Value> = q
+            .group_by
+            .iter()
+            .map(|g| ctx.eval(g))
+            .collect::<Result<_, _>>()?;
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, rows)) => rows.push(r),
+            None => groups.push((key, vec![r])),
+        }
+    }
+    // A global aggregate over zero rows still yields one (empty) group.
+    if groups.is_empty() && q.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let names: Vec<String> = q
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| output_name(item, i))
+        .collect();
+
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, rows) in groups {
+        // HAVING filters whole groups.
+        if let Some(h) = &q.having {
+            let hv = eval_in_group(db, q, scope, &rows, h, outer)?;
+            if !value_to_cmp(&hv)?.is_true() {
+                continue;
+            }
+        }
+        let mut row = Vec::with_capacity(q.items.len());
+        for item in &q.items {
+            if let SelectItem::Expr { expr, .. } = item {
+                row.push(eval_in_group(db, q, scope, &rows, expr, outer)?);
+            }
+        }
+        let mut keys = Vec::with_capacity(q.order_by.len());
+        for k in &q.order_by {
+            // Alias lookup first, then group-context evaluation.
+            if let Expr::Column(c) = &k.expr {
+                if c.table.is_none() {
+                    if let Some(i) = names.iter().position(|n| n == &c.column) {
+                        keys.push(row[i].clone());
+                        continue;
+                    }
+                }
+            }
+            keys.push(eval_in_group(db, q, scope, &rows, &k.expr, outer)?);
+        }
+        out.push((row, keys));
+    }
+    Ok((names, out))
+}
+
+/// Evaluates an expression in the context of a group: aggregate nodes are
+/// computed over the group's rows, everything else over the group's first row.
+fn eval_in_group(
+    db: &Database,
+    _q: &Query,
+    scope: &Scope<'_>,
+    rows: &[Vec<Value>],
+    expr: &Expr,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<Value, DbError> {
+    let materialized = materialize_aggs(db, scope, rows, expr, outer)?;
+    let empty: Vec<Value> = vec![Value::Null; scope.width()];
+    let row: &[Value] = rows.first().map(|r| r.as_slice()).unwrap_or(&empty);
+    let ctx = EvalCtx {
+        db,
+        scope,
+        row,
+        outer,
+    };
+    ctx.eval(&materialized)
+}
+
+/// Replaces each aggregate subexpression with its computed literal value.
+fn materialize_aggs(
+    db: &Database,
+    scope: &Scope<'_>,
+    rows: &[Vec<Value>],
+    expr: &Expr,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<Expr, DbError> {
+    Ok(match expr {
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => Expr::Literal(compute_aggregate(
+            db,
+            scope,
+            rows,
+            *func,
+            arg.as_deref(),
+            *distinct,
+            outer,
+        )?),
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) => expr.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(materialize_aggs(db, scope, rows, expr, outer)?),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(materialize_aggs(db, scope, rows, lhs, outer)?),
+            rhs: Box::new(materialize_aggs(db, scope, rows, rhs, outer)?),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(materialize_aggs(db, scope, rows, expr, outer)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(materialize_aggs(db, scope, rows, expr, outer)?),
+            list: list
+                .iter()
+                .map(|e| materialize_aggs(db, scope, rows, e, outer))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(materialize_aggs(db, scope, rows, expr, outer)?),
+            low: Box::new(materialize_aggs(db, scope, rows, low, outer)?),
+            high: Box::new(materialize_aggs(db, scope, rows, high, outer)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(materialize_aggs(db, scope, rows, expr, outer)?),
+            pattern: Box::new(materialize_aggs(db, scope, rows, pattern, outer)?),
+            negated: *negated,
+        },
+        // Subqueries inside aggregate queries evaluate against the first row.
+        Expr::InSubquery { .. } | Expr::Exists { .. } => expr.clone(),
+    })
+}
+
+fn compute_aggregate(
+    db: &Database,
+    scope: &Scope<'_>,
+    rows: &[Vec<Value>],
+    func: SetFunc,
+    arg: Option<&Expr>,
+    distinct: bool,
+    outer: Option<&EvalCtx<'_>>,
+) -> Result<Value, DbError> {
+    // COUNT(*) counts rows.
+    let Some(arg) = arg else {
+        return Ok(Value::Int(rows.len() as i64));
+    };
+    let mut vals = Vec::with_capacity(rows.len());
+    for r in rows {
+        let ctx = EvalCtx {
+            db,
+            scope,
+            row: r,
+            outer,
+        };
+        let v = ctx.eval(arg)?;
+        if !v.is_null() {
+            vals.push(v);
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        vals.retain(|v| seen.insert(v.clone()));
+    }
+    match func {
+        SetFunc::Count => Ok(Value::Int(vals.len() as i64)),
+        SetFunc::Min => Ok(vals
+            .iter()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null)),
+        SetFunc::Max => Ok(vals
+            .iter()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null)),
+        SetFunc::Sum | SetFunc::Avg => {
+            if vals.is_empty() {
+                return Ok(Value::Null);
+            }
+            let mut sum: i64 = 0;
+            for v in &vals {
+                match v {
+                    Value::Int(i) => {
+                        sum = sum
+                            .checked_add(*i)
+                            .ok_or_else(|| DbError::Eval("SUM overflow".into()))?;
+                    }
+                    other => {
+                        return Err(DbError::Eval(format!("SUM/AVG over non-integer {other:?}")))
+                    }
+                }
+            }
+            if func == SetFunc::Sum {
+                Ok(Value::Int(sum))
+            } else {
+                // Integer average, truncated toward zero (documented subset
+                // behaviour; minidb has no fractional numeric type).
+                Ok(Value::Int(sum / vals.len() as i64))
+            }
+        }
+    }
+}

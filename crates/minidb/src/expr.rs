@@ -1,0 +1,328 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+//!
+//! Predicates evaluate to [`Value::Bool`] or [`Value::Null`] (unknown); the
+//! executor treats anything but `TRUE` as filtering a row out, matching SQL
+//! `WHERE` semantics.
+
+use sqlir::value::like_match;
+use sqlir::{BinaryOp, CmpResult, ColumnRef, Expr, Param, Query, UnaryOp, Value};
+
+use crate::db::Database;
+use crate::error::DbError;
+use crate::schema::Column;
+
+/// One table binding visible to name resolution.
+#[derive(Debug, Clone)]
+pub struct ScopeEntry<'a> {
+    /// The binding name (alias, or the table name itself).
+    pub binding: String,
+    /// The bound table's columns.
+    pub columns: &'a [Column],
+    /// Offset of this binding's first value in the concatenated row.
+    pub offset: usize,
+}
+
+/// The set of bindings introduced by one query's `FROM`/`JOIN` clauses.
+#[derive(Debug, Clone, Default)]
+pub struct Scope<'a> {
+    /// Entries in binding order.
+    pub entries: Vec<ScopeEntry<'a>>,
+}
+
+impl<'a> Scope<'a> {
+    /// Total width of the concatenated row.
+    pub fn width(&self) -> usize {
+        self.entries
+            .last()
+            .map(|e| e.offset + e.columns.len())
+            .unwrap_or(0)
+    }
+
+    /// Resolves a column reference to an offset into the concatenated row.
+    pub fn resolve(&self, col: &ColumnRef) -> Result<Option<usize>, DbError> {
+        match &col.table {
+            Some(t) => {
+                for e in &self.entries {
+                    if &e.binding == t {
+                        if let Some(i) = e.columns.iter().position(|c| c.name == col.column) {
+                            return Ok(Some(e.offset + i));
+                        }
+                        // The binding exists but lacks the column; in a
+                        // correlated subquery the same alias may also exist in
+                        // an outer scope, so report "not here" rather than
+                        // erroring immediately.
+                        return Ok(None);
+                    }
+                }
+                Ok(None)
+            }
+            None => {
+                let mut found = None;
+                for e in &self.entries {
+                    if let Some(i) = e.columns.iter().position(|c| c.name == col.column) {
+                        if found.is_some() {
+                            return Err(DbError::AmbiguousColumn(col.column.clone()));
+                        }
+                        found = Some(e.offset + i);
+                    }
+                }
+                Ok(found)
+            }
+        }
+    }
+}
+
+/// Evaluation context: a scope, the current concatenated row, and an optional
+/// outer context for correlated subqueries.
+pub struct EvalCtx<'a> {
+    /// The database (needed to run subqueries).
+    pub db: &'a Database,
+    /// The scope of the current query.
+    pub scope: &'a Scope<'a>,
+    /// The current concatenated row.
+    pub row: &'a [Value],
+    /// Enclosing context, if this is a subquery.
+    pub outer: Option<&'a EvalCtx<'a>>,
+}
+
+impl<'a> EvalCtx<'a> {
+    fn resolve_column(&self, col: &ColumnRef) -> Result<Value, DbError> {
+        match self.scope.resolve(col)? {
+            Some(off) => Ok(self.row[off].clone()),
+            None => match self.outer {
+                Some(outer) => outer.resolve_column(col),
+                None => Err(DbError::NoSuchColumn(match &col.table {
+                    Some(t) => format!("{t}.{}", col.column),
+                    None => col.column.clone(),
+                })),
+            },
+        }
+    }
+
+    /// Evaluates a scalar expression to a value.
+    pub fn eval(&self, expr: &Expr) -> Result<Value, DbError> {
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(p) => Err(DbError::UnboundParameter(match p {
+                Param::Named(n) => format!("?{n}"),
+                Param::Positional(i) => format!("?#{i}"),
+            })),
+            Expr::Column(c) => self.resolve_column(c),
+            Expr::Unary { op, expr } => {
+                let v = self.eval(expr)?;
+                match op {
+                    UnaryOp::Not => Ok(cmp_to_value(value_to_cmp(&v)?.not())),
+                    UnaryOp::Neg => match v {
+                        Value::Null => Ok(Value::Null),
+                        Value::Int(i) => {
+                            Ok(Value::Int(i.checked_neg().ok_or_else(|| {
+                                DbError::Eval("negation overflow".into())
+                            })?))
+                        }
+                        other => Err(DbError::Eval(format!("cannot negate {other:?}"))),
+                    },
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let needle = self.eval(expr)?;
+                let mut saw_unknown = false;
+                for item in list {
+                    let v = self.eval(item)?;
+                    match needle.sql_eq(&v) {
+                        CmpResult::True => {
+                            return Ok(cmp_to_value(CmpResult::from_bool(!*negated)));
+                        }
+                        CmpResult::Unknown => saw_unknown = true,
+                        CmpResult::False => {}
+                    }
+                }
+                if saw_unknown {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                let needle = self.eval(expr)?;
+                let rows = self.run_subquery(query)?;
+                let mut saw_unknown = false;
+                for row in &rows {
+                    if row.len() != 1 {
+                        return Err(DbError::Unsupported(
+                            "IN subquery must project exactly one column".into(),
+                        ));
+                    }
+                    match needle.sql_eq(&row[0]) {
+                        CmpResult::True => {
+                            return Ok(cmp_to_value(CmpResult::from_bool(!*negated)));
+                        }
+                        CmpResult::Unknown => saw_unknown = true,
+                        CmpResult::False => {}
+                    }
+                }
+                if saw_unknown {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Exists { query, negated } => {
+                let rows = self.run_subquery(query)?;
+                Ok(Value::Bool(rows.is_empty() == *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                let lo = self.eval(low)?;
+                let hi = self.eval(high)?;
+                let ge_lo = match v.sql_cmp(&lo) {
+                    None => CmpResult::Unknown,
+                    Some(o) => CmpResult::from_bool(o != std::cmp::Ordering::Less),
+                };
+                let le_hi = match v.sql_cmp(&hi) {
+                    None => CmpResult::Unknown,
+                    Some(o) => CmpResult::from_bool(o != std::cmp::Ordering::Greater),
+                };
+                let mut r = ge_lo.and(le_hi);
+                if *negated {
+                    r = r.not();
+                }
+                Ok(cmp_to_value(r))
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = self.eval(expr)?;
+                let p = self.eval(pattern)?;
+                match (v, p) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Str(s), Value::Str(pat)) => {
+                        Ok(Value::Bool(like_match(&s, &pat) != *negated))
+                    }
+                    (v, p) => Err(DbError::Eval(format!("LIKE on non-strings: {v:?}, {p:?}"))),
+                }
+            }
+            Expr::Agg { .. } => Err(DbError::Unsupported(
+                "aggregate function outside of SELECT list / HAVING".into(),
+            )),
+        }
+    }
+
+    fn eval_binary(&self, op: BinaryOp, lhs: &Expr, rhs: &Expr) -> Result<Value, DbError> {
+        match op {
+            BinaryOp::And => {
+                let l = value_to_cmp(&self.eval(lhs)?)?;
+                // Short-circuit: FALSE AND x is FALSE without evaluating x.
+                if l == CmpResult::False {
+                    return Ok(Value::Bool(false));
+                }
+                let r = value_to_cmp(&self.eval(rhs)?)?;
+                Ok(cmp_to_value(l.and(r)))
+            }
+            BinaryOp::Or => {
+                let l = value_to_cmp(&self.eval(lhs)?)?;
+                if l == CmpResult::True {
+                    return Ok(Value::Bool(true));
+                }
+                let r = value_to_cmp(&self.eval(rhs)?)?;
+                Ok(cmp_to_value(l.or(r)))
+            }
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
+            | BinaryOp::Ge => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                let out = match l.sql_cmp(&r) {
+                    None => CmpResult::Unknown,
+                    Some(ord) => {
+                        use std::cmp::Ordering::*;
+                        CmpResult::from_bool(match op {
+                            BinaryOp::Eq => ord == Equal,
+                            BinaryOp::Ne => ord != Equal,
+                            BinaryOp::Lt => ord == Less,
+                            BinaryOp::Le => ord != Greater,
+                            BinaryOp::Gt => ord == Greater,
+                            BinaryOp::Ge => ord != Less,
+                            _ => unreachable!(),
+                        })
+                    }
+                };
+                Ok(cmp_to_value(out))
+            }
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                match (l, r) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Int(a), Value::Int(b)) => {
+                        let out = match op {
+                            BinaryOp::Add => a.checked_add(b),
+                            BinaryOp::Sub => a.checked_sub(b),
+                            BinaryOp::Mul => a.checked_mul(b),
+                            BinaryOp::Div => {
+                                if b == 0 {
+                                    return Err(DbError::Eval("division by zero".into()));
+                                }
+                                a.checked_div(b)
+                            }
+                            _ => unreachable!(),
+                        };
+                        out.map(Value::Int)
+                            .ok_or_else(|| DbError::Eval("integer overflow".into()))
+                    }
+                    (a, b) => Err(DbError::Eval(format!(
+                        "arithmetic on non-integers: {a:?} {} {b:?}",
+                        op.symbol()
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn run_subquery(&self, q: &Query) -> Result<Vec<Vec<Value>>, DbError> {
+        crate::exec::execute_query_with_outer(self.db, q, Some(self)).map(|r| r.rows)
+    }
+}
+
+/// Interprets a value as a predicate result.
+pub fn value_to_cmp(v: &Value) -> Result<CmpResult, DbError> {
+    match v {
+        Value::Bool(true) => Ok(CmpResult::True),
+        Value::Bool(false) => Ok(CmpResult::False),
+        Value::Null => Ok(CmpResult::Unknown),
+        other => Err(DbError::Eval(format!(
+            "expected boolean predicate, found {other:?}"
+        ))),
+    }
+}
+
+/// Converts a predicate result back to a value (`Unknown` becomes `NULL`).
+pub fn cmp_to_value(c: CmpResult) -> Value {
+    match c {
+        CmpResult::True => Value::Bool(true),
+        CmpResult::False => Value::Bool(false),
+        CmpResult::Unknown => Value::Null,
+    }
+}

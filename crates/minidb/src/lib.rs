@@ -1,0 +1,48 @@
+//! An in-memory relational database engine.
+//!
+//! `minidb` executes the SQL subset defined by [`sqlir`] against in-memory
+//! tables with full integrity enforcement (primary keys, `UNIQUE`,
+//! `NOT NULL`, and restrict-mode foreign keys). It exists so that the rest of
+//! the `beyond-enforcement` workspace — the access-control proxy, policy
+//! extraction, and violation diagnosis — can run real applications against a
+//! real query engine at laptop scale, standing in for the production DBMS a
+//! deployment would use.
+//!
+//! Design notes:
+//!
+//! * Execution is straightforward nested-loop evaluation with incremental
+//!   join filtering; there are no indexes. At the data sizes used by the
+//!   paper's workloads (10²–10⁵ rows) this is more than fast enough and keeps
+//!   the engine trivially auditable.
+//! * SQL three-valued logic is implemented throughout (`WHERE` keeps only
+//!   `TRUE`; `NOT IN` with a `NULL` behaves per the standard).
+//! * [`Database`] is `Clone`, giving cheap whole-database snapshots; the
+//!   diagnosis and active-learning components rely on this to explore
+//!   hypothetical states.
+//!
+//! # Examples
+//!
+//! ```
+//! use minidb::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT)").unwrap();
+//! db.execute_sql("INSERT INTO Events (EId, Title) VALUES (2, 'standup')").unwrap();
+//! let rows = db.query_sql("SELECT Title FROM Events WHERE EId = 2").unwrap();
+//! assert_eq!(rows.rows[0][0], sqlir::Value::str("standup"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod schema;
+pub mod table;
+
+pub use db::{Database, ExecResult};
+pub use error::DbError;
+pub use exec::Rows;
+pub use schema::{Column, ForeignKey, TableSchema};
+pub use table::Table;

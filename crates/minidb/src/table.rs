@@ -1,0 +1,197 @@
+//! Row storage for one table.
+
+use sqlir::Value;
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+
+/// A stored table: schema plus rows.
+///
+/// Rows are kept in insertion order; `minidb` has no clustered indexes (scans
+/// are fine at the workload sizes this workspace targets), but PK/UNIQUE
+/// lookups short-circuit on the constrained columns.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Value>> {
+        self.rows.iter()
+    }
+
+    /// Read-only access to the row vector.
+    pub fn rows_slice(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Type- and NULL-checks a row against the schema (no constraint checks).
+    pub fn check_row_shape(&self, row: &[Value]) -> Result<(), DbError> {
+        if row.len() != self.schema.columns.len() {
+            return Err(DbError::ArityMismatch {
+                table: self.schema.name.clone(),
+                expected: self.schema.columns.len(),
+                found: row.len(),
+            });
+        }
+        for (col, v) in self.schema.columns.iter().zip(row) {
+            match v.sql_type() {
+                None => {
+                    if col.not_null {
+                        return Err(DbError::NullViolation(format!(
+                            "{}.{}",
+                            self.schema.name, col.name
+                        )));
+                    }
+                }
+                Some(t) if t != col.ty => {
+                    return Err(DbError::TypeMismatch {
+                        column: format!("{}.{}", self.schema.name, col.name),
+                        expected: col.ty.name().to_string(),
+                        found: format!("{v:?}"),
+                    });
+                }
+                Some(_) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns `true` if some row matches `candidate` on the given columns.
+    ///
+    /// Per SQL semantics, `NULL` never collides: a candidate with a `NULL` in
+    /// any key column matches nothing.
+    pub fn has_duplicate_on(
+        &self,
+        cols: &[usize],
+        candidate: &[Value],
+        skip_row: Option<usize>,
+    ) -> bool {
+        if cols.iter().any(|&c| candidate[c].is_null()) {
+            return false;
+        }
+        self.rows
+            .iter()
+            .enumerate()
+            .any(|(i, row)| Some(i) != skip_row && cols.iter().all(|&c| row[c] == candidate[c]))
+    }
+
+    /// Returns `true` if some row matches the given values on the given columns.
+    pub fn contains_on(&self, cols: &[usize], values: &[Value]) -> bool {
+        self.rows
+            .iter()
+            .any(|row| cols.iter().zip(values).all(|(&c, v)| &row[c] == v))
+    }
+
+    /// Appends a shape-checked row (caller is responsible for constraints).
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.schema.columns.len());
+        self.rows.push(row);
+    }
+
+    /// Removes the rows at the given (sorted ascending) indices.
+    pub fn remove_rows(&mut self, mut indices: Vec<usize>) {
+        indices.sort_unstable();
+        for idx in indices.into_iter().rev() {
+            self.rows.remove(idx);
+        }
+    }
+
+    /// Mutable access to one row.
+    pub fn row_mut(&mut self, idx: usize) -> &mut Vec<Value> {
+        &mut self.rows[idx]
+    }
+
+    /// Replaces every row (used by bulk loaders and diagnosis search).
+    pub fn set_rows(&mut self, rows: Vec<Vec<Value>>) {
+        self.rows = rows;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use sqlir::SqlType;
+
+    fn two_col_schema() -> TableSchema {
+        TableSchema {
+            name: "t".into(),
+            columns: vec![
+                Column {
+                    name: "a".into(),
+                    ty: SqlType::Int,
+                    not_null: true,
+                },
+                Column {
+                    name: "b".into(),
+                    ty: SqlType::Text,
+                    not_null: false,
+                },
+            ],
+            primary_key: vec![0],
+            uniques: vec![],
+            foreign_keys: vec![],
+        }
+    }
+
+    #[test]
+    fn shape_checks() {
+        let t = Table::new(two_col_schema());
+        assert!(t.check_row_shape(&[Value::Int(1), Value::str("x")]).is_ok());
+        assert!(t.check_row_shape(&[Value::Int(1), Value::Null]).is_ok());
+        assert!(matches!(
+            t.check_row_shape(&[Value::Null, Value::Null]),
+            Err(DbError::NullViolation(_))
+        ));
+        assert!(matches!(
+            t.check_row_shape(&[Value::str("no"), Value::Null]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.check_row_shape(&[Value::Int(1)]),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_detection_ignores_null() {
+        let mut t = Table::new(two_col_schema());
+        t.push_row(vec![Value::Int(1), Value::str("x")]);
+        assert!(t.has_duplicate_on(&[0], &[Value::Int(1), Value::Null], None));
+        assert!(!t.has_duplicate_on(&[0], &[Value::Int(2), Value::Null], None));
+        assert!(!t.has_duplicate_on(&[1], &[Value::Int(9), Value::Null], None));
+    }
+
+    #[test]
+    fn remove_rows_descending_safe() {
+        let mut t = Table::new(two_col_schema());
+        for i in 0..5 {
+            t.push_row(vec![Value::Int(i), Value::Null]);
+        }
+        t.remove_rows(vec![0, 2, 4]);
+        let left: Vec<i64> = t.rows().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(left, vec![1, 3]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Additional engine behaviour tests: subqueries in DML, expression
+//! evaluation edge cases, and error taxonomy under malformed input.
+
+use minidb::{Database, DbError};
+use sqlir::Value;
+
+fn db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE T (k INT PRIMARY KEY, v INT, s TEXT)")
+        .unwrap();
+    db.execute_sql("INSERT INTO T (k, v, s) VALUES (1, 10, 'a'), (2, 20, 'b'), (3, 30, NULL)")
+        .unwrap();
+    db
+}
+
+#[test]
+fn update_with_subquery_in_where() {
+    let mut db = db();
+    db.execute_sql("CREATE TABLE Sel (k INT)").unwrap();
+    db.execute_sql("INSERT INTO Sel (k) VALUES (1), (3)")
+        .unwrap();
+    let n = db
+        .execute_sql("UPDATE T SET v = v + 1 WHERE k IN (SELECT k FROM Sel)")
+        .unwrap();
+    assert_eq!(n, minidb::ExecResult::Affected(2));
+    let rows = db.query_sql("SELECT v FROM T ORDER BY k").unwrap();
+    assert_eq!(
+        rows.rows,
+        vec![
+            vec![Value::Int(11)],
+            vec![Value::Int(20)],
+            vec![Value::Int(31)]
+        ]
+    );
+}
+
+#[test]
+fn delete_with_correlated_subquery() {
+    let mut db = db();
+    db.execute_sql("CREATE TABLE Keep (k INT)").unwrap();
+    db.execute_sql("INSERT INTO Keep (k) VALUES (2)").unwrap();
+    db.execute_sql("DELETE FROM T WHERE NOT EXISTS (SELECT 1 FROM Keep kk WHERE kk.k = T.k)")
+        .unwrap();
+    let rows = db.query_sql("SELECT k FROM T").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(2)]]);
+}
+
+#[test]
+fn arithmetic_type_errors() {
+    let db = db();
+    assert!(matches!(
+        db.query_sql("SELECT s + 1 FROM T WHERE k = 1"),
+        Err(DbError::Eval(_))
+    ));
+    // NULL arithmetic propagates instead of erroring.
+    let rows = db.query_sql("SELECT v + NULL FROM T WHERE k = 1").unwrap();
+    assert_eq!(rows.rows[0][0], Value::Null);
+}
+
+#[test]
+fn like_on_non_string_is_an_error() {
+    let db = db();
+    assert!(matches!(
+        db.query_sql("SELECT 1 FROM T WHERE v LIKE 'x%'"),
+        Err(DbError::Eval(_))
+    ));
+}
+
+#[test]
+fn between_with_null_bound_is_unknown() {
+    let db = db();
+    // v BETWEEN NULL AND 100 is unknown for all rows except... always
+    // unknown-or-true: `>= NULL` is unknown, so the conjunction is never
+    // TRUE — no rows.
+    let rows = db
+        .query_sql("SELECT k FROM T WHERE v BETWEEN NULL AND 100")
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+#[test]
+fn order_by_null_first() {
+    let db = db();
+    let rows = db.query_sql("SELECT s FROM T ORDER BY s").unwrap();
+    assert_eq!(rows.rows[0][0], Value::Null, "NULL sorts first");
+}
+
+#[test]
+fn count_distinct() {
+    let mut db = db();
+    db.execute_sql("INSERT INTO T (k, v, s) VALUES (4, 10, 'a')")
+        .unwrap();
+    let rows = db
+        .query_sql("SELECT COUNT(DISTINCT v), COUNT(v) FROM T")
+        .unwrap();
+    assert_eq!(rows.rows[0], vec![Value::Int(3), Value::Int(4)]);
+}
+
+#[test]
+fn group_by_with_nulls_groups_them_together() {
+    let mut db = db();
+    db.execute_sql("INSERT INTO T (k, v, s) VALUES (4, 40, NULL)")
+        .unwrap();
+    let rows = db
+        .query_sql("SELECT s, COUNT(*) FROM T GROUP BY s ORDER BY s")
+        .unwrap();
+    // NULL group first, with two members.
+    assert_eq!(rows.rows[0], vec![Value::Null, Value::Int(2)]);
+}
+
+#[test]
+fn insert_arity_and_unknown_column_errors() {
+    let mut db = db();
+    assert!(matches!(
+        db.execute_sql("INSERT INTO T (k, v) VALUES (9)"),
+        Err(DbError::ArityMismatch { .. })
+    ));
+    assert!(matches!(
+        db.execute_sql("INSERT INTO T (nope) VALUES (1)"),
+        Err(DbError::NoSuchColumn(_))
+    ));
+    assert!(matches!(
+        db.execute_sql("INSERT INTO Nope (k) VALUES (1)"),
+        Err(DbError::NoSuchTable(_))
+    ));
+}
+
+#[test]
+fn duplicate_binding_requires_alias() {
+    let db = db();
+    let err = db.query_sql("SELECT 1 FROM T, T").unwrap_err();
+    assert!(matches!(err, DbError::Unsupported(_)));
+    // With aliases the self-join works.
+    let rows = db.query_sql("SELECT COUNT(*) FROM T a, T b").unwrap();
+    assert_eq!(rows.scalar(), Some(&Value::Int(9)));
+}
+
+#[test]
+fn table_create_twice_fails() {
+    let mut db = db();
+    assert!(matches!(
+        db.execute_sql("CREATE TABLE T (x INT)"),
+        Err(DbError::TableExists(_))
+    ));
+}
+
+#[test]
+fn in_subquery_wrong_arity_is_reported() {
+    let db = db();
+    let err = db
+        .query_sql("SELECT 1 FROM T WHERE k IN (SELECT k, v FROM T)")
+        .unwrap_err();
+    assert!(matches!(err, DbError::Unsupported(_)));
+}
+
+#[test]
+fn limit_zero_and_large() {
+    let db = db();
+    assert_eq!(db.query_sql("SELECT k FROM T LIMIT 0").unwrap().len(), 0);
+    assert_eq!(db.query_sql("SELECT k FROM T LIMIT 99").unwrap().len(), 3);
+}
+
+#[test]
+fn update_without_where_touches_all() {
+    let mut db = db();
+    let n = db.execute_sql("UPDATE T SET v = 0").unwrap();
+    assert_eq!(n, minidb::ExecResult::Affected(3));
+    let rows = db.query_sql("SELECT DISTINCT v FROM T").unwrap();
+    assert_eq!(rows.rows, vec![vec![Value::Int(0)]]);
+}

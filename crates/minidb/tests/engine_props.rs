@@ -1,0 +1,199 @@
+//! Property-based tests of the query engine against a naive reference
+//! implementation, plus integrity-constraint invariants under random DML.
+
+use minidb::{Database, DbError};
+use proptest::prelude::*;
+use sqlir::Value;
+
+fn db_with_rows(rows: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE T (a INT, b INT)").unwrap();
+    for (a, b) in rows {
+        db.execute_sql(&format!("INSERT INTO T (a, b) VALUES ({a}, {b})"))
+            .unwrap();
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// WHERE filtering agrees with a direct Rust-side filter.
+    #[test]
+    fn where_matches_reference(
+        rows in proptest::collection::vec((0i64..10, 0i64..10), 0..12),
+        threshold in 0i64..10,
+    ) {
+        let db = db_with_rows(&rows);
+        let got = db
+            .query_sql(&format!("SELECT a, b FROM T WHERE a >= {threshold} AND b < a"))
+            .unwrap();
+        let expected: Vec<(i64, i64)> = rows
+            .iter()
+            .copied()
+            .filter(|(a, b)| *a >= threshold && b < a)
+            .collect();
+        prop_assert_eq!(got.rows.len(), expected.len());
+        for (a, b) in expected {
+            prop_assert!(got
+                .rows
+                .iter()
+                .any(|r| r[0] == Value::Int(a) && r[1] == Value::Int(b)));
+        }
+    }
+
+    /// Aggregates agree with Rust-side computation.
+    #[test]
+    fn aggregates_match_reference(
+        rows in proptest::collection::vec((0i64..10, 0i64..100), 1..12),
+    ) {
+        let db = db_with_rows(&rows);
+        let got = db
+            .query_sql("SELECT COUNT(*), SUM(b), MIN(b), MAX(b) FROM T")
+            .unwrap();
+        let bs: Vec<i64> = rows.iter().map(|(_, b)| *b).collect();
+        prop_assert_eq!(&got.rows[0][0], &Value::Int(bs.len() as i64));
+        prop_assert_eq!(&got.rows[0][1], &Value::Int(bs.iter().sum::<i64>()));
+        prop_assert_eq!(&got.rows[0][2], &Value::Int(*bs.iter().min().unwrap()));
+        prop_assert_eq!(&got.rows[0][3], &Value::Int(*bs.iter().max().unwrap()));
+    }
+
+    /// GROUP BY partitions the rows: group counts sum to the total.
+    #[test]
+    fn group_by_partitions(
+        rows in proptest::collection::vec((0i64..4, 0i64..10), 0..16),
+    ) {
+        let db = db_with_rows(&rows);
+        let got = db
+            .query_sql("SELECT a, COUNT(*) FROM T GROUP BY a")
+            .unwrap();
+        let total: i64 = got.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        // Distinct keys only.
+        let mut keys: Vec<&Value> = got.rows.iter().map(|r| &r[0]).collect();
+        let before = keys.len();
+        keys.dedup();
+        keys.sort_by(|a, b| a.total_cmp(b));
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before);
+    }
+
+    /// ORDER BY produces a sorted, permutation-preserving result.
+    #[test]
+    fn order_by_sorts(
+        rows in proptest::collection::vec((0i64..10, 0i64..10), 0..16),
+    ) {
+        let db = db_with_rows(&rows);
+        let got = db.query_sql("SELECT a FROM T ORDER BY a DESC").unwrap();
+        let mut expected: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        expected.sort_unstable_by(|x, y| y.cmp(x));
+        let got_vals: Vec<i64> = got.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        prop_assert_eq!(got_vals, expected);
+    }
+
+    /// Joins agree with the nested-loop reference.
+    #[test]
+    fn join_matches_reference(
+        left in proptest::collection::vec((0i64..5, 0i64..5), 0..8),
+        right in proptest::collection::vec((0i64..5, 0i64..5), 0..8),
+    ) {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE L (k INT, v INT)").unwrap();
+        db.execute_sql("CREATE TABLE R (k INT, w INT)").unwrap();
+        for (k, v) in &left {
+            db.execute_sql(&format!("INSERT INTO L (k, v) VALUES ({k}, {v})")).unwrap();
+        }
+        for (k, w) in &right {
+            db.execute_sql(&format!("INSERT INTO R (k, w) VALUES ({k}, {w})")).unwrap();
+        }
+        let got = db
+            .query_sql("SELECT l.v, r.w FROM L l JOIN R r ON l.k = r.k")
+            .unwrap();
+        let mut expected = 0usize;
+        for (lk, _) in &left {
+            for (rk, _) in &right {
+                if lk == rk {
+                    expected += 1;
+                }
+            }
+        }
+        prop_assert_eq!(got.rows.len(), expected);
+    }
+
+    /// The primary key is never violated, no matter the insert order, and
+    /// failed inserts leave the table unchanged.
+    #[test]
+    fn primary_key_invariant(
+        inserts in proptest::collection::vec((0i64..6, 0i64..100), 0..20),
+    ) {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE P (id INT PRIMARY KEY, v INT)").unwrap();
+        let mut seen = Vec::new();
+        for (id, v) in &inserts {
+            let result =
+                db.execute_sql(&format!("INSERT INTO P (id, v) VALUES ({id}, {v})"));
+            if seen.contains(id) {
+                let is_unique_violation =
+                    matches!(result, Err(DbError::UniqueViolation { .. }));
+                prop_assert!(is_unique_violation);
+            } else {
+                prop_assert!(result.is_ok());
+                seen.push(*id);
+            }
+        }
+        let rows = db.query_sql("SELECT id FROM P").unwrap();
+        prop_assert_eq!(rows.rows.len(), seen.len());
+    }
+
+    /// Referential integrity survives arbitrary delete attempts.
+    #[test]
+    fn foreign_key_invariant(
+        links in proptest::collection::vec(0i64..4, 0..8),
+        delete in 0i64..4,
+    ) {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE Parent (id INT PRIMARY KEY)").unwrap();
+        db.execute_sql(
+            "CREATE TABLE Child (cid INT PRIMARY KEY, pid INT, \
+             FOREIGN KEY (pid) REFERENCES Parent (id))",
+        )
+        .unwrap();
+        for id in 0..4 {
+            db.execute_sql(&format!("INSERT INTO Parent (id) VALUES ({id})")).unwrap();
+        }
+        for (i, pid) in links.iter().enumerate() {
+            db.execute_sql(&format!("INSERT INTO Child (cid, pid) VALUES ({i}, {pid})"))
+                .unwrap();
+        }
+        let referenced = links.contains(&delete);
+        let result = db.execute_sql(&format!("DELETE FROM Parent WHERE id = {delete}"));
+        if referenced {
+            let is_fk_violation =
+                matches!(result, Err(DbError::ForeignKeyViolation { .. }));
+            prop_assert!(is_fk_violation);
+        } else {
+            prop_assert!(result.is_ok());
+        }
+        // No dangling children, ever.
+        let dangling = db
+            .query_sql(
+                "SELECT 1 FROM Child c WHERE NOT EXISTS \
+                 (SELECT 1 FROM Parent p WHERE p.id = c.pid)",
+            )
+            .unwrap();
+        prop_assert!(dangling.is_empty());
+    }
+
+    /// DISTINCT removes exactly the duplicates.
+    #[test]
+    fn distinct_dedups(
+        rows in proptest::collection::vec((0i64..3, 0i64..3), 0..12),
+    ) {
+        let db = db_with_rows(&rows);
+        let got = db.query_sql("SELECT DISTINCT a, b FROM T").unwrap();
+        let mut expected = rows.clone();
+        expected.sort_unstable();
+        expected.dedup();
+        prop_assert_eq!(got.rows.len(), expected.len());
+    }
+}

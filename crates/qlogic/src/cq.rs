@@ -1,0 +1,542 @@
+//! Conjunctive queries with comparisons and parameters.
+//!
+//! A [`Cq`] is a query of the form
+//!
+//! ```text
+//! ans(t̄) :- R₁(ū₁), …, Rₙ(ūₙ), c₁, …, cₘ
+//! ```
+//!
+//! where each `Rᵢ` is a relational atom over variables, constants, and
+//! *parameters* (distinguished constants such as `?MyUId` that stand for
+//! session values), and each `cⱼ` is a comparison (`<`, `<=`, `<>`, …).
+//! Equality conjuncts are normalized away by substitution, so a well-formed
+//! `Cq` has no `=` comparisons.
+//!
+//! Unions of conjunctive queries ([`Ucq`]) represent `OR` and `IN`-list
+//! queries.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use sqlir::Value;
+
+/// A term: variable, constant, or named parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable (existential unless it appears in the head).
+    Var(String),
+    /// A constant value.
+    Const(Value),
+    /// A named parameter, treated as a distinguished constant.
+    Param(String),
+}
+
+impl Term {
+    /// Convenience constructor for a variable.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Convenience constructor for an integer constant.
+    pub fn int(v: i64) -> Term {
+        Term::Const(Value::Int(v))
+    }
+
+    /// Convenience constructor for a string constant.
+    pub fn str(v: impl Into<String>) -> Term {
+        Term::Const(Value::Str(v.into()))
+    }
+
+    /// Convenience constructor for a parameter.
+    pub fn param(name: impl Into<String>) -> Term {
+        Term::Param(name.into())
+    }
+
+    /// Returns the variable name, if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `true` if the term is a constant or parameter (rigid under
+    /// homomorphisms).
+    pub fn is_rigid(&self) -> bool {
+        !matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{}", c.to_sql_literal()),
+            Term::Param(p) => write!(f, "?{p}"),
+        }
+    }
+}
+
+/// A relational atom `R(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// Relation (table) name.
+    pub relation: String,
+    /// Argument terms, one per column.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(relation: impl Into<String>, args: Vec<Term>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Comparison operators (equality is normalized away in `Cq` bodies but may
+/// appear transiently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=` (only transient; normalized by substitution).
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator with operand order swapped.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// Evaluates the operator on two concrete values (three-valued: `None`
+    /// if either side is `NULL`).
+    pub fn eval(self, a: &Value, b: &Value) -> Option<bool> {
+        use std::cmp::Ordering::*;
+        let ord = a.sql_cmp(b)?;
+        Some(match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        })
+    }
+}
+
+/// A comparison constraint between two terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comparison {
+    /// Left term.
+    pub lhs: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right term.
+    pub rhs: Term,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(lhs: Term, op: CmpOp, rhs: Term) -> Comparison {
+        Comparison { lhs, op, rhs }
+    }
+
+    /// Canonical form: constants on the right where possible, and ordered
+    /// operands for symmetric operators.
+    pub fn normalized(&self) -> Comparison {
+        let mut c = self.clone();
+        let should_flip = match (&c.lhs, &c.rhs) {
+            (l, Term::Var(_)) if l.is_rigid() => true,
+            _ => matches!(c.op, CmpOp::Ne | CmpOp::Eq) && c.lhs > c.rhs,
+        };
+        if should_flip {
+            std::mem::swap(&mut c.lhs, &mut c.rhs);
+            c.op = c.op.flipped();
+        }
+        c
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op.symbol(), self.rhs)
+    }
+}
+
+/// A substitution from variable names to terms.
+pub type Subst = BTreeMap<String, Term>;
+
+/// Applies a substitution to a term.
+pub fn apply_term(t: &Term, s: &Subst) -> Term {
+    match t {
+        Term::Var(v) => s.get(v).cloned().unwrap_or_else(|| t.clone()),
+        _ => t.clone(),
+    }
+}
+
+/// Applies a substitution to an atom.
+pub fn apply_atom(a: &Atom, s: &Subst) -> Atom {
+    Atom {
+        relation: a.relation.clone(),
+        args: a.args.iter().map(|t| apply_term(t, s)).collect(),
+    }
+}
+
+/// Applies a substitution to a comparison.
+pub fn apply_comparison(c: &Comparison, s: &Subst) -> Comparison {
+    Comparison {
+        lhs: apply_term(&c.lhs, s),
+        op: c.op,
+        rhs: apply_term(&c.rhs, s),
+    }
+}
+
+/// A conjunctive query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cq {
+    /// Optional name (set for views; `ans` when printed otherwise).
+    pub name: Option<String>,
+    /// Head (distinguished) terms.
+    pub head: Vec<Term>,
+    /// Relational atoms.
+    pub atoms: Vec<Atom>,
+    /// Comparison constraints (no `Eq` after normalization).
+    pub comparisons: Vec<Comparison>,
+}
+
+impl Cq {
+    /// Creates a query with the given parts.
+    pub fn new(head: Vec<Term>, atoms: Vec<Atom>, comparisons: Vec<Comparison>) -> Cq {
+        Cq {
+            name: None,
+            head,
+            atoms,
+            comparisons,
+        }
+    }
+
+    /// All variables appearing anywhere, in first-occurrence order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |t: &Term| {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        };
+        for t in &self.head {
+            push(t);
+        }
+        for a in &self.atoms {
+            for t in &a.args {
+                push(t);
+            }
+        }
+        for c in &self.comparisons {
+            push(&c.lhs);
+            push(&c.rhs);
+        }
+        out
+    }
+
+    /// Variables appearing in the head.
+    pub fn head_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for t in &self.head {
+            if let Term::Var(v) = t {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Named parameters mentioned anywhere.
+    pub fn params(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut push = |t: &Term| {
+            if let Term::Param(p) = t {
+                if !out.contains(p) {
+                    out.push(p.clone());
+                }
+            }
+        };
+        for t in &self.head {
+            push(t);
+        }
+        for a in &self.atoms {
+            for t in &a.args {
+                push(t);
+            }
+        }
+        for c in &self.comparisons {
+            push(&c.lhs);
+            push(&c.rhs);
+        }
+        out
+    }
+
+    /// Applies a substitution to the whole query.
+    pub fn substitute(&self, s: &Subst) -> Cq {
+        Cq {
+            name: self.name.clone(),
+            head: self.head.iter().map(|t| apply_term(t, s)).collect(),
+            atoms: self.atoms.iter().map(|a| apply_atom(a, s)).collect(),
+            comparisons: self
+                .comparisons
+                .iter()
+                .map(|c| apply_comparison(c, s))
+                .collect(),
+        }
+    }
+
+    /// Replaces parameters with constant values (instantiating a view for a
+    /// session). Unlisted parameters are left in place.
+    pub fn instantiate(&self, bindings: &[(String, Value)]) -> Cq {
+        let map_term = |t: &Term| -> Term {
+            if let Term::Param(p) = t {
+                if let Some((_, v)) = bindings.iter().find(|(n, _)| n == p) {
+                    return Term::Const(v.clone());
+                }
+            }
+            t.clone()
+        };
+        Cq {
+            name: self.name.clone(),
+            head: self.head.iter().map(map_term).collect(),
+            atoms: self
+                .atoms
+                .iter()
+                .map(|a| Atom {
+                    relation: a.relation.clone(),
+                    args: a.args.iter().map(map_term).collect(),
+                })
+                .collect(),
+            comparisons: self
+                .comparisons
+                .iter()
+                .map(|c| Comparison {
+                    lhs: map_term(&c.lhs),
+                    op: c.op,
+                    rhs: map_term(&c.rhs),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renames every variable with a prefix, avoiding capture when mixing
+    /// queries in one namespace.
+    pub fn rename_vars(&self, prefix: &str) -> Cq {
+        let s: Subst = self
+            .variables()
+            .into_iter()
+            .map(|v| (v.clone(), Term::Var(format!("{prefix}{v}"))))
+            .collect();
+        self.substitute(&s)
+    }
+
+    /// `true` if the query has no relational atoms.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+}
+
+impl fmt::Display for Cq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name.as_deref().unwrap_or("ans"))?;
+        for (i, t) in self.head.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(") :- ")?;
+        let mut first = true;
+        for a in &self.atoms {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{a}")?;
+        }
+        for c in &self.comparisons {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{c}")?;
+        }
+        if first {
+            f.write_str("true")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries (all disjuncts share head arity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ucq {
+    /// The disjuncts.
+    pub disjuncts: Vec<Cq>,
+}
+
+impl Ucq {
+    /// Wraps a single CQ.
+    pub fn single(cq: Cq) -> Ucq {
+        Ucq {
+            disjuncts: vec![cq],
+        }
+    }
+
+    /// The head arity shared by all disjuncts (0 if empty).
+    pub fn arity(&self) -> usize {
+        self.disjuncts.first().map(|c| c.head.len()).unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Ucq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                f.write_str("\n∪ ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Cq {
+        // ans(u, t) :- Attendance(u, e, n), Events(e, t, k), u <> 3
+        Cq::new(
+            vec![Term::var("u"), Term::var("t")],
+            vec![
+                Atom::new(
+                    "Attendance",
+                    vec![Term::var("u"), Term::var("e"), Term::var("n")],
+                ),
+                Atom::new(
+                    "Events",
+                    vec![Term::var("e"), Term::var("t"), Term::var("k")],
+                ),
+            ],
+            vec![Comparison::new(Term::var("u"), CmpOp::Ne, Term::int(3))],
+        )
+    }
+
+    #[test]
+    fn variable_collection_in_order() {
+        assert_eq!(sample().variables(), vec!["u", "t", "e", "n", "k"]);
+        assert_eq!(sample().head_vars(), vec!["u", "t"]);
+    }
+
+    #[test]
+    fn substitution_applies_everywhere() {
+        let mut s = Subst::new();
+        s.insert("u".into(), Term::int(7));
+        let q = sample().substitute(&s);
+        assert_eq!(q.head[0], Term::int(7));
+        assert_eq!(q.atoms[0].args[0], Term::int(7));
+        assert_eq!(q.comparisons[0].lhs, Term::int(7));
+    }
+
+    #[test]
+    fn instantiate_replaces_params() {
+        let q = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::param("MyUId"), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        );
+        let inst = q.instantiate(&[("MyUId".into(), Value::Int(1))]);
+        assert_eq!(inst.atoms[0].args[0], Term::int(1));
+        assert!(inst.params().is_empty());
+    }
+
+    #[test]
+    fn rename_avoids_collisions() {
+        let q = sample().rename_vars("x_");
+        assert_eq!(q.variables(), vec!["x_u", "x_t", "x_e", "x_n", "x_k"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample().to_string();
+        assert!(s.starts_with("ans(u, t) :- Attendance(u, e, n)"), "{s}");
+        assert!(s.contains("u <> 3"));
+    }
+
+    #[test]
+    fn comparison_normalization() {
+        // const < var flips to var > const.
+        let c = Comparison::new(Term::int(3), CmpOp::Lt, Term::var("x")).normalized();
+        assert_eq!(c, Comparison::new(Term::var("x"), CmpOp::Gt, Term::int(3)));
+        // symmetric ops order operands.
+        let c = Comparison::new(Term::var("y"), CmpOp::Ne, Term::var("x")).normalized();
+        assert_eq!(
+            c,
+            Comparison::new(Term::var("x"), CmpOp::Ne, Term::var("y"))
+        );
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        assert_eq!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)), Some(true));
+        assert_eq!(
+            CmpOp::Ge.eval(&Value::str("b"), &Value::str("a")),
+            Some(true)
+        );
+        assert_eq!(CmpOp::Eq.eval(&Value::Null, &Value::Int(1)), None);
+    }
+}

@@ -1,0 +1,478 @@
+//! Schema dependencies: functional dependencies (keys) and the chase.
+//!
+//! Real schemas declare primary keys, and trace-aware compliance needs them:
+//! in the forum application, a probe reveals post 17's group id, and only
+//! the key `Posts.PId → *` lets the checker conclude that *the* `Posts` row
+//! joined by a later fetch is the same row the probe witnessed. The chase
+//! below saturates a canonical database with the equalities the keys force,
+//! which the containment checker then reasons over.
+//!
+//! Soundness note: unifications are applied only when forced syntactically
+//! (two atoms agree on the key). A parameter and a constant in a dependent
+//! position are *not* unified (they may or may not be equal at runtime) —
+//! under-chasing only makes containment harder to prove, which is the safe
+//! direction. Two distinct constants in a dependent position mean no
+//! database satisfying the keys contains the canonical facts at all.
+
+use crate::cq::{apply_atom, Atom, Subst, Term};
+
+/// A key-style functional dependency: the `key` positions of `relation`
+/// determine the whole row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Relation name.
+    pub relation: String,
+    /// Determinant column positions.
+    pub key: Vec<usize>,
+}
+
+/// An inclusion dependency (foreign key): every row of `child` has a
+/// matching row in `parent` (child columns = parent columns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ind {
+    /// Referencing relation.
+    pub child: String,
+    /// Referencing column positions.
+    pub child_cols: Vec<usize>,
+    /// Referenced relation.
+    pub parent: String,
+    /// Referenced column positions.
+    pub parent_cols: Vec<usize>,
+    /// Referenced relation's arity (needed to mint fresh nulls).
+    pub parent_arity: usize,
+}
+
+/// A set of dependencies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dependencies {
+    /// Key dependencies.
+    pub fds: Vec<Fd>,
+    /// Inclusion dependencies (foreign keys).
+    pub inds: Vec<Ind>,
+}
+
+impl Dependencies {
+    /// No dependencies.
+    pub fn none() -> Dependencies {
+        Dependencies::default()
+    }
+
+    /// Adds a key dependency.
+    pub fn with_key(mut self, relation: impl Into<String>, key: Vec<usize>) -> Dependencies {
+        self.fds.push(Fd {
+            relation: relation.into(),
+            key,
+        });
+        self
+    }
+
+    /// Adds an inclusion dependency (foreign key).
+    pub fn with_inclusion(mut self, ind: Ind) -> Dependencies {
+        self.inds.push(ind);
+        self
+    }
+
+    /// `true` if there is nothing to chase.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty() && self.inds.is_empty()
+    }
+}
+
+/// The result of chasing a set of atoms.
+#[derive(Debug, Clone)]
+pub enum ChaseOutcome {
+    /// The saturated atoms plus the substitution that was applied.
+    Consistent {
+        /// Deduplicated, saturated atoms.
+        atoms: Vec<Atom>,
+        /// Accumulated variable unifications.
+        subst: Subst,
+    },
+    /// The atoms violate a key outright (two rows, same key, incompatible
+    /// constants): no database satisfying the dependencies contains them.
+    Inconsistent,
+}
+
+/// Saturates `atoms` under the key dependencies.
+pub fn chase_fds(atoms: &[Atom], deps: &Dependencies) -> ChaseOutcome {
+    let mut atoms: Vec<Atom> = atoms.to_vec();
+    let mut subst = Subst::new();
+    if deps.is_empty() {
+        return ChaseOutcome::Consistent { atoms, subst };
+    }
+    loop {
+        // Find one forced unification, then apply it and restart: the
+        // substitution can invalidate earlier scan state.
+        let mut pending: Option<(String, Term)> = None;
+        'scan: for i in 0..atoms.len() {
+            for j in (i + 1)..atoms.len() {
+                let (a, b) = (&atoms[i], &atoms[j]);
+                if a.relation != b.relation || a.args.len() != b.args.len() {
+                    continue;
+                }
+                for fd in &deps.fds {
+                    if fd.relation != a.relation || fd.key.iter().any(|&k| k >= a.args.len()) {
+                        continue;
+                    }
+                    if !fd.key.iter().all(|&k| a.args[k] == b.args[k]) {
+                        continue;
+                    }
+                    // The rows must be equal: unify dependent positions.
+                    for p in 0..a.args.len() {
+                        let (x, y) = (&a.args[p], &b.args[p]);
+                        if x == y {
+                            continue;
+                        }
+                        match (x, y) {
+                            (Term::Var(v), other) | (other, Term::Var(v)) => {
+                                pending = Some((v.clone(), other.clone()));
+                                break 'scan;
+                            }
+                            (Term::Const(_), Term::Const(_)) => {
+                                return ChaseOutcome::Inconsistent;
+                            }
+                            // Parameter vs rigid: possibly equal at runtime;
+                            // skipping is the sound (under-chasing) choice.
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        match pending {
+            Some((var, to)) => bind(&mut atoms, &mut subst, var, to),
+            None => break,
+        }
+    }
+    // Deduplicate.
+    let mut deduped: Vec<Atom> = Vec::new();
+    for a in atoms {
+        if !deduped.contains(&a) {
+            deduped.push(a);
+        }
+    }
+    ChaseOutcome::Consistent {
+        atoms: deduped,
+        subst,
+    }
+}
+
+/// Saturates atoms under the full dependency set: alternate the key (FD)
+/// chase with the inclusion (IND) chase — each child row spawns its missing
+/// parent row with fresh labeled nulls — until a fixpoint (bounded; FK
+/// graphs in practice are shallow, and the round cap guards cycles).
+pub fn chase_full(atoms: &[Atom], deps: &Dependencies) -> ChaseOutcome {
+    let mut atoms = atoms.to_vec();
+    let mut subst = Subst::new();
+    let mut fresh = 0usize;
+    for _round in 0..4 {
+        // FD phase.
+        match chase_fds(&atoms, deps) {
+            ChaseOutcome::Consistent { atoms: a, subst: s } => {
+                atoms = a;
+                for (_, t) in subst.iter_mut() {
+                    *t = crate::cq::apply_term(t, &s);
+                }
+                for (k, v) in s {
+                    subst.entry(k).or_insert(v);
+                }
+            }
+            ChaseOutcome::Inconsistent => return ChaseOutcome::Inconsistent,
+        }
+        // IND phase: add missing parents.
+        let mut added = Vec::new();
+        for ind in &deps.inds {
+            if ind.child_cols.len() != ind.parent_cols.len() {
+                continue; // malformed
+            }
+            for child in &atoms {
+                if child.relation != ind.child
+                    || ind.child_cols.iter().any(|&c| c >= child.args.len())
+                {
+                    continue;
+                }
+                let key: Vec<&Term> = ind.child_cols.iter().map(|&c| &child.args[c]).collect();
+                // A NULL-able FK whose witness is a labeled null still
+                // requires a parent in the chase (sound for the canonical
+                // database: we only use the chase on instances standing for
+                // "databases containing at least these rows").
+                let has_parent = atoms.iter().chain(added.iter()).any(|p| {
+                    p.relation == ind.parent
+                        && ind
+                            .parent_cols
+                            .iter()
+                            .zip(&key)
+                            .all(|(&pc, k)| pc < p.args.len() && &&p.args[pc] == k)
+                });
+                if has_parent {
+                    continue;
+                }
+                let mut args = Vec::with_capacity(ind.parent_arity);
+                for i in 0..ind.parent_arity {
+                    match ind.parent_cols.iter().position(|&pc| pc == i) {
+                        Some(j) => args.push(key[j].clone()),
+                        None => {
+                            fresh += 1;
+                            args.push(Term::var(format!("ind·{fresh}")));
+                        }
+                    }
+                }
+                let parent = Atom::new(ind.parent.clone(), args);
+                if !added.contains(&parent) {
+                    added.push(parent);
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        atoms.extend(added);
+    }
+    ChaseOutcome::Consistent { atoms, subst }
+}
+
+/// Normalizes a query by saturating its body under the key dependencies:
+/// atoms forced equal by a key merge, and the induced unifications apply to
+/// the head and comparisons. Semantics-preserving over databases satisfying
+/// the dependencies. An inconsistent body yields an unsatisfiable marker
+/// (`0 = 1` comparison).
+pub fn normalize_cq(cq: &crate::cq::Cq, deps: &Dependencies) -> crate::cq::Cq {
+    match chase_fds(&cq.atoms, deps) {
+        ChaseOutcome::Consistent { atoms, subst } => {
+            let mut out = cq.substitute(&subst);
+            out.atoms = atoms;
+            out
+        }
+        ChaseOutcome::Inconsistent => {
+            let mut out = cq.clone();
+            out.comparisons.push(crate::cq::Comparison::new(
+                Term::int(0),
+                crate::cq::CmpOp::Eq,
+                Term::int(1),
+            ));
+            out
+        }
+    }
+}
+
+fn bind(atoms: &mut [Atom], subst: &mut Subst, var: String, to: Term) {
+    let mut one = Subst::new();
+    one.insert(var.clone(), to.clone());
+    for a in atoms.iter_mut() {
+        *a = apply_atom(a, &one);
+    }
+    // Compose into the accumulated substitution.
+    for (_, t) in subst.iter_mut() {
+        *t = crate::cq::apply_term(t, &one);
+    }
+    subst.insert(var, to);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn posts_key() -> Dependencies {
+        // Posts(PId, GId, AuthorId): PId is the key.
+        Dependencies::none().with_key("Posts", vec![0])
+    }
+
+    #[test]
+    fn chase_unifies_on_key() {
+        // Posts(17, g, a) and Posts(17, 5, sk) must be the same row.
+        let atoms = [
+            Atom::new("Posts", vec![Term::int(17), Term::var("g"), Term::var("a")]),
+            Atom::new("Posts", vec![Term::int(17), Term::int(5), Term::var("sk")]),
+        ];
+        match chase_fds(&atoms, &posts_key()) {
+            ChaseOutcome::Consistent { atoms, subst } => {
+                assert_eq!(atoms.len(), 1, "rows merged: {atoms:?}");
+                assert_eq!(subst.get("g"), Some(&Term::int(5)));
+            }
+            ChaseOutcome::Inconsistent => panic!("consistent case"),
+        }
+    }
+
+    #[test]
+    fn chase_detects_key_violation() {
+        let atoms = [
+            Atom::new("Posts", vec![Term::int(17), Term::int(5), Term::var("a")]),
+            Atom::new("Posts", vec![Term::int(17), Term::int(6), Term::var("b")]),
+        ];
+        assert!(matches!(
+            chase_fds(&atoms, &posts_key()),
+            ChaseOutcome::Inconsistent
+        ));
+    }
+
+    #[test]
+    fn chase_cascades() {
+        // Unifying one pair can trigger another: keys propagate through
+        // variables shared across atoms.
+        let deps = Dependencies::none()
+            .with_key("R", vec![0])
+            .with_key("S", vec![0]);
+        let atoms = [
+            Atom::new("R", vec![Term::var("x"), Term::int(1)]),
+            Atom::new("R", vec![Term::var("x"), Term::var("y")]),
+            Atom::new("S", vec![Term::var("y"), Term::var("z")]),
+            Atom::new("S", vec![Term::int(1), Term::int(9)]),
+        ];
+        match chase_fds(&atoms, &deps) {
+            ChaseOutcome::Consistent { atoms, subst } => {
+                assert_eq!(atoms.len(), 2);
+                assert_eq!(subst.get("y"), Some(&Term::int(1)));
+                assert_eq!(subst.get("z"), Some(&Term::int(9)));
+            }
+            ChaseOutcome::Inconsistent => panic!("consistent case"),
+        }
+    }
+
+    #[test]
+    fn params_do_not_unify_with_constants() {
+        let atoms = [
+            Atom::new(
+                "Posts",
+                vec![Term::int(17), Term::param("P"), Term::var("a")],
+            ),
+            Atom::new("Posts", vec![Term::int(17), Term::int(5), Term::var("b")]),
+        ];
+        match chase_fds(&atoms, &posts_key()) {
+            ChaseOutcome::Consistent { atoms, subst } => {
+                // The param stays distinct from the constant; the variables
+                // in the remaining dependent position unified.
+                assert_eq!(atoms.len(), 2);
+                assert!(subst.contains_key("a") || subst.contains_key("b"));
+            }
+            ChaseOutcome::Inconsistent => panic!("params must not conflict"),
+        }
+    }
+
+    #[test]
+    fn empty_deps_is_identity() {
+        let atoms = [Atom::new("R", vec![Term::int(1)])];
+        match chase_fds(&atoms, &Dependencies::none()) {
+            ChaseOutcome::Consistent { atoms: out, subst } => {
+                assert_eq!(out.len(), 1);
+                assert!(subst.is_empty());
+            }
+            ChaseOutcome::Inconsistent => panic!(),
+        }
+    }
+
+    #[test]
+    fn ind_chase_adds_missing_parent() {
+        // Docs(d, s) with FK Docs.SId -> Spaces.SId spawns Spaces(s, _).
+        let deps = Dependencies::none().with_inclusion(Ind {
+            child: "Docs".into(),
+            child_cols: vec![1],
+            parent: "Spaces".into(),
+            parent_cols: vec![0],
+            parent_arity: 2,
+        });
+        let atoms = [Atom::new("Docs", vec![Term::var("d"), Term::var("s")])];
+        match chase_full(&atoms, &deps) {
+            ChaseOutcome::Consistent { atoms, .. } => {
+                assert_eq!(atoms.len(), 2);
+                let parent = atoms.iter().find(|a| a.relation == "Spaces").unwrap();
+                assert_eq!(parent.args[0], Term::var("s"));
+            }
+            ChaseOutcome::Inconsistent => panic!("consistent case"),
+        }
+    }
+
+    #[test]
+    fn ind_chase_skips_present_parent() {
+        let deps = Dependencies::none().with_inclusion(Ind {
+            child: "Docs".into(),
+            child_cols: vec![1],
+            parent: "Spaces".into(),
+            parent_cols: vec![0],
+            parent_arity: 2,
+        });
+        let atoms = [
+            Atom::new("Docs", vec![Term::var("d"), Term::int(7)]),
+            Atom::new("Spaces", vec![Term::int(7), Term::var("n")]),
+        ];
+        match chase_full(&atoms, &deps) {
+            ChaseOutcome::Consistent { atoms, .. } => assert_eq!(atoms.len(), 2),
+            ChaseOutcome::Inconsistent => panic!("consistent case"),
+        }
+    }
+
+    #[test]
+    fn ind_and_fd_interact() {
+        // The spawned parent merges with a keyed sibling.
+        let deps = Dependencies::none()
+            .with_key("Spaces", vec![0])
+            .with_inclusion(Ind {
+                child: "Docs".into(),
+                child_cols: vec![1],
+                parent: "Spaces".into(),
+                parent_cols: vec![0],
+                parent_arity: 2,
+            });
+        let atoms = [
+            Atom::new("Docs", vec![Term::var("d"), Term::int(7)]),
+            Atom::new("Spaces", vec![Term::int(7), Term::str("eng")]),
+        ];
+        match chase_full(&atoms, &deps) {
+            ChaseOutcome::Consistent { atoms, .. } => {
+                // No duplicate Spaces row: the FK target is the named row.
+                assert_eq!(atoms.iter().filter(|a| a.relation == "Spaces").count(), 1);
+            }
+            ChaseOutcome::Inconsistent => panic!("consistent case"),
+        }
+    }
+
+    #[test]
+    fn cyclic_inds_terminate() {
+        // A(x) -> B(x) and B(x) -> A(x): parents satisfy each other after
+        // one round; the round cap guards deeper cycles.
+        let deps = Dependencies::none()
+            .with_inclusion(Ind {
+                child: "A".into(),
+                child_cols: vec![0],
+                parent: "B".into(),
+                parent_cols: vec![0],
+                parent_arity: 1,
+            })
+            .with_inclusion(Ind {
+                child: "B".into(),
+                child_cols: vec![0],
+                parent: "A".into(),
+                parent_cols: vec![0],
+                parent_arity: 1,
+            });
+        let atoms = [Atom::new("A", vec![Term::int(1)])];
+        match chase_full(&atoms, &deps) {
+            ChaseOutcome::Consistent { atoms, .. } => {
+                assert!(atoms.len() <= 3, "bounded: {atoms:?}");
+            }
+            ChaseOutcome::Inconsistent => panic!("consistent case"),
+        }
+    }
+
+    #[test]
+    fn normalize_merges_keyed_duplicates() {
+        let deps = Dependencies::none().with_key("Docs", vec![0]);
+        let q = crate::cq::Cq::new(
+            vec![Term::var("t1")],
+            vec![
+                Atom::new(
+                    "Docs",
+                    vec![Term::var("d"), Term::var("s1"), Term::var("t1")],
+                ),
+                Atom::new(
+                    "Docs",
+                    vec![Term::var("d"), Term::var("s2"), Term::var("t2")],
+                ),
+            ],
+            vec![],
+        );
+        let n = normalize_cq(&q, &deps);
+        assert_eq!(n.atoms.len(), 1);
+        // The head survived the unification.
+        assert_eq!(n.head.len(), 1);
+    }
+}

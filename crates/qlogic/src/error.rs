@@ -1,0 +1,33 @@
+//! Error types for the logic crate.
+
+use std::fmt;
+
+/// Errors from query translation and logical operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// The SQL query falls outside the conjunctive fragment.
+    OutOfFragment(String),
+    /// The query mentions a table or column the schema lacks.
+    UnknownSymbol(String),
+    /// A disjunctive expansion exceeded the configured bound.
+    TooManyDisjuncts(usize),
+    /// An internal invariant failed (reported, never panicked on).
+    Internal(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::OutOfFragment(what) => {
+                write!(f, "query outside the conjunctive fragment: {what}")
+            }
+            LogicError::UnknownSymbol(s) => write!(f, "unknown symbol: {s}"),
+            LogicError::TooManyDisjuncts(n) => {
+                write!(f, "disjunctive expansion produced more than {n} disjuncts")
+            }
+            LogicError::Internal(msg) => write!(f, "internal logic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}

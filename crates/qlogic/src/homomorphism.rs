@@ -1,0 +1,269 @@
+//! Backtracking homomorphism search.
+//!
+//! A homomorphism maps the variables of a *source* conjunction onto the
+//! terms of a *target* atom set such that every source atom lands on a target
+//! atom and every source comparison is entailed by what is known about the
+//! target. This single primitive powers query evaluation over instances,
+//! containment checking, and view rewriting.
+
+use crate::compare::CmpContext;
+use crate::cq::{apply_comparison, Atom, Comparison, Subst, Term};
+
+/// A homomorphism search problem.
+pub struct HomProblem<'a> {
+    /// Atoms to be mapped.
+    pub source_atoms: &'a [Atom],
+    /// Comparisons that must hold (under the mapping) in the target.
+    pub source_comparisons: &'a [Comparison],
+    /// Target atoms (terms may include variables acting as labeled nulls).
+    pub target_atoms: &'a [Atom],
+    /// Known constraints over the target's terms.
+    pub target_ctx: &'a CmpContext,
+    /// Required initial bindings (e.g. head preservation).
+    pub initial: Subst,
+}
+
+/// Finds one homomorphism, if any.
+pub fn find_homomorphism(p: &HomProblem<'_>) -> Option<Subst> {
+    let mut found = None;
+    search(p, &mut |s| {
+        found = Some(s.clone());
+        true // stop
+    });
+    found
+}
+
+/// Finds up to `limit` homomorphisms.
+pub fn find_homomorphisms(p: &HomProblem<'_>, limit: usize) -> Vec<Subst> {
+    let mut out = Vec::new();
+    if limit == 0 {
+        return out;
+    }
+    search(p, &mut |s| {
+        out.push(s.clone());
+        out.len() >= limit
+    });
+    out
+}
+
+/// Streams homomorphisms to a callback; the callback returns `true` to stop
+/// the search. Lets callers deduplicate projections without materializing
+/// every homomorphism first.
+pub fn for_each_homomorphism(p: &HomProblem<'_>, emit: &mut dyn FnMut(&Subst) -> bool) {
+    search(p, emit);
+}
+
+/// Core backtracking search; `emit` returns `true` to stop.
+fn search(p: &HomProblem<'_>, emit: &mut dyn FnMut(&Subst) -> bool) {
+    // Order source atoms most-constrained-first: more rigid terms and more
+    // already-bound variables first. A simple static heuristic (rigid count)
+    // works well at our scales.
+    let mut order: Vec<usize> = (0..p.source_atoms.len()).collect();
+    order.sort_by_key(|&i| {
+        let a = &p.source_atoms[i];
+        std::cmp::Reverse(a.args.iter().filter(|t| t.is_rigid()).count())
+    });
+    let mut subst = p.initial.clone();
+    let _ = step(p, &order, 0, &mut subst, emit);
+}
+
+fn step(
+    p: &HomProblem<'_>,
+    order: &[usize],
+    depth: usize,
+    subst: &mut Subst,
+    emit: &mut dyn FnMut(&Subst) -> bool,
+) -> bool {
+    if depth == order.len() {
+        // All atoms mapped; verify comparisons.
+        for c in p.source_comparisons {
+            let mapped = apply_comparison(c, subst);
+            if !p.target_ctx.entails(&mapped) {
+                return false;
+            }
+        }
+        return emit(subst);
+    }
+    let atom = &p.source_atoms[order[depth]];
+    for target in p.target_atoms {
+        if target.relation != atom.relation || target.args.len() != atom.args.len() {
+            continue;
+        }
+        // Try to unify this atom with the target atom.
+        let mut added: Vec<String> = Vec::new();
+        let mut ok = true;
+        for (s, t) in atom.args.iter().zip(&target.args) {
+            match s {
+                Term::Var(v) => match subst.get(v) {
+                    Some(bound) => {
+                        if !terms_match(bound, t, p.target_ctx) {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    None => {
+                        subst.insert(v.clone(), t.clone());
+                        added.push(v.clone());
+                    }
+                },
+                rigid => {
+                    if !terms_match(rigid, t, p.target_ctx) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok && step(p, order, depth + 1, subst, emit) {
+            return true;
+        }
+        for v in added {
+            subst.remove(&v);
+        }
+    }
+    false
+}
+
+/// Whether a mapped source term is compatible with a target term: identical,
+/// or provably equal under the target's constraints.
+fn terms_match(a: &Term, b: &Term, ctx: &CmpContext) -> bool {
+    a == b || ctx.entails(&Comparison::new(a.clone(), crate::cq::CmpOp::Eq, b.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CmpOp;
+
+    fn ctx_empty() -> CmpContext {
+        CmpContext::new(&[])
+    }
+
+    #[test]
+    fn maps_simple_atom() {
+        let source = [Atom::new("R", vec![Term::var("x"), Term::var("y")])];
+        let target = [Atom::new("R", vec![Term::int(1), Term::int(2)])];
+        let ctx = ctx_empty();
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &[],
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        let h = find_homomorphism(&p).unwrap();
+        assert_eq!(h["x"], Term::int(1));
+        assert_eq!(h["y"], Term::int(2));
+    }
+
+    #[test]
+    fn respects_shared_variables() {
+        // R(x, x) cannot map onto R(1, 2).
+        let source = [Atom::new("R", vec![Term::var("x"), Term::var("x")])];
+        let target = [Atom::new("R", vec![Term::int(1), Term::int(2)])];
+        let ctx = ctx_empty();
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &[],
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        assert!(find_homomorphism(&p).is_none());
+    }
+
+    #[test]
+    fn respects_initial_binding() {
+        let source = [Atom::new("R", vec![Term::var("x")])];
+        let target = [
+            Atom::new("R", vec![Term::int(1)]),
+            Atom::new("R", vec![Term::int(2)]),
+        ];
+        let ctx = ctx_empty();
+        let mut initial = Subst::new();
+        initial.insert("x".into(), Term::int(2));
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &[],
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial,
+        };
+        let h = find_homomorphism(&p).unwrap();
+        assert_eq!(h["x"], Term::int(2));
+    }
+
+    #[test]
+    fn checks_comparisons_under_mapping() {
+        let source = [Atom::new("R", vec![Term::var("x")])];
+        let comps = [Comparison::new(Term::var("x"), CmpOp::Ge, Term::int(10))];
+        let target = [
+            Atom::new("R", vec![Term::int(5)]),
+            Atom::new("R", vec![Term::int(15)]),
+        ];
+        let ctx = ctx_empty();
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &comps,
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        let all = find_homomorphisms(&p, 10);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0]["x"], Term::int(15));
+    }
+
+    #[test]
+    fn comparison_on_labeled_null_uses_context() {
+        // Target has R(v) where v >= 60 is known; source needs x >= 18.
+        let source = [Atom::new("R", vec![Term::var("x")])];
+        let comps = [Comparison::new(Term::var("x"), CmpOp::Ge, Term::int(18))];
+        let target = [Atom::new("R", vec![Term::var("v")])];
+        let known = [Comparison::new(Term::var("v"), CmpOp::Ge, Term::int(60))];
+        let ctx = CmpContext::new(&known);
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &comps,
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        assert!(find_homomorphism(&p).is_some());
+    }
+
+    #[test]
+    fn enumerates_all_homomorphisms() {
+        let source = [Atom::new("R", vec![Term::var("x")])];
+        let target = [
+            Atom::new("R", vec![Term::int(1)]),
+            Atom::new("R", vec![Term::int(2)]),
+            Atom::new("R", vec![Term::int(3)]),
+        ];
+        let ctx = ctx_empty();
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &[],
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        assert_eq!(find_homomorphisms(&p, 100).len(), 3);
+        assert_eq!(find_homomorphisms(&p, 2).len(), 2);
+    }
+
+    #[test]
+    fn rigid_terms_must_match() {
+        let source = [Atom::new("R", vec![Term::int(7), Term::var("y")])];
+        let target = [Atom::new("R", vec![Term::int(8), Term::int(2)])];
+        let ctx = ctx_empty();
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &[],
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        assert!(find_homomorphism(&p).is_none());
+    }
+}

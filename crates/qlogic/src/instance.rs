@@ -1,0 +1,245 @@
+//! Instances: sets of facts, possibly containing labeled nulls.
+//!
+//! An [`Instance`] is a set of atoms whose arguments are terms. Variables
+//! appearing in an instance act as *labeled nulls* — unknown but fixed
+//! values — which is exactly what the canonical database ("frozen body") of
+//! a conjunctive query is. Constraints record what is known about those
+//! nulls (e.g. `v >= 60`).
+
+use sqlir::Value;
+
+use crate::compare::CmpContext;
+use crate::cq::{Atom, Comparison, Cq, Subst, Term};
+use crate::homomorphism::HomProblem;
+
+/// A set of facts over terms, with known constraints.
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    /// The facts.
+    pub atoms: Vec<Atom>,
+    /// Known comparisons over the facts' terms.
+    pub constraints: Vec<Comparison>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Instance {
+        Instance::default()
+    }
+
+    /// The canonical database of a query: its body, with variables read as
+    /// labeled nulls and its comparisons as known constraints.
+    pub fn freeze(cq: &Cq) -> Instance {
+        Instance {
+            atoms: cq.atoms.clone(),
+            constraints: cq.comparisons.clone(),
+        }
+    }
+
+    /// Builds a fully ground instance from `(relation, rows)` pairs.
+    pub fn from_rows<'a>(
+        tables: impl IntoIterator<Item = (&'a str, &'a [Vec<Value>])>,
+    ) -> Instance {
+        let mut atoms = Vec::new();
+        for (rel, rows) in tables {
+            for row in rows {
+                atoms.push(Atom::new(
+                    rel,
+                    row.iter().cloned().map(Term::Const).collect(),
+                ));
+            }
+        }
+        Instance {
+            atoms,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a fact, deduplicating.
+    pub fn add(&mut self, atom: Atom) {
+        if !self.atoms.contains(&atom) {
+            self.atoms.push(atom);
+        }
+    }
+
+    /// Merges another instance's facts and constraints into this one.
+    pub fn extend(&mut self, other: &Instance) {
+        for a in &other.atoms {
+            self.add(a.clone());
+        }
+        for c in &other.constraints {
+            if !self.constraints.contains(c) {
+                self.constraints.push(c.clone());
+            }
+        }
+    }
+
+    /// Evaluates a query, returning up to `limit` distinct answer tuples.
+    ///
+    /// Answers may contain labeled nulls if the instance does.
+    pub fn eval(&self, q: &Cq, limit: usize) -> Vec<Vec<Term>> {
+        let ctx = CmpContext::new(&self.constraints);
+        let p = HomProblem {
+            source_atoms: &q.atoms,
+            source_comparisons: &q.comparisons,
+            target_atoms: &self.atoms,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        // Stream homomorphisms, deduplicating head projections on the fly.
+        let mut out: Vec<Vec<Term>> = Vec::new();
+        crate::homomorphism::for_each_homomorphism(&p, &mut |h| {
+            let tuple: Vec<Term> = q.head.iter().map(|t| crate::cq::apply_term(t, h)).collect();
+            if !out.contains(&tuple) {
+                out.push(tuple);
+            }
+            out.len() >= limit
+        });
+        out
+    }
+
+    /// `true` if the query has at least one answer on this instance.
+    pub fn satisfies(&self, q: &Cq) -> bool {
+        !self.eval(q, 1).is_empty()
+    }
+
+    /// `true` if the query returns the given tuple on this instance.
+    pub fn returns_tuple(&self, q: &Cq, tuple: &[Term]) -> bool {
+        if tuple.len() != q.head.len() {
+            return false;
+        }
+        let ctx = CmpContext::new(&self.constraints);
+        // Bind head variables to the tuple; rigid head terms must match.
+        let mut initial = Subst::new();
+        for (h, t) in q.head.iter().zip(tuple) {
+            match h {
+                Term::Var(v) => match initial.get(v) {
+                    Some(bound) if bound != t => return false,
+                    Some(_) => {}
+                    None => {
+                        initial.insert(v.clone(), t.clone());
+                    }
+                },
+                rigid => {
+                    if rigid != t {
+                        return false;
+                    }
+                }
+            }
+        }
+        let p = HomProblem {
+            source_atoms: &q.atoms,
+            source_comparisons: &q.comparisons,
+            target_atoms: &self.atoms,
+            target_ctx: &ctx,
+            initial,
+        };
+        crate::homomorphism::find_homomorphism(&p).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::CmpOp;
+
+    fn ground() -> Instance {
+        Instance::from_rows([
+            (
+                "Attendance",
+                [
+                    vec![Value::Int(1), Value::Int(2), Value::Null],
+                    vec![Value::Int(2), Value::Int(3), Value::str("cake")],
+                ]
+                .as_slice(),
+            ),
+            (
+                "Events",
+                [
+                    vec![Value::Int(2), Value::str("standup")],
+                    vec![Value::Int(3), Value::str("party")],
+                ]
+                .as_slice(),
+            ),
+        ])
+    }
+
+    #[test]
+    fn evaluates_join() {
+        // ans(t) :- Attendance(1, e, n), Events(e, t)
+        let q = Cq::new(
+            vec![Term::var("t")],
+            vec![
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+                Atom::new("Events", vec![Term::var("e"), Term::var("t")]),
+            ],
+            vec![],
+        );
+        let ans = ground().eval(&q, 10);
+        assert_eq!(ans, vec![vec![Term::str("standup")]]);
+    }
+
+    #[test]
+    fn eval_dedups_tuples() {
+        // ans(u) :- Attendance(u, e, n) over two rows with different e but
+        // projecting a shared head would dedup; here both rows differ in u.
+        let q = Cq::new(
+            vec![Term::int(1)],
+            vec![Atom::new("Events", vec![Term::var("e"), Term::var("t")])],
+            vec![],
+        );
+        // Constant head: both matches produce the same tuple (1).
+        assert_eq!(ground().eval(&q, 10).len(), 1);
+    }
+
+    #[test]
+    fn comparisons_filter_answers() {
+        let q = Cq::new(
+            vec![Term::var("e")],
+            vec![Atom::new("Events", vec![Term::var("e"), Term::var("t")])],
+            vec![Comparison::new(Term::var("e"), CmpOp::Gt, Term::int(2))],
+        );
+        assert_eq!(ground().eval(&q, 10), vec![vec![Term::int(3)]]);
+    }
+
+    #[test]
+    fn frozen_instance_keeps_nulls() {
+        let q = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
+            vec![Comparison::new(Term::var("y"), CmpOp::Ge, Term::int(0))],
+        );
+        let inst = Instance::freeze(&q);
+        assert!(inst.satisfies(&q));
+        // Nulls propagate into answers.
+        assert_eq!(inst.eval(&q, 10), vec![vec![Term::var("x")]]);
+    }
+
+    #[test]
+    fn returns_tuple_checks_membership() {
+        let q = Cq::new(
+            vec![Term::var("t")],
+            vec![Atom::new("Events", vec![Term::int(2), Term::var("t")])],
+            vec![],
+        );
+        let inst = ground();
+        assert!(inst.returns_tuple(&q, &[Term::str("standup")]));
+        assert!(!inst.returns_tuple(&q, &[Term::str("party")]));
+    }
+
+    #[test]
+    fn repeated_head_var_binding_consistent() {
+        // ans(x, x) must only return tuples with equal components.
+        let q = Cq::new(
+            vec![Term::var("x"), Term::var("x")],
+            vec![Atom::new("Events", vec![Term::var("x"), Term::var("t")])],
+            vec![],
+        );
+        let inst = ground();
+        assert!(inst.returns_tuple(&q, &[Term::int(2), Term::int(2)]));
+        assert!(!inst.returns_tuple(&q, &[Term::int(2), Term::int(3)]));
+    }
+}

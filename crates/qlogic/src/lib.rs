@@ -1,0 +1,55 @@
+//! Conjunctive-query logic: the reasoning substrate of `beyond-enforcement`.
+//!
+//! This crate implements, from scratch, the database-theoretic machinery the
+//! HotOS '23 paper "Access Control for Database Applications: Beyond Policy
+//! Enforcement" presupposes:
+//!
+//! * [`cq`] — conjunctive queries (CQs) with comparisons and parameters,
+//!   and unions thereof;
+//! * [`from_sql`] — translation between the SQL AST and CQs (both ways);
+//! * [`compare`] — a sound constraint reasoner for comparison conjunctions;
+//! * [`homomorphism`] — backtracking homomorphism search, the shared engine;
+//! * [`instance`] — fact sets with labeled nulls (canonical databases);
+//! * [`containment`] — containment/equivalence, optionally relative to known
+//!   facts (the trace-awareness of the Blockaid-style checker);
+//! * [`rewrite`] — MiniCon-style answering-queries-using-views: contained,
+//!   maximally-contained, and equivalent rewritings;
+//! * [`minimize`] — CQ cores;
+//! * [`generalize`] — anti-unification for specification mining.
+//!
+//! Soundness stance: every positive answer (`contained`, `entails`,
+//! rewriting verified) is correct for the full semantics. Completeness is
+//! total for pure CQs and partial in the presence of comparisons — the same
+//! trade-off Blockaid's decision procedure makes, and the right one for an
+//! enforcement setting where "cannot prove" simply means "block".
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod containment;
+pub mod cq;
+pub mod deps;
+pub mod error;
+pub mod from_sql;
+pub mod generalize;
+pub mod homomorphism;
+pub mod instance;
+pub mod minimize;
+pub mod rewrite;
+
+pub use compare::CmpContext;
+pub use containment::{
+    contained, contained_given, contained_given_deps, contained_in_union, equivalent,
+    equivalent_given, satisfiable, union_contained, union_equivalent,
+};
+pub use cq::{Atom, CmpOp, Comparison, Cq, Subst, Term, Ucq};
+pub use deps::{chase_fds, chase_full, normalize_cq, ChaseOutcome, Dependencies, Fd, Ind};
+pub use error::LogicError;
+pub use from_sql::{cq_to_sql, sql_to_cq, sql_to_ucq, RelSchema};
+pub use generalize::{anti_unify, anti_unify_all, canonicalize_vars, const_to_param};
+pub use instance::Instance;
+pub use minimize::minimize;
+pub use rewrite::{
+    contained_rewritings, containing_rewritings, equivalent_rewriting, equivalent_rewriting_deps,
+    expand, maximally_contained, ViewSet,
+};

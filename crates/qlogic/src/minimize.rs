@@ -1,0 +1,135 @@
+//! Conjunctive-query minimization (core computation).
+//!
+//! A CQ's *core* is its smallest equivalent subquery. Minimization matters
+//! for readability of extracted policies and for the dedup steps of the
+//! mining pipeline: two policies that are textually different often minimize
+//! to identical cores.
+
+use std::collections::BTreeSet;
+
+use crate::containment::equivalent;
+use crate::cq::Cq;
+
+/// Returns an equivalent query with redundant atoms removed.
+///
+/// Runs a greedy fixpoint: repeatedly drop any atom whose removal keeps the
+/// query safe (every head/comparison variable still occurs in a remaining
+/// atom) and equivalent. Greedy removal computes a core for conjunctive
+/// queries because equivalence is verified at each step.
+pub fn minimize(cq: &Cq) -> Cq {
+    let mut current = cq.clone();
+    loop {
+        let mut improved = false;
+        for i in 0..current.atoms.len() {
+            let mut candidate = current.clone();
+            candidate.atoms.remove(i);
+            if !is_safe(&candidate) {
+                continue;
+            }
+            if equivalent(&candidate, &current) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// Every variable used in the head or comparisons must appear in an atom.
+fn is_safe(cq: &Cq) -> bool {
+    let atom_vars: BTreeSet<&str> = cq
+        .atoms
+        .iter()
+        .flat_map(|a| a.args.iter().filter_map(|t| t.as_var()))
+        .collect();
+    for v in cq.head_vars() {
+        if !atom_vars.contains(v.as_str()) {
+            return false;
+        }
+    }
+    for c in &cq.comparisons {
+        for t in [&c.lhs, &c.rhs] {
+            if let Some(v) = t.as_var() {
+                if !atom_vars.contains(v) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cq::{Atom, CmpOp, Comparison, Term};
+
+    #[test]
+    fn removes_redundant_self_join() {
+        // ans(x) :- R(x, y), R(x, z)  minimizes to one atom.
+        let q = Cq::new(
+            vec![Term::var("x")],
+            vec![
+                Atom::new("R", vec![Term::var("x"), Term::var("y")]),
+                Atom::new("R", vec![Term::var("x"), Term::var("z")]),
+            ],
+            vec![],
+        );
+        let m = minimize(&q);
+        assert_eq!(m.atoms.len(), 1);
+        assert!(equivalent(&m, &q));
+    }
+
+    #[test]
+    fn keeps_genuine_joins() {
+        // ans(x) :- R(x, y), S(y): both atoms are needed.
+        let q = Cq::new(
+            vec![Term::var("x")],
+            vec![
+                Atom::new("R", vec![Term::var("x"), Term::var("y")]),
+                Atom::new("S", vec![Term::var("y")]),
+            ],
+            vec![],
+        );
+        assert_eq!(minimize(&q).atoms.len(), 2);
+    }
+
+    #[test]
+    fn keeps_atoms_anchoring_comparisons() {
+        // ans() :- R(x, y), R(x, z), z > 5: the z-atom anchors the
+        // comparison and must stay.
+        let q = Cq::new(
+            vec![],
+            vec![
+                Atom::new("R", vec![Term::var("x"), Term::var("y")]),
+                Atom::new("R", vec![Term::var("x"), Term::var("z")]),
+            ],
+            vec![Comparison::new(Term::var("z"), CmpOp::Gt, Term::int(5))],
+        );
+        let m = minimize(&q);
+        // The y-atom is redundant (it folds onto the z-atom), but the z-atom
+        // must survive.
+        assert_eq!(m.atoms.len(), 1);
+        let zvar = m.comparisons[0].lhs.as_var().unwrap();
+        assert!(m.atoms[0].args.iter().any(|t| t.as_var() == Some(zvar)));
+    }
+
+    #[test]
+    fn triangle_with_constant_folds() {
+        // ans() :- E(x, y), E(y, x), E(x, x): the self-loop atom makes the
+        // others redundant.
+        let q = Cq::new(
+            vec![],
+            vec![
+                Atom::new("E", vec![Term::var("x"), Term::var("y")]),
+                Atom::new("E", vec![Term::var("y"), Term::var("x")]),
+                Atom::new("E", vec![Term::var("x"), Term::var("x")]),
+            ],
+            vec![],
+        );
+        assert_eq!(minimize(&q).atoms.len(), 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests of the logic core's algebraic laws:
+//!
+//! * containment is reflexive and transitive; equivalence is symmetric;
+//! * containment agrees with evaluation on random ground instances
+//!   (`q1 ⊆ q2` implies `q1(D) ⊆ q2(D)` for every sampled `D`);
+//! * anti-unification generalizes both inputs (`a ⊆ anti_unify(a, b)`);
+//! * minimization preserves equivalence;
+//! * the comparison reasoner's entailment is consistent with brute-force
+//!   evaluation over small assignments.
+
+use proptest::prelude::*;
+use qlogic::{
+    anti_unify, contained, equivalent, minimize, Atom, CmpOp, Comparison, Cq, Instance, Term,
+};
+use sqlir::Value;
+
+/// Relations: R/2, S/1 over a small constant domain.
+fn term(vars: &'static [&'static str]) -> impl Strategy<Value = Term> {
+    prop_oneof![
+        proptest::sample::select(vars).prop_map(Term::var),
+        (0i64..3).prop_map(Term::int),
+    ]
+}
+
+fn atom(vars: &'static [&'static str]) -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        (term(vars), term(vars)).prop_map(|(a, b)| Atom::new("R", vec![a, b])),
+        term(vars).prop_map(|a| Atom::new("S", vec![a])),
+    ]
+}
+
+fn cq() -> impl Strategy<Value = Cq> {
+    const VARS: &[&str] = &["x", "y", "z"];
+    (
+        proptest::collection::vec(atom(VARS), 1..4),
+        proptest::sample::subsequence(VARS.to_vec(), 0..=2),
+    )
+        .prop_map(|(atoms, head_vars)| {
+            // Keep the query safe: head vars must occur in an atom.
+            let atom_vars: Vec<&str> = atoms
+                .iter()
+                .flat_map(|a| a.args.iter().filter_map(|t| t.as_var()))
+                .collect();
+            let head: Vec<Term> = head_vars
+                .into_iter()
+                .filter(|v| atom_vars.contains(v))
+                .map(Term::var)
+                .collect();
+            Cq::new(head, atoms, vec![])
+        })
+}
+
+/// All ground instances are sampled from this tiny universe.
+fn instance() -> impl Strategy<Value = Instance> {
+    let r_tuples = proptest::collection::vec((0i64..3, 0i64..3), 0..4);
+    let s_tuples = proptest::collection::vec(0i64..3, 0..3);
+    (r_tuples, s_tuples).prop_map(|(rs, ss)| {
+        let r_rows: Vec<Vec<Value>> = rs
+            .into_iter()
+            .map(|(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect();
+        let s_rows: Vec<Vec<Value>> = ss.into_iter().map(|a| vec![Value::Int(a)]).collect();
+        Instance::from_rows([("R", r_rows.as_slice()), ("S", s_rows.as_slice())])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn containment_reflexive(q in cq()) {
+        prop_assert!(contained(&q, &q));
+    }
+
+    #[test]
+    fn containment_transitive(a in cq(), b in cq(), c in cq()) {
+        if a.head.len() == b.head.len() && b.head.len() == c.head.len()
+            && contained(&a, &b) && contained(&b, &c) {
+            prop_assert!(contained(&a, &c));
+        }
+    }
+
+    #[test]
+    fn equivalence_symmetric(a in cq(), b in cq()) {
+        prop_assert_eq!(
+            equivalent(&a, &b),
+            equivalent(&b, &a)
+        );
+    }
+
+    #[test]
+    fn containment_sound_on_instances(a in cq(), b in cq(), db in instance()) {
+        if a.head.len() == b.head.len() && contained(&a, &b) {
+            let ans_a = db.eval(&a, 1000);
+            let ans_b = db.eval(&b, 1000);
+            for t in &ans_a {
+                prop_assert!(
+                    ans_b.contains(t),
+                    "containment violated on instance: {} ⊆ {} but tuple {:?} missing",
+                    a, b, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn anti_unify_generalizes_both(a in cq(), b in cq()) {
+        if let Some(g) = anti_unify(&a, &b) {
+            prop_assert!(contained(&a, &g), "{} not contained in lgg {}", a, g);
+            prop_assert!(contained(&b, &g), "{} not contained in lgg {}", b, g);
+        }
+    }
+
+    #[test]
+    fn minimize_preserves_equivalence(q in cq()) {
+        let m = minimize(&q);
+        prop_assert!(equivalent(&q, &m), "{} vs minimized {}", q, m);
+        prop_assert!(m.atoms.len() <= q.atoms.len());
+    }
+
+    #[test]
+    fn entailment_sound_for_assignments(
+        ops in proptest::collection::vec(
+            (0usize..3, 0usize..4, 0i64..4), 1..4),
+        goal in (0usize..3, 0usize..4, 0i64..4),
+        assign in proptest::collection::vec(0i64..4, 3),
+    ) {
+        // Variables v0..v2; comparisons v_i OP c.
+        let op_of = |i: usize| [CmpOp::Lt, CmpOp::Le, CmpOp::Ne, CmpOp::Ge][i % 4];
+        let ctx: Vec<Comparison> = ops
+            .iter()
+            .map(|&(v, o, c)| {
+                Comparison::new(Term::var(format!("v{v}")), op_of(o), Term::int(c))
+            })
+            .collect();
+        let g = Comparison::new(
+            Term::var(format!("v{}", goal.0)),
+            op_of(goal.1),
+            Term::int(goal.2),
+        );
+        let reasoner = qlogic::CmpContext::new(&ctx);
+        // If the context holds under the assignment, an entailed goal must too.
+        let holds = |c: &Comparison| -> bool {
+            let lv = match &c.lhs {
+                Term::Var(v) => Value::Int(assign[v[1..].parse::<usize>().unwrap()]),
+                Term::Const(v) => v.clone(),
+                Term::Param(_) => return true,
+            };
+            let rv = match &c.rhs {
+                Term::Var(v) => Value::Int(assign[v[1..].parse::<usize>().unwrap()]),
+                Term::Const(v) => v.clone(),
+                Term::Param(_) => return true,
+            };
+            c.op.eval(&lv, &rv).unwrap_or(false)
+        };
+        if ctx.iter().all(holds) && reasoner.entails(&g) {
+            prop_assert!(
+                holds(&g),
+                "unsound entailment: {:?} |= {:?} refuted by {:?}",
+                ctx, g, assign
+            );
+        }
+    }
+
+    #[test]
+    fn unsat_contexts_have_no_models(
+        ops in proptest::collection::vec((0usize..2, 0usize..4, 0i64..3), 1..5),
+        assign in proptest::collection::vec(0i64..3, 2),
+    ) {
+        let op_of = |i: usize| [CmpOp::Lt, CmpOp::Le, CmpOp::Ne, CmpOp::Ge][i % 4];
+        let ctx: Vec<Comparison> = ops
+            .iter()
+            .map(|&(v, o, c)| {
+                Comparison::new(Term::var(format!("v{v}")), op_of(o), Term::int(c))
+            })
+            .collect();
+        if qlogic::compare::definitely_unsat(&ctx) {
+            // No integer assignment may satisfy all comparisons.
+            let holds = |c: &Comparison| -> bool {
+                let get = |t: &Term| match t {
+                    Term::Var(v) => Value::Int(assign[v[1..].parse::<usize>().unwrap()]),
+                    Term::Const(v) => v.clone(),
+                    Term::Param(_) => Value::Int(0),
+                };
+                c.op.eval(&get(&c.lhs), &get(&c.rhs)).unwrap_or(false)
+            };
+            prop_assert!(
+                !ctx.iter().all(holds),
+                "claimed-unsat context satisfied by {:?}: {:?}",
+                assign, ctx
+            );
+        }
+    }
+}

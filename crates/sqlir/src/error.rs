@@ -1,0 +1,67 @@
+//! Error types for SQL parsing and parameter binding.
+
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates a parse error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors produced by this crate outside of parsing proper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The input failed to parse.
+    Parse(ParseError),
+    /// A named parameter had no binding.
+    UnboundParameter(String),
+    /// A positional parameter index had no binding.
+    UnboundPositional(usize),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(e) => e.fmt(f),
+            SqlError::UnboundParameter(name) => {
+                write!(f, "no binding for named parameter ?{name}")
+            }
+            SqlError::UnboundPositional(idx) => {
+                write!(f, "no binding for positional parameter #{idx}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<ParseError> for SqlError {
+    fn from(e: ParseError) -> SqlError {
+        SqlError::Parse(e)
+    }
+}

@@ -1,0 +1,354 @@
+//! Parameter collection and binding.
+//!
+//! Policies and applications use named parameters (`?MyUId`) and positional
+//! parameters (`?`). [`collect_params`] enumerates the parameters a statement
+//! mentions; [`bind_statement`] substitutes literal values for them, which is
+//! how a policy view is instantiated for a concrete session.
+
+use std::collections::BTreeSet;
+
+use crate::ast::{walk_query, Assignment, Expr, Param, Query, SelectItem, Statement};
+use crate::error::SqlError;
+use crate::value::Value;
+
+/// A set of bindings from parameters to values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParamBindings {
+    named: Vec<(String, Value)>,
+    positional: Vec<Value>,
+}
+
+impl ParamBindings {
+    /// Creates an empty binding set.
+    pub fn new() -> ParamBindings {
+        ParamBindings::default()
+    }
+
+    /// Adds (or replaces) a named binding and returns `self` for chaining.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> ParamBindings {
+        self.set(name, value);
+        self
+    }
+
+    /// Adds (or replaces) a named binding.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.named.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.named.push((name, value));
+        }
+    }
+
+    /// Appends a positional binding (for the next `?`).
+    pub fn push(&mut self, value: impl Into<Value>) {
+        self.positional.push(value.into());
+    }
+
+    /// Appends a positional binding and returns `self` for chaining.
+    pub fn with_positional(mut self, value: impl Into<Value>) -> ParamBindings {
+        self.push(value);
+        self
+    }
+
+    /// Looks up a named binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Looks up a positional binding.
+    pub fn get_positional(&self, index: usize) -> Option<&Value> {
+        self.positional.get(index)
+    }
+
+    /// Iterates over the named bindings.
+    pub fn named_iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.named.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    fn resolve(&self, p: &Param) -> Result<Value, SqlError> {
+        match p {
+            Param::Named(n) => self
+                .get(n)
+                .cloned()
+                .ok_or_else(|| SqlError::UnboundParameter(n.clone())),
+            Param::Positional(i) => self
+                .get_positional(*i)
+                .cloned()
+                .ok_or(SqlError::UnboundPositional(*i)),
+        }
+    }
+}
+
+/// Returns the named parameters mentioned anywhere in a statement (sorted),
+/// plus the count of positional parameters.
+pub fn collect_params(stmt: &Statement) -> (BTreeSet<String>, usize) {
+    let mut named = BTreeSet::new();
+    let mut max_positional = 0usize;
+    let mut visit = |e: &Expr| {
+        if let Expr::Param(p) = e {
+            match p {
+                Param::Named(n) => {
+                    named.insert(n.clone());
+                }
+                Param::Positional(i) => max_positional = max_positional.max(i + 1),
+            }
+        }
+    };
+    match stmt {
+        Statement::Select(q) => walk_query(q, &mut visit),
+        Statement::Insert(ins) => {
+            for row in &ins.rows {
+                for e in row {
+                    e.walk(&mut visit);
+                }
+            }
+        }
+        Statement::Update(u) => {
+            for a in &u.assignments {
+                a.value.walk(&mut visit);
+            }
+            if let Some(w) = &u.where_clause {
+                w.walk(&mut visit);
+            }
+        }
+        Statement::Delete(d) => {
+            if let Some(w) = &d.where_clause {
+                w.walk(&mut visit);
+            }
+        }
+        Statement::CreateTable(_) => {}
+    }
+    (named, max_positional)
+}
+
+/// Substitutes parameter values throughout a statement.
+///
+/// Fails with [`SqlError::UnboundParameter`] / [`SqlError::UnboundPositional`]
+/// if the statement mentions a parameter the bindings don't cover.
+pub fn bind_statement(stmt: &Statement, bindings: &ParamBindings) -> Result<Statement, SqlError> {
+    Ok(match stmt {
+        Statement::Select(q) => Statement::Select(bind_query(q, bindings)?),
+        Statement::Insert(ins) => {
+            let mut out = ins.clone();
+            for row in &mut out.rows {
+                for e in row.iter_mut() {
+                    *e = bind_expr(e, bindings)?;
+                }
+            }
+            Statement::Insert(out)
+        }
+        Statement::Update(u) => {
+            let mut out = u.clone();
+            out.assignments = u
+                .assignments
+                .iter()
+                .map(|a| {
+                    Ok(Assignment {
+                        column: a.column.clone(),
+                        value: bind_expr(&a.value, bindings)?,
+                    })
+                })
+                .collect::<Result<_, SqlError>>()?;
+            out.where_clause = match &u.where_clause {
+                Some(w) => Some(bind_expr(w, bindings)?),
+                None => None,
+            };
+            Statement::Update(out)
+        }
+        Statement::Delete(d) => {
+            let mut out = d.clone();
+            out.where_clause = match &d.where_clause {
+                Some(w) => Some(bind_expr(w, bindings)?),
+                None => None,
+            };
+            Statement::Delete(out)
+        }
+        Statement::CreateTable(ct) => Statement::CreateTable(ct.clone()),
+    })
+}
+
+/// Substitutes parameter values throughout a query.
+pub fn bind_query(q: &Query, bindings: &ParamBindings) -> Result<Query, SqlError> {
+    let mut out = q.clone();
+    out.items = q
+        .items
+        .iter()
+        .map(|item| {
+            Ok(match item {
+                SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                    expr: bind_expr(expr, bindings)?,
+                    alias: alias.clone(),
+                },
+                other => other.clone(),
+            })
+        })
+        .collect::<Result<_, SqlError>>()?;
+    for j in &mut out.joins {
+        j.on = bind_expr(&j.on, bindings)?;
+    }
+    out.where_clause = match &q.where_clause {
+        Some(w) => Some(bind_expr(w, bindings)?),
+        None => None,
+    };
+    out.group_by = q
+        .group_by
+        .iter()
+        .map(|g| bind_expr(g, bindings))
+        .collect::<Result<_, _>>()?;
+    out.having = match &q.having {
+        Some(h) => Some(bind_expr(h, bindings)?),
+        None => None,
+    };
+    for k in &mut out.order_by {
+        k.expr = bind_expr(&k.expr, bindings)?;
+    }
+    Ok(out)
+}
+
+/// Substitutes parameter values throughout an expression.
+pub fn bind_expr(e: &Expr, bindings: &ParamBindings) -> Result<Expr, SqlError> {
+    Ok(match e {
+        Expr::Param(p) => Expr::Literal(bindings.resolve(p)?),
+        Expr::Literal(_) | Expr::Column(_) => e.clone(),
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(bind_expr(expr, bindings)?),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(bind_expr(lhs, bindings)?),
+            rhs: Box::new(bind_expr(rhs, bindings)?),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(bind_expr(expr, bindings)?),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(bind_expr(expr, bindings)?),
+            list: list
+                .iter()
+                .map(|e| bind_expr(e, bindings))
+                .collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(bind_expr(expr, bindings)?),
+            query: Box::new(bind_query(query, bindings)?),
+            negated: *negated,
+        },
+        Expr::Exists { query, negated } => Expr::Exists {
+            query: Box::new(bind_query(query, bindings)?),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(bind_expr(expr, bindings)?),
+            low: Box::new(bind_expr(low, bindings)?),
+            high: Box::new(bind_expr(high, bindings)?),
+            negated: *negated,
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(bind_expr(expr, bindings)?),
+            pattern: Box::new(bind_expr(pattern, bindings)?),
+            negated: *negated,
+        },
+        Expr::Agg {
+            func,
+            arg,
+            distinct,
+        } => Expr::Agg {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(bind_expr(a, bindings)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    #[test]
+    fn collects_named_and_positional() {
+        let stmt =
+            parse_statement("SELECT * FROM t WHERE a = ?MyUId AND b = ? AND c = ?Other AND d = ?")
+                .unwrap();
+        let (named, positional) = collect_params(&stmt);
+        assert_eq!(
+            named.into_iter().collect::<Vec<_>>(),
+            vec!["MyUId", "Other"]
+        );
+        assert_eq!(positional, 2);
+    }
+
+    #[test]
+    fn binds_view_for_session() {
+        let stmt = parse_statement("SELECT EId FROM Attendance WHERE UId = ?MyUId").unwrap();
+        let bound = bind_statement(&stmt, &ParamBindings::new().with("MyUId", 1)).unwrap();
+        assert_eq!(
+            bound.to_string(),
+            "SELECT EId FROM Attendance WHERE UId = 1"
+        );
+    }
+
+    #[test]
+    fn binds_positional_in_order() {
+        let stmt = parse_statement("SELECT 1 FROM t WHERE a = ? AND b = ?").unwrap();
+        let b = ParamBindings::new()
+            .with_positional(10)
+            .with_positional("x");
+        let bound = bind_statement(&stmt, &b).unwrap();
+        assert_eq!(
+            bound.to_string(),
+            "SELECT 1 FROM t WHERE a = 10 AND b = 'x'"
+        );
+    }
+
+    #[test]
+    fn unbound_parameter_errors() {
+        let stmt = parse_statement("SELECT 1 FROM t WHERE a = ?Missing").unwrap();
+        match bind_statement(&stmt, &ParamBindings::new()) {
+            Err(SqlError::UnboundParameter(n)) => assert_eq!(n, "Missing"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binds_inside_subqueries() {
+        let stmt =
+            parse_statement("SELECT 1 FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = ?MyUId)")
+                .unwrap();
+        let bound = bind_statement(&stmt, &ParamBindings::new().with("MyUId", 7)).unwrap();
+        assert!(bound.to_string().contains("u.id = 7"));
+    }
+
+    #[test]
+    fn set_replaces_existing_binding() {
+        let mut b = ParamBindings::new();
+        b.set("X", 1);
+        b.set("X", 2);
+        assert_eq!(b.get("X"), Some(&Value::Int(2)));
+    }
+}

@@ -1,0 +1,413 @@
+//! Pretty-printing of AST nodes back to SQL text.
+//!
+//! The printer's output parses back to the same AST (property-tested in the
+//! crate's test suite), which lets every crate in the workspace treat SQL
+//! strings and ASTs interchangeably.
+
+use std::fmt;
+
+use crate::ast::{
+    Distinctness, Expr, Param, Query, SelectItem, Statement, TableConstraint, TableRef,
+};
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Select(q) => q.fmt(f),
+            Statement::Insert(ins) => {
+                write!(f, "INSERT INTO {}", ins.table)?;
+                if !ins.columns.is_empty() {
+                    write!(f, " ({})", ins.columns.join(", "))?;
+                }
+                f.write_str(" VALUES ")?;
+                for (i, row) in ins.rows.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    f.write_str("(")?;
+                    write_comma_separated(f, row)?;
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Statement::Update(u) => {
+                write!(f, "UPDATE {} SET ", u.table)?;
+                for (i, a) in u.assignments.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{} = {}", a.column, a.value)?;
+                }
+                if let Some(w) = &u.where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete(d) => {
+                write!(f, "DELETE FROM {}", d.table)?;
+                if let Some(w) = &d.where_clause {
+                    write!(f, " WHERE {w}")?;
+                }
+                Ok(())
+            }
+            Statement::CreateTable(ct) => {
+                write!(f, "CREATE TABLE {} (", ct.name)?;
+                let mut first = true;
+                for c in &ct.columns {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    first = false;
+                    write!(f, "{} {}", c.name, c.ty)?;
+                    if c.not_null {
+                        f.write_str(" NOT NULL")?;
+                    }
+                    if c.primary_key {
+                        f.write_str(" PRIMARY KEY")?;
+                    }
+                    if c.unique {
+                        f.write_str(" UNIQUE")?;
+                    }
+                }
+                for con in &ct.constraints {
+                    if !first {
+                        f.write_str(", ")?;
+                    }
+                    first = false;
+                    match con {
+                        TableConstraint::PrimaryKey(cols) => {
+                            write!(f, "PRIMARY KEY ({})", cols.join(", "))?;
+                        }
+                        TableConstraint::Unique(cols) => {
+                            write!(f, "UNIQUE ({})", cols.join(", "))?;
+                        }
+                        TableConstraint::ForeignKey {
+                            columns,
+                            ref_table,
+                            ref_columns,
+                        } => {
+                            write!(
+                                f,
+                                "FOREIGN KEY ({}) REFERENCES {}",
+                                columns.join(", "),
+                                ref_table
+                            )?;
+                            if !ref_columns.is_empty() {
+                                write!(f, " ({})", ref_columns.join(", "))?;
+                            }
+                        }
+                    }
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct == Distinctness::Distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match item {
+                SelectItem::Wildcard => f.write_str("*")?,
+                SelectItem::QualifiedWildcard(t) => write!(f, "{t}.*")?,
+                SelectItem::Expr { expr, alias } => {
+                    expr.fmt(f)?;
+                    if let Some(a) = alias {
+                        write!(f, " AS {a}")?;
+                    }
+                }
+            }
+        }
+        if !self.from.is_empty() {
+            f.write_str(" FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                t.fmt(f)?;
+            }
+            for j in &self.joins {
+                write!(f, " JOIN {} ON {}", j.table, j.on)?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            f.write_str(" GROUP BY ")?;
+            write_comma_separated(f, &self.group_by)?;
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            f.write_str(" ORDER BY ")?;
+            for (i, k) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                k.expr.fmt(f)?;
+                if k.desc {
+                    f.write_str(" DESC")?;
+                }
+            }
+        }
+        if let Some(n) = self.limit {
+            write!(f, " LIMIT {n}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.table)?;
+        if let Some(a) = &self.alias {
+            write!(f, " {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Operator precedence levels used to decide parenthesization.
+fn precedence(e: &Expr) -> u8 {
+    use crate::ast::BinaryOp::*;
+    match e {
+        Expr::Binary { op: Or, .. } => 1,
+        Expr::Binary { op: And, .. } => 2,
+        Expr::Unary {
+            op: crate::ast::UnaryOp::Not,
+            ..
+        } => 3,
+        Expr::Binary { op, .. } if op.is_comparison() => 4,
+        Expr::IsNull { .. }
+        | Expr::InList { .. }
+        | Expr::InSubquery { .. }
+        | Expr::Between { .. }
+        | Expr::Like { .. } => 4,
+        Expr::Binary { op: Add | Sub, .. } => 5,
+        Expr::Binary { op: Mul | Div, .. } => 6,
+        _ => 7,
+    }
+}
+
+fn write_operand(f: &mut fmt::Formatter<'_>, parent: u8, child: &Expr) -> fmt::Result {
+    if precedence(child) < parent {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+/// Like [`write_operand`] but also parenthesizes equal-precedence children,
+/// for right operands of non-associative positions.
+fn write_operand_strict(f: &mut fmt::Formatter<'_>, parent: u8, child: &Expr) -> fmt::Result {
+    if precedence(child) <= parent {
+        write!(f, "({child})")
+    } else {
+        write!(f, "{child}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => f.write_str(&v.to_sql_literal()),
+            Expr::Param(Param::Named(n)) => write!(f, "?{n}"),
+            Expr::Param(Param::Positional(_)) => f.write_str("?"),
+            Expr::Column(c) => match &c.table {
+                Some(t) => write!(f, "{t}.{}", c.column),
+                None => f.write_str(&c.column),
+            },
+            Expr::Unary { op, expr } => match op {
+                crate::ast::UnaryOp::Not => {
+                    f.write_str("NOT ")?;
+                    write_operand(f, 3, expr)
+                }
+                crate::ast::UnaryOp::Neg => {
+                    f.write_str("-")?;
+                    write_operand_strict(f, 6, expr)
+                }
+            },
+            Expr::Binary { op, lhs, rhs } => {
+                let p = precedence(self);
+                if op.is_comparison() {
+                    // Comparisons are non-associative on both sides:
+                    // `a = b = c` and `a BETWEEN x AND y = c` are invalid.
+                    write_operand_strict(f, p, lhs)?;
+                    write!(f, " {} ", op.symbol())?;
+                    write_operand_strict(f, p, rhs)
+                } else {
+                    // The grammar is left-associative, so a right operand at
+                    // equal precedence needs parentheses — both to round-trip
+                    // the tree shape and for correctness of `-` and `/`.
+                    write_operand(f, p, lhs)?;
+                    write!(f, " {} ", op.symbol())?;
+                    write_operand_strict(f, p, rhs)
+                }
+            }
+            Expr::IsNull { expr, negated } => {
+                write_operand_strict(f, 4, expr)?;
+                f.write_str(if *negated { " IS NOT NULL" } else { " IS NULL" })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write_operand_strict(f, 4, expr)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                write_comma_separated(f, list)?;
+                f.write_str(")")
+            }
+            Expr::InSubquery {
+                expr,
+                query,
+                negated,
+            } => {
+                write_operand_strict(f, 4, expr)?;
+                f.write_str(if *negated { " NOT IN (" } else { " IN (" })?;
+                query.fmt(f)?;
+                f.write_str(")")
+            }
+            Expr::Exists { query, negated } => {
+                if *negated {
+                    f.write_str("NOT ")?;
+                }
+                write!(f, "EXISTS ({query})")
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                write_operand_strict(f, 4, expr)?;
+                f.write_str(if *negated {
+                    " NOT BETWEEN "
+                } else {
+                    " BETWEEN "
+                })?;
+                write_operand_strict(f, 4, low)?;
+                f.write_str(" AND ")?;
+                write_operand_strict(f, 4, high)
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                write_operand_strict(f, 4, expr)?;
+                f.write_str(if *negated { " NOT LIKE " } else { " LIKE " })?;
+                write_operand_strict(f, 4, pattern)
+            }
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
+                write!(f, "{}(", func.name())?;
+                match arg {
+                    None => f.write_str("*")?,
+                    Some(a) => {
+                        if *distinct {
+                            f.write_str("DISTINCT ")?;
+                        }
+                        a.fmt(f)?;
+                    }
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+fn write_comma_separated(f: &mut fmt::Formatter<'_>, items: &[Expr]) -> fmt::Result {
+    for (i, e) in items.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        fmt::Display::fmt(e, f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_expr, parse_statement};
+
+    /// Statements round-trip: parse -> print -> parse yields the same AST.
+    fn roundtrip(sql: &str) {
+        let ast1 = parse_statement(sql).unwrap();
+        let printed = ast1.to_string();
+        let ast2 = parse_statement(&printed)
+            .unwrap_or_else(|e| panic!("reparse of `{printed}` failed: {e}"));
+        assert_eq!(
+            ast1, ast2,
+            "round-trip changed AST for `{sql}` -> `{printed}`"
+        );
+    }
+
+    #[test]
+    fn roundtrips_paper_examples() {
+        roundtrip("SELECT EId FROM Attendance WHERE UId = ?MyUId");
+        roundtrip("SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId WHERE a.UId = ?MyUId");
+        roundtrip("SELECT 1 FROM Attendance WHERE UId = 1 AND EId = 2");
+        roundtrip("SELECT * FROM Events WHERE EId = 2");
+        roundtrip("SELECT name FROM Employees WHERE age >= 60");
+    }
+
+    #[test]
+    fn roundtrips_complex_queries() {
+        roundtrip(
+            "SELECT DISTINCT e.Title AS t, COUNT(*) AS n FROM Events e \
+             JOIN Attendance a ON e.EId = a.EId WHERE a.UId = 3 AND (e.Kind = 'x' OR e.Kind = 'y') \
+             GROUP BY e.Title HAVING COUNT(*) >= 2 ORDER BY n DESC, t LIMIT 10",
+        );
+        roundtrip("SELECT 1 FROM t WHERE a NOT IN (1, 2) AND b IS NOT NULL");
+        roundtrip("SELECT 1 FROM t WHERE NOT EXISTS (SELECT 1 FROM u WHERE u.x = t.x)");
+        roundtrip("SELECT 1 FROM t WHERE a BETWEEN 1 AND 2 OR b LIKE 'x%'");
+        roundtrip("SELECT 1 FROM t WHERE a IN (SELECT b FROM u WHERE u.c = 1)");
+    }
+
+    #[test]
+    fn roundtrips_dml_and_ddl() {
+        roundtrip("INSERT INTO t (a, b) VALUES (1, 'x''y'), (2, NULL)");
+        roundtrip("UPDATE t SET a = a + 1 WHERE b < 10");
+        roundtrip("DELETE FROM t WHERE a = 1");
+        roundtrip(
+            "CREATE TABLE t (a INT NOT NULL PRIMARY KEY, b TEXT, c BOOL NOT NULL, \
+             UNIQUE (b), FOREIGN KEY (a) REFERENCES u (x))",
+        );
+    }
+
+    #[test]
+    fn parenthesization_preserves_precedence() {
+        let e = parse_expr("(a = 1 OR b = 2) AND c = 3").unwrap();
+        let printed = e.to_string();
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+        assert!(printed.contains('('), "needs parens: {printed}");
+    }
+
+    #[test]
+    fn not_binds_tighter_than_and() {
+        let e = parse_expr("NOT (a = 1 AND b = 2)").unwrap();
+        let printed = e.to_string();
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+
+    #[test]
+    fn arithmetic_parens() {
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        let printed = e.to_string();
+        assert_eq!(printed, "(1 + 2) * 3");
+        assert_eq!(parse_expr(&printed).unwrap(), e);
+    }
+}

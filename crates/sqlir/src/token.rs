@@ -1,0 +1,430 @@
+//! Hand-written SQL lexer.
+//!
+//! The lexer is case-insensitive for keywords but preserves identifier case
+//! (schemas in this workspace use mixed-case names like `EId`). Tokens carry
+//! the byte offset at which they start, which the parser threads into error
+//! messages.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A bare identifier (table, column, alias, function name).
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A string literal with quotes removed and `''` unescaped.
+    Str(String),
+    /// A named parameter `?Name`.
+    NamedParam(String),
+    /// A positional parameter `?` (0-based index in occurrence order).
+    PositionalParam(usize),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `*`.
+    Star,
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `;`.
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Returns a short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(i) => format!("integer `{i}`"),
+            Tok::Str(s) => format!("string '{s}'"),
+            Tok::NamedParam(n) => format!("parameter ?{n}"),
+            Tok::PositionalParam(_) => "parameter ?".to_string(),
+            Tok::LParen => "`(`".to_string(),
+            Tok::RParen => "`)`".to_string(),
+            Tok::Comma => "`,`".to_string(),
+            Tok::Dot => "`.`".to_string(),
+            Tok::Star => "`*`".to_string(),
+            Tok::Eq => "`=`".to_string(),
+            Tok::Ne => "`<>`".to_string(),
+            Tok::Lt => "`<`".to_string(),
+            Tok::Le => "`<=`".to_string(),
+            Tok::Gt => "`>`".to_string(),
+            Tok::Ge => "`>=`".to_string(),
+            Tok::Plus => "`+`".to_string(),
+            Tok::Minus => "`-`".to_string(),
+            Tok::Slash => "`/`".to_string(),
+            Tok::Semicolon => "`;`".to_string(),
+            Tok::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+/// A token paired with its starting byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Lexes an entire input string into tokens (ending with [`Tok::Eof`]).
+pub fn lex(input: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut positional = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment: skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push(SpannedTok {
+                    tok: Tok::LParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ')' => {
+                toks.push(SpannedTok {
+                    tok: Tok::RParen,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ',' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Comma,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '.' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Dot,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '*' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Star,
+                    offset: start,
+                });
+                i += 1;
+            }
+            ';' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Semicolon,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '+' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Plus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '-' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Minus,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '/' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Slash,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '=' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Eq,
+                    offset: start,
+                });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("unexpected `!`", start));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Le,
+                        offset: start,
+                    });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Ne,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok {
+                        tok: Tok::Lt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    toks.push(SpannedTok {
+                        tok: Tok::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                } else {
+                    toks.push(SpannedTok {
+                        tok: Tok::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            }
+            '?' => {
+                i += 1;
+                let ident_start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                if i > ident_start {
+                    toks.push(SpannedTok {
+                        tok: Tok::NamedParam(input[ident_start..i].to_string()),
+                        offset: start,
+                    });
+                } else {
+                    toks.push(SpannedTok {
+                        tok: Tok::PositionalParam(positional),
+                        offset: start,
+                    });
+                    positional += 1;
+                }
+            }
+            '\'' => {
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if bytes.get(i + 1) == Some(&b'\'') {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Strings are UTF-8; copy char-by-char from the slice.
+                        let ch_len = utf8_len(bytes[i]);
+                        s.push_str(&input[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    offset: start,
+                });
+            }
+            '0'..='9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("integer out of range: {text}"), start))?;
+                toks.push(SpannedTok {
+                    tok: Tok::Int(v),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // Quoted identifier.
+                    i += 1;
+                    let ident_start = i;
+                    while i < bytes.len() && bytes[i] != b'"' {
+                        i += 1;
+                    }
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated quoted identifier", start));
+                    }
+                    toks.push(SpannedTok {
+                        tok: Tok::Ident(input[ident_start..i].to_string()),
+                        offset: start,
+                    });
+                    i += 1;
+                } else {
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    toks.push(SpannedTok {
+                        tok: Tok::Ident(input[start..i].to_string()),
+                        offset: start,
+                    });
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    start,
+                ));
+            }
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        offset: input.len(),
+    });
+    Ok(toks)
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Tok> {
+        lex(input).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_basic_select() {
+        let ts = toks("SELECT * FROM t WHERE a = 1");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("SELECT".into()),
+                Tok::Star,
+                Tok::Ident("FROM".into()),
+                Tok::Ident("t".into()),
+                Tok::Ident("WHERE".into()),
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_params() {
+        let ts = toks("? ?MyUId ?");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::PositionalParam(0),
+                Tok::NamedParam("MyUId".into()),
+                Tok::PositionalParam(1),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_escapes() {
+        let ts = toks("'it''s' ''");
+        assert_eq!(
+            ts,
+            vec![Tok::Str("it's".into()), Tok::Str("".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_comparison_operators() {
+        let ts = toks("<> != <= >= < >");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let ts = toks("SELECT -- comment\n 1");
+        assert_eq!(ts, vec![Tok::Ident("SELECT".into()), Tok::Int(1), Tok::Eof]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn lexes_quoted_identifier() {
+        let ts = toks("\"Order\"");
+        assert_eq!(ts, vec![Tok::Ident("Order".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn lexes_unicode_string() {
+        let ts = toks("'héllo ☃'");
+        assert_eq!(ts, vec![Tok::Str("héllo ☃".into()), Tok::Eof]);
+    }
+}

@@ -1,0 +1,137 @@
+//! Disclosure audit (a miniature of experiment T3): the hospital scenario
+//! of Example 4.1 and the age-threshold queries of Example 4.2, checked
+//! under every criterion — PQI/NQI certificates, the exact small-model
+//! decision, and the Bayesian baseline at several priors.
+//!
+//! Run with: `cargo run --example disclosure_audit`
+
+use beyond_enforcement::disclose::{belief_shift, decide};
+use beyond_enforcement::prelude::*;
+use qlogic::{Atom, CmpOp, Comparison};
+
+fn named(mut cq: Cq, name: &str) -> Cq {
+    cq.name = Some(name.to_string());
+    cq
+}
+
+fn main() {
+    hospital();
+    employees();
+}
+
+/// Example 4.1: staff see patient→doctor and doctor→diseases; a patient's
+/// own disease is sensitive.
+fn hospital() {
+    println!("=== hospital (Example 4.1) ===");
+    let v1 = named(
+        Cq::new(
+            vec![Term::var("p"), Term::var("doc")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+            )],
+            vec![],
+        ),
+        "PatientDoctor",
+    );
+    let v2 = named(
+        Cq::new(
+            vec![Term::var("doc"), Term::var("dis")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+            )],
+            vec![],
+        ),
+        "DoctorDiseases",
+    );
+    let sensitive = Cq::new(
+        vec![Term::var("p"), Term::var("dis")],
+        vec![Atom::new(
+            "Treatment",
+            vec![Term::var("p"), Term::var("doc"), Term::var("dis")],
+        )],
+        vec![],
+    );
+    let views = ViewSet::new(vec![v1, v2]).unwrap();
+    let universe = Universe::with_int_domain(
+        vec![RelationSpec {
+            name: "Treatment".into(),
+            arity: 3,
+            max_rows: 2,
+        }],
+        2,
+    );
+
+    let report = audit(
+        &sensitive,
+        &views,
+        Some(&universe),
+        Some(BayesConfig::default()),
+    )
+    .expect("audit");
+    print!("{report}");
+
+    // The Bayesian verdict moves with the prior — the §4.2 objection.
+    println!("  Bayesian shift by prior:");
+    for p in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let b = belief_shift(&universe, &views, &sensitive, BayesConfig { tuple_prob: p })
+            .expect("bayes");
+        println!("    p = {p:.1} → max shift {:.3}", b.max_shift);
+    }
+    println!();
+}
+
+/// Example 4.2: seniors vs adults, both implication directions.
+fn employees() {
+    println!("=== employees (Example 4.2) ===");
+    let seniors = |name: &str| {
+        named(
+            Cq::new(
+                vec![Term::var("n")],
+                vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+                vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(60))],
+            ),
+            name,
+        )
+    };
+    let adults = |name: &str| {
+        named(
+            Cq::new(
+                vec![Term::var("n")],
+                vec![Atom::new("Employees", vec![Term::var("n"), Term::var("a")])],
+                vec![Comparison::new(Term::var("a"), CmpOp::Ge, Term::int(18))],
+            ),
+            name,
+        )
+    };
+
+    // Direction 1: V = {seniors}, S = adults → PQI (positive inference).
+    let views = ViewSet::new(vec![seniors("Q1")]).unwrap();
+    let report = audit(&adults("S"), &views, None, None).expect("audit");
+    println!("V = {{seniors}}, S = adults:");
+    print!("{report}");
+
+    // Direction 2: V = {adults}, S = seniors → NQI (negative inference).
+    let views = ViewSet::new(vec![adults("Q2")]).unwrap();
+    let report = audit(&seniors("S"), &views, None, None).expect("audit");
+    println!("V = {{adults}}, S = seniors:");
+    print!("{report}");
+
+    // Small-model confirmation on a bounded age domain.
+    let universe = Universe {
+        relations: vec![RelationSpec {
+            name: "Employees".into(),
+            arity: 2,
+            max_rows: 2,
+        }],
+        domain: vec![Value::Int(17), Value::Int(30), Value::Int(61)],
+        cap: 2_000_000,
+    };
+    let views = ViewSet::new(vec![adults("Q2")]).unwrap();
+    let verdict = decide(&universe, &views, &seniors("S")).expect("small model");
+    println!(
+        "small-model check (ages {{17, 30, 61}}): PQI={} NQI={} over {} databases",
+        verdict.pqi, verdict.nqi, verdict.databases
+    );
+}

@@ -1,0 +1,87 @@
+//! Quickstart: the paper's Example 2.1, end to end through the proxy.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use beyond_enforcement::prelude::*;
+
+fn main() {
+    // The calendar database of Example 2.1.
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+    )
+    .unwrap();
+    db.execute_sql(
+        "INSERT INTO Events (EId, Title, Kind) VALUES (2, 'standup', 'work'), \
+         (3, 'party', 'fun')",
+    )
+    .unwrap();
+    db.execute_sql("INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 2, NULL), (2, 3, 'cake')")
+        .unwrap();
+
+    // The policy: each user sees the events they attend (V1) and their
+    // details (V2).
+    let schema = schema_of_database(&db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[
+            ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+            (
+                "V2",
+                "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                 WHERE a.UId = ?MyUId",
+            ),
+        ],
+    )
+    .unwrap();
+    println!("policy:");
+    for v in policy.views() {
+        println!("  {}: {}", v.name, v.sql);
+    }
+
+    let checker = ComplianceChecker::new(schema, policy);
+    let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+    let session = proxy.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+
+    let show = |proxy: &mut SqlProxy, label: &str, sql: &str| {
+        let response = proxy.execute(session, sql, &[]).unwrap();
+        match &response {
+            ProxyResponse::Rows(rows) => {
+                println!("{label}: ALLOWED, {} row(s)", rows.len());
+                for row in &rows.rows {
+                    println!("    {row:?}");
+                }
+            }
+            ProxyResponse::Blocked(reason) => {
+                println!("{label}: BLOCKED ({})", reason.label());
+            }
+            ProxyResponse::Affected(n) => println!("{label}: {n} rows affected"),
+        }
+    };
+
+    println!("\n-- Q2 in isolation is blocked:");
+    show(&mut proxy, "Q2", "SELECT * FROM Events WHERE EId = 2");
+
+    println!("\n-- Q1 (the access check) is allowed and returns a row:");
+    show(
+        &mut proxy,
+        "Q1",
+        "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
+    );
+
+    println!("\n-- Q2 again, now allowed thanks to the trace:");
+    show(&mut proxy, "Q2", "SELECT * FROM Events WHERE EId = 2");
+
+    println!("\n-- probing another user's event stays blocked:");
+    show(&mut proxy, "Q3", "SELECT * FROM Events WHERE EId = 3");
+
+    let stats = proxy.stats();
+    println!(
+        "\nproxy stats: {} allowed, {} blocked ({} fresh proofs)",
+        stats.allowed,
+        stats.blocked,
+        stats.concrete_proofs + stats.template_proofs,
+    );
+}

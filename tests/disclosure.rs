@@ -1,0 +1,196 @@
+//! Integration tests for §4 policy evaluation: the paper's disclosure
+//! scenarios run end to end against the simulated applications' ground-truth
+//! policies, cross-checking the certificate checkers against the exact
+//! small-model decider and the sampler.
+
+use beyond_enforcement::disclose::{
+    belief_shift, check_nqi, check_pqi, decide, decide_sampled, BayesConfig, RelationSpec, Universe,
+};
+use beyond_enforcement::prelude::*;
+use qlogic::Atom;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn named(mut cq: Cq, name: &str) -> Cq {
+    cq.name = Some(name.to_string());
+    cq
+}
+
+/// The hospital app's real policy views (Example 4.1) evaluated against the
+/// patient-disease link.
+#[test]
+fn hospital_policy_discloses_the_narrowing() {
+    let policy = appsim::HOSPITAL.policy().unwrap();
+    let views = policy.instantiate(&[]).unwrap();
+    // Sensitive: which disease each patient is treated for.
+    let sensitive = Cq::new(
+        vec![Term::var("p"), Term::var("dis")],
+        vec![Atom::new(
+            "Treatment",
+            vec![Term::var("p"), Term::var("d"), Term::var("dis")],
+        )],
+        vec![],
+    );
+    // Certificate: the VA ⋈ VB upper bound (negative inference) exists.
+    assert!(check_nqi(&sensitive, &views).holds());
+    // And the enforcement checker would block the direct query.
+    assert!(qlogic::equivalent_rewriting(&sensitive, &views, &[]).is_none());
+}
+
+/// The exact decider and the sampler agree on the scenarios both can reach.
+#[test]
+fn sampler_consistent_with_exact() {
+    let universe = Universe::with_int_domain(
+        vec![RelationSpec {
+            name: "Treatment".into(),
+            arity: 3,
+            max_rows: 2,
+        }],
+        2,
+    );
+    let v1 = named(
+        Cq::new(
+            vec![Term::var("p"), Term::var("d")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("d"), Term::var("x")],
+            )],
+            vec![],
+        ),
+        "PD",
+    );
+    let v2 = named(
+        Cq::new(
+            vec![Term::var("d"), Term::var("x")],
+            vec![Atom::new(
+                "Treatment",
+                vec![Term::var("p"), Term::var("d"), Term::var("x")],
+            )],
+            vec![],
+        ),
+        "DX",
+    );
+    let s = Cq::new(
+        vec![Term::var("p"), Term::var("x")],
+        vec![Atom::new(
+            "Treatment",
+            vec![Term::var("p"), Term::var("d"), Term::var("x")],
+        )],
+        vec![],
+    );
+    let views = ViewSet::new(vec![v1, v2]).unwrap();
+    let exact = decide(&universe, &views, &s).unwrap();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let sampled = decide_sampled(&universe, &views, &s, 400, &mut rng).unwrap();
+    assert!(exact.nqi && sampled.nqi);
+    // The sampler's sound direction never contradicts the exact decider.
+    if sampled.nqi {
+        assert!(exact.nqi);
+    }
+}
+
+/// The calendar ground-truth policy protects cross-user attendance: no PQI,
+/// no Bayesian shift beyond what view emptiness implies at matched scale.
+#[test]
+fn calendar_policy_protects_other_users() {
+    let policy = appsim::CALENDAR.policy().unwrap();
+    // Instantiate for user 0 of a two-user toy universe.
+    let views = policy
+        .instantiate(&[("MyUId".to_string(), Value::Int(0))])
+        .unwrap();
+    // Sensitive: user 1's attendance.
+    let sensitive = Cq::new(
+        vec![Term::var("e")],
+        vec![Atom::new(
+            "Attendance",
+            vec![Term::int(1), Term::var("e"), Term::var("n")],
+        )],
+        vec![],
+    );
+    assert!(!check_pqi(&sensitive, &views).holds());
+    assert!(
+        qlogic::equivalent_rewriting(&sensitive, &views, &[]).is_none(),
+        "the direct cross-user query is blocked"
+    );
+}
+
+/// Bayesian verdicts move with the prior while the certificates stay put —
+/// §4.2's dilemma, asserted.
+#[test]
+fn bayesian_depends_on_prior_certificates_do_not() {
+    let universe = Universe::with_int_domain(
+        vec![RelationSpec {
+            name: "R".into(),
+            arity: 1,
+            max_rows: 2,
+        }],
+        2,
+    );
+    // The view reveals only non-emptiness of R.
+    let v = named(
+        Cq::new(vec![], vec![Atom::new("R", vec![Term::var("x")])], vec![]),
+        "NonEmpty",
+    );
+    let s = Cq::new(
+        vec![Term::var("x")],
+        vec![Atom::new("R", vec![Term::var("x")])],
+        vec![],
+    );
+    let views = ViewSet::new(vec![v]).unwrap();
+
+    let lo = belief_shift(&universe, &views, &s, BayesConfig { tuple_prob: 0.1 })
+        .unwrap()
+        .max_shift;
+    let hi = belief_shift(&universe, &views, &s, BayesConfig { tuple_prob: 0.9 })
+        .unwrap()
+        .max_shift;
+    assert!(
+        (lo - hi).abs() > 0.05,
+        "Bayesian verdict moved: {lo} vs {hi}"
+    );
+
+    // The prior-agnostic certificates give one answer, independent of any p.
+    let pqi = check_pqi(&s, &views).holds();
+    let nqi = check_nqi(&s, &views).holds();
+    assert!(!pqi, "emptiness alone cannot certify a positive answer");
+    assert!(!nqi, "and bounds nothing from above");
+}
+
+/// Auditing an extracted policy via the Lifecycle façade end to end.
+#[test]
+fn lifecycle_audit_of_extracted_forum_policy() {
+    let mut lc = beyond_enforcement::Lifecycle::new(appsim::FORUM.app(), appsim::FORUM.schema());
+    lc.extract_policy(&ViewGenOptions {
+        session_params: vec!["MyUId".into()],
+    })
+    .unwrap();
+
+    // Sensitive: posts of a group user 999 is not in.
+    let sensitive = Cq::new(
+        vec![Term::var("t"), Term::var("b")],
+        vec![
+            Atom::new(
+                "Posts",
+                vec![
+                    Term::var("p"),
+                    Term::var("g"),
+                    Term::var("a"),
+                    Term::var("t"),
+                    Term::var("b"),
+                ],
+            ),
+            Atom::new(
+                "Membership",
+                vec![Term::int(999), Term::var("g"), Term::var("r")],
+            ),
+        ],
+        vec![],
+    );
+    let report = lc
+        .audit_sensitive(&sensitive, &[("MyUId".to_string(), Value::Int(101))])
+        .unwrap();
+    assert!(
+        !report.pqi.holds(),
+        "another user's group feed must not become certain: {report}"
+    );
+}

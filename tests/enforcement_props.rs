@@ -1,0 +1,170 @@
+//! Property-based security tests of the enforcement proxy: under random
+//! interleavings of probes and fetches, an event's details are revealed to
+//! a session only when that session's user actually attends the event —
+//! the confidentiality guarantee of Example 2.1's policy, tested as an
+//! oracle over the concrete database.
+
+use beyond_enforcement::prelude::*;
+use proptest::prelude::*;
+
+/// The calendar database: users 0..U, events 0..E, attendance pairs given.
+fn build_db(users: i64, events: i64, attendance: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+    )
+    .unwrap();
+    for e in 0..events {
+        db.execute_sql(&format!(
+            "INSERT INTO Events (EId, Title, Kind) VALUES ({e}, 'secret{e}', 'k{e}')"
+        ))
+        .unwrap();
+    }
+    for (u, e) in attendance {
+        if *u < users && *e < events {
+            let _ = db.execute_sql(&format!(
+                "INSERT INTO Attendance (UId, EId, Notes) VALUES ({u}, {e}, NULL)"
+            ));
+        }
+    }
+    db
+}
+
+fn proxy_for(db: Database) -> SqlProxy {
+    let schema = schema_of_database(&db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[
+            ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+            (
+                "V2",
+                "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                 WHERE a.UId = ?MyUId",
+            ),
+        ],
+    )
+    .unwrap();
+    SqlProxy::new(
+        db,
+        ComplianceChecker::new(schema, policy),
+        ProxyConfig::default(),
+    )
+}
+
+/// One step of the random workload.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Probe attendance of (user's own or someone else's) pair.
+    Probe { uid: i64, eid: i64 },
+    /// Fetch an event's details.
+    Fetch { eid: i64 },
+}
+
+fn step_strategy(users: i64, events: i64) -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..users, 0..events).prop_map(|(uid, eid)| Step::Probe { uid, eid }),
+        (0..events).prop_map(|eid| Step::Fetch { eid }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Confidentiality: the proxy returns an event's Title only to sessions
+    /// whose user attends that event, regardless of the query sequence.
+    #[test]
+    fn event_details_never_leak(
+        attendance in proptest::collection::vec((0i64..4, 0i64..4), 0..10),
+        session_uid in 0i64..4,
+        steps in proptest::collection::vec(step_strategy(4, 4), 1..14),
+    ) {
+        let db = build_db(4, 4, &attendance);
+        // Ground truth: the pairs that actually made it into the table.
+        let attends: Vec<(i64, i64)> = db
+            .query_sql("SELECT UId, EId FROM Attendance")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+
+        let mut proxy = proxy_for(db);
+        let session =
+            proxy.begin_session(vec![("MyUId".into(), Value::Int(session_uid))]);
+
+        for step in &steps {
+            match step {
+                Step::Probe { uid, eid } => {
+                    // Probing an arbitrary (uid, eid) pair: allowed only for
+                    // the session's own uid; either way it must not error.
+                    let sql = format!(
+                        "SELECT 1 FROM Attendance WHERE UId = {uid} AND EId = {eid}"
+                    );
+                    let response = proxy.execute(session, &sql, &[]).unwrap();
+                    if *uid != session_uid {
+                        prop_assert!(
+                            !response.is_allowed(),
+                            "probing user {uid} from session {session_uid} must be blocked"
+                        );
+                    }
+                }
+                Step::Fetch { eid } => {
+                    let sql =
+                        format!("SELECT EId, Title, Kind FROM Events WHERE EId = {eid}");
+                    let response = proxy.execute(session, &sql, &[]).unwrap();
+                    if let ProxyResponse::Rows(rows) = &response {
+                        if !rows.is_empty() {
+                            prop_assert!(
+                                attends.contains(&(session_uid, *eid)),
+                                "event {eid} details revealed to non-attendee {session_uid} \
+                                 (attendance: {attends:?}, steps: {steps:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Liveness: the legitimate two-step flow (own probe returns a row, then
+    /// fetch) always succeeds.
+    #[test]
+    fn legitimate_flow_always_succeeds(
+        attendance in proptest::collection::vec((0i64..4, 0i64..4), 1..10),
+        pick in 0usize..10,
+    ) {
+        let db = build_db(4, 4, &attendance);
+        let attends: Vec<(i64, i64)> = db
+            .query_sql("SELECT UId, EId FROM Attendance")
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assume!(!attends.is_empty());
+        let (uid, eid) = attends[pick % attends.len()];
+
+        let mut proxy = proxy_for(db);
+        let session = proxy.begin_session(vec![("MyUId".into(), Value::Int(uid))]);
+        let probe = proxy
+            .execute(
+                session,
+                &format!("SELECT 1 FROM Attendance WHERE UId = {uid} AND EId = {eid}"),
+                &[],
+            )
+            .unwrap();
+        prop_assert!(probe.is_allowed());
+        prop_assert!(!probe.rows().unwrap().is_empty());
+        let fetch = proxy
+            .execute(
+                session,
+                &format!("SELECT EId, Title, Kind FROM Events WHERE EId = {eid}"),
+                &[],
+            )
+            .unwrap();
+        prop_assert!(fetch.is_allowed(), "attendee fetch must succeed");
+        prop_assert_eq!(fetch.rows().unwrap().len(), 1);
+    }
+}
