@@ -68,9 +68,12 @@ impl SimApp {
 }
 
 /// A [`QueryPort`] adapter running handlers through the enforcing proxy.
+///
+/// Holds a shared reference: any number of ports (one per worker thread,
+/// say) can drive the same proxy concurrently.
 pub struct ProxyPort<'a> {
     /// The proxy.
-    pub proxy: &'a mut SqlProxy,
+    pub proxy: &'a SqlProxy,
     /// The session id to execute under.
     pub session: u64,
 }

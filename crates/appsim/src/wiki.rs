@@ -148,7 +148,7 @@ mod tests {
         use crate::simapp::ProxyPort;
         let db = seeded();
         let checker = bep_core::ComplianceChecker::new(WIKI.schema(), WIKI.policy().unwrap());
-        let mut proxy = bep_core::SqlProxy::new(db, checker, bep_core::ProxyConfig::default());
+        let proxy = bep_core::SqlProxy::new(db, checker, bep_core::ProxyConfig::default());
         let app = WIKI.app();
         let ann = vec![("MyUId".to_string(), Value::Int(101))];
         for (handler, params) in [
@@ -158,7 +158,7 @@ mod tests {
         ] {
             let session = proxy.begin_session(ann.clone());
             let mut port = ProxyPort {
-                proxy: &mut proxy,
+                proxy: &proxy,
                 session,
             };
             let r = run_handler(

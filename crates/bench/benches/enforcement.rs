@@ -18,7 +18,7 @@ fn bench_proxy_overhead(c: &mut Criterion) {
 
     // Baseline: the bare database.
     group.bench_function("direct", |b| {
-        let mut proxy = proxy_for(&env, ProxyConfig::default());
+        let proxy = proxy_for(&env, ProxyConfig::default());
         b.iter(|| {
             let r = proxy.execute_unchecked(sql, &bindings).unwrap();
             std::hint::black_box(r);
@@ -27,7 +27,7 @@ fn bench_proxy_overhead(c: &mut Criterion) {
 
     // Full proxy: first call proves the template, the rest hit the cache.
     group.bench_function("proxy_cached", |b| {
-        let mut proxy = proxy_for(&env, ProxyConfig::default());
+        let proxy = proxy_for(&env, ProxyConfig::default());
         let session = proxy.begin_session(bindings.clone());
         proxy.execute(session, sql, &[]).unwrap(); // warm the template cache
         b.iter(|| {
@@ -43,7 +43,7 @@ fn bench_proxy_overhead(c: &mut Criterion) {
             session_cache: false,
             ..Default::default()
         };
-        let mut proxy = proxy_for(&env, config);
+        let proxy = proxy_for(&env, config);
         let session = proxy.begin_session(bindings.clone());
         b.iter(|| {
             let r = proxy.execute(session, sql, &[]).unwrap();

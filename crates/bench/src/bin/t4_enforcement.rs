@@ -49,14 +49,14 @@ fn main() {
         ];
 
         for (label, config) in configs {
-            let mut proxy = proxy_for(&env, config);
+            let proxy = proxy_for(&env, config);
             let app = env.sim.app();
             let mut counts = [0usize; 3];
             for req in &env.requests {
                 let handler = app.handler(&req.handler).expect("handler");
                 let session = proxy.begin_session(req.session.clone());
                 let mut port = ProxyPort {
-                    proxy: &mut proxy,
+                    proxy: &proxy,
                     session,
                 };
                 let result = appdsl::run_handler(

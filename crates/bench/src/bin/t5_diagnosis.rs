@@ -58,7 +58,7 @@ fn main() {
             let handler = app.handler(handler_name).unwrap();
             // Drive the buggy handler with plausible parameters until the
             // proxy blocks something.
-            let mut proxy = proxy_for(&env, ProxyConfig::default());
+            let proxy = proxy_for(&env, ProxyConfig::default());
             let session_bindings: Vec<(String, Value)> = sim
                 .session_params
                 .iter()
@@ -73,7 +73,7 @@ fn main() {
                     .map(|p| (p.clone(), Value::Int(candidate)))
                     .collect();
                 let mut port = ProxyPort {
-                    proxy: &mut proxy,
+                    proxy: &proxy,
                     session,
                 };
                 let r = appdsl::run_handler(

@@ -139,7 +139,7 @@ fn mining_controls() {
 
 fn run_app(sim: &'static appsim::SimApp, config: ProxyConfig, n: usize) -> (usize, usize) {
     let env = app_env(sim, 31, Scale::small(), n);
-    let mut proxy = proxy_for(&env, config);
+    let proxy = proxy_for(&env, config);
     let app = sim.app();
     let mut ok = 0;
     let mut blocked = 0;
@@ -147,7 +147,7 @@ fn run_app(sim: &'static appsim::SimApp, config: ProxyConfig, n: usize) -> (usiz
         let handler = app.handler(&req.handler).unwrap();
         let session = proxy.begin_session(req.session.clone());
         let mut port = ProxyPort {
-            proxy: &mut proxy,
+            proxy: &proxy,
             session,
         };
         let result = appdsl::run_handler(
@@ -210,7 +210,7 @@ fn key_chase() {
         // Keys deliberately not declared.
     }
     let checker = bep_core::ComplianceChecker::new(schema, FORUM.policy().unwrap());
-    let mut proxy = bep_core::SqlProxy::new(env.db.clone(), checker, ProxyConfig::default());
+    let proxy = bep_core::SqlProxy::new(env.db.clone(), checker, ProxyConfig::default());
     let app = FORUM.app();
     let mut ok2 = 0;
     let mut blocked2 = 0;
@@ -218,7 +218,7 @@ fn key_chase() {
         let handler = app.handler(&req.handler).unwrap();
         let session = proxy.begin_session(req.session.clone());
         let mut port = ProxyPort {
-            proxy: &mut proxy,
+            proxy: &proxy,
             session,
         };
         let result = appdsl::run_handler(

@@ -18,6 +18,7 @@
 //! | T5 | `t5_diagnosis` |
 //! | F4 | `f4_rewriting` |
 //! | T6 | `t6_ablation` |
+//! | T7 | `t7_concurrency` |
 
 #![warn(missing_docs)]
 

@@ -6,21 +6,71 @@
 //! allowed queries are recorded into the session's [`Trace`], which later
 //! decisions may rely on.
 //!
-//! Two caches amortize decision cost:
+//! # Caching
+//!
+//! Three caches amortize decision cost:
 //!
 //! * a global *template cache* of query templates proven compliant with
-//!   parameters symbolic (valid for every session and history), and
+//!   parameters symbolic (valid for every session and history),
+//! * a global *negative template cache* of templates proven **not**
+//!   decidable at template level, so the (expensive) symbolic proof is
+//!   attempted at most once per template, and
 //! * a per-session *concrete cache* of allowed (query, bindings) pairs —
 //!   sound to reuse because compliance is monotone in the trace facts, and a
-//!   session's facts only grow.
+//!   session's facts only grow. Concrete *denials* are cached too, keyed by
+//!   the fact count they were proved at: new facts can flip a denial (never
+//!   the reverse), so a cached denial is served only while the session's
+//!   fact count is unchanged.
 //!
-//! Denials are never cached: a blocked query can become allowed as the trace
-//! grows.
+//! # Concurrency model
+//!
+//! The whole decision path takes `&self`, and `SqlProxy` is `Send + Sync`:
+//! sessions are decided in parallel from any number of threads.
+//!
+//! * **Checker** — [`ComplianceChecker`] is immutable after construction and
+//!   shared freely; proofs run without any lock held by other sessions.
+//! * **Sessions** — session state lives in `SESSION_SHARDS` shards of
+//!   `RwLock<HashMap<u64, SessionState>>`; the shard is chosen by hashing
+//!   the session id. A decision holds its own shard's *read* lock while it
+//!   consults the session caches and runs a concrete proof against the
+//!   trace, so sessions in different shards never contend, and sessions in
+//!   the same shard contend only with that shard's writers (cache
+//!   write-back and trace recording, both brief).
+//! * **Template caches** — `RwLock<HashSet>` each; the steady-state path is
+//!   a single read-lock lookup. Two threads may race to prove the same
+//!   fresh template; both proofs succeed identically and the second insert
+//!   is a no-op (the proof is deterministic in the immutable policy).
+//! * **Statistics** — per-field `AtomicU64` counters; see
+//!   [`SqlProxy::stats`] for the snapshot-consistency contract.
+//! * **Database** — the wrapped [`minidb::Database`] sits behind an
+//!   `RwLock`: allowed `SELECT`s share the read lock, DML takes the write
+//!   lock.
+//!
+//! ## Soundness under concurrency
+//!
+//! *Negative template cache*: `check_template` depends only on the query
+//! template and the policy, and the policy is immutable for the proxy's
+//! lifetime — a template-level failure is permanent, so skipping the
+//! re-proof forever cannot change any decision, only its cost.
+//!
+//! *Deny cache*: a denial is recorded together with the fact count observed
+//! when it was proved, and is replayed only while the session's fact count
+//! still equals that value. Facts are append-only, so an equal count means
+//! the identical fact set, i.e. the identical proof obligation. If a
+//! concurrent request on the same session records new facts between a
+//! denial's proof and its write-back, the stored count is already stale and
+//! the entry is simply never served — a wasted slot, never a wrong answer.
+//!
+//! *Allow cache*: compliance is monotone in the trace facts and facts only
+//! grow, so an allow proved under any earlier fact set stays valid forever;
+//! write-back needs no validity stamp.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use minidb::{Database, Rows};
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use sqlir::{bind_statement, parse_statement, ParamBindings, Statement, Value};
 
 use crate::checker::ComplianceChecker;
@@ -28,12 +78,18 @@ use crate::decision::{Decision, DecisionSource, DenyReason};
 use crate::error::CoreError;
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
 
-/// Proxy behaviour toggles (the T4/T6 ablations flip these).
+/// Number of session shards. Sixteen keeps per-shard contention negligible
+/// for hundreds of concurrent sessions while costing one cache line of
+/// locks; must be a power of two (the shard index is the top bits of a
+/// Fibonacci hash).
+const SESSION_SHARDS: usize = 16;
+
+/// Proxy behaviour toggles (the T4/T6/T7 ablations flip these).
 #[derive(Debug, Clone, Copy)]
 pub struct ProxyConfig {
     /// Use trace facts in decisions (Example 2.1 requires this).
     pub trace_aware: bool,
-    /// Enable the global template cache.
+    /// Enable the global template cache (and its negative side).
     pub template_cache: bool,
     /// Enable the per-session concrete cache.
     pub session_cache: bool,
@@ -52,7 +108,8 @@ impl Default for ProxyConfig {
     }
 }
 
-/// Counters for reporting (T4/F3).
+/// Counters for reporting (T4/F3/T7). A value of this type is a snapshot;
+/// the live counters are atomics inside the proxy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProxyStats {
     /// Queries allowed.
@@ -63,6 +120,9 @@ pub struct ProxyStats {
     pub template_cache_hits: u64,
     /// Allowed via a fresh template-level proof.
     pub template_proofs: u64,
+    /// Template-level proof skipped because the template is known
+    /// template-undecidable (negative cache).
+    pub template_negative_hits: u64,
     /// Allowed via the per-session cache.
     pub session_cache_hits: u64,
     /// Denied via the per-session deny cache.
@@ -73,10 +133,64 @@ pub struct ProxyStats {
     pub writes: u64,
 }
 
+/// The live, thread-safe counters behind [`ProxyStats`].
+#[derive(Default)]
+struct AtomicProxyStats {
+    allowed: AtomicU64,
+    blocked: AtomicU64,
+    template_cache_hits: AtomicU64,
+    template_proofs: AtomicU64,
+    template_negative_hits: AtomicU64,
+    session_cache_hits: AtomicU64,
+    deny_cache_hits: AtomicU64,
+    concrete_proofs: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl AtomicProxyStats {
+    fn load(&self) -> ProxyStats {
+        ProxyStats {
+            allowed: self.allowed.load(Ordering::Acquire),
+            blocked: self.blocked.load(Ordering::Acquire),
+            template_cache_hits: self.template_cache_hits.load(Ordering::Acquire),
+            template_proofs: self.template_proofs.load(Ordering::Acquire),
+            template_negative_hits: self.template_negative_hits.load(Ordering::Acquire),
+            session_cache_hits: self.session_cache_hits.load(Ordering::Acquire),
+            deny_cache_hits: self.deny_cache_hits.load(Ordering::Acquire),
+            concrete_proofs: self.concrete_proofs.load(Ordering::Acquire),
+            writes: self.writes.load(Ordering::Acquire),
+        }
+    }
+
+    /// A snapshot that is internally consistent whenever the counters are
+    /// momentarily quiescent: all fields are re-read until two consecutive
+    /// passes agree (bounded retries; the last pass is returned if traffic
+    /// never pauses, which is still field-wise exact and monotone).
+    fn snapshot(&self) -> ProxyStats {
+        let mut prev = self.load();
+        for _ in 0..4 {
+            let next = self.load();
+            if next == prev {
+                return next;
+            }
+            prev = next;
+        }
+        prev
+    }
+}
+
+/// Counter increments, `Relaxed` — the counters carry no synchronization
+/// duties; cross-field consistency comes from `snapshot`'s stability loop.
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
 /// One application session (a logged-in user).
 #[derive(Debug, Clone)]
 struct SessionState {
-    bindings: Vec<(String, Value)>,
+    /// Policy-parameter bindings, shared so `execute` can use them without
+    /// copying (sessions never rebind; the `Arc` is cloned per request).
+    bindings: Arc<Vec<(String, Value)>>,
     trace: Trace,
     allowed_cache: HashSet<String>,
     /// Denials keyed by concrete query, valid while the fact count they were
@@ -112,40 +226,52 @@ impl ProxyResponse {
     }
 }
 
-/// The enforcing proxy.
+/// The enforcing proxy. `Send + Sync`: share it across worker threads with
+/// `Arc` or scoped borrows and call [`SqlProxy::execute`] concurrently.
 pub struct SqlProxy {
-    db: Database,
+    db: RwLock<Database>,
     checker: ComplianceChecker,
     config: ProxyConfig,
-    sessions: HashMap<u64, SessionState>,
-    next_session: u64,
-    template_cache: Mutex<HashSet<String>>,
-    stats: ProxyStats,
+    shards: Vec<RwLock<HashMap<u64, SessionState>>>,
+    next_session: AtomicU64,
+    template_cache: RwLock<HashSet<String>>,
+    template_negative: RwLock<HashSet<String>>,
+    stats: AtomicProxyStats,
 }
 
 impl SqlProxy {
     /// Wraps a database with enforcement.
     pub fn new(db: Database, checker: ComplianceChecker, config: ProxyConfig) -> SqlProxy {
         SqlProxy {
-            db,
+            db: RwLock::new(db),
             checker,
             config,
-            sessions: HashMap::new(),
-            next_session: 1,
-            template_cache: Mutex::new(HashSet::new()),
-            stats: ProxyStats::default(),
+            shards: (0..SESSION_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            next_session: AtomicU64::new(1),
+            template_cache: RwLock::new(HashSet::new()),
+            template_negative: RwLock::new(HashSet::new()),
+            stats: AtomicProxyStats::default(),
         }
+    }
+
+    /// The shard holding a session (Fibonacci hash of the id; ids are
+    /// sequential, so multiplicative hashing spreads them evenly).
+    fn shard(&self, session_id: u64) -> &RwLock<HashMap<u64, SessionState>> {
+        let h = session_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let index = (h >> 60) as usize & (SESSION_SHARDS - 1);
+        &self.shards[index]
     }
 
     /// Opens a session with the given policy-parameter bindings
     /// (e.g. `MyUId = 1`).
-    pub fn begin_session(&mut self, bindings: Vec<(String, Value)>) -> u64 {
-        let id = self.next_session;
-        self.next_session += 1;
-        self.sessions.insert(
+    pub fn begin_session(&self, bindings: Vec<(String, Value)>) -> u64 {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.shard(id).write().insert(
             id,
             SessionState {
-                bindings,
+                bindings: Arc::new(bindings),
                 trace: Trace::new(),
                 allowed_cache: HashSet::new(),
                 denied_cache: HashMap::new(),
@@ -155,30 +281,37 @@ impl SqlProxy {
     }
 
     /// Ends a session, discarding its trace.
-    pub fn end_session(&mut self, id: u64) {
-        self.sessions.remove(&id);
+    pub fn end_session(&self, id: u64) {
+        self.shard(id).write().remove(&id);
     }
 
-    /// Execution counters.
+    /// Execution counters. The snapshot is exact whenever the proxy is
+    /// quiescent (e.g. after worker threads join); under live traffic the
+    /// fields are individually exact and monotone, and the proxy re-reads
+    /// until two passes agree to keep cross-field skew negligible.
     pub fn stats(&self) -> ProxyStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    /// The wrapped database (read access, e.g. for test assertions).
-    pub fn database(&self) -> &Database {
-        &self.db
+    /// Runs `f` with shared access to the wrapped database (e.g. for test
+    /// assertions). Do not call `execute` from inside `f`.
+    pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.db.read())
     }
 
-    /// Mutable access to the wrapped database for out-of-band setup.
-    pub fn database_mut(&mut self) -> &mut Database {
-        &mut self.db
+    /// Runs `f` with exclusive access to the wrapped database for
+    /// out-of-band setup. Do not call `execute` from inside `f`.
+    pub fn with_database_mut<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.db.write())
     }
 
-    /// A session's trace (for diagnosis).
-    pub fn session_trace(&self, id: u64) -> Result<&Trace, CoreError> {
-        self.sessions
+    /// A clone of a session's trace (for diagnosis). Cloned rather than
+    /// borrowed so no shard lock outlives the call.
+    pub fn session_trace(&self, id: u64) -> Result<Trace, CoreError> {
+        self.shard(id)
+            .read()
             .get(&id)
-            .map(|s| &s.trace)
+            .map(|s| s.trace.clone())
             .ok_or(CoreError::NoSuchSession(id))
     }
 
@@ -186,8 +319,11 @@ impl SqlProxy {
     ///
     /// `sql` may contain named parameters; `extra_bindings` supplies request
     /// parameters (the session's own bindings are always in scope).
+    ///
+    /// Takes `&self`: any number of sessions (and requests within a
+    /// session) may execute concurrently.
     pub fn execute(
-        &mut self,
+        &self,
         session_id: u64,
         sql: &str,
         extra_bindings: &[(String, Value)],
@@ -195,64 +331,75 @@ impl SqlProxy {
         let stmt = match parse_statement(sql) {
             Ok(s) => s,
             Err(e) => {
-                self.stats.blocked += 1;
+                bump(&self.stats.blocked);
                 return Ok(ProxyResponse::Blocked(DenyReason::ParseError(
                     e.to_string(),
                 )));
             }
         };
-        let session = self
-            .sessions
+        let session_bindings: Arc<Vec<(String, Value)>> = self
+            .shard(session_id)
+            .read()
             .get(&session_id)
-            .ok_or(CoreError::NoSuchSession(session_id))?;
-        let mut bindings = session.bindings.clone();
-        for (k, v) in extra_bindings {
-            bindings.retain(|(n, _)| n != k);
-            bindings.push((k.clone(), v.clone()));
-        }
+            .ok_or(CoreError::NoSuchSession(session_id))?
+            .bindings
+            .clone();
+        // Fast path: with no request parameters the session bindings are
+        // used as-is through the shared `Arc` — no per-statement copy.
+        let merged: Option<Vec<(String, Value)>> = if extra_bindings.is_empty() {
+            None
+        } else {
+            let mut m = session_bindings.as_ref().clone();
+            for (k, v) in extra_bindings {
+                m.retain(|(n, _)| n != k);
+                m.push((k.clone(), v.clone()));
+            }
+            Some(m)
+        };
+        let bindings: &[(String, Value)] = merged.as_deref().unwrap_or(&session_bindings);
 
         match &stmt {
             Statement::Select(q) => {
-                let decision = self.decide_select(session_id, sql, q, &bindings);
+                let decision = self.decide_select(session_id, sql, q, bindings)?;
                 match decision {
                     Decision::Allowed { .. } => {
                         // Binding failures (e.g. a parameter the caller never
                         // supplied) are the caller's malformed input, not an
                         // internal error: block, don't fail.
-                        let rows = match self.run_select(&stmt, &bindings) {
+                        let rows = match self.run_select(&stmt, bindings) {
                             Ok(rows) => rows,
                             Err(CoreError::Parse(msg)) => {
-                                self.stats.blocked += 1;
+                                bump(&self.stats.blocked);
                                 return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
                             }
                             Err(other) => return Err(other),
                         };
-                        self.stats.allowed += 1;
-                        self.record_observation(session_id, q, &bindings, &rows);
+                        bump(&self.stats.allowed);
+                        self.record_observation(session_id, q, bindings, &rows);
                         Ok(ProxyResponse::Rows(rows))
                     }
                     Decision::Denied { reason } => {
-                        self.stats.blocked += 1;
+                        bump(&self.stats.blocked);
                         Ok(ProxyResponse::Blocked(reason))
                     }
                 }
             }
             _ => {
                 if !self.config.allow_writes {
-                    self.stats.blocked += 1;
+                    bump(&self.stats.blocked);
                     return Ok(ProxyResponse::Blocked(DenyReason::WriteBlocked));
                 }
-                self.stats.writes += 1;
-                let bound = match bind_to_statement(&stmt, &bindings) {
+                let bound = match bind_to_statement(&stmt, bindings) {
                     Ok(b) => b,
                     Err(CoreError::Parse(msg)) => {
-                        self.stats.writes -= 1;
-                        self.stats.blocked += 1;
+                        bump(&self.stats.blocked);
                         return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
                     }
                     Err(other) => return Err(other),
                 };
-                match self.db.execute(&bound)? {
+                let result = self.db.write().execute(&bound)?;
+                bump(&self.stats.writes);
+                match result {
                     minidb::ExecResult::Affected(n) => Ok(ProxyResponse::Affected(n)),
                     minidb::ExecResult::Created => Ok(ProxyResponse::Affected(0)),
                     minidb::ExecResult::Rows(r) => Ok(ProxyResponse::Rows(r)),
@@ -263,13 +410,16 @@ impl SqlProxy {
 
     /// Executes without any enforcement (the F3 baseline).
     pub fn execute_unchecked(
-        &mut self,
+        &self,
         sql: &str,
         bindings: &[(String, Value)],
     ) -> Result<ProxyResponse, CoreError> {
         let stmt = parse_statement(sql).map_err(|e| CoreError::Parse(e.to_string()))?;
         let bound = bind_to_statement(&stmt, bindings)?;
-        match self.db.execute(&bound)? {
+        if let Statement::Select(q) = &bound {
+            return Ok(ProxyResponse::Rows(self.db.read().query(q)?));
+        }
+        match self.db.write().execute(&bound)? {
             minidb::ExecResult::Rows(r) => Ok(ProxyResponse::Rows(r)),
             minidb::ExecResult::Affected(n) => Ok(ProxyResponse::Affected(n)),
             minidb::ExecResult::Created => Ok(ProxyResponse::Affected(0)),
@@ -277,83 +427,110 @@ impl SqlProxy {
     }
 
     fn decide_select(
-        &mut self,
+        &self,
         session_id: u64,
         sql: &str,
         q: &sqlir::Query,
         bindings: &[(String, Value)],
-    ) -> Decision {
-        // 1. Template cache.
-        if self.config.template_cache && self.template_cache.lock().contains(sql) {
-            self.stats.template_cache_hits += 1;
-            return Decision::Allowed {
-                source: DecisionSource::TemplateCache,
-                rewritings: Vec::new(),
-            };
-        }
-        // 2. Fresh template-level proof (session-independent).
+    ) -> Result<Decision, CoreError> {
+        // 1. Template caches (positive, then negative).
         if self.config.template_cache {
-            if let Decision::Allowed { rewritings, .. } = self.checker.check_template(q) {
-                self.template_cache.lock().insert(sql.to_string());
-                self.stats.template_proofs += 1;
-                return Decision::Allowed {
-                    source: DecisionSource::TemplateProof,
-                    rewritings,
-                };
+            if self.template_cache.read().contains(sql) {
+                bump(&self.stats.template_cache_hits);
+                return Ok(Decision::Allowed {
+                    source: DecisionSource::TemplateCache,
+                    rewritings: Vec::new(),
+                });
+            }
+            if self.template_negative.read().contains(sql) {
+                // Known template-undecidable: go straight to the concrete
+                // path. Sound because the policy is immutable — see the
+                // module docs.
+                bump(&self.stats.template_negative_hits);
+            } else {
+                // 2. Fresh template-level proof (session-independent). Two
+                // racing threads may both prove the same template; the
+                // duplicate insert is harmless.
+                match self.checker.check_template(q) {
+                    Decision::Allowed { rewritings, .. } => {
+                        self.template_cache.write().insert(sql.to_string());
+                        bump(&self.stats.template_proofs);
+                        return Ok(Decision::Allowed {
+                            source: DecisionSource::TemplateProof,
+                            rewritings,
+                        });
+                    }
+                    Decision::Denied { .. } => {
+                        self.template_negative.write().insert(sql.to_string());
+                    }
+                }
             }
         }
         // 3. Per-session concrete caches (allowals are monotone in the
         //    trace; denials stay valid while the fact set is unchanged).
+        //    The shard read lock is held across the concrete proof so the
+        //    trace cannot shrink or move underneath it; same-shard sessions
+        //    may still read concurrently.
         let concrete_key = concrete_cache_key(sql, bindings);
-        let session = self
-            .sessions
-            .get(&session_id)
-            .expect("session checked by caller");
-        if self.config.session_cache && session.allowed_cache.contains(&concrete_key) {
-            self.stats.session_cache_hits += 1;
-            return Decision::Allowed {
-                source: DecisionSource::SessionCache,
-                rewritings: Vec::new(),
+        let (decision, fact_count) = {
+            let sessions = self.shard(session_id).read();
+            let session = sessions
+                .get(&session_id)
+                .ok_or(CoreError::NoSuchSession(session_id))?;
+            if self.config.session_cache && session.allowed_cache.contains(&concrete_key) {
+                bump(&self.stats.session_cache_hits);
+                return Ok(Decision::Allowed {
+                    source: DecisionSource::SessionCache,
+                    rewritings: Vec::new(),
+                });
+            }
+            let fact_count = session.trace.facts().len();
+            if self.config.session_cache {
+                if let Some((at, query)) = session.denied_cache.get(&concrete_key) {
+                    if *at == fact_count {
+                        bump(&self.stats.deny_cache_hits);
+                        return Ok(Decision::Denied {
+                            reason: DenyReason::NotDetermined {
+                                query: query.clone(),
+                            },
+                        });
+                    }
+                }
+            }
+            // 4. Fresh concrete proof.
+            let empty = Trace::new();
+            let trace: &Trace = if self.config.trace_aware {
+                &session.trace
+            } else {
+                &empty
             };
-        }
-        let fact_count = session.trace.facts().len();
+            (self.checker.check_concrete(q, bindings, trace), fact_count)
+        };
         if self.config.session_cache {
-            if let Some((at, query)) = session.denied_cache.get(&concrete_key) {
-                if *at == fact_count {
-                    self.stats.deny_cache_hits += 1;
-                    return Decision::Denied {
-                        reason: DenyReason::NotDetermined {
-                            query: query.clone(),
-                        },
-                    };
+            // Write-back after dropping the read lock. If the session ended
+            // meanwhile, there is nothing to cache into — the decision
+            // itself is still valid for this request.
+            let mut sessions = self.shard(session_id).write();
+            if let Some(session) = sessions.get_mut(&session_id) {
+                if decision.is_allowed() {
+                    session.allowed_cache.insert(concrete_key);
+                } else if let Decision::Denied {
+                    reason: DenyReason::NotDetermined { query },
+                } = &decision
+                {
+                    // Stamped with the fact count read before the proof: if
+                    // facts grew since, the stamp is already stale and the
+                    // entry will never be served.
+                    session
+                        .denied_cache
+                        .insert(concrete_key, (fact_count, query.clone()));
                 }
             }
         }
-        // 4. Fresh concrete proof.
-        let empty = Trace::new();
-        let trace: &Trace = if self.config.trace_aware {
-            &session.trace
-        } else {
-            &empty
-        };
-        let decision = self.checker.check_concrete(q, bindings, trace);
-        if self.config.session_cache {
-            let session = self.sessions.get_mut(&session_id).expect("session exists");
-            if decision.is_allowed() {
-                session.allowed_cache.insert(concrete_key);
-            } else if let Decision::Denied {
-                reason: DenyReason::NotDetermined { query },
-            } = &decision
-            {
-                session
-                    .denied_cache
-                    .insert(concrete_key, (fact_count, query.clone()));
-            }
-        }
         if decision.is_allowed() {
-            self.stats.concrete_proofs += 1;
+            bump(&self.stats.concrete_proofs);
         }
-        decision
+        Ok(decision)
     }
 
     fn run_select(
@@ -363,13 +540,13 @@ impl SqlProxy {
     ) -> Result<Rows, CoreError> {
         let bound = bind_to_statement(stmt, bindings)?;
         match &bound {
-            Statement::Select(q) => Ok(self.db.query(q)?),
+            Statement::Select(q) => Ok(self.db.read().query(q)?),
             _ => Err(CoreError::Internal("run_select on non-select".into())),
         }
     }
 
     fn record_observation(
-        &mut self,
+        &self,
         session_id: u64,
         q: &sqlir::Query,
         bindings: &[(String, Value)],
@@ -391,7 +568,7 @@ impl SqlProxy {
             return; // unbound parameters: nothing definite to record
         }
         let obs = Observation::from_rows(&rows.rows, MAX_FACT_ROWS);
-        if let Some(session) = self.sessions.get_mut(&session_id) {
+        if let Some(session) = self.shard(session_id).write().get_mut(&session_id) {
             session.trace.record(cq, obs);
         }
     }
@@ -408,15 +585,28 @@ fn bind_to_statement(
     bind_statement(stmt, &pb).map_err(|e| CoreError::Parse(e.to_string()))
 }
 
+/// Cache key for one (template, bindings) pair. Bindings are sorted by
+/// name through a vector of references (no pair is cloned), literals are
+/// rendered once, and the buffer is sized exactly from their lengths.
 fn concrete_cache_key(sql: &str, bindings: &[(String, Value)]) -> String {
-    use std::fmt::Write as _;
-    let mut key = String::with_capacity(sql.len() + 32);
+    let mut sorted: Vec<&(String, Value)> = bindings.iter().collect();
+    sorted.sort_by(|a, b| a.0.cmp(&b.0));
+    let literals: Vec<String> = sorted.iter().map(|(_, v)| v.to_sql_literal()).collect();
+    let cap = sql.len()
+        + 1
+        + sorted
+            .iter()
+            .zip(&literals)
+            .map(|((k, _), lit)| k.len() + lit.len() + 2)
+            .sum::<usize>();
+    let mut key = String::with_capacity(cap);
     key.push_str(sql);
     key.push('\u{1}');
-    let mut sorted: Vec<_> = bindings.to_vec();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0));
-    for (k, v) in sorted {
-        let _ = write!(key, "{k}={};", v.to_sql_literal());
+    for ((k, _), lit) in sorted.iter().zip(&literals) {
+        key.push_str(k);
+        key.push('=');
+        key.push_str(lit);
+        key.push(';');
     }
     key
 }
@@ -465,8 +655,14 @@ mod tests {
     }
 
     #[test]
+    fn proxy_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SqlProxy>();
+    }
+
+    #[test]
     fn listing_1_flow_allowed() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
 
         // Q1: the access check from Listing 1.
@@ -494,7 +690,7 @@ mod tests {
 
     #[test]
     fn q2_first_is_blocked() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let r = p
             .execute(
@@ -511,9 +707,11 @@ mod tests {
 
     #[test]
     fn trace_unaware_proxy_blocks_q2_even_after_q1() {
-        let mut config = ProxyConfig::default();
-        config.trace_aware = false;
-        let mut p = proxy(config);
+        let config = ProxyConfig {
+            trace_aware: false,
+            ..Default::default()
+        };
+        let p = proxy(config);
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         p.execute(
             s,
@@ -533,7 +731,7 @@ mod tests {
 
     #[test]
     fn template_cache_serves_repeats() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s1 = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let s2 = p.begin_session(vec![("MyUId".into(), Value::Int(2))]);
         let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
@@ -547,10 +745,31 @@ mod tests {
     }
 
     #[test]
+    fn negative_template_cache_skips_reproof() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        // Events alone is never template-decidable under this policy: the
+        // first request pays the symbolic proof, later ones must not.
+        let fetch = "SELECT * FROM Events WHERE EId = 2";
+        assert!(!p.execute(s, fetch, &[]).unwrap().is_allowed());
+        assert_eq!(p.stats().template_negative_hits, 0);
+        assert!(!p.execute(s, fetch, &[]).unwrap().is_allowed());
+        assert!(!p.execute(s, fetch, &[]).unwrap().is_allowed());
+        assert_eq!(p.stats().template_negative_hits, 2);
+        // The trace flow still works: the probe unlocks the fetch even
+        // though the template stays in the negative cache.
+        let probe = "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2";
+        assert!(p.execute(s, probe, &[]).unwrap().is_allowed());
+        assert!(p.execute(s, fetch, &[]).unwrap().is_allowed());
+    }
+
+    #[test]
     fn session_cache_serves_concrete_repeats() {
-        let mut config = ProxyConfig::default();
-        config.template_cache = false;
-        let mut p = proxy(config);
+        let config = ProxyConfig {
+            template_cache: false,
+            ..Default::default()
+        };
+        let p = proxy(config);
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let sql = "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2";
         p.execute(s, sql, &[]).unwrap();
@@ -562,7 +781,7 @@ mod tests {
 
     #[test]
     fn sessions_are_isolated() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s1 = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let s2 = p.begin_session(vec![("MyUId".into(), Value::Int(2))]);
         // Session 1 probes and learns about event 2.
@@ -581,7 +800,7 @@ mod tests {
 
     #[test]
     fn empty_probe_does_not_unlock() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         // User 1 does NOT attend event 3; the probe returns empty.
         let r1 = p
@@ -602,7 +821,7 @@ mod tests {
 
     #[test]
     fn writes_pass_through_or_block_by_config() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let r = p
             .execute(
@@ -613,9 +832,11 @@ mod tests {
             .unwrap();
         assert_eq!(r, ProxyResponse::Affected(1));
 
-        let mut config = ProxyConfig::default();
-        config.allow_writes = false;
-        let mut p = proxy(config);
+        let config = ProxyConfig {
+            allow_writes: false,
+            ..Default::default()
+        };
+        let p = proxy(config);
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let r = p
             .execute(s, "DELETE FROM Events WHERE EId = 2", &[])
@@ -625,7 +846,7 @@ mod tests {
 
     #[test]
     fn unparseable_sql_is_blocked_not_error() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let r = p.execute(s, "SELEC whoops", &[]).unwrap();
         assert!(matches!(
@@ -636,7 +857,7 @@ mod tests {
 
     #[test]
     fn stats_count_blocked() {
-        let mut p = proxy(ProxyConfig::default());
+        let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         p.execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
             .unwrap();
@@ -645,9 +866,11 @@ mod tests {
 
     #[test]
     fn deny_cache_serves_repeats_and_invalidates_on_new_facts() {
-        let mut config = ProxyConfig::default();
-        config.template_cache = false;
-        let mut p = proxy(config);
+        let config = ProxyConfig {
+            template_cache: false,
+            ..Default::default()
+        };
+        let p = proxy(config);
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
         let fetch = "SELECT * FROM Events WHERE EId = 2";
 
@@ -661,5 +884,46 @@ mod tests {
         let probe = "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2";
         assert!(p.execute(s, probe, &[]).unwrap().is_allowed());
         assert!(p.execute(s, fetch, &[]).unwrap().is_allowed());
+    }
+
+    #[test]
+    fn ended_session_is_rejected() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.end_session(s);
+        let err = p
+            .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+            .unwrap_err();
+        assert_eq!(err, CoreError::NoSuchSession(s));
+    }
+
+    #[test]
+    fn parallel_sessions_decide_concurrently() {
+        // Smoke test for the &self path: many threads, each with its own
+        // session, all executing the same templates simultaneously.
+        let p = proxy(ProxyConfig::default());
+        std::thread::scope(|scope| {
+            for uid in [1i64, 2, 1, 2] {
+                let p = &p;
+                scope.spawn(move || {
+                    let s = p.begin_session(vec![("MyUId".into(), Value::Int(uid))]);
+                    for _ in 0..20 {
+                        let r = p
+                            .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+                            .unwrap();
+                        assert!(r.is_allowed());
+                    }
+                    p.end_session(s);
+                });
+            }
+        });
+        let stats = p.stats();
+        assert_eq!(stats.allowed, 80);
+        assert_eq!(stats.blocked, 0);
+        assert_eq!(
+            stats.template_proofs + stats.template_cache_hits,
+            80,
+            "every allow came from the template layer: {stats:?}"
+        );
     }
 }

@@ -103,9 +103,9 @@ impl Trace {
             }
         }
         for v in query.variables() {
-            if !subst.contains_key(&v) {
+            if let std::collections::btree_map::Entry::Vacant(e) = subst.entry(v) {
                 self.skolem_counter += 1;
-                subst.insert(v, Term::var(format!("sk{}", self.skolem_counter)));
+                e.insert(Term::var(format!("sk{}", self.skolem_counter)));
             }
         }
         for atom in &query.atoms {

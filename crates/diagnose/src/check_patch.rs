@@ -142,7 +142,7 @@ pub fn abduce_checks(
     }
 
     // Weakest assumptions first; drop facts subsumed by weaker ones.
-    out.sort_by(|a, b| b.existentials.cmp(&a.existentials));
+    out.sort_by_key(|p| std::cmp::Reverse(p.existentials));
     let mut kept: Vec<AccessCheckPatch> = Vec::new();
     for p in out {
         let subsumed = kept.iter().any(|k| {

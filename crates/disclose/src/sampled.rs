@@ -24,7 +24,7 @@ use rand::Rng;
 use sqlir::Value;
 
 use crate::error::DiscloseError;
-use crate::smallmodel::{Tuple, Universe};
+use crate::smallmodel::{Tuple, Universe, ViewImage};
 
 /// The sampled estimate.
 #[derive(Debug, Clone)]
@@ -74,7 +74,7 @@ pub fn decide_sampled(
     if universe.domain.is_empty() || universe.relations.is_empty() {
         return Err(DiscloseError::Schema("empty universe".into()));
     }
-    let mut groups: Vec<(Vec<Vec<Tuple>>, Vec<Vec<Tuple>>)> = Vec::new();
+    let mut groups: Vec<(ViewImage, Vec<Vec<Tuple>>)> = Vec::new();
     let mut possible: Vec<Tuple> = Vec::new();
     let mut answer_sets: Vec<Vec<Tuple>> = Vec::new();
 

@@ -179,6 +179,9 @@ impl Universe {
 /// An answer tuple (ground).
 pub type Tuple = Vec<Term>;
 
+/// A view image: per view, the sorted answer set an adversary would see.
+pub type ViewImage = Vec<Vec<Tuple>>;
+
 /// The exact verdict over the bounded universe.
 #[derive(Debug, Clone)]
 pub struct SmallModelVerdict {
@@ -208,7 +211,7 @@ pub fn decide(
     let dbs = universe.enumerate()?;
 
     // Per database: the view image and S's answer set.
-    let mut groups: Vec<(Vec<Vec<Tuple>>, Vec<Vec<Tuple>>)> = Vec::new(); // (image, member answer sets)
+    let mut groups: Vec<(ViewImage, Vec<Vec<Tuple>>)> = Vec::new(); // (image, member answer sets)
     let mut possible: Vec<Tuple> = Vec::new();
     let mut s_answers: Vec<Vec<Tuple>> = Vec::with_capacity(dbs.len());
 

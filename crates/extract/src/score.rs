@@ -232,7 +232,7 @@ mod tests {
             vec![Atom::new("R", vec![Term::var("x"), Term::var("y")])],
         );
         // Extracted = wide; truth = narrow: full recall and precision.
-        let s = score_semantic(&[wide.clone()], &[narrow.clone()]);
+        let s = score_semantic(std::slice::from_ref(&wide), std::slice::from_ref(&narrow));
         assert_eq!(s.recall, 1.0, "narrow is expressible from wide");
         // Wide is NOT expressible from narrow.
         let s = score_semantic(&[narrow], &[wide]);

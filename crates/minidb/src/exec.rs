@@ -6,6 +6,9 @@ use crate::db::Database;
 use crate::error::DbError;
 use crate::expr::{value_to_cmp, EvalCtx, Scope, ScopeEntry};
 
+/// Projected output paired with its ORDER BY sort key, one entry per row.
+type KeyedRows = Vec<(Vec<Value>, Vec<Value>)>;
+
 /// A query result: column names plus rows.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Rows {
@@ -128,7 +131,7 @@ pub(crate) fn execute_query_with_outer(
 
     // 3. Grouping / projection.
     let grouped = q.has_aggregates() || !q.group_by.is_empty();
-    let (columns, mut out): (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>) = if grouped {
+    let (columns, mut out): (Vec<String>, KeyedRows) = if grouped {
         project_grouped(db, q, &scope, filtered, outer)?
     } else {
         project_plain(db, q, &scope, filtered, outer)?
@@ -211,7 +214,7 @@ fn project_plain(
     scope: &Scope<'_>,
     source: Vec<Vec<Value>>,
     outer: Option<&EvalCtx<'_>>,
-) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), DbError> {
+) -> Result<(Vec<String>, KeyedRows), DbError> {
     // Expand wildcards into concrete expressions.
     let mut names = Vec::new();
     let mut exprs: Vec<Expr> = Vec::new();
@@ -288,7 +291,7 @@ fn project_grouped(
     scope: &Scope<'_>,
     source: Vec<Vec<Value>>,
     outer: Option<&EvalCtx<'_>>,
-) -> Result<(Vec<String>, Vec<(Vec<Value>, Vec<Value>)>), DbError> {
+) -> Result<(Vec<String>, KeyedRows), DbError> {
     for item in &q.items {
         if matches!(
             item,

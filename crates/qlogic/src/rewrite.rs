@@ -160,6 +160,7 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
 
     // Recursive choice: each query atom is either skipped or mapped onto a
     // compatible view atom.
+    #[allow(clippy::too_many_arguments)]
     fn rec(
         q: &Cq,
         view: &Cq,

@@ -95,7 +95,9 @@ impl CmpResult {
         }
     }
 
-    /// Three-valued logical NOT.
+    /// Three-valued logical NOT. Not `std::ops::Not`: this is Kleene
+    /// negation on a three-valued result, not boolean negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> CmpResult {
         match self {
             CmpResult::True => CmpResult::False,

@@ -18,7 +18,7 @@ fn main() {
     let schema = CALENDAR.schema();
     let policy = CALENDAR.policy().unwrap();
     let checker = ComplianceChecker::new(schema, policy);
-    let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+    let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
 
     let app = CALENDAR.app();
     let mut outcomes = [0usize; 3]; // ok, http, blocked
@@ -26,7 +26,7 @@ fn main() {
         let handler = app.handler(&req.handler).expect("handler");
         let session = proxy.begin_session(req.session.clone());
         let mut port = ProxyPort {
-            proxy: &mut proxy,
+            proxy: &proxy,
             session,
         };
         let result = run_handler(

@@ -42,10 +42,10 @@ fn main() {
     }
 
     let checker = ComplianceChecker::new(schema, policy);
-    let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+    let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
     let session = proxy.begin_session(vec![("MyUId".into(), Value::Int(1))]);
 
-    let show = |proxy: &mut SqlProxy, label: &str, sql: &str| {
+    let show = |proxy: &SqlProxy, label: &str, sql: &str| {
         let response = proxy.execute(session, sql, &[]).unwrap();
         match &response {
             ProxyResponse::Rows(rows) => {
@@ -62,20 +62,20 @@ fn main() {
     };
 
     println!("\n-- Q2 in isolation is blocked:");
-    show(&mut proxy, "Q2", "SELECT * FROM Events WHERE EId = 2");
+    show(&proxy, "Q2", "SELECT * FROM Events WHERE EId = 2");
 
     println!("\n-- Q1 (the access check) is allowed and returns a row:");
     show(
-        &mut proxy,
+        &proxy,
         "Q1",
         "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
     );
 
     println!("\n-- Q2 again, now allowed thanks to the trace:");
-    show(&mut proxy, "Q2", "SELECT * FROM Events WHERE EId = 2");
+    show(&proxy, "Q2", "SELECT * FROM Events WHERE EId = 2");
 
     println!("\n-- probing another user's event stays blocked:");
-    show(&mut proxy, "Q3", "SELECT * FROM Events WHERE EId = 3");
+    show(&proxy, "Q3", "SELECT * FROM Events WHERE EId = 3");
 
     let stats = proxy.stats();
     println!(

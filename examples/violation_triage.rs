@@ -22,7 +22,7 @@ fn main() {
     let schema = CALENDAR.schema();
     let policy = CALENDAR.policy().unwrap();
     let checker = ComplianceChecker::new(schema.clone(), policy.clone());
-    let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+    let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
 
     // Ann runs the buggy handler: fetch event 2 (which she does NOT attend)
     // without the access check.
@@ -31,7 +31,7 @@ fn main() {
     let session_bindings = vec![("MyUId".to_string(), Value::Int(101))];
     let session = proxy.begin_session(session_bindings.clone());
     let mut port = ProxyPort {
-        proxy: &mut proxy,
+        proxy: &proxy,
         session,
     };
     let result = run_handler(

@@ -44,7 +44,7 @@
 //!
 //! // The proxy enforces; the trace makes Q2 allowable after Q1.
 //! let checker = ComplianceChecker::new(schema, policy);
-//! let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+//! let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
 //! let session = proxy.begin_session(vec![("MyUId".into(), Value::Int(1))]);
 //!
 //! let q1 = proxy.execute(session, "SELECT 1 FROM Attendance \
@@ -184,10 +184,10 @@ mod tests {
             .unwrap();
         db.execute_sql("INSERT INTO Attendance (UId, EId, Notes) VALUES (101, 1, NULL)")
             .unwrap();
-        let mut proxy = lc.enforce(db);
+        let proxy = lc.enforce(db);
         let session = proxy.begin_session(vec![("MyUId".into(), Value::Int(101))]);
         let mut port = appsim::ProxyPort {
-            proxy: &mut proxy,
+            proxy: &proxy,
             session,
         };
         let result = run_handler(

@@ -1,0 +1,846 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `proptest` to this crate (see `[patch.crates-io]` in the root manifest).
+//! It is a *minimal but real* property-testing engine covering the API the
+//! workspace's tests use:
+//!
+//! * the [`strategy::Strategy`] trait with `prop_map`, `prop_recursive`,
+//!   `boxed`, plus strategies for integer ranges, tuples, [`strategy::Just`],
+//!   [`any`], regex-lite string literals, [`collection::vec`],
+//!   [`option::of`], [`sample::select`] and [`sample::subsequence`];
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `prop_assert!`,
+//!   `prop_assert_eq!`, and `prop_assume!`.
+//!
+//! Differences from real proptest: failing inputs are **not shrunk** (the
+//! original failing case is reported verbatim), string strategies support
+//! only the character-class/repetition regex subset the tests use, and case
+//! seeding is deterministic per test name, so failures reproduce exactly.
+
+pub mod strategy {
+    //! The strategy trait and combinators.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt;
+    use std::sync::Arc;
+
+    /// A generator of random values (shrink-free subset of
+    /// `proptest::strategy::Strategy`).
+    pub trait Strategy {
+        /// The generated type.
+        type Value: fmt::Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `f` receives the strategy for the
+        /// smaller level and returns the composite level. Depth is bounded
+        /// by `depth`; every level mixes in the leaf to terminate early.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let rec = f(strat).boxed();
+                strat = Union::new(vec![leaf.clone(), rec]).boxed();
+            }
+            strat
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always yields a clone of the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between strategies of the same value type (backs
+    /// `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T: fmt::Debug> Union<T> {
+        /// Builds a union; panics on an empty option list.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+    /// String strategy from a regex-lite pattern (`&'static str` literals
+    /// in test sources): a sequence of literal characters or `[...]`
+    /// classes, each optionally followed by `{n}` / `{m,n}`. Classes
+    /// support ranges, `^` negation over printable ASCII, and `&&`
+    /// intersection with nested classes.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            let items = crate::pattern::parse(self);
+            let mut out = String::new();
+            for (set, lo, hi) in &items {
+                let n = if lo == hi {
+                    *lo
+                } else {
+                    rng.gen_range(*lo..=*hi)
+                };
+                for _ in 0..n {
+                    if !set.is_empty() {
+                        out.push(set[rng.gen_range(0..set.len())]);
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    /// Values with a canonical "any" strategy (subset of
+    /// `proptest::arbitrary::Arbitrary`).
+    pub trait ArbitraryValue: fmt::Debug + Sized {
+        /// Draws a uniform value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The strategy returned by [`any`](crate::any).
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Any<T> {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The canonical strategy for a type (uniform over the whole domain).
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt;
+
+    /// An inclusive size range for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        /// Draws one size.
+        pub fn sample(&self, rng: &mut SmallRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..=self.hi)
+            }
+        }
+
+        /// The inclusive bounds.
+        pub fn bounds(&self) -> (usize, usize) {
+            (self.lo, self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt;
+
+    /// The strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` of the inner strategy three times out of four, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies over fixed value sets.
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::fmt;
+
+    /// The strategy returned by [`select`].
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+
+    /// Uniform choice from a fixed set of values.
+    pub fn select<T: Clone + fmt::Debug + 'static>(values: impl Into<Vec<T>>) -> Select<T> {
+        let values = values.into();
+        assert!(!values.is_empty(), "select over an empty set");
+        Select { values }
+    }
+
+    /// The strategy returned by [`subsequence`].
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone + fmt::Debug> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<T> {
+            let (lo, hi) = self.size.bounds();
+            let hi = hi.min(self.values.len());
+            let lo = lo.min(hi);
+            let k = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            // Reservoir-free order-preserving pick: walk the values keeping
+            // each with the probability needed to reach exactly k picks.
+            let mut picked = Vec::with_capacity(k);
+            let mut remaining_slots = k;
+            for (i, v) in self.values.iter().enumerate() {
+                if remaining_slots == 0 {
+                    break;
+                }
+                let remaining_values = self.values.len() - i;
+                if rng.gen_range(0..remaining_values) < remaining_slots {
+                    picked.push(v.clone());
+                    remaining_slots -= 1;
+                }
+            }
+            picked
+        }
+    }
+
+    /// An order-preserving random subsequence with size in `size`.
+    pub fn subsequence<T: Clone + fmt::Debug + 'static>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence {
+            values,
+            size: size.into(),
+        }
+    }
+}
+
+pub(crate) mod pattern {
+    //! The regex-lite subset backing string strategies.
+
+    /// Parses a pattern into `(character set, min reps, max reps)` items.
+    pub fn parse(pat: &str) -> Vec<(Vec<char>, usize, usize)> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut items = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                let mut depth = 1;
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() {
+                    match chars[j] {
+                        '[' => depth += 1,
+                        ']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                assert!(j < chars.len(), "unterminated class in pattern {pat:?}");
+                let body: String = chars[start..j].iter().collect();
+                i = j + 1;
+                parse_class(&body)
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (mut lo, mut hi) = (1usize, 1usize);
+            if i < chars.len() && chars[i] == '{' {
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '}' {
+                    j += 1;
+                }
+                assert!(j < chars.len(), "unterminated quantifier in {pat:?}");
+                let q: String = chars[i + 1..j].iter().collect();
+                if let Some((a, b)) = q.split_once(',') {
+                    lo = a.trim().parse().expect("quantifier lower bound");
+                    hi = b.trim().parse().expect("quantifier upper bound");
+                } else {
+                    lo = q.trim().parse().expect("quantifier count");
+                    hi = lo;
+                }
+                i = j + 1;
+            }
+            items.push((set, lo, hi));
+        }
+        items
+    }
+
+    /// Printable-ASCII universe used for negated classes.
+    fn universe() -> Vec<char> {
+        (0x20u8..=0x7E).map(char::from).collect()
+    }
+
+    /// Parses a class body (no outer brackets), handling `&&` intersection
+    /// with plain or nested `[..]` operands and `^` negation.
+    fn parse_class(body: &str) -> Vec<char> {
+        let cs: Vec<char> = body.chars().collect();
+        let mut parts: Vec<String> = Vec::new();
+        let mut cur = String::new();
+        let mut depth = 0usize;
+        let mut i = 0;
+        while i < cs.len() {
+            if depth == 0 && i + 1 < cs.len() && cs[i] == '&' && cs[i + 1] == '&' {
+                parts.push(std::mem::take(&mut cur));
+                i += 2;
+                continue;
+            }
+            match cs[i] {
+                '[' => depth += 1,
+                ']' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+            cur.push(cs[i]);
+            i += 1;
+        }
+        parts.push(cur);
+
+        let mut result: Option<Vec<char>> = None;
+        for part in parts {
+            let part = part
+                .strip_prefix('[')
+                .and_then(|p| p.strip_suffix(']'))
+                .unwrap_or(&part);
+            let (negated, items) = match part.strip_prefix('^') {
+                Some(rest) => (true, rest),
+                None => (false, part),
+            };
+            let set = parse_items(items);
+            let part_set: Vec<char> = if negated {
+                universe()
+                    .into_iter()
+                    .filter(|c| !set.contains(c))
+                    .collect()
+            } else {
+                set
+            };
+            result = Some(match result {
+                None => part_set,
+                Some(prev) => prev.into_iter().filter(|c| part_set.contains(c)).collect(),
+            });
+        }
+        result.unwrap_or_default()
+    }
+
+    /// Parses plain class items: `a-z` ranges and single characters.
+    fn parse_items(items: &str) -> Vec<char> {
+        let cs: Vec<char> = items.chars().collect();
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < cs.len() {
+            if i + 2 < cs.len() && cs[i + 1] == '-' {
+                let (lo, hi) = (cs[i], cs[i + 2]);
+                assert!(lo <= hi, "inverted class range {lo}-{hi}");
+                for c in lo..=hi {
+                    set.push(c);
+                }
+                i += 3;
+            } else {
+                set.push(cs[i]);
+                i += 1;
+            }
+        }
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the [`proptest!`](crate::proptest) macro.
+
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the whole property fails.
+        Fail(String),
+        /// `prop_assume!` rejected the inputs — the case is re-drawn.
+        Reject,
+    }
+
+    impl TestCaseError {
+        /// A failed assertion.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected case.
+        pub fn reject() -> TestCaseError {
+            TestCaseError::Reject
+        }
+    }
+
+    /// Deterministic per-test, per-attempt generator: failures reproduce
+    /// without recording seeds.
+    pub fn rng_for(test_name: &str, attempt: u64) -> SmallRng {
+        let mut h = DefaultHasher::new();
+        test_name.hash(&mut h);
+        attempt.hash(&mut h);
+        SmallRng::seed_from_u64(h.finish())
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $(let $arg = $strat;)*
+                let __config: $crate::test_runner::Config = $cfg;
+                let __cases = u64::from(__config.cases);
+                let __max_attempts = __cases.saturating_mul(20);
+                let mut __passed: u64 = 0;
+                let mut __attempt: u64 = 0;
+                while __passed < __cases && __attempt < __max_attempts {
+                    let mut __rng = $crate::test_runner::rng_for(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __attempt,
+                    );
+                    __attempt += 1;
+                    $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)*
+                    let __inputs: String = format!(
+                        concat!($("  ", stringify!($arg), " = {:?}\n"),*),
+                        $(&$arg),*
+                    );
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "property `{}` failed at attempt {}: {}\ninputs:\n{}",
+                                stringify!($name),
+                                __attempt - 1,
+                                __msg,
+                                __inputs,
+                            );
+                        }
+                    }
+                }
+                assert!(
+                    __passed >= __cases,
+                    "property `{}` rejected too many cases ({} passed of {})",
+                    stringify!($name),
+                    __passed,
+                    __config.cases,
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __lhs == __rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            __lhs,
+            __rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (__lhs, __rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __lhs == __rhs,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            __lhs,
+            __rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case unless the precondition holds; the runner
+/// re-draws instead of failing.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject());
+        }
+    };
+}
+
+/// Uniform choice between the listed strategies (all must share a value
+/// type). Weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($item:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($item)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_classes_and_reps() {
+        let mut rng = crate::test_runner::rng_for("pattern", 0);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!((1..=7).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let t = "[ -~&&[^']]{0,8}".generate(&mut rng);
+            assert!(
+                t.chars().all(|c| (' '..='~').contains(&c) && c != '\''),
+                "{t:?}"
+            );
+            let u = "[a-z '☃]{0,8}".generate(&mut rng);
+            assert!(u
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c == ' ' || c == '\'' || c == '☃'));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(0i64..3).prop_map(|v| v * 10), Just(-1i64),];
+        let mut rng = crate::test_runner::rng_for("oneof", 1);
+        let mut saw_just = false;
+        let mut saw_range = false;
+        for _ in 0..100 {
+            match strat.generate(&mut rng) {
+                -1 => saw_just = true,
+                v if [0, 10, 20].contains(&v) => saw_range = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(saw_just && saw_range);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn subsequence_preserves_order(
+            items in crate::collection::vec(0i64..100, 0..10),
+        ) {
+            let sub = crate::sample::subsequence(items.clone(), 0..=3);
+            let mut rng = crate::test_runner::rng_for("sub", 0);
+            let picked = sub.generate(&mut rng);
+            prop_assert!(picked.len() <= 3.min(items.len()));
+            // Order-preserving: picked is a subsequence of items.
+            let mut it = items.iter();
+            for p in &picked {
+                prop_assert!(it.any(|v| v == p), "{:?} not a subsequence of {:?}", picked, items);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0i64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no crates.io access, so the workspace patches
+//! `rand` to this crate (see `[patch.crates-io]` in the root manifest). It
+//! provides the subset the workspace uses — the [`Rng`] trait with
+//! `gen_range`/`gen_bool`/`gen`, [`SeedableRng::seed_from_u64`], and
+//! [`rngs::SmallRng`] — with a deterministic xoshiro256++ generator, so
+//! seeded workloads remain reproducible across runs and platforms.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = uniform_u128(rng, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = uniform_u128(rng, span);
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Uniform draw from `[0, span)` by rejection sampling (avoids modulo bias).
+fn uniform_u128<R: Rng + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // Zone is the largest multiple of `span` that fits in u64 draws; with a
+    // u64 source a single draw suffices for every span the workspace uses.
+    let zone = u64::MAX - (u64::MAX % span as u64 + 1) % span as u64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span as u64) as u128;
+        }
+    }
+}
+
+/// The random generator trait (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit source.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p out of range: {p}");
+        // 53 bits of mantissa — same construction as rand's standard float.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniformly random value of a primitive type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types constructible from a uniform 64-bit draw (stand-in for sampling
+/// `rand::distributions::Standard`).
+pub trait Standard {
+    /// Builds a uniform value from raw bits.
+    fn from_u64(bits: u64) -> Self;
+}
+
+impl Standard for bool {
+    fn from_u64(bits: u64) -> bool {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for i64 {
+    fn from_u64(bits: u64) -> i64 {
+        bits as i64
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for i32 {
+    fn from_u64(bits: u64) -> i32 {
+        (bits >> 32) as i32
+    }
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++, seeded via
+    /// SplitMix64 — the same construction real `SmallRng` uses on 64-bit
+    /// targets).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> SmallRng {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0i64..10);
+            assert!((0..10).contains(&v));
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..100 {
+            let v = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let trues = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&trues), "p=0.3 gave {trues}/10000");
+    }
+}

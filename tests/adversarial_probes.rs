@@ -1,0 +1,69 @@
+//! Adversarial inputs at the proxy surface: every hostile statement must
+//! come back `Blocked(...)` — never `Err`, never a panic.
+
+use beyond_enforcement::prelude::*;
+use minidb::Database;
+use sqlir::Value;
+
+fn proxy() -> SqlProxy {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+    )
+    .unwrap();
+    db.execute_sql("INSERT INTO Events (EId, Title, Kind) VALUES (2, 'standup', 'work')")
+        .unwrap();
+    let schema = schema_of_database(&db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId")],
+    )
+    .unwrap();
+    SqlProxy::new(
+        db,
+        ComplianceChecker::new(schema, policy),
+        ProxyConfig::default(),
+    )
+}
+
+#[test]
+fn hostile_statements_are_blocked_not_errors() {
+    let p = proxy();
+    let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+
+    let mut in_chain = String::from("SELECT * FROM Events WHERE EId IN (");
+    for i in 0..80 {
+        if i > 0 {
+            in_chain.push_str(", ");
+        }
+        in_chain.push_str(&i.to_string());
+    }
+    in_chain.push(')');
+
+    let hostile: Vec<String> = vec![
+        // Malformed SQL.
+        "SELEC whoops".into(),
+        "SELECT FROM".into(),
+        ");;DROP TABLE Events;--".into(),
+        // Unknown tables / columns.
+        "SELECT * FROM NoSuchTable".into(),
+        "SELECT Nope FROM Events".into(),
+        // Unbound parameters.
+        "SELECT * FROM Events WHERE EId = ?never_bound".into(),
+        // Aggregates: outside the conjunctive fragment.
+        "SELECT COUNT(*) FROM Events".into(),
+        "SELECT Kind, MAX(EId) FROM Events GROUP BY Kind".into(),
+        // A >64-disjunct IN chain.
+        in_chain,
+    ];
+
+    for sql in &hostile {
+        match p.execute(s, sql, &[]) {
+            Ok(ProxyResponse::Blocked(_)) => {}
+            other => panic!("{sql:?} must be Blocked, got {other:?}"),
+        }
+    }
+    assert_eq!(p.stats().blocked, hostile.len() as u64);
+}

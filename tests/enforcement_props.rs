@@ -90,7 +90,7 @@ proptest! {
             .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
             .collect();
 
-        let mut proxy = proxy_for(db);
+        let proxy = proxy_for(db);
         let session =
             proxy.begin_session(vec![("MyUId".into(), Value::Int(session_uid))]);
 
@@ -146,7 +146,7 @@ proptest! {
         prop_assume!(!attends.is_empty());
         let (uid, eid) = attends[pick % attends.len()];
 
-        let mut proxy = proxy_for(db);
+        let proxy = proxy_for(db);
         let session = proxy.begin_session(vec![("MyUId".into(), Value::Int(uid))]);
         let probe = proxy
             .execute(

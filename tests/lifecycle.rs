@@ -20,13 +20,13 @@ fn correct_apps_run_clean_under_ground_truth_policies() {
         let requests = workload_for(sim.name, &db, &mut rng, 40);
 
         let checker = ComplianceChecker::new(sim.schema(), sim.policy().unwrap());
-        let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+        let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
         let app = sim.app();
         for req in &requests {
             let handler = app.handler(&req.handler).unwrap();
             let session = proxy.begin_session(req.session.clone());
             let mut port = ProxyPort {
-                proxy: &mut proxy,
+                proxy: &proxy,
                 session,
             };
             let result = run_handler(
@@ -65,12 +65,12 @@ fn extracted_policies_admit_their_applications() {
         seed_app(sim.name, &mut db, &mut rng, &Scale::small());
         let requests = workload_for(sim.name, &db, &mut rng, 30);
 
-        let mut proxy = lc.enforce(db);
+        let proxy = lc.enforce(db);
         for req in &requests {
             let handler = lc.app.handler(&req.handler).unwrap();
             let session = proxy.begin_session(req.session.clone());
             let mut port = ProxyPort {
-                proxy: &mut proxy,
+                proxy: &proxy,
                 session,
             };
             let result = run_handler(
@@ -103,12 +103,12 @@ fn buggy_handlers_are_blocked() {
         .unwrap();
 
     let checker = ComplianceChecker::new(CALENDAR.schema(), CALENDAR.policy().unwrap());
-    let mut proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+    let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
     let app = CALENDAR.app_with_bugs();
     let session_bindings = vec![("MyUId".to_string(), Value::Int(101))];
     let session = proxy.begin_session(session_bindings.clone());
     let mut port = ProxyPort {
-        proxy: &mut proxy,
+        proxy: &proxy,
         session,
     };
     // Ann does not attend event 7; the unchecked fetch must be blocked.
@@ -206,11 +206,11 @@ fn trace_awareness_ablation() {
             trace_aware,
             ..Default::default()
         };
-        let mut proxy = SqlProxy::new(db, checker, config);
+        let proxy = SqlProxy::new(db, checker, config);
         let bindings = vec![("MyUId".to_string(), Value::Int(101))];
         let session = proxy.begin_session(bindings.clone());
         let mut port = ProxyPort {
-            proxy: &mut proxy,
+            proxy: &proxy,
             session,
         };
         let result = run_handler(
