@@ -5,7 +5,10 @@
 //! Each worker owns a disjoint round-robin share of the request workload
 //! and replays it for a fixed number of rounds, opening a fresh session per
 //! request (sessions therefore spread across the proxy's shards). Reported
-//! per configuration: total throughput and p50/p99 per-request latency.
+//! per configuration: total throughput, p50/p99 per-request latency as
+//! observed by the harness, and the p50/p99 the proxy's own lock-free
+//! decision histogram recorded (the same source `bep-server` reports over
+//! the wire, so T7 and T8 numbers are directly comparable).
 //!
 //! Results are also written to `BENCH_t7.json`, including the host's
 //! available parallelism — on a single-core host the thread sweep measures
@@ -36,6 +39,10 @@ struct Measurement {
     throughput: f64,
     p50_us: f64,
     p99_us: f64,
+    /// Per-decision percentiles from the proxy's own histogram — the same
+    /// numbers a `stats` request reports over the wire in T8.
+    hist_p50_us: f64,
+    hist_p99_us: f64,
     allowed: u64,
     blocked: u64,
     /// Handlers aborted by a database error — replayed create-requests hit
@@ -120,6 +127,8 @@ fn drive(
         throughput: all_latencies.len() as f64 / wall_s,
         p50_us: percentile(&all_latencies, 50.0),
         p99_us: percentile(&all_latencies, 99.0),
+        hist_p50_us: stats.latency.p50_us(),
+        hist_p99_us: stats.latency.p99_us(),
         allowed: stats.allowed,
         blocked: stats.blocked,
         errors,
@@ -138,7 +147,8 @@ fn json_of(results: &[Measurement], cores: usize) -> String {
         out.push_str(&format!(
             "    {{\"app\": \"{}\", \"config\": \"{}\", \"threads\": {}, \"ops\": {}, \
              \"wall_s\": {:.4}, \"throughput_ops_s\": {:.1}, \"p50_us\": {:.1}, \
-             \"p99_us\": {:.1}, \"allowed\": {}, \"blocked\": {}, \"errors\": {}}}{}\n",
+             \"p99_us\": {:.1}, \"hist_p50_us\": {:.1}, \"hist_p99_us\": {:.1}, \
+             \"allowed\": {}, \"blocked\": {}, \"errors\": {}}}{}\n",
             r.app,
             r.config,
             r.threads,
@@ -147,6 +157,8 @@ fn json_of(results: &[Measurement], cores: usize) -> String {
             r.throughput,
             r.p50_us,
             r.p99_us,
+            r.hist_p50_us,
+            r.hist_p99_us,
             r.allowed,
             r.blocked,
             r.errors,
@@ -189,11 +201,11 @@ fn main() {
         ),
     ];
 
-    let widths = [9usize, 17, 7, 7, 11, 9, 9, 7, 7, 7];
+    let widths = [9usize, 17, 7, 7, 11, 9, 9, 9, 9, 7, 7, 7];
     header(
         &[
-            "app", "config", "threads", "ops", "ops/s", "p50-us", "p99-us", "ok", "denied",
-            "errors",
+            "app", "config", "threads", "ops", "ops/s", "p50-us", "p99-us", "h-p50", "h-p99", "ok",
+            "denied", "errors",
         ],
         &widths,
     );
@@ -213,6 +225,8 @@ fn main() {
                         f2(r.throughput),
                         f2(r.p50_us),
                         f2(r.p99_us),
+                        f2(r.hist_p50_us),
+                        f2(r.hist_p99_us),
                         r.allowed.to_string(),
                         r.blocked.to_string(),
                         r.errors.to_string(),

@@ -22,6 +22,7 @@
 pub mod checker;
 pub mod decision;
 pub mod error;
+pub mod latency;
 pub mod policy;
 pub mod proxy;
 pub mod trace;
@@ -29,6 +30,7 @@ pub mod trace;
 pub use checker::ComplianceChecker;
 pub use decision::{Decision, DecisionSource, DenyReason};
 pub use error::CoreError;
+pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use policy::{schema_of_database, Policy, ViewDef};
 pub use proxy::{ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
 pub use trace::{Observation, Trace, TraceEntry};

@@ -68,6 +68,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use minidb::{Database, Rows};
 use parking_lot::RwLock;
@@ -76,6 +77,7 @@ use sqlir::{bind_statement, parse_statement, ParamBindings, Statement, Value};
 use crate::checker::ComplianceChecker;
 use crate::decision::{Decision, DecisionSource, DenyReason};
 use crate::error::CoreError;
+use crate::latency::{LatencyHistogram, LatencySnapshot};
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
 
 /// Number of session shards. Sixteen keeps per-shard contention negligible
@@ -131,6 +133,10 @@ pub struct ProxyStats {
     pub concrete_proofs: u64,
     /// DML statements passed through.
     pub writes: u64,
+    /// Per-decision latency of [`SqlProxy::execute`], from the lock-free
+    /// log-bucketed histogram (the single source both the benches and the
+    /// server's `Stats` response report percentiles from).
+    pub latency: LatencySnapshot,
 }
 
 /// The live, thread-safe counters behind [`ProxyStats`].
@@ -145,6 +151,7 @@ struct AtomicProxyStats {
     deny_cache_hits: AtomicU64,
     concrete_proofs: AtomicU64,
     writes: AtomicU64,
+    latency: LatencyHistogram,
 }
 
 impl AtomicProxyStats {
@@ -159,6 +166,7 @@ impl AtomicProxyStats {
             deny_cache_hits: self.deny_cache_hits.load(Ordering::Acquire),
             concrete_proofs: self.concrete_proofs.load(Ordering::Acquire),
             writes: self.writes.load(Ordering::Acquire),
+            latency: self.latency.snapshot(),
         }
     }
 
@@ -280,9 +288,23 @@ impl SqlProxy {
         id
     }
 
-    /// Ends a session, discarding its trace.
-    pub fn end_session(&self, id: u64) {
-        self.shard(id).write().remove(&id);
+    /// Ends a session, discarding its trace. Idempotent: ending an already
+    /// ended (or never begun) session is a no-op, and the return value says
+    /// whether the session was live.
+    pub fn end_session(&self, id: u64) -> bool {
+        self.shard(id).write().remove(&id).is_some()
+    }
+
+    /// Ends every session in `ids`, returning how many were live. The
+    /// server's connection teardown and orphan sweep use this to reclaim
+    /// sessions whose client vanished without `End`ing them.
+    pub fn end_sessions(&self, ids: impl IntoIterator<Item = u64>) -> usize {
+        ids.into_iter().filter(|&id| self.end_session(id)).count()
+    }
+
+    /// Number of currently live sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
     }
 
     /// Execution counters. The snapshot is exact whenever the proxy is
@@ -323,6 +345,18 @@ impl SqlProxy {
     /// Takes `&self`: any number of sessions (and requests within a
     /// session) may execute concurrently.
     pub fn execute(
+        &self,
+        session_id: u64,
+        sql: &str,
+        extra_bindings: &[(String, Value)],
+    ) -> Result<ProxyResponse, CoreError> {
+        let t0 = Instant::now();
+        let result = self.execute_timed(session_id, sql, extra_bindings);
+        self.stats.latency.record(t0.elapsed());
+        result
+    }
+
+    fn execute_timed(
         &self,
         session_id: u64,
         sql: &str,
@@ -895,6 +929,67 @@ mod tests {
             .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
             .unwrap_err();
         assert_eq!(err, CoreError::NoSuchSession(s));
+    }
+
+    #[test]
+    fn end_session_is_idempotent() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        assert_eq!(p.session_count(), 1);
+        assert!(p.end_session(s), "first end reports the session was live");
+        assert!(!p.end_session(s), "second end is a no-op");
+        assert!(!p.end_session(s), "and stays a no-op");
+        assert_eq!(p.session_count(), 0);
+    }
+
+    #[test]
+    fn unknown_session_is_a_typed_error_everywhere() {
+        let p = proxy(ProxyConfig::default());
+        // Never-begun id: execute and trace must both fail typed, not panic
+        // or return something empty.
+        let bogus = 999_999;
+        let err = p.execute(bogus, "SELECT * FROM Events", &[]).unwrap_err();
+        assert_eq!(err, CoreError::NoSuchSession(bogus));
+        assert_eq!(p.session_trace(bogus).unwrap_err(), err);
+        assert!(!p.end_session(bogus));
+    }
+
+    #[test]
+    fn execute_after_end_fails_even_with_warm_caches() {
+        // An ended session must be rejected on every decision path,
+        // including ones short-circuited by the global template cache.
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        assert!(p.execute(s, sql, &[]).unwrap().is_allowed());
+        p.end_session(s);
+        let err = p.execute(s, sql, &[]).unwrap_err();
+        assert_eq!(err, CoreError::NoSuchSession(s));
+    }
+
+    #[test]
+    fn end_sessions_sweeps_only_live_ids() {
+        let p = proxy(ProxyConfig::default());
+        let s1 = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let s2 = p.begin_session(vec![("MyUId".into(), Value::Int(2))]);
+        let s3 = p.begin_session(vec![("MyUId".into(), Value::Int(3))]);
+        p.end_session(s2);
+        assert_eq!(p.end_sessions([s1, s2, s3, 424_242]), 2);
+        assert_eq!(p.session_count(), 0);
+    }
+
+    #[test]
+    fn stats_report_latency_from_the_histogram() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        for _ in 0..5 {
+            p.execute(s, sql, &[]).unwrap();
+        }
+        let lat = p.stats().latency;
+        assert_eq!(lat.count, 5, "every execute records one sample");
+        assert!(lat.p50_ns > 0 && lat.p99_ns >= lat.p50_ns);
+        assert!(lat.max_ns > 0 && lat.sum_ns >= lat.max_ns);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Per-connection protocol loop.
+//!
+//! One worker thread runs [`handle_connection`] for the lifetime of a TCP
+//! connection. The loop enforces the handshake, decodes one frame at a
+//! time, dispatches to the shared [`SqlProxy`], and writes one response
+//! frame per request. Error containment is graded:
+//!
+//! * a *malformed message* (bad JSON, unknown tag, missing field) gets a
+//!   typed `error` response and the connection stays open — one bad frame
+//!   must not cost a client its session state;
+//! * an *oversized or truncated frame* closes the connection — framing is
+//!   lost and there is no safe way to resynchronize;
+//! * a *write failure or hard read error* closes the connection.
+//!
+//! Whatever the exit path (clean `End`s, client vanishing, idle reaping,
+//! server shutdown, even a panic in a handler), a drop guard ends every
+//! session the connection ever began that is still live — the server never
+//! leaks orphaned sessions.
+
+use std::collections::HashSet;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bep_core::{CoreError, ProxyResponse, SqlProxy};
+
+use crate::framing::{write_frame, FrameError, FrameEvent, FrameReader};
+use crate::protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
+use crate::server::ServerConfig;
+
+/// State shared by every connection of one server.
+pub(crate) struct ConnShared {
+    /// The enforcement proxy.
+    pub proxy: Arc<SqlProxy>,
+    /// Timeouts and limits.
+    pub config: ServerConfig,
+    /// Server-wide shutdown flag.
+    pub shutdown: Arc<AtomicBool>,
+    /// The server's own address (used to poke the accept loop awake when a
+    /// client-initiated shutdown arrives).
+    pub addr: SocketAddr,
+}
+
+/// Ends every still-live session this connection began, on any exit path
+/// (including unwinding out of a handler panic).
+struct SessionSweep<'a> {
+    proxy: &'a SqlProxy,
+    owned: HashSet<u64>,
+}
+
+impl Drop for SessionSweep<'_> {
+    fn drop(&mut self) {
+        self.proxy.end_sessions(self.owned.iter().copied());
+    }
+}
+
+/// Snapshot the proxy counters into their wire form.
+pub(crate) fn wire_stats(proxy: &SqlProxy) -> WireStats {
+    let s = proxy.stats();
+    WireStats {
+        allowed: s.allowed,
+        blocked: s.blocked,
+        template_cache_hits: s.template_cache_hits,
+        template_proofs: s.template_proofs,
+        session_cache_hits: s.session_cache_hits,
+        concrete_proofs: s.concrete_proofs,
+        writes: s.writes,
+        sessions: proxy.session_count() as u64,
+        latency_count: s.latency.count,
+        p50_ns: s.latency.p50_ns,
+        p95_ns: s.latency.p95_ns,
+        p99_ns: s.latency.p99_ns,
+        max_ns: s.latency.max_ns,
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    write_frame(stream, response.to_wire().as_bytes())
+}
+
+/// Runs the protocol loop until the connection closes.
+pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
+    // The read timeout doubles as the poll tick for the shutdown flag and
+    // the idle clock; the write timeout bounds a stuck peer's backpressure.
+    let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut reader = FrameReader::new(shared.config.max_frame);
+    let mut sweep = SessionSweep {
+        proxy: &shared.proxy,
+        owned: HashSet::new(),
+    };
+    let mut greeted = false;
+    let mut last_activity = Instant::now();
+
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            // Drain point: any in-flight request already got its response
+            // (the loop is synchronous), so say goodbye and close.
+            let _ = send(&mut stream, &Response::Bye);
+            return;
+        }
+        let payload = match reader.read_frame(&mut stream) {
+            Ok(FrameEvent::Frame(p)) => p,
+            Ok(FrameEvent::Eof) => return,
+            Ok(FrameEvent::TimedOut) => {
+                if last_activity.elapsed() >= shared.config.idle_timeout {
+                    // Idle reap. Mid-frame idleness (a stalled half-sent
+                    // frame) is closed without a goodbye — framing is
+                    // not re-synchronizable.
+                    if !reader.mid_frame() {
+                        let _ = send(&mut stream, &Response::Bye);
+                    }
+                    return;
+                }
+                continue;
+            }
+            Err(FrameError::Oversized { announced, limit }) => {
+                let _ = send(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::Malformed,
+                        msg: format!("frame of {announced} bytes exceeds limit {limit}"),
+                    },
+                );
+                return; // cannot resync past an unread oversized payload
+            }
+            Err(_) => return, // truncated or hard I/O error
+        };
+        last_activity = Instant::now();
+
+        let text = match std::str::from_utf8(&payload) {
+            Ok(t) => t,
+            Err(_) => {
+                if send(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::Malformed,
+                        msg: "frame is not valid UTF-8".into(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+        let request = match Request::from_wire(text) {
+            Ok(r) => r,
+            Err(e) => {
+                // Malformed message: typed error, connection survives.
+                if send(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::Malformed,
+                        msg: e.to_string(),
+                    },
+                )
+                .is_err()
+                {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let (response, close) = dispatch(shared, &mut sweep, &mut greeted, request);
+        if send(&mut stream, &response).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Handles one decoded request. Returns the response and whether the
+/// connection should close after sending it.
+fn dispatch(
+    shared: &ConnShared,
+    sweep: &mut SessionSweep<'_>,
+    greeted: &mut bool,
+    request: Request,
+) -> (Response, bool) {
+    if !*greeted {
+        return match request {
+            Request::Hello { version } if version == PROTOCOL_VERSION => {
+                *greeted = true;
+                (
+                    Response::Welcome {
+                        version: PROTOCOL_VERSION,
+                    },
+                    false,
+                )
+            }
+            Request::Hello { version } => (
+                Response::Error {
+                    kind: ErrorKind::Unsupported,
+                    msg: format!(
+                        "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                    ),
+                },
+                true,
+            ),
+            _ => (
+                Response::Error {
+                    kind: ErrorKind::Unsupported,
+                    msg: "handshake required: send hello first".into(),
+                },
+                true,
+            ),
+        };
+    }
+
+    match request {
+        Request::Hello { .. } => (
+            Response::Error {
+                kind: ErrorKind::Unsupported,
+                msg: "already greeted".into(),
+            },
+            false,
+        ),
+        Request::Begin { bindings } => {
+            let session = shared.proxy.begin_session(bindings);
+            sweep.owned.insert(session);
+            (Response::Began { session }, false)
+        }
+        Request::Execute {
+            session,
+            sql,
+            bindings,
+        } => {
+            // Sessions are connection-scoped capabilities: a connection may
+            // only touch sessions it began, so one client can never read
+            // another's trace-unlocked state by guessing ids.
+            if !sweep.owned.contains(&session) {
+                return (no_such_session(session), false);
+            }
+            match shared.proxy.execute(session, &sql, &bindings) {
+                Ok(ProxyResponse::Rows(rows)) => (
+                    Response::Rows {
+                        columns: rows.columns,
+                        rows: rows.rows,
+                    },
+                    false,
+                ),
+                Ok(ProxyResponse::Affected(n)) => (Response::Affected { n: n as u64 }, false),
+                Ok(ProxyResponse::Blocked(reason)) => (
+                    Response::Blocked {
+                        reason: reason.label().to_string(),
+                        detail: match &reason {
+                            bep_core::DenyReason::NotDetermined { query } => format!("{query:?}"),
+                            bep_core::DenyReason::OutOfFragment(m) => m.clone(),
+                            bep_core::DenyReason::ParseError(m) => m.clone(),
+                            bep_core::DenyReason::WriteBlocked => String::new(),
+                        },
+                    },
+                    false,
+                ),
+                Err(e) => (core_error(e), false),
+            }
+        }
+        Request::Trace { session } => {
+            if !sweep.owned.contains(&session) {
+                return (no_such_session(session), false);
+            }
+            match shared.proxy.session_trace(session) {
+                Ok(trace) => (
+                    Response::TraceSummary {
+                        entries: trace.len() as u64,
+                        facts: trace.facts().len() as u64,
+                    },
+                    false,
+                ),
+                Err(e) => (core_error(e), false),
+            }
+        }
+        Request::Stats => (Response::Stats(wire_stats(&shared.proxy)), false),
+        Request::End { session } => {
+            if !sweep.owned.contains(&session) {
+                return (no_such_session(session), false);
+            }
+            // `owned` deliberately keeps the id: a repeated End must stay
+            // idempotent (`was_live: false`), not become no-such-session.
+            let was_live = shared.proxy.end_session(session);
+            (Response::Ended { was_live }, false)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::Release);
+            // The accept loop is blocked in accept(); poke it awake so it
+            // observes the flag. Any error just means it is already awake.
+            let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+            (Response::Bye, true)
+        }
+    }
+}
+
+fn no_such_session(session: u64) -> Response {
+    Response::Error {
+        kind: ErrorKind::NoSuchSession,
+        msg: format!("no such session: {session}"),
+    }
+}
+
+fn core_error(e: CoreError) -> Response {
+    let kind = match e {
+        CoreError::NoSuchSession(_) => ErrorKind::NoSuchSession,
+        _ => ErrorKind::Internal,
+    };
+    Response::Error {
+        kind,
+        msg: e.to_string(),
+    }
+}

@@ -1,0 +1,293 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. [`FrameReader`] is an incremental decoder: it
+//! tolerates arbitrarily split reads (one byte at a time is fine) and
+//! surfaces read timeouts as a distinct [`FrameEvent::TimedOut`] so the
+//! connection loop can run its idle clock without losing a half-received
+//! frame. Oversized length prefixes are rejected *before* any payload is
+//! buffered, so a hostile `0xFFFFFFFF` header costs four bytes, not 4 GiB.
+
+use std::io::{self, Read, Write};
+
+/// Largest frame either side will accept by default (1 MiB).
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// A framing failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer announced a frame larger than the reader's limit.
+    Oversized {
+        /// Announced payload length.
+        announced: usize,
+        /// The reader's limit.
+        limit: usize,
+    },
+    /// The stream ended mid-frame.
+    Truncated,
+    /// An I/O error other than a read timeout.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { announced, limit } => {
+                write!(f, "frame of {announced} bytes exceeds limit {limit}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// What one call to [`FrameReader::read_frame`] produced.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// The underlying read timed out; partial state is kept, call again.
+    TimedOut,
+}
+
+/// Incremental frame decoder; owns the partially received frame between
+/// calls so timeouts and split reads lose nothing.
+#[derive(Debug)]
+pub struct FrameReader {
+    limit: usize,
+    header: [u8; 4],
+    header_filled: usize,
+    body: Vec<u8>,
+    body_filled: usize,
+    in_body: bool,
+}
+
+impl FrameReader {
+    /// A reader that rejects frames larger than `limit` bytes.
+    pub fn new(limit: usize) -> FrameReader {
+        FrameReader {
+            limit,
+            header: [0; 4],
+            header_filled: 0,
+            body: Vec::new(),
+            body_filled: 0,
+            in_body: false,
+        }
+    }
+
+    /// `true` while a frame is partially received (EOF now would be
+    /// truncation, and an idle clock should not tick).
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.in_body
+    }
+
+    /// Pulls bytes from `r` until a full frame, end-of-stream, or a read
+    /// timeout. `WouldBlock`/`TimedOut`/`Interrupted` I/O errors surface as
+    /// [`FrameEvent::TimedOut`]; everything else is a hard error.
+    pub fn read_frame(&mut self, r: &mut impl Read) -> Result<FrameEvent, FrameError> {
+        if !self.in_body {
+            while self.header_filled < 4 {
+                match r.read(&mut self.header[self.header_filled..]) {
+                    Ok(0) => {
+                        return if self.header_filled == 0 {
+                            Ok(FrameEvent::Eof)
+                        } else {
+                            Err(FrameError::Truncated)
+                        };
+                    }
+                    Ok(n) => self.header_filled += n,
+                    Err(e) => return soft_or_hard(e),
+                }
+            }
+            let announced = u32::from_be_bytes(self.header) as usize;
+            if announced > self.limit {
+                return Err(FrameError::Oversized {
+                    announced,
+                    limit: self.limit,
+                });
+            }
+            self.in_body = true;
+            self.body = vec![0; announced];
+            self.body_filled = 0;
+        }
+        while self.body_filled < self.body.len() {
+            match r.read(&mut self.body[self.body_filled..]) {
+                Ok(0) => return Err(FrameError::Truncated),
+                Ok(n) => self.body_filled += n,
+                Err(e) => return soft_or_hard(e),
+            }
+        }
+        let payload = std::mem::take(&mut self.body);
+        self.header_filled = 0;
+        self.body_filled = 0;
+        self.in_body = false;
+        Ok(FrameEvent::Frame(payload))
+    }
+}
+
+fn soft_or_hard(e: io::Error) -> Result<FrameEvent, FrameError> {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Ok(FrameEvent::TimedOut),
+        io::ErrorKind::Interrupted => Ok(FrameEvent::TimedOut),
+        _ => Err(FrameError::Io(e)),
+    }
+}
+
+/// Writes one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// The on-wire bytes of one frame (for tests and hand-rolled probes).
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A reader that yields its script one fragment at a time, with a
+    /// timeout event between fragments.
+    struct Fragmented {
+        fragments: Vec<Vec<u8>>,
+        next: usize,
+        timeout_between: bool,
+        pending_timeout: bool,
+    }
+
+    impl Read for Fragmented {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pending_timeout {
+                self.pending_timeout = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            if self.next >= self.fragments.len() {
+                return Ok(0);
+            }
+            let frag = &mut self.fragments[self.next];
+            let n = frag.len().min(buf.len());
+            buf[..n].copy_from_slice(&frag[..n]);
+            if n == frag.len() {
+                self.next += 1;
+                self.pending_timeout = self.timeout_between;
+            } else {
+                frag.drain(..n);
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"{\"t\":\"hello\"}").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = FrameReader::new(MAX_FRAME);
+        let mut cur = Cursor::new(wire);
+        match r.read_frame(&mut cur).unwrap() {
+            FrameEvent::Frame(p) => assert_eq!(p, b"{\"t\":\"hello\"}"),
+            other => panic!("{other:?}"),
+        }
+        match r.read_frame(&mut cur).unwrap() {
+            FrameEvent::Frame(p) => assert!(p.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(r.read_frame(&mut cur).unwrap(), FrameEvent::Eof));
+    }
+
+    #[test]
+    fn split_reads_one_byte_at_a_time() {
+        let wire = frame_bytes(b"abcdef");
+        let mut src = Fragmented {
+            fragments: wire.iter().map(|b| vec![*b]).collect(),
+            next: 0,
+            timeout_between: true,
+            pending_timeout: false,
+        };
+        let mut r = FrameReader::new(MAX_FRAME);
+        let mut timeouts = 0;
+        loop {
+            match r.read_frame(&mut src).unwrap() {
+                FrameEvent::Frame(p) => {
+                    assert_eq!(p, b"abcdef");
+                    break;
+                }
+                FrameEvent::TimedOut => timeouts += 1,
+                FrameEvent::Eof => panic!("eof before frame completed"),
+            }
+        }
+        assert!(timeouts > 0, "the fragmented source injected timeouts");
+        assert!(!r.mid_frame());
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected_from_the_header_alone() {
+        let mut wire = 0xFFFF_FFFFu32.to_be_bytes().to_vec();
+        wire.extend_from_slice(b"whatever");
+        let mut r = FrameReader::new(1024);
+        let err = r.read_frame(&mut Cursor::new(wire)).unwrap_err();
+        match err {
+            FrameError::Oversized { announced, limit } => {
+                assert_eq!(announced, 0xFFFF_FFFF);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncation() {
+        let wire = frame_bytes(b"abcdef");
+        // Header promises 6 bytes; deliver 3.
+        let mut r = FrameReader::new(MAX_FRAME);
+        let mut cur = Cursor::new(wire[..7].to_vec());
+        assert!(matches!(
+            r.read_frame(&mut cur).unwrap_err(),
+            FrameError::Truncated
+        ));
+
+        // EOF inside the header is truncation too.
+        let mut r = FrameReader::new(MAX_FRAME);
+        let mut cur = Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            r.read_frame(&mut cur).unwrap_err(),
+            FrameError::Truncated
+        ));
+    }
+
+    #[test]
+    fn mid_frame_flag_tracks_partial_state() {
+        let wire = frame_bytes(b"xy");
+        let mut src = Fragmented {
+            fragments: vec![wire[..2].to_vec(), wire[2..].to_vec()],
+            next: 0,
+            timeout_between: true,
+            pending_timeout: false,
+        };
+        let mut r = FrameReader::new(MAX_FRAME);
+        assert!(!r.mid_frame());
+        assert!(matches!(
+            r.read_frame(&mut src).unwrap(),
+            FrameEvent::TimedOut
+        ));
+        assert!(r.mid_frame(), "half a header counts as mid-frame");
+        assert!(matches!(
+            r.read_frame(&mut src).unwrap(),
+            FrameEvent::Frame(_)
+        ));
+        assert!(!r.mid_frame());
+    }
+}

@@ -1,0 +1,34 @@
+//! `bep-server` — the networked enforcement front-end.
+//!
+//! Blockaid-style deployments put the compliance checker on the network
+//! path as a SQL proxy; this crate is that missing serving layer for the
+//! workspace's [`SqlProxy`](bep_core::SqlProxy). It is built on `std::net`
+//! alone (the workspace stays offline-buildable — no async runtime):
+//!
+//! * [`protocol`] — typed `hello`/`begin`/`execute`/`trace`/`stats`/
+//!   `end`/`shutdown` messages over a hand-rolled JSON layer ([`json`]);
+//! * [`framing`] — 4-byte length-prefixed frames with split-read tolerance
+//!   and oversized-frame rejection;
+//! * [`pool`] — a fixed worker thread-pool with a bounded backlog and
+//!   explicit admission control (saturation returns the connection to the
+//!   acceptor, which answers `busy` — the server never stalls);
+//! * [`conn`] — the per-connection loop: handshake enforcement,
+//!   connection-scoped session ownership, typed errors for malformed
+//!   frames, idle reaping, and a drop guard that sweeps orphaned sessions;
+//! * [`server`] — accept loop and graceful drain-then-join shutdown;
+//! * [`client`] — the blocking client used by tests, the benches (T8),
+//!   and the `serve_calendar` example.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub(crate) mod conn;
+pub mod framing;
+pub mod json;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, ExecOutcome};
+pub use protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
+pub use server::{Server, ServerConfig};

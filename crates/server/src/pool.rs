@@ -1,0 +1,225 @@
+//! A fixed-size worker thread-pool with a bounded queue and explicit
+//! admission control.
+//!
+//! The pool is generic over the queued item (the server queues accepted
+//! `TcpStream`s) and runs one shared handler function on each item.
+//! Admission control lives in [`ThreadPool::try_execute`]: when every
+//! worker is busy *and* the backlog queue is full, the item is handed
+//! straight back instead of queued — the server turns that into a `busy`
+//! wire response, so overload degrades into fast typed rejections rather
+//! than unbounded queueing or a stalled accept loop. Handing the item back
+//! (not a boxed closure) is the point: the caller still owns the socket
+//! and can say goodbye on it.
+//!
+//! Shutdown is cooperative: [`ThreadPool::shutdown`] wakes every idle
+//! worker and joins them all. Items still queued are dropped (their
+//! connections close); items being *handled* finish normally — the
+//! connection loops watch the server's shutdown flag themselves and exit
+//! after completing their in-flight request.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+struct PoolState<T> {
+    queue: VecDeque<T>,
+    /// Workers currently blocked waiting for an item.
+    idle_workers: usize,
+    shutting_down: bool,
+}
+
+struct PoolShared<T> {
+    state: Mutex<PoolState<T>>,
+    item_ready: Condvar,
+    queue_capacity: usize,
+}
+
+/// Fixed worker threads pulling items from a bounded queue and running one
+/// shared handler on each.
+pub struct ThreadPool<T: Send + 'static> {
+    shared: Arc<PoolShared<T>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> ThreadPool<T> {
+    /// Spawns `workers` threads running `handler`, with room for
+    /// `queue_capacity` waiting items beyond the ones being handled.
+    pub fn new<F>(workers: usize, queue_capacity: usize, handler: F) -> ThreadPool<T>
+    where
+        F: Fn(T) + Send + Sync + 'static,
+    {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                idle_workers: 0,
+                shutting_down: false,
+            }),
+            item_ready: Condvar::new(),
+            queue_capacity,
+        });
+        let handler = Arc::new(handler);
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let handler = Arc::clone(&handler);
+                std::thread::Builder::new()
+                    .name(format!("bep-server-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &*handler))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Submits an item unless the pool is saturated. An item is accepted
+    /// when a worker is idle to take it at once, or when the backlog queue
+    /// has room; otherwise (and after shutdown began) the item comes
+    /// straight back as `Err` and the caller decides what rejection looks
+    /// like.
+    pub fn try_execute(&self, item: T) -> Result<(), T> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutting_down {
+            return Err(item);
+        }
+        // A queued item is picked up at once by an idle worker, so the
+        // effective room is idle workers + backlog slots.
+        let effective_room = state.idle_workers + self.shared.queue_capacity;
+        if state.queue.len() >= effective_room {
+            return Err(item);
+        }
+        state.queue.push_back(item);
+        drop(state);
+        self.shared.item_ready.notify_one();
+        Ok(())
+    }
+
+    /// Worker threads in the pool.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Wakes and joins every worker. Queued-but-unstarted items are
+    /// dropped; in-flight handlers complete first (join waits for them).
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutting_down = true;
+            state.queue.clear();
+        }
+        self.shared.item_ready.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop<T: Send + 'static>(shared: &PoolShared<T>, handler: &(dyn Fn(T) + Send + Sync)) {
+    loop {
+        let item = {
+            let mut state = shared.state.lock().expect("pool lock");
+            loop {
+                if let Some(item) = state.queue.pop_front() {
+                    break item;
+                }
+                if state.shutting_down {
+                    return;
+                }
+                state.idle_workers += 1;
+                state = shared.item_ready.wait(state).expect("pool lock");
+                state.idle_workers -= 1;
+            }
+        };
+        handler(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    type Task = Box<dyn FnOnce() + Send>;
+
+    fn closure_pool(workers: usize, queue: usize) -> ThreadPool<Task> {
+        ThreadPool::new(workers, queue, |task: Task| task())
+    }
+
+    #[test]
+    fn runs_items_on_workers() {
+        let pool = closure_pool(2, 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            let mut task: Task = Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+            // Tasks are quick, so the bounded queue may transiently
+            // reject; retry until accepted.
+            loop {
+                match pool.try_execute(task) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        task = back;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while done.load(Ordering::SeqCst) < 8 {
+            assert!(std::time::Instant::now() < deadline, "tasks did not finish");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
+    }
+
+    #[test]
+    fn saturated_pool_rejects_and_returns_the_item() {
+        let pool = closure_pool(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        // Occupy the single worker...
+        assert!(pool
+            .try_execute(Box::new(move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            }) as Task)
+            .is_ok());
+        started_rx.recv().unwrap();
+        // ...fill the single backlog slot...
+        assert!(pool.try_execute(Box::new(|| {}) as Task).is_ok());
+        // ...and the third submission bounces immediately, item returned.
+        let marker = Arc::new(AtomicUsize::new(7));
+        let marker2 = Arc::clone(&marker);
+        let rejected = pool.try_execute(Box::new(move || {
+            marker2.store(0, Ordering::SeqCst);
+        }) as Task);
+        assert!(rejected.is_err(), "saturated pool must reject");
+        drop(rejected);
+        assert_eq!(marker.load(Ordering::SeqCst), 7, "rejected task never ran");
+        release_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_idle_workers() {
+        let pool = closure_pool(4, 4);
+        assert_eq!(pool.worker_count(), 4);
+        pool.shutdown(); // must not hang
+    }
+
+    #[test]
+    fn rejects_after_shutdown_began() {
+        let pool = closure_pool(1, 4);
+        pool.shared.state.lock().unwrap().shutting_down = true;
+        assert!(pool.try_execute(Box::new(|| {}) as Task).is_err());
+        pool.shared.state.lock().unwrap().shutting_down = false;
+        pool.shutdown();
+    }
+}

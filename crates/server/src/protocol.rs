@@ -1,0 +1,632 @@
+//! The wire protocol: typed request/response messages and their JSON
+//! encoding.
+//!
+//! Every frame carries one JSON object whose `"t"` member tags the
+//! message. Client → server:
+//!
+//! | `t` | fields | meaning |
+//! |-----|--------|---------|
+//! | `hello` | `v` | handshake; must be the first message |
+//! | `begin` | `bindings` | open a session with policy-parameter bindings |
+//! | `execute` | `session`, `sql`, `bindings` | run one statement under enforcement |
+//! | `trace` | `session` | summarize the session's trace |
+//! | `stats` | | proxy counters + latency percentiles |
+//! | `end` | `session` | end a session (idempotent) |
+//! | `shutdown` | | ask the whole server to drain and stop |
+//!
+//! Server → client: `welcome`, `busy`, `began`, `rows`, `affected`,
+//! `blocked`, `trace`, `stats`, `ended`, `bye`, and `error` (with a stable
+//! `kind`). SQL [`Value`]s are encoded unambiguously as `null`,
+//! `{"i":n}`, `{"s":"…"}`, `{"b":bool}` so integer 1, string "1", and
+//! boolean true never collide.
+
+use sqlir::Value;
+
+use crate::json::Json;
+
+/// Protocol version sent in `hello` and echoed in `welcome`.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// A decode failure: the frame was valid JSON-shaped bytes but not a
+/// well-formed message (or not valid JSON at all).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed message: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Stable error kinds carried by `error` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame did not decode to a well-formed request.
+    Malformed,
+    /// The referenced session does not exist (or belongs to another
+    /// connection).
+    NoSuchSession,
+    /// Protocol version mismatch or out-of-order handshake.
+    Unsupported,
+    /// A server-side invariant failed.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The stable wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::NoSuchSession => "no-such-session",
+            ErrorKind::Unsupported => "unsupported",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    fn from_label(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "malformed" => ErrorKind::Malformed,
+            "no-such-session" => ErrorKind::NoSuchSession,
+            "unsupported" => ErrorKind::Unsupported,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake.
+    Hello {
+        /// Client protocol version.
+        version: i64,
+    },
+    /// Open a session.
+    Begin {
+        /// Policy-parameter bindings (e.g. `MyUId = 1`).
+        bindings: Vec<(String, Value)>,
+    },
+    /// Execute one statement.
+    Execute {
+        /// Session to execute under.
+        session: u64,
+        /// SQL template (may contain `?name` parameters).
+        sql: String,
+        /// Request parameters.
+        bindings: Vec<(String, Value)>,
+    },
+    /// Summarize a session's trace.
+    Trace {
+        /// Session to summarize.
+        session: u64,
+    },
+    /// Fetch proxy statistics.
+    Stats,
+    /// End a session.
+    End {
+        /// Session to end.
+        session: u64,
+    },
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+/// Proxy statistics as shipped over the wire (a flattened
+/// [`bep_core::ProxyStats`] plus the live session count).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Queries allowed.
+    pub allowed: u64,
+    /// Queries blocked.
+    pub blocked: u64,
+    /// Template cache hits.
+    pub template_cache_hits: u64,
+    /// Fresh template proofs.
+    pub template_proofs: u64,
+    /// Session cache hits.
+    pub session_cache_hits: u64,
+    /// Fresh concrete proofs.
+    pub concrete_proofs: u64,
+    /// DML statements passed through.
+    pub writes: u64,
+    /// Live sessions server-wide.
+    pub sessions: u64,
+    /// Decisions measured by the latency histogram.
+    pub latency_count: u64,
+    /// Median decision latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile decision latency, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile decision latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Slowest decision, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome {
+        /// Server protocol version.
+        version: i64,
+    },
+    /// The server is at capacity; the connection will be closed. Retry
+    /// later. May arrive instead of `welcome`.
+    Busy,
+    /// Session opened.
+    Began {
+        /// The new session id.
+        session: u64,
+    },
+    /// Rows of an allowed `SELECT`.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Row count of a pass-through DML statement.
+    Affected {
+        /// Rows affected.
+        n: u64,
+    },
+    /// The statement was blocked by the policy.
+    Blocked {
+        /// Stable reason label (`not-determined`, `parse-error`, …).
+        reason: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Trace summary.
+    TraceSummary {
+        /// Recorded queries.
+        entries: u64,
+        /// Derived ground facts.
+        facts: u64,
+    },
+    /// Statistics snapshot.
+    Stats(WireStats),
+    /// Session ended.
+    Ended {
+        /// Whether the session was live.
+        was_live: bool,
+    },
+    /// The server (or this connection) is going away.
+    Bye,
+    /// A typed error; the connection stays usable unless the transport
+    /// itself is broken.
+    Error {
+        /// Stable kind.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        msg: String,
+    },
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(n) => Json::obj([("i", Json::Int(*n))]),
+        Value::Str(s) => Json::obj([("s", Json::str(s.clone()))]),
+        Value::Bool(b) => Json::obj([("b", Json::Bool(*b))]),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value, ProtocolError> {
+    match j {
+        Json::Null => Ok(Value::Null),
+        Json::Obj(pairs) if pairs.len() == 1 => {
+            let (k, v) = &pairs[0];
+            match (k.as_str(), v) {
+                ("i", Json::Int(n)) => Ok(Value::Int(*n)),
+                ("s", Json::Str(s)) => Ok(Value::Str(s.clone())),
+                ("b", Json::Bool(b)) => Ok(Value::Bool(*b)),
+                _ => Err(ProtocolError(format!("bad value tag {k:?}"))),
+            }
+        }
+        _ => Err(ProtocolError("bad value encoding".into())),
+    }
+}
+
+fn bindings_to_json(bindings: &[(String, Value)]) -> Json {
+    Json::Arr(
+        bindings
+            .iter()
+            .map(|(k, v)| Json::Arr(vec![Json::str(k.clone()), value_to_json(v)]))
+            .collect(),
+    )
+}
+
+fn bindings_from_json(j: &Json) -> Result<Vec<(String, Value)>, ProtocolError> {
+    let items = j
+        .as_arr()
+        .ok_or_else(|| ProtocolError("bindings must be an array".into()))?;
+    items
+        .iter()
+        .map(|item| {
+            let pair = item
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| ProtocolError("binding must be a [name, value] pair".into()))?;
+            let name = pair[0]
+                .as_str()
+                .ok_or_else(|| ProtocolError("binding name must be a string".into()))?;
+            Ok((name.to_string(), value_from_json(&pair[1])?))
+        })
+        .collect()
+}
+
+fn rows_to_json(rows: &[Vec<Value>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| Json::Arr(row.iter().map(value_to_json).collect()))
+            .collect(),
+    )
+}
+
+fn rows_from_json(j: &Json) -> Result<Vec<Vec<Value>>, ProtocolError> {
+    j.as_arr()
+        .ok_or_else(|| ProtocolError("rows must be an array".into()))?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| ProtocolError("row must be an array".into()))?
+                .iter()
+                .map(value_from_json)
+                .collect()
+        })
+        .collect()
+}
+
+fn field<'a>(j: &'a Json, name: &str) -> Result<&'a Json, ProtocolError> {
+    j.get(name)
+        .ok_or_else(|| ProtocolError(format!("missing field {name:?}")))
+}
+
+fn u64_field(j: &Json, name: &str) -> Result<u64, ProtocolError> {
+    field(j, name)?
+        .as_u64()
+        .ok_or_else(|| ProtocolError(format!("field {name:?} must be a non-negative integer")))
+}
+
+fn str_field<'a>(j: &'a Json, name: &str) -> Result<&'a str, ProtocolError> {
+    field(j, name)?
+        .as_str()
+        .ok_or_else(|| ProtocolError(format!("field {name:?} must be a string")))
+}
+
+impl Request {
+    /// Encodes to wire JSON text.
+    pub fn to_wire(&self) -> String {
+        let j = match self {
+            Request::Hello { version } => {
+                Json::obj([("t", Json::str("hello")), ("v", Json::Int(*version))])
+            }
+            Request::Begin { bindings } => Json::obj([
+                ("t", Json::str("begin")),
+                ("bindings", bindings_to_json(bindings)),
+            ]),
+            Request::Execute {
+                session,
+                sql,
+                bindings,
+            } => Json::obj([
+                ("t", Json::str("execute")),
+                ("session", Json::Int(*session as i64)),
+                ("sql", Json::str(sql.clone())),
+                ("bindings", bindings_to_json(bindings)),
+            ]),
+            Request::Trace { session } => Json::obj([
+                ("t", Json::str("trace")),
+                ("session", Json::Int(*session as i64)),
+            ]),
+            Request::Stats => Json::obj([("t", Json::str("stats"))]),
+            Request::End { session } => Json::obj([
+                ("t", Json::str("end")),
+                ("session", Json::Int(*session as i64)),
+            ]),
+            Request::Shutdown => Json::obj([("t", Json::str("shutdown"))]),
+        };
+        j.to_wire()
+    }
+
+    /// Decodes from wire JSON text.
+    pub fn from_wire(text: &str) -> Result<Request, ProtocolError> {
+        let j = Json::parse(text).map_err(|e| ProtocolError(e.to_string()))?;
+        let tag = str_field(&j, "t")?;
+        match tag {
+            "hello" => Ok(Request::Hello {
+                version: field(&j, "v")?
+                    .as_i64()
+                    .ok_or_else(|| ProtocolError("field \"v\" must be an integer".into()))?,
+            }),
+            "begin" => Ok(Request::Begin {
+                bindings: bindings_from_json(field(&j, "bindings")?)?,
+            }),
+            "execute" => Ok(Request::Execute {
+                session: u64_field(&j, "session")?,
+                sql: str_field(&j, "sql")?.to_string(),
+                bindings: bindings_from_json(field(&j, "bindings")?)?,
+            }),
+            "trace" => Ok(Request::Trace {
+                session: u64_field(&j, "session")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "end" => Ok(Request::End {
+                session: u64_field(&j, "session")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ProtocolError(format!("unknown request tag {other:?}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Encodes to wire JSON text.
+    pub fn to_wire(&self) -> String {
+        let j = match self {
+            Response::Welcome { version } => Json::obj([
+                ("t", Json::str("welcome")),
+                ("v", Json::Int(*version)),
+                ("server", Json::str("bep-server")),
+            ]),
+            Response::Busy => Json::obj([("t", Json::str("busy"))]),
+            Response::Began { session } => Json::obj([
+                ("t", Json::str("began")),
+                ("session", Json::Int(*session as i64)),
+            ]),
+            Response::Rows { columns, rows } => Json::obj([
+                ("t", Json::str("rows")),
+                (
+                    "columns",
+                    Json::Arr(columns.iter().map(|c| Json::str(c.clone())).collect()),
+                ),
+                ("rows", rows_to_json(rows)),
+            ]),
+            Response::Affected { n } => {
+                Json::obj([("t", Json::str("affected")), ("n", Json::Int(*n as i64))])
+            }
+            Response::Blocked { reason, detail } => Json::obj([
+                ("t", Json::str("blocked")),
+                ("reason", Json::str(reason.clone())),
+                ("detail", Json::str(detail.clone())),
+            ]),
+            Response::TraceSummary { entries, facts } => Json::obj([
+                ("t", Json::str("trace")),
+                ("entries", Json::Int(*entries as i64)),
+                ("facts", Json::Int(*facts as i64)),
+            ]),
+            Response::Stats(s) => Json::obj([
+                ("t", Json::str("stats")),
+                ("allowed", Json::Int(s.allowed as i64)),
+                ("blocked", Json::Int(s.blocked as i64)),
+                (
+                    "template_cache_hits",
+                    Json::Int(s.template_cache_hits as i64),
+                ),
+                ("template_proofs", Json::Int(s.template_proofs as i64)),
+                ("session_cache_hits", Json::Int(s.session_cache_hits as i64)),
+                ("concrete_proofs", Json::Int(s.concrete_proofs as i64)),
+                ("writes", Json::Int(s.writes as i64)),
+                ("sessions", Json::Int(s.sessions as i64)),
+                ("latency_count", Json::Int(s.latency_count as i64)),
+                ("p50_ns", Json::Int(s.p50_ns as i64)),
+                ("p95_ns", Json::Int(s.p95_ns as i64)),
+                ("p99_ns", Json::Int(s.p99_ns as i64)),
+                ("max_ns", Json::Int(s.max_ns as i64)),
+            ]),
+            Response::Ended { was_live } => Json::obj([
+                ("t", Json::str("ended")),
+                ("was_live", Json::Bool(*was_live)),
+            ]),
+            Response::Bye => Json::obj([("t", Json::str("bye"))]),
+            Response::Error { kind, msg } => Json::obj([
+                ("t", Json::str("error")),
+                ("kind", Json::str(kind.label())),
+                ("msg", Json::str(msg.clone())),
+            ]),
+        };
+        j.to_wire()
+    }
+
+    /// Decodes from wire JSON text.
+    pub fn from_wire(text: &str) -> Result<Response, ProtocolError> {
+        let j = Json::parse(text).map_err(|e| ProtocolError(e.to_string()))?;
+        let tag = str_field(&j, "t")?;
+        match tag {
+            "welcome" => Ok(Response::Welcome {
+                version: field(&j, "v")?
+                    .as_i64()
+                    .ok_or_else(|| ProtocolError("field \"v\" must be an integer".into()))?,
+            }),
+            "busy" => Ok(Response::Busy),
+            "began" => Ok(Response::Began {
+                session: u64_field(&j, "session")?,
+            }),
+            "rows" => {
+                let columns = field(&j, "columns")?
+                    .as_arr()
+                    .ok_or_else(|| ProtocolError("columns must be an array".into()))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| ProtocolError("column must be a string".into()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Response::Rows {
+                    columns,
+                    rows: rows_from_json(field(&j, "rows")?)?,
+                })
+            }
+            "affected" => Ok(Response::Affected {
+                n: u64_field(&j, "n")?,
+            }),
+            "blocked" => Ok(Response::Blocked {
+                reason: str_field(&j, "reason")?.to_string(),
+                detail: str_field(&j, "detail")?.to_string(),
+            }),
+            "trace" => Ok(Response::TraceSummary {
+                entries: u64_field(&j, "entries")?,
+                facts: u64_field(&j, "facts")?,
+            }),
+            "stats" => Ok(Response::Stats(WireStats {
+                allowed: u64_field(&j, "allowed")?,
+                blocked: u64_field(&j, "blocked")?,
+                template_cache_hits: u64_field(&j, "template_cache_hits")?,
+                template_proofs: u64_field(&j, "template_proofs")?,
+                session_cache_hits: u64_field(&j, "session_cache_hits")?,
+                concrete_proofs: u64_field(&j, "concrete_proofs")?,
+                writes: u64_field(&j, "writes")?,
+                sessions: u64_field(&j, "sessions")?,
+                latency_count: u64_field(&j, "latency_count")?,
+                p50_ns: u64_field(&j, "p50_ns")?,
+                p95_ns: u64_field(&j, "p95_ns")?,
+                p99_ns: u64_field(&j, "p99_ns")?,
+                max_ns: u64_field(&j, "max_ns")?,
+            })),
+            "ended" => Ok(Response::Ended {
+                was_live: field(&j, "was_live")?
+                    .as_bool()
+                    .ok_or_else(|| ProtocolError("was_live must be a boolean".into()))?,
+            }),
+            "bye" => Ok(Response::Bye),
+            "error" => {
+                let kind = str_field(&j, "kind")?;
+                Ok(Response::Error {
+                    kind: ErrorKind::from_label(kind)
+                        .ok_or_else(|| ProtocolError(format!("unknown error kind {kind:?}")))?,
+                    msg: str_field(&j, "msg")?.to_string(),
+                })
+            }
+            other => Err(ProtocolError(format!("unknown response tag {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let all = [
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Begin {
+                bindings: vec![
+                    ("MyUId".into(), Value::Int(1)),
+                    ("Role".into(), Value::str("admin")),
+                    ("Flag".into(), Value::Bool(false)),
+                    ("Gone".into(), Value::Null),
+                ],
+            },
+            Request::Execute {
+                session: 42,
+                sql: "SELECT * FROM Events WHERE EId = ?event".into(),
+                bindings: vec![("event".into(), Value::Int(2))],
+            },
+            Request::Trace { session: 42 },
+            Request::Stats,
+            Request::End { session: 42 },
+            Request::Shutdown,
+        ];
+        for req in all {
+            let wire = req.to_wire();
+            assert_eq!(Request::from_wire(&wire).unwrap(), req, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let all = [
+            Response::Welcome {
+                version: PROTOCOL_VERSION,
+            },
+            Response::Busy,
+            Response::Began { session: 7 },
+            Response::Rows {
+                columns: vec!["EId".into(), "Title".into()],
+                rows: vec![
+                    vec![Value::Int(2), Value::str("standup")],
+                    vec![Value::Null, Value::Bool(true)],
+                ],
+            },
+            Response::Affected { n: 3 },
+            Response::Blocked {
+                reason: "not-determined".into(),
+                detail: "ans() :- Events(e, t, k)".into(),
+            },
+            Response::TraceSummary {
+                entries: 5,
+                facts: 9,
+            },
+            Response::Stats(WireStats {
+                allowed: 1,
+                blocked: 2,
+                template_cache_hits: 3,
+                template_proofs: 4,
+                session_cache_hits: 5,
+                concrete_proofs: 6,
+                writes: 7,
+                sessions: 8,
+                latency_count: 9,
+                p50_ns: 10,
+                p95_ns: 11,
+                p99_ns: 12,
+                max_ns: 13,
+            }),
+            Response::Ended { was_live: true },
+            Response::Bye,
+            Response::Error {
+                kind: ErrorKind::NoSuchSession,
+                msg: "no such session: 9".into(),
+            },
+        ];
+        for resp in all {
+            let wire = resp.to_wire();
+            assert_eq!(Response::from_wire(&wire).unwrap(), resp, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn malformed_messages_are_typed_errors() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"t":"warp"}"#,
+            r#"{"t":"execute","sql":"SELECT 1"}"#,
+            r#"{"t":"execute","session":-1,"sql":"x","bindings":[]}"#,
+            r#"{"t":"begin","bindings":[["x",{"q":1}]]}"#,
+            r#"{"t":"begin","bindings":[["x"]]}"#,
+        ] {
+            assert!(
+                Request::from_wire(bad).is_err(),
+                "{bad:?} should not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn value_encoding_is_unambiguous() {
+        // Integer 1, string "1", and boolean true all encode differently.
+        let reqs: Vec<String> = [Value::Int(1), Value::str("1"), Value::Bool(true)]
+            .into_iter()
+            .map(|v| {
+                Request::Begin {
+                    bindings: vec![("x".into(), v)],
+                }
+                .to_wire()
+            })
+            .collect();
+        assert_ne!(reqs[0], reqs[1]);
+        assert_ne!(reqs[1], reqs[2]);
+        assert_ne!(reqs[0], reqs[2]);
+    }
+}

@@ -1,0 +1,240 @@
+//! The TCP server: accept loop, admission control, graceful shutdown.
+//!
+//! [`Server::start`] binds a listener, spawns the worker
+//! [`ThreadPool`](crate::pool::ThreadPool), and hands each accepted
+//! connection to a worker for its whole lifetime (connection-per-worker:
+//! the proxy's decision path is CPU-bound, so more in-flight connections
+//! than workers would only add queueing delay). Admission control is
+//! explicit: when every worker is occupied and the bounded backlog is
+//! full, the acceptor immediately writes one `busy` frame and closes —
+//! overload produces fast typed rejections, never a stalled accept queue.
+//!
+//! Shutdown — either [`Server::shutdown`] from the owning process or a
+//! client's `shutdown` request — is graceful: the flag flips, the accept
+//! loop is poked awake and stops admitting, every connection loop finishes
+//! its in-flight request, answers it, sends `bye`, and its drop guard ends
+//! any sessions the client left behind. Only then are the workers joined.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bep_core::SqlProxy;
+
+use crate::conn::{handle_connection, ConnShared};
+use crate::framing::{write_frame, MAX_FRAME};
+use crate::pool::ThreadPool;
+use crate::protocol::Response;
+
+/// Server tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads; each owns one live connection at a time.
+    pub workers: usize,
+    /// Accepted connections that may wait for a worker beyond the ones
+    /// being served; anything past `workers + queue_capacity` gets `busy`.
+    pub queue_capacity: usize,
+    /// Largest accepted frame in bytes.
+    pub max_frame: usize,
+    /// Socket read timeout; doubles as the poll tick for the shutdown flag
+    /// and the idle clock.
+    pub poll_interval: Duration,
+    /// Socket write timeout (bounds a stuck peer's backpressure).
+    pub write_timeout: Duration,
+    /// A connection silent this long is reaped and its sessions ended.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 2,
+            max_frame: MAX_FRAME,
+            poll_interval: Duration::from_millis(20),
+            write_timeout: Duration::from_secs(2),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// A running enforcement server. Dropping without calling
+/// [`Server::shutdown`] or [`Server::wait`] aborts ungracefully (threads
+/// detach); prefer an explicit stop.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    busy_rejections: Arc<AtomicU64>,
+    accept_thread: Option<JoinHandle<ThreadPool<TcpStream>>>,
+}
+
+impl Server {
+    /// Binds `bind_addr` (use `127.0.0.1:0` for an ephemeral port), wraps
+    /// `proxy`, and starts serving.
+    pub fn start(
+        proxy: Arc<SqlProxy>,
+        config: ServerConfig,
+        bind_addr: &str,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let busy_rejections = Arc::new(AtomicU64::new(0));
+        let shared = Arc::new(ConnShared {
+            proxy,
+            config,
+            shutdown: Arc::clone(&shutdown),
+            addr,
+        });
+        let handler_shared = Arc::clone(&shared);
+        let pool = ThreadPool::new(config.workers, config.queue_capacity, move |stream| {
+            // A panicking handler must not kill the worker; the connection
+            // guard inside still sweeps its sessions during unwind.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                handle_connection(&handler_shared, stream);
+            }));
+        });
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_busy = Arc::clone(&busy_rejections);
+        let accept_thread = std::thread::Builder::new()
+            .name("bep-server-accept".into())
+            .spawn(move || {
+                accept_loop(&listener, &pool, &shared, &accept_shutdown, &accept_busy);
+                pool
+            })?;
+
+        Ok(Server {
+            addr,
+            shutdown,
+            busy_rejections,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the real port when bound to `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections turned away with `busy` so far.
+    pub fn busy_rejections(&self) -> u64 {
+        self.busy_rejections.load(Ordering::Acquire)
+    }
+
+    /// `true` once shutdown has been requested (locally or by a client).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown and blocks until drained: connections finish
+    /// their in-flight request, orphaned sessions are swept, workers join.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.finish();
+    }
+
+    /// Blocks until a client-initiated `shutdown` request stops the
+    /// server, then drains exactly like [`Server::shutdown`].
+    pub fn wait(mut self) {
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        let Some(handle) = self.accept_thread.take() else {
+            return;
+        };
+        // Poke the blocking accept() so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Ok(pool) = handle.join() {
+            pool.shutdown();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shutdown.store(true, Ordering::Release);
+            self.finish();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &ThreadPool<TcpStream>,
+    shared: &Arc<ConnShared>,
+    shutdown: &AtomicBool,
+    busy_rejections: &AtomicU64,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shutdown.load(Ordering::Acquire) {
+            // The poke connection (or a late client); turn it away.
+            reject(stream, &Response::Bye, shared.config.write_timeout);
+            return;
+        }
+        if let Err(stream) = pool.try_execute(stream) {
+            // Saturation: every worker busy and the backlog full. The
+            // rejected stream comes back, so the client hears `busy`
+            // instead of a silent close or an unbounded wait.
+            busy_rejections.fetch_add(1, Ordering::Relaxed);
+            reject(stream, &Response::Busy, shared.config.write_timeout);
+        }
+    }
+}
+
+/// Writes one terminal response on a connection the server will not
+/// serve, then closes it politely. "Politely" matters: the client has
+/// usually pipelined its `hello` already, and closing a socket with
+/// unread data sends an RST that destroys the very `busy` frame we just
+/// wrote. So the rejection drains the client's bytes until FIN (briefly),
+/// and runs on its own short-lived thread to keep the accept loop free.
+fn reject(mut stream: TcpStream, response: &Response, write_timeout: Duration) {
+    let wire = response.to_wire();
+    let _ = std::thread::Builder::new()
+        .name("bep-server-reject".into())
+        .spawn(move || {
+            let _ = stream.set_write_timeout(Some(write_timeout));
+            let _ = stream.set_nodelay(true);
+            let _ = write_frame(&mut stream, wire.as_bytes());
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+            let deadline = std::time::Instant::now() + Duration::from_millis(500);
+            let mut sink = [0u8; 256];
+            loop {
+                use std::io::Read;
+                match stream.read(&mut sink) {
+                    Ok(0) => break, // client saw our frame and closed: FIN
+                    Ok(_) => continue,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                    {
+                        if std::time::Instant::now() >= deadline {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+}

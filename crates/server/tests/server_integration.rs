@@ -1,0 +1,486 @@
+//! End-to-end tests of the networked enforcement front-end: a real
+//! `Server` on an ephemeral port, driven through the real `Client` (and
+//! raw frames where the point is protocol abuse).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bep_core::{schema_of_database, ComplianceChecker, Policy, ProxyConfig, SqlProxy};
+use bep_server::framing::{frame_bytes, write_frame};
+use bep_server::{Client, ClientError, ExecOutcome, Server, ServerConfig};
+use minidb::Database;
+use sqlir::Value;
+
+const IO: Duration = Duration::from_secs(5);
+
+fn calendar_db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+    )
+    .unwrap();
+    db.execute_sql(
+        "INSERT INTO Events (EId, Title, Kind) VALUES (2, 'standup', 'work'), (3, 'party', 'fun')",
+    )
+    .unwrap();
+    db.execute_sql("INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 2, NULL), (2, 3, 'cake')")
+        .unwrap();
+    db
+}
+
+fn calendar_proxy() -> Arc<SqlProxy> {
+    let db = calendar_db();
+    let schema = schema_of_database(&db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[
+            ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+            (
+                "V2",
+                "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                 WHERE a.UId = ?MyUId",
+            ),
+        ],
+    )
+    .unwrap();
+    Arc::new(SqlProxy::new(
+        db,
+        ComplianceChecker::new(schema, policy),
+        ProxyConfig::default(),
+    ))
+}
+
+fn start(config: ServerConfig) -> (Server, Arc<SqlProxy>) {
+    let proxy = calendar_proxy();
+    let server = Server::start(Arc::clone(&proxy), config, "127.0.0.1:0").expect("bind");
+    (server, proxy)
+}
+
+fn uid_bindings(uid: i64) -> Vec<(String, Value)> {
+    vec![("MyUId".into(), Value::Int(uid))]
+}
+
+#[test]
+fn full_round_trip_over_tcp() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    // Q1: the probe is allowed and returns a row.
+    let r1 = c
+        .execute(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+    match &r1 {
+        ExecOutcome::Rows(rows) => assert_eq!(rows.rows.len(), 1),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    // Q2: allowed thanks to the trace recorded by Q1.
+    let r2 = c
+        .execute(
+            s,
+            "SELECT * FROM Events WHERE EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+    match &r2 {
+        ExecOutcome::Rows(rows) => {
+            assert_eq!(rows.rows[0][1], Value::str("standup"));
+        }
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    // The trace summary reflects both queries.
+    let (entries, facts) = c.trace_summary(s).unwrap();
+    assert_eq!(entries, 2);
+    assert!(facts >= 1);
+
+    // Stats flow through, percentiles included.
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.allowed, 2);
+    assert_eq!(stats.sessions, 1);
+    assert_eq!(stats.latency_count, 2);
+    assert!(stats.p99_ns >= stats.p50_ns && stats.p50_ns > 0);
+
+    // End is idempotent over the wire.
+    assert!(c.end(s).unwrap());
+    assert!(!c.end(s).unwrap());
+
+    // A write passes through.
+    let s2 = c.begin(uid_bindings(1)).unwrap();
+    let w = c
+        .execute(
+            s2,
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 3, NULL)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(w, ExecOutcome::Affected(1));
+
+    server.shutdown();
+}
+
+#[test]
+fn blocked_queries_carry_typed_reasons() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    let r = c
+        .execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
+        .unwrap();
+    match r {
+        ExecOutcome::Blocked { reason, .. } => assert_eq!(reason, "not-determined"),
+        other => panic!("expected blocked, got {other:?}"),
+    }
+
+    let r = c.execute(s, "SELEC whoops", &[]).unwrap();
+    match r {
+        ExecOutcome::Blocked { reason, .. } => assert_eq!(reason, "parse-error"),
+        other => panic!("expected blocked, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    for bad in [
+        &b"not json at all"[..],
+        br#"{"t":"warp-core"}"#,
+        br#"{"t":"execute","sql":"SELECT 1"}"#,
+        br#"{"no":"tag"}"#,
+        b"\xff\xfe\x00",
+    ] {
+        match c.raw_round_trip(bad).unwrap() {
+            bep_server::Response::Error { kind, .. } => {
+                assert_eq!(kind, bep_server::ErrorKind::Malformed);
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    // Five garbage frames later, the same connection still works.
+    let r = c
+        .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+    assert!(r.is_allowed());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_rejected_then_closed() {
+    let config = ServerConfig {
+        max_frame: 1024,
+        ..Default::default()
+    };
+    let (server, _proxy) = start(config);
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+
+    let huge = vec![b'x'; 4096];
+    match c.raw_round_trip(&huge) {
+        Ok(bep_server::Response::Error { kind, msg }) => {
+            assert_eq!(kind, bep_server::ErrorKind::Malformed);
+            assert!(msg.contains("exceeds limit"), "{msg}");
+        }
+        other => panic!("expected oversized error, got {other:?}"),
+    }
+    // Framing is unrecoverable after an oversized announcement: the server
+    // hangs up.
+    match c.raw_round_trip(br#"{"t":"stats"}"#) {
+        Err(ClientError::Closed) | Err(ClientError::Io(_)) => {}
+        other => panic!("expected closed connection, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn handshake_is_required_first() {
+    let (server, _proxy) = start(ServerConfig::default());
+    // Hand-roll a connection that skips hello.
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(IO)).unwrap();
+    write_frame(&mut stream, br#"{"t":"stats"}"#).unwrap();
+    let mut reader = bep_server::framing::FrameReader::new(1 << 20);
+    let payload = loop {
+        match reader.read_frame(&mut stream).unwrap() {
+            bep_server::framing::FrameEvent::Frame(p) => break p,
+            bep_server::framing::FrameEvent::TimedOut => continue,
+            bep_server::framing::FrameEvent::Eof => panic!("closed before answering"),
+        }
+    };
+    let resp = bep_server::Response::from_wire(std::str::from_utf8(&payload).unwrap()).unwrap();
+    match resp {
+        bep_server::Response::Error { kind, .. } => {
+            assert_eq!(kind, bep_server::ErrorKind::Unsupported);
+        }
+        other => panic!("expected unsupported error, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn sessions_are_connection_scoped_capabilities() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut alice = Client::connect(server.addr(), IO).unwrap();
+    let mut mallory = Client::connect(server.addr(), IO).unwrap();
+
+    let s = alice.begin(uid_bindings(1)).unwrap();
+    // Mallory guesses Alice's session id: typed no-such-session, and
+    // Alice's session is untouched.
+    match mallory.execute(s, "SELECT * FROM Events WHERE EId = 2", &[]) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-session"),
+        other => panic!("expected no-such-session, got {other:?}"),
+    }
+    match mallory.end(s) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-session"),
+        other => panic!("expected no-such-session, got {other:?}"),
+    }
+    let r = alice
+        .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+    assert!(r.is_allowed(), "alice's session survived the probing");
+    server.shutdown();
+}
+
+#[test]
+fn saturated_server_answers_busy_not_silence() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_capacity: 0,
+        ..Default::default()
+    };
+    let (server, _proxy) = start(config);
+
+    // Occupy the single worker with a live connection...
+    let mut holder = Client::connect(server.addr(), IO).unwrap();
+    let s = holder.begin(uid_bindings(1)).unwrap();
+    holder
+        .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+
+    // ...then the next connection must be rejected with `busy`, quickly.
+    let t0 = std::time::Instant::now();
+    match Client::connect(server.addr(), IO) {
+        Err(ClientError::Busy) => {}
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "busy rejection must be fast, took {:?}",
+        t0.elapsed()
+    );
+    assert_eq!(server.busy_rejections(), 1);
+
+    // The admitted connection still works fine through the overload.
+    let r = holder
+        .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+    assert!(r.is_allowed());
+
+    // Freeing the worker re-opens admission.
+    holder.abandon();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect(server.addr(), IO) {
+            Ok(_) => break,
+            Err(ClientError::Busy) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected eventual admission, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn multi_client_stress_keeps_traces_isolated() {
+    let config = ServerConfig {
+        workers: 8,
+        queue_capacity: 8,
+        ..Default::default()
+    };
+    let (server, _proxy) = start(config);
+    let addr = server.addr();
+
+    // Even-indexed clients run as user 1 (attends event 2, may unlock it);
+    // odd-indexed as user 2 (does NOT attend event 2, must stay blocked
+    // even while user-1 sessions unlock it concurrently).
+    std::thread::scope(|scope| {
+        for i in 0..8 {
+            scope.spawn(move || {
+                let mut c = Client::connect(addr, IO).expect("connect");
+                let uid = if i % 2 == 0 { 1 } else { 2 };
+                let s = c.begin(uid_bindings(uid)).unwrap();
+                for _ in 0..10 {
+                    let probe = c
+                        .execute(
+                            s,
+                            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
+                            &[],
+                        )
+                        .unwrap();
+                    assert!(probe.is_allowed());
+                    let fetch = c
+                        .execute(s, "SELECT * FROM Events WHERE EId = 2", &[])
+                        .unwrap();
+                    if uid == 1 {
+                        assert!(fetch.is_allowed(), "user 1 probed successfully");
+                    } else {
+                        assert!(
+                            !fetch.is_allowed(),
+                            "user 2's empty probe must never unlock event 2, \
+                             regardless of user 1's concurrent sessions"
+                        );
+                    }
+                }
+                assert!(c.end(s).unwrap());
+            });
+        }
+    });
+
+    let mut c = Client::connect(addr, IO).unwrap();
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.sessions, 0, "every stress session was ended");
+    assert_eq!(stats.latency_count, stats.allowed + stats.blocked);
+    server.shutdown();
+}
+
+#[test]
+fn abandoned_connections_get_their_sessions_swept() {
+    let (server, proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    c.begin(uid_bindings(1)).unwrap();
+    c.begin(uid_bindings(2)).unwrap();
+    assert_eq!(proxy.session_count(), 2);
+    c.abandon(); // vanish without End
+
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while proxy.session_count() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "orphan sessions were never swept"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped() {
+    let config = ServerConfig {
+        poll_interval: Duration::from_millis(10),
+        idle_timeout: Duration::from_millis(100),
+        ..Default::default()
+    };
+    let (server, proxy) = start(config);
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    c.begin(uid_bindings(1)).unwrap();
+    assert_eq!(proxy.session_count(), 1);
+
+    std::thread::sleep(Duration::from_millis(400));
+    // The server reaped the connection and swept its session.
+    assert_eq!(proxy.session_count(), 0);
+    match c.stats() {
+        Err(_) => {}
+        Ok(r) => panic!("connection should be gone, got {r:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn client_initiated_shutdown_drains_cleanly() {
+    let (server, proxy) = start(ServerConfig::default());
+    let addr = server.addr();
+
+    let mut c = Client::connect(addr, IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+    c.execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+    // Leave the session open deliberately; shutdown must sweep it.
+    c.shutdown_server().unwrap();
+
+    // wait() returns because a client asked for shutdown.
+    server.wait();
+    assert_eq!(proxy.session_count(), 0, "shutdown sweeps orphans");
+
+    // And the port no longer serves.
+    assert!(
+        Client::connect(addr, Duration::from_millis(500)).is_err(),
+        "server should be gone"
+    );
+}
+
+#[test]
+fn shutdown_while_clients_are_mid_conversation() {
+    let config = ServerConfig {
+        workers: 4,
+        queue_capacity: 4,
+        ..Default::default()
+    };
+    let (server, proxy) = start(config);
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr, IO).expect("connect");
+                let s = c.begin(uid_bindings(1)).unwrap();
+                // Run until the server says goodbye; every completed
+                // round-trip must be a real answer.
+                loop {
+                    match c.execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[]) {
+                        Ok(r) => assert!(r.is_allowed()),
+                        Err(_) => return, // bye / closed mid-drain
+                    }
+                }
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(150));
+    server.shutdown(); // must drain and join without hanging
+    for w in workers {
+        w.join().unwrap();
+    }
+    assert_eq!(proxy.session_count(), 0, "all in-flight sessions swept");
+}
+
+#[test]
+fn raw_split_writes_still_form_frames() {
+    // Drip a valid frame across many tiny writes; the server must
+    // reassemble it (split-read tolerance end to end).
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(IO)).unwrap();
+    stream.set_nodelay(true).unwrap();
+
+    let hello = frame_bytes(br#"{"t":"hello","v":1}"#);
+    for chunk in hello.chunks(3) {
+        use std::io::Write;
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mut reader = bep_server::framing::FrameReader::new(1 << 20);
+    let payload = loop {
+        match reader.read_frame(&mut stream).unwrap() {
+            bep_server::framing::FrameEvent::Frame(p) => break p,
+            bep_server::framing::FrameEvent::TimedOut => continue,
+            bep_server::framing::FrameEvent::Eof => panic!("closed before welcome"),
+        }
+    };
+    let resp = bep_server::Response::from_wire(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(matches!(resp, bep_server::Response::Welcome { .. }));
+    server.shutdown();
+}

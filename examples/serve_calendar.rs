@@ -1,0 +1,132 @@
+//! Serves the calendar application's enforcement proxy over TCP.
+//!
+//! Seeds the calendar database, wraps it in the enforcing `SqlProxy`, and
+//! exposes it through `bep-server`'s wire protocol. Clients connect with
+//! `bep_server::Client`, open sessions with their `MyUId`, and every
+//! `SELECT` they send is decided against the calendar policy — the
+//! networked version of the `calendar_proxy` example.
+//!
+//! Run a long-lived server (stops when a client sends `shutdown`):
+//!
+//! ```text
+//! cargo run --example serve_calendar -- 127.0.0.1:4270
+//! ```
+//!
+//! Run the self-contained smoke check used by CI — starts the server on
+//! an ephemeral port, drives one `Begin`/`Execute`/`End` round-trip
+//! through the client, asks for shutdown, and verifies a clean drain:
+//!
+//! ```text
+//! cargo run --example serve_calendar -- --smoke
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use appsim::{seed_app, Scale, CALENDAR};
+use bep_server::{Client, ExecOutcome, Server, ServerConfig};
+use beyond_enforcement::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sqlir::Value;
+
+fn calendar_proxy() -> Arc<SqlProxy> {
+    let mut rng = SmallRng::seed_from_u64(2023);
+    let mut db = CALENDAR.empty_db();
+    seed_app("calendar", &mut db, &mut rng, &Scale::medium());
+    let schema = CALENDAR.schema();
+    let policy = CALENDAR.policy().expect("calendar policy compiles");
+    Arc::new(SqlProxy::new(
+        db,
+        ComplianceChecker::new(schema, policy),
+        ProxyConfig::default(),
+    ))
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg == "--smoke" {
+        smoke();
+        return;
+    }
+    let bind = if arg.is_empty() {
+        "127.0.0.1:4270".to_string()
+    } else {
+        arg
+    };
+
+    let proxy = calendar_proxy();
+    let server =
+        Server::start(proxy, ServerConfig::default(), &bind).expect("bind enforcement server");
+    println!(
+        "bep-server: serving the calendar policy on {}",
+        server.addr()
+    );
+    println!(
+        "  protocol : length-prefixed JSON frames, version {}",
+        bep_server::PROTOCOL_VERSION
+    );
+    println!("  stop with: a client `shutdown` request");
+    server.wait();
+    println!("bep-server: drained and stopped");
+}
+
+/// The CI smoke check: one full client round-trip and a clean shutdown.
+fn smoke() {
+    let proxy = calendar_proxy();
+    let server = Server::start(Arc::clone(&proxy), ServerConfig::default(), "127.0.0.1:0")
+        .expect("bind enforcement server");
+    let addr = server.addr();
+    println!("smoke: server on {addr}");
+
+    let client_side = std::thread::spawn(move || {
+        let io = Duration::from_secs(10);
+        let mut c = Client::connect(addr, io).expect("connect");
+
+        // Begin: a calendar user session (the data generator's first uid).
+        let session = c
+            .begin(vec![("MyUId".into(), Value::Int(appsim::FIRST_UID))])
+            .expect("begin session");
+        println!("smoke: began session {session}");
+
+        // Execute: the policy's own attendance view is always allowed.
+        let r = c
+            .execute(
+                session,
+                "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+                &[],
+            )
+            .expect("execute");
+        match &r {
+            ExecOutcome::Rows(rows) => {
+                println!(
+                    "smoke: executed, {} row(s) allowed through",
+                    rows.rows.len()
+                );
+            }
+            other => panic!("expected rows, got {other:?}"),
+        }
+
+        // End: idempotent teardown.
+        assert!(c.end(session).expect("end"), "session was live");
+        assert!(!c.end(session).expect("end again"), "second end is a no-op");
+        println!("smoke: session ended cleanly");
+
+        c.shutdown_server().expect("shutdown handshake");
+        println!("smoke: shutdown acknowledged");
+    });
+
+    // The server must notice the client's shutdown request and drain.
+    server.wait();
+    client_side.join().expect("client thread");
+    assert_eq!(proxy.session_count(), 0, "no orphan sessions after drain");
+
+    let stats = proxy.stats();
+    assert_eq!(stats.allowed, 1, "exactly the smoke query was allowed");
+    println!(
+        "smoke: clean shutdown verified (allowed={}, p50={:.1}us)",
+        stats.allowed,
+        stats.latency.p50_us()
+    );
+    println!("smoke: OK");
+}
