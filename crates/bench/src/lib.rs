@@ -19,6 +19,8 @@
 //! | F4 | `f4_rewriting` |
 //! | T6 | `t6_ablation` |
 //! | T7 | `t7_concurrency` |
+//! | T8 | `t8_server` |
+//! | T9 | `t9_observability` |
 
 #![warn(missing_docs)]
 

@@ -84,12 +84,15 @@ impl LatencyHistogram {
             .map(|b| b.load(Ordering::Acquire))
             .collect();
         let count: u64 = counts.iter().sum();
-        let percentile = |p: f64| -> u64 {
+        let percentile = |pct: u64| -> u64 {
             if count == 0 {
                 return 0;
             }
-            // 1-based rank of the requested percentile (nearest-rank).
-            let rank = ((p / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+            // 1-based nearest-rank, in exact integer arithmetic. (The
+            // previous float form `ceil(p/100 * count)` overshot at exact
+            // boundaries — 0.95 * 20 is 19.000000000000004 in binary
+            // floating point, whose ceiling is 20, one whole rank high.)
+            let rank = ((u128::from(count) * u128::from(pct)).div_ceil(100) as u64).clamp(1, count);
             let mut cumulative = 0u64;
             for (i, c) in counts.iter().enumerate() {
                 cumulative += c;
@@ -103,9 +106,9 @@ impl LatencyHistogram {
             count,
             sum_ns: self.sum_ns.load(Ordering::Acquire),
             max_ns: self.max_ns.load(Ordering::Acquire),
-            p50_ns: percentile(50.0),
-            p95_ns: percentile(95.0),
-            p99_ns: percentile(99.0),
+            p50_ns: percentile(50),
+            p95_ns: percentile(95),
+            p99_ns: percentile(99),
         }
     }
 }
@@ -200,6 +203,80 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 1);
         assert_eq!(s.p50_ns, s.p99_ns);
+    }
+
+    #[test]
+    fn nearest_rank_is_exact_at_boundaries() {
+        // 19 fast + 1 slow samples: p95's nearest rank is ceil(0.95·20) =
+        // 19, which is still a fast sample. The old float-based rank
+        // computed ceil(19.000000000000004) = 20 and jumped to the slow
+        // bucket — a whole-octave error at an exact boundary.
+        let h = LatencyHistogram::new();
+        for _ in 0..19 {
+            h.record(Duration::from_nanos(1_100));
+        }
+        h.record(Duration::from_nanos(1_050_000));
+        let s = h.snapshot();
+        assert_eq!(s.p95_ns, bucket_mid_ns(bucket_of(1_100)));
+        assert_eq!(s.p99_ns, bucket_mid_ns(bucket_of(1_050_000)));
+    }
+
+    #[test]
+    fn single_sample_percentiles_coincide() {
+        // With one sample every percentile has rank 1: all three report
+        // the same bucket and the mean is the sample itself.
+        let h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(777));
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50_ns, s.p95_ns);
+        assert_eq!(s.p95_ns, s.p99_ns);
+        assert_eq!(s.mean_ns(), 777);
+        assert_eq!(s.max_ns, 777);
+    }
+
+    #[test]
+    fn zero_duration_samples_are_counted_not_lost() {
+        let h = LatencyHistogram::new();
+        for _ in 0..3 {
+            h.record(Duration::from_nanos(0));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean_ns(), 0);
+        assert_eq!(s.p50_ns, bucket_mid_ns(0));
+        assert_eq!(s.p99_ns, bucket_mid_ns(0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_under_random_workloads() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..32u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let h = LatencyHistogram::new();
+            let n = rng.gen_range(1usize..400);
+            for _ in 0..n {
+                // Spread samples across many octaves, including 0.
+                let shift = rng.gen_range(0u32..40);
+                let ns = rng.gen_range(0u64..1 << shift);
+                h.record(Duration::from_nanos(ns));
+            }
+            let s = h.snapshot();
+            assert_eq!(s.count, n as u64, "seed {seed}");
+            assert!(
+                s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns,
+                "seed {seed}: p50 {} ≤ p95 {} ≤ p99 {} violated",
+                s.p50_ns,
+                s.p95_ns,
+                s.p99_ns
+            );
+            assert!(
+                s.p99_ns <= s.max_ns.max(bucket_mid_ns(bucket_of(s.max_ns))),
+                "seed {seed}: p99 beyond the max sample's bucket midpoint"
+            );
+            assert!(s.mean_ns() <= s.max_ns, "seed {seed}");
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod checker;
 pub mod decision;
 pub mod error;
 pub mod latency;
+pub mod obs;
 pub mod policy;
 pub mod proxy;
 pub mod trace;
@@ -31,6 +32,10 @@ pub use checker::ComplianceChecker;
 pub use decision::{Decision, DecisionSource, DenyReason};
 pub use error::CoreError;
 pub use latency::{LatencyHistogram, LatencySnapshot};
+pub use obs::{
+    template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, JournalCursor,
+    MetricsRegistry, Phase, PhaseTimer, Verdict, PHASE_COUNT,
+};
 pub use policy::{schema_of_database, Policy, ViewDef};
 pub use proxy::{ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
 pub use trace::{Observation, Trace, TraceEntry};

@@ -11,6 +11,7 @@ use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
+use bep_core::DecisionEvent;
 use minidb::Rows;
 use sqlir::Value;
 
@@ -80,6 +81,29 @@ impl ExecOutcome {
     }
 }
 
+/// A session's trace summary plus its recent decision provenance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Recorded queries.
+    pub entries: u64,
+    /// Derived ground facts.
+    pub facts: u64,
+    /// The session's recent decision events, oldest first (empty when the
+    /// server is not observing).
+    pub events: Vec<DecisionEvent>,
+}
+
+/// One page of the server's decision journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalPage {
+    /// Events with sequence ≥ the requested `after`, oldest first.
+    pub events: Vec<DecisionEvent>,
+    /// Total events ever published server-wide.
+    pub published: u64,
+    /// Total events evicted by ring wrap-around.
+    pub evicted: u64,
+}
+
 /// One protocol connection to a running server.
 #[derive(Debug)]
 pub struct Client {
@@ -141,10 +165,18 @@ impl Client {
         }
     }
 
-    /// Fetches a session's trace summary: `(entries, facts)`.
-    pub fn trace_summary(&mut self, session: u64) -> Result<(u64, u64), ClientError> {
+    /// Fetches a session's trace summary and recent decision provenance.
+    pub fn trace_summary(&mut self, session: u64) -> Result<TraceInfo, ClientError> {
         match self.round_trip(&Request::Trace { session })? {
-            Response::TraceSummary { entries, facts } => Ok((entries, facts)),
+            Response::TraceSummary {
+                entries,
+                facts,
+                events,
+            } => Ok(TraceInfo {
+                entries,
+                facts,
+                events,
+            }),
             other => Err(expect_error(other, "trace")),
         }
     }
@@ -154,6 +186,31 @@ impl Client {
         match self.round_trip(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
             other => Err(expect_error(other, "stats")),
+        }
+    }
+
+    /// Fetches the Prometheus text exposition of the server's metrics.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.round_trip(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(expect_error(other, "metrics")),
+        }
+    }
+
+    /// Drains up to `max` decision events with sequence ≥ `after`. Page
+    /// through the journal by passing `last.seq + 1` as the next `after`.
+    pub fn journal(&mut self, after: u64, max: u64) -> Result<JournalPage, ClientError> {
+        match self.round_trip(&Request::Journal { after, max })? {
+            Response::Journal {
+                events,
+                published,
+                evicted,
+            } => Ok(JournalPage {
+                events,
+                published,
+                evicted,
+            }),
+            other => Err(expect_error(other, "journal")),
         }
     }
 

@@ -75,6 +75,14 @@ pub(crate) fn wire_stats(proxy: &SqlProxy) -> WireStats {
     }
 }
 
+/// Most recent per-session decision events shipped in a `trace` response.
+const TRACE_EVENTS_MAX: usize = 32;
+
+/// Upper bound on events per `journal` response, whatever the client asks
+/// for — keeps one frame well under the frame-size limit; clients page
+/// with `after`.
+const JOURNAL_BATCH_MAX: usize = 512;
+
 fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     write_frame(stream, response.to_wire().as_bytes())
 }
@@ -269,6 +277,10 @@ fn dispatch(
                     Response::TraceSummary {
                         entries: trace.len() as u64,
                         facts: trace.facts().len() as u64,
+                        events: shared
+                            .proxy
+                            .journal()
+                            .recent(TRACE_EVENTS_MAX, Some(session)),
                     },
                     false,
                 ),
@@ -276,6 +288,24 @@ fn dispatch(
             }
         }
         Request::Stats => (Response::Stats(wire_stats(&shared.proxy)), false),
+        Request::Metrics => (
+            Response::Metrics {
+                text: shared.proxy.metrics_text(),
+            },
+            false,
+        ),
+        Request::Journal { after, max } => {
+            let journal = shared.proxy.journal();
+            let max = (max as usize).min(JOURNAL_BATCH_MAX);
+            (
+                Response::Journal {
+                    events: journal.events_since(after, max),
+                    published: journal.published(),
+                    evicted: journal.evicted(),
+                },
+                false,
+            )
+        }
         Request::End { session } => {
             if !sweep.owned.contains(&session) {
                 return (no_such_session(session), false);

@@ -6,7 +6,10 @@
 //! alone (the workspace stays offline-buildable — no async runtime):
 //!
 //! * [`protocol`] — typed `hello`/`begin`/`execute`/`trace`/`stats`/
-//!   `end`/`shutdown` messages over a hand-rolled JSON layer ([`json`]);
+//!   `metrics`/`journal`/`end`/`shutdown` messages over a hand-rolled
+//!   JSON layer ([`json`]); `trace` and `journal` carry decision
+//!   provenance ([`bep_core::DecisionEvent`]), `metrics` the Prometheus
+//!   text exposition;
 //! * [`framing`] — 4-byte length-prefixed frames with split-read tolerance
 //!   and oversized-frame rejection;
 //! * [`pool`] — a fixed worker thread-pool with a bounded backlog and
@@ -29,6 +32,6 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::{Client, ClientError, ExecOutcome};
+pub use client::{Client, ClientError, ExecOutcome, JournalPage, TraceInfo};
 pub use protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig};

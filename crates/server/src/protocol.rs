@@ -9,17 +9,29 @@
 //! | `hello` | `v` | handshake; must be the first message |
 //! | `begin` | `bindings` | open a session with policy-parameter bindings |
 //! | `execute` | `session`, `sql`, `bindings` | run one statement under enforcement |
-//! | `trace` | `session` | summarize the session's trace |
+//! | `trace` | `session` | summarize the session's trace (+ its recent decision events) |
 //! | `stats` | | proxy counters + latency percentiles |
+//! | `metrics` | | Prometheus text exposition of the proxy's registry |
+//! | `journal` | `after`, `max` | drain decision events with sequence ≥ `after` |
 //! | `end` | `session` | end a session (idempotent) |
 //! | `shutdown` | | ask the whole server to drain and stop |
 //!
 //! Server → client: `welcome`, `busy`, `began`, `rows`, `affected`,
-//! `blocked`, `trace`, `stats`, `ended`, `bye`, and `error` (with a stable
-//! `kind`). SQL [`Value`]s are encoded unambiguously as `null`,
-//! `{"i":n}`, `{"s":"…"}`, `{"b":bool}` so integer 1, string "1", and
-//! boolean true never collide.
+//! `blocked`, `trace`, `stats`, `metrics`, `journal`, `ended`, `bye`, and
+//! `error` (with a stable `kind`). SQL [`Value`]s are encoded
+//! unambiguously as `null`, `{"i":n}`, `{"s":"…"}`, `{"b":bool}` so
+//! integer 1, string "1", and boolean true never collide.
+//!
+//! Decision events ride in `trace` and `journal` responses as objects of
+//! the form `{"seq", "session", "hash", "verdict", "tier", "neg",
+//! "total_ns", "phases"}` — `hash` is the query-template FNV-1a hash as a
+//! 16-digit hex string (it does not fit a signed JSON integer), `tier` and
+//! `verdict` use the stable labels from [`bep_core::CacheTier`] and
+//! [`bep_core::Verdict`], and `phases` is the per-phase nanosecond array
+//! indexed by [`bep_core::Phase`]. Unknown fields are ignored on decode,
+//! so these extensions stay within protocol version 1.
 
+use bep_core::{CacheTier, DecisionEvent, Verdict, PHASE_COUNT};
 use sqlir::Value;
 
 use crate::json::Json;
@@ -105,6 +117,16 @@ pub enum Request {
     },
     /// Fetch proxy statistics.
     Stats,
+    /// Fetch the Prometheus text exposition of the proxy's metrics.
+    Metrics,
+    /// Drain decision events from the journal.
+    Journal {
+        /// Deliver events with sequence number ≥ this (0 = from the oldest
+        /// retained).
+        after: u64,
+        /// At most this many events.
+        max: u64,
+    },
     /// End a session.
     End {
         /// Session to end.
@@ -187,9 +209,28 @@ pub enum Response {
         entries: u64,
         /// Derived ground facts.
         facts: u64,
+        /// The session's recent decision events (provenance), oldest
+        /// first. Empty when the proxy is not observing or the events
+        /// have been evicted.
+        events: Vec<DecisionEvent>,
     },
     /// Statistics snapshot.
     Stats(WireStats),
+    /// Prometheus text exposition.
+    Metrics {
+        /// The exposition body (`# HELP`/`# TYPE` + samples).
+        text: String,
+    },
+    /// Journal drain result.
+    Journal {
+        /// Events with sequence ≥ the requested `after`, oldest first.
+        events: Vec<DecisionEvent>,
+        /// Total events ever published server-wide.
+        published: u64,
+        /// Total events evicted by ring wrap-around (a client that wants
+        /// loss accounting compares this against its own cursor).
+        evicted: u64,
+    },
     /// Session ended.
     Ended {
         /// Whether the session was live.
@@ -282,6 +323,69 @@ fn rows_from_json(j: &Json) -> Result<Vec<Vec<Value>>, ProtocolError> {
         .collect()
 }
 
+fn event_to_json(e: &DecisionEvent) -> Json {
+    Json::obj([
+        ("seq", Json::Int(e.seq as i64)),
+        ("session", Json::Int(e.session as i64)),
+        ("hash", Json::str(format!("{:016x}", e.template_hash))),
+        ("verdict", Json::str(e.verdict.label())),
+        ("tier", Json::str(e.tier.label())),
+        ("neg", Json::Bool(e.negative_template_hit)),
+        ("total_ns", Json::Int(e.total_ns as i64)),
+        (
+            "phases",
+            Json::Arr(e.phase_ns.iter().map(|&n| Json::Int(n as i64)).collect()),
+        ),
+    ])
+}
+
+fn event_from_json(j: &Json) -> Result<DecisionEvent, ProtocolError> {
+    let hash = str_field(j, "hash")?;
+    let template_hash = u64::from_str_radix(hash, 16)
+        .map_err(|_| ProtocolError(format!("bad template hash {hash:?}")))?;
+    let verdict_label = str_field(j, "verdict")?;
+    let verdict = Verdict::from_label(verdict_label)
+        .ok_or_else(|| ProtocolError(format!("unknown verdict {verdict_label:?}")))?;
+    let tier_label = str_field(j, "tier")?;
+    let tier = CacheTier::from_label(tier_label)
+        .ok_or_else(|| ProtocolError(format!("unknown cache tier {tier_label:?}")))?;
+    let phases = field(j, "phases")?
+        .as_arr()
+        .ok_or_else(|| ProtocolError("phases must be an array".into()))?;
+    // Tolerate a peer with more (or fewer) phases than we know about:
+    // extra entries are dropped, missing ones stay zero.
+    let mut phase_ns = [0u64; PHASE_COUNT];
+    for (slot, p) in phase_ns.iter_mut().zip(phases) {
+        *slot = p
+            .as_u64()
+            .ok_or_else(|| ProtocolError("phase entry must be a non-negative integer".into()))?;
+    }
+    Ok(DecisionEvent {
+        seq: u64_field(j, "seq")?,
+        session: u64_field(j, "session")?,
+        template_hash,
+        verdict,
+        tier,
+        negative_template_hit: field(j, "neg")?
+            .as_bool()
+            .ok_or_else(|| ProtocolError("neg must be a boolean".into()))?,
+        total_ns: u64_field(j, "total_ns")?,
+        phase_ns,
+    })
+}
+
+fn events_to_json(events: &[DecisionEvent]) -> Json {
+    Json::Arr(events.iter().map(event_to_json).collect())
+}
+
+fn events_from_json(j: &Json) -> Result<Vec<DecisionEvent>, ProtocolError> {
+    j.as_arr()
+        .ok_or_else(|| ProtocolError("events must be an array".into()))?
+        .iter()
+        .map(event_from_json)
+        .collect()
+}
+
 fn field<'a>(j: &'a Json, name: &str) -> Result<&'a Json, ProtocolError> {
     j.get(name)
         .ok_or_else(|| ProtocolError(format!("missing field {name:?}")))
@@ -325,6 +429,12 @@ impl Request {
                 ("session", Json::Int(*session as i64)),
             ]),
             Request::Stats => Json::obj([("t", Json::str("stats"))]),
+            Request::Metrics => Json::obj([("t", Json::str("metrics"))]),
+            Request::Journal { after, max } => Json::obj([
+                ("t", Json::str("journal")),
+                ("after", Json::Int(*after as i64)),
+                ("max", Json::Int(*max as i64)),
+            ]),
             Request::End { session } => Json::obj([
                 ("t", Json::str("end")),
                 ("session", Json::Int(*session as i64)),
@@ -356,6 +466,11 @@ impl Request {
                 session: u64_field(&j, "session")?,
             }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "journal" => Ok(Request::Journal {
+                after: u64_field(&j, "after")?,
+                max: u64_field(&j, "max")?,
+            }),
             "end" => Ok(Request::End {
                 session: u64_field(&j, "session")?,
             }),
@@ -395,10 +510,15 @@ impl Response {
                 ("reason", Json::str(reason.clone())),
                 ("detail", Json::str(detail.clone())),
             ]),
-            Response::TraceSummary { entries, facts } => Json::obj([
+            Response::TraceSummary {
+                entries,
+                facts,
+                events,
+            } => Json::obj([
                 ("t", Json::str("trace")),
                 ("entries", Json::Int(*entries as i64)),
                 ("facts", Json::Int(*facts as i64)),
+                ("events", events_to_json(events)),
             ]),
             Response::Stats(s) => Json::obj([
                 ("t", Json::str("stats")),
@@ -418,6 +538,20 @@ impl Response {
                 ("p95_ns", Json::Int(s.p95_ns as i64)),
                 ("p99_ns", Json::Int(s.p99_ns as i64)),
                 ("max_ns", Json::Int(s.max_ns as i64)),
+            ]),
+            Response::Metrics { text } => Json::obj([
+                ("t", Json::str("metrics")),
+                ("text", Json::str(text.clone())),
+            ]),
+            Response::Journal {
+                events,
+                published,
+                evicted,
+            } => Json::obj([
+                ("t", Json::str("journal")),
+                ("events", events_to_json(events)),
+                ("published", Json::Int(*published as i64)),
+                ("evicted", Json::Int(*evicted as i64)),
             ]),
             Response::Ended { was_live } => Json::obj([
                 ("t", Json::str("ended")),
@@ -473,6 +607,11 @@ impl Response {
             "trace" => Ok(Response::TraceSummary {
                 entries: u64_field(&j, "entries")?,
                 facts: u64_field(&j, "facts")?,
+                // Absent on pre-observability servers: default to empty.
+                events: match j.get("events") {
+                    Some(ev) => events_from_json(ev)?,
+                    None => Vec::new(),
+                },
             }),
             "stats" => Ok(Response::Stats(WireStats {
                 allowed: u64_field(&j, "allowed")?,
@@ -489,6 +628,14 @@ impl Response {
                 p99_ns: u64_field(&j, "p99_ns")?,
                 max_ns: u64_field(&j, "max_ns")?,
             })),
+            "metrics" => Ok(Response::Metrics {
+                text: str_field(&j, "text")?.to_string(),
+            }),
+            "journal" => Ok(Response::Journal {
+                events: events_from_json(field(&j, "events")?)?,
+                published: u64_field(&j, "published")?,
+                evicted: u64_field(&j, "evicted")?,
+            }),
             "ended" => Ok(Response::Ended {
                 was_live: field(&j, "was_live")?
                     .as_bool()
@@ -511,6 +658,48 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bep_core::Phase;
+
+    fn sample_event(seq: u64) -> DecisionEvent {
+        let mut phase_ns = [0u64; PHASE_COUNT];
+        phase_ns[Phase::Parse as usize] = 420;
+        phase_ns[Phase::Proof as usize] = 77_000;
+        DecisionEvent {
+            seq,
+            session: 7,
+            // Top bit set: does not fit a signed JSON integer, which is
+            // exactly why the hash rides as a hex string.
+            template_hash: 0xdead_beef_0000_0000 | seq,
+            verdict: Verdict::Allowed,
+            tier: CacheTier::TemplateProof,
+            negative_template_hit: seq % 2 == 1,
+            total_ns: 80_000,
+            phase_ns,
+        }
+    }
+
+    #[test]
+    fn decision_events_round_trip_including_big_hashes() {
+        for seq in [0u64, 1, 2] {
+            let ev = sample_event(seq);
+            let wire = event_to_json(&ev).to_wire();
+            assert_eq!(event_from_json(&Json::parse(&wire).unwrap()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn trace_without_events_field_still_decodes() {
+        // A pre-observability server omits "events"; the field defaults.
+        let resp = Response::from_wire(r#"{"t":"trace","entries":4,"facts":6}"#).unwrap();
+        assert_eq!(
+            resp,
+            Response::TraceSummary {
+                entries: 4,
+                facts: 6,
+                events: Vec::new(),
+            }
+        );
+    }
 
     #[test]
     fn requests_round_trip() {
@@ -533,6 +722,11 @@ mod tests {
             },
             Request::Trace { session: 42 },
             Request::Stats,
+            Request::Metrics,
+            Request::Journal {
+                after: 128,
+                max: 64,
+            },
             Request::End { session: 42 },
             Request::Shutdown,
         ];
@@ -565,6 +759,17 @@ mod tests {
             Response::TraceSummary {
                 entries: 5,
                 facts: 9,
+                events: vec![sample_event(3)],
+            },
+            Response::Metrics {
+                text: "# HELP bep_sessions Live sessions\n# TYPE bep_sessions gauge\n\
+                       bep_sessions 2\n"
+                    .into(),
+            },
+            Response::Journal {
+                events: vec![sample_event(1), sample_event(2)],
+                published: 77,
+                evicted: 13,
             },
             Response::Stats(WireStats {
                 allowed: 1,

@@ -5,7 +5,10 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use bep_core::{schema_of_database, ComplianceChecker, Policy, ProxyConfig, SqlProxy};
+use bep_core::{
+    schema_of_database, template_hash, CacheTier, ComplianceChecker, Phase, Policy, ProxyConfig,
+    SqlProxy, Verdict,
+};
 use bep_server::framing::{frame_bytes, write_frame};
 use bep_server::{Client, ClientError, ExecOutcome, Server, ServerConfig};
 use minidb::Database;
@@ -98,9 +101,9 @@ fn full_round_trip_over_tcp() {
     }
 
     // The trace summary reflects both queries.
-    let (entries, facts) = c.trace_summary(s).unwrap();
-    assert_eq!(entries, 2);
-    assert!(facts >= 1);
+    let trace = c.trace_summary(s).unwrap();
+    assert_eq!(trace.entries, 2);
+    assert!(trace.facts >= 1);
 
     // Stats flow through, percentiles included.
     let stats = c.stats().unwrap();
@@ -454,6 +457,127 @@ fn shutdown_while_clients_are_mid_conversation() {
         w.join().unwrap();
     }
     assert_eq!(proxy.session_count(), 0, "all in-flight sessions swept");
+}
+
+#[test]
+fn provenance_round_trips_over_the_wire() {
+    // The acceptance path: cache tier + phase timings recorded in-process
+    // must come back intact through the `journal`, `trace`, and `metrics`
+    // frames of a live server.
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+    assert!(c.execute(s, sql, &[]).unwrap().is_allowed()); // template proof
+    assert!(c.execute(s, sql, &[]).unwrap().is_allowed()); // template cache
+    let fetch = "SELECT * FROM Events WHERE EId = 3";
+    assert!(!c.execute(s, fetch, &[]).unwrap().is_allowed()); // concrete deny
+
+    // Journal frame: all three decisions, tiers and timings intact.
+    let page = c.journal(0, 100).unwrap();
+    assert_eq!(page.published, 3);
+    assert_eq!(page.evicted, 0);
+    assert_eq!(page.events.len(), 3);
+    assert_eq!(page.events[0].tier, CacheTier::TemplateProof);
+    assert_eq!(page.events[1].tier, CacheTier::TemplateCache);
+    assert_eq!(page.events[2].tier, CacheTier::ConcreteProof);
+    assert_eq!(page.events[2].verdict, Verdict::Blocked);
+    assert_eq!(page.events[0].template_hash, template_hash(sql));
+    assert_eq!(page.events[2].template_hash, template_hash(fetch));
+    assert!(page.events[0].phase(Phase::Proof) > 0, "{page:?}");
+    assert!(page.events[0].total_ns > 0);
+    assert!(page.events.iter().all(|e| e.session == s));
+
+    // Paging: `after` resumes exactly where the last page ended.
+    let rest = c.journal(page.events[1].seq + 1, 100).unwrap();
+    assert_eq!(rest.events.len(), 1);
+    assert_eq!(rest.events[0].seq, page.events[2].seq);
+
+    // Trace frame: the same provenance rides with the session summary.
+    let trace = c.trace_summary(s).unwrap();
+    assert_eq!(trace.events.len(), 3);
+    assert_eq!(trace.events[0].tier, CacheTier::TemplateProof);
+    assert_eq!(trace.events[2].verdict, Verdict::Blocked);
+
+    // Metrics frame: the exposition reflects those decisions.
+    let text = c.metrics().unwrap();
+    assert!(text.contains("bep_decisions_total{decision=\"allowed\"} 2\n"));
+    assert!(text.contains("bep_decisions_total{decision=\"blocked\"} 1\n"));
+    assert!(text.contains("bep_cache_hits_total{tier=\"template\"} 1\n"));
+    assert!(text.contains("bep_phase_latency_ns{phase=\"proof\",quantile=\"0.5\"}"));
+    assert!(text.contains("bep_journal_published 3\n"));
+    assert!(text.contains("bep_sessions 1\n"));
+    server.shutdown();
+}
+
+#[test]
+fn observe_off_server_serves_empty_provenance() {
+    // A proxy with observability disabled still answers every frame —
+    // with empty events and a quiet journal, never an error.
+    let db = calendar_db();
+    let schema = schema_of_database(&db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId")],
+    )
+    .unwrap();
+    let proxy = Arc::new(SqlProxy::new(
+        db,
+        ComplianceChecker::new(schema, policy),
+        ProxyConfig {
+            observe: false,
+            ..Default::default()
+        },
+    ));
+    let server =
+        Server::start(Arc::clone(&proxy), ServerConfig::default(), "127.0.0.1:0").expect("bind");
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+    c.execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+    let page = c.journal(0, 10).unwrap();
+    assert_eq!(page.published, 0);
+    assert!(page.events.is_empty());
+    assert!(c.trace_summary(s).unwrap().events.is_empty());
+    // Counters still flow: they predate the observability layer.
+    assert!(c
+        .metrics()
+        .unwrap()
+        .contains("bep_decisions_total{decision=\"allowed\"} 1\n"));
+    server.shutdown();
+}
+
+#[test]
+fn trace_after_end_is_typed_no_such_session_across_layers() {
+    // Satellite regression: a just-ended session must yield the same
+    // typed no-such-session from the in-process API and over the wire.
+    let (server, proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+    c.execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap();
+    assert!(c.end(s).unwrap());
+
+    // In-process: typed CoreError.
+    assert_eq!(
+        proxy.session_trace(s).unwrap_err(),
+        bep_core::CoreError::NoSuchSession(s)
+    );
+    // Wire: same failure, as the stable error kind — from the very
+    // connection that owned the session (ownership outlives the session,
+    // so this exercises the proxy's typed error, not the capability
+    // check).
+    match c.trace_summary(s) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-session"),
+        other => panic!("expected no-such-session, got {other:?}"),
+    }
+    // And execute on the ended session agrees.
+    match c.execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[]) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-session"),
+        other => panic!("expected no-such-session, got {other:?}"),
+    }
+    server.shutdown();
 }
 
 #[test]

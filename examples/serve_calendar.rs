@@ -19,6 +19,12 @@
 //! ```text
 //! cargo run --example serve_calendar -- --smoke
 //! ```
+//!
+//! Add `--metrics` to either mode to surface the observability layer: in
+//! smoke mode the client scrapes the `metrics` frame and prints the full
+//! Prometheus text exposition (CI greps it for the expected metric
+//! families); in serving mode the drained server prints a final
+//! exposition snapshot on shutdown.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -44,20 +50,24 @@ fn calendar_proxy() -> Arc<SqlProxy> {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_default();
-    if arg == "--smoke" {
-        smoke();
+    let mut smoke_mode = false;
+    let mut metrics = false;
+    let mut bind = "127.0.0.1:4270".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke_mode = true,
+            "--metrics" => metrics = true,
+            other => bind = other.to_string(),
+        }
+    }
+    if smoke_mode {
+        smoke(metrics);
         return;
     }
-    let bind = if arg.is_empty() {
-        "127.0.0.1:4270".to_string()
-    } else {
-        arg
-    };
 
     let proxy = calendar_proxy();
-    let server =
-        Server::start(proxy, ServerConfig::default(), &bind).expect("bind enforcement server");
+    let server = Server::start(Arc::clone(&proxy), ServerConfig::default(), &bind)
+        .expect("bind enforcement server");
     println!(
         "bep-server: serving the calendar policy on {}",
         server.addr()
@@ -66,13 +76,22 @@ fn main() {
         "  protocol : length-prefixed JSON frames, version {}",
         bep_server::PROTOCOL_VERSION
     );
+    if metrics {
+        println!("  metrics  : scrape with a `metrics` frame (Prometheus text)");
+    }
     println!("  stop with: a client `shutdown` request");
     server.wait();
     println!("bep-server: drained and stopped");
+    if metrics {
+        println!("\nfinal metrics exposition:");
+        print!("{}", proxy.metrics_text());
+    }
 }
 
 /// The CI smoke check: one full client round-trip and a clean shutdown.
-fn smoke() {
+/// With `metrics`, the client also scrapes the exposition endpoint and
+/// the full Prometheus text is printed for CI to grep.
+fn smoke(metrics: bool) {
     let proxy = calendar_proxy();
     let server = Server::start(Arc::clone(&proxy), ServerConfig::default(), "127.0.0.1:0")
         .expect("bind enforcement server");
@@ -111,6 +130,24 @@ fn smoke() {
         assert!(c.end(session).expect("end"), "session was live");
         assert!(!c.end(session).expect("end again"), "second end is a no-op");
         println!("smoke: session ended cleanly");
+
+        if metrics {
+            // Scrape the observability surface over the wire: the journal
+            // must have recorded the decision above, and the exposition
+            // must carry the expected families.
+            let page = c.journal(0, 64).expect("journal");
+            assert!(
+                page.events.iter().any(|e| e.verdict.label() == "allowed"),
+                "journal records the allowed smoke decision"
+            );
+            let text = c.metrics().expect("metrics");
+            assert!(
+                text.contains("bep_decisions_total"),
+                "exposition carries the decision counters"
+            );
+            println!("smoke: metrics exposition ({} bytes):", text.len());
+            print!("{text}");
+        }
 
         c.shutdown_server().expect("shutdown handshake");
         println!("smoke: shutdown acknowledged");

@@ -71,8 +71,9 @@ pub use sqlir;
 pub mod prelude {
     pub use appdsl::{parse_app, parse_handler, run_handler, Limits, Outcome, Request};
     pub use bep_core::{
-        schema_of_database, ComplianceChecker, Decision, DenyReason, Observation, Policy,
-        ProxyConfig, ProxyResponse, SqlProxy, Trace,
+        schema_of_database, template_hash, CacheTier, ComplianceChecker, Decision, DecisionEvent,
+        DenyReason, EventJournal, JournalCursor, MetricsRegistry, Observation, Phase, Policy,
+        ProxyConfig, ProxyResponse, SqlProxy, Trace, Verdict, PHASE_COUNT,
     };
     pub use bep_diagnose::{diagnose, DiagnosisInput, DiagnosisReport, Patch};
     pub use bep_disclose::{audit, BayesConfig, RelationSpec, Universe};
