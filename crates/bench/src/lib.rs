@@ -21,6 +21,7 @@
 //! | T7 | `t7_concurrency` |
 //! | T8 | `t8_server` |
 //! | T9 | `t9_observability` |
+//! | T10 | `t10_plans` |
 
 #![warn(missing_docs)]
 
@@ -68,6 +69,33 @@ pub fn proxy_with_policy(env: &AppEnv, policy: Policy, config: ProxyConfig) -> S
         env.db.clone(),
         ComplianceChecker::new(schema, policy),
         config,
+    )
+}
+
+/// Prepares one request of a replayed workload for round `round`: replays
+/// of a create-request must insert fresh rows, not re-insert the same
+/// primary key, so each `comment_id` parameter is offset by a per-round
+/// stride far above the workload generator's id range. Round 0 keeps the
+/// generator's ids; requests without fresh-id parameters are returned
+/// borrowed (no allocation on the common path).
+pub fn salted_params(
+    params: &[(String, sqlir::Value)],
+    round: usize,
+) -> std::borrow::Cow<'_, [(String, sqlir::Value)]> {
+    use sqlir::Value;
+    if round == 0 || !params.iter().any(|(k, _)| k == "comment_id") {
+        return std::borrow::Cow::Borrowed(params);
+    }
+    std::borrow::Cow::Owned(
+        params
+            .iter()
+            .map(|(k, v)| match (k.as_str(), v) {
+                ("comment_id", Value::Int(n)) => {
+                    (k.clone(), Value::Int(n + round as i64 * 1_000_000))
+                }
+                _ => (k.clone(), v.clone()),
+            })
+            .collect(),
     )
 }
 

@@ -22,7 +22,9 @@
 //! * [`ComplianceChecker::check_concrete`] decides one instantiated query
 //!   given a session's trace facts.
 
-use qlogic::{equivalent_rewriting_deps, sql_to_ucq, Cq, RelSchema, Ucq};
+use std::sync::Arc;
+
+use qlogic::{equivalent_rewriting_deps, sql_to_ucq, Cq, Dependencies, RelSchema, Ucq, ViewSet};
 use sqlir::{Query, Value};
 
 use crate::decision::{Decision, DecisionSource, DenyReason};
@@ -31,16 +33,30 @@ use crate::policy::Policy;
 use crate::trace::Trace;
 
 /// The compliance checker: schema + policy, both immutable after creation.
+///
+/// The schema's dependencies and the policy's symbolic view set are
+/// computed once here, not per check — the hot path shares them by
+/// reference ([`Arc`] for the views) instead of re-deriving and cloning
+/// every policy view on every decision.
 #[derive(Debug, Clone)]
 pub struct ComplianceChecker {
     schema: RelSchema,
     policy: Policy,
+    deps: Dependencies,
+    symbolic: Result<Arc<ViewSet>, CoreError>,
 }
 
 impl ComplianceChecker {
     /// Creates a checker.
     pub fn new(schema: RelSchema, policy: Policy) -> ComplianceChecker {
-        ComplianceChecker { schema, policy }
+        let deps = schema.dependencies();
+        let symbolic = policy.symbolic_views().map(Arc::new);
+        ComplianceChecker {
+            schema,
+            policy,
+            deps,
+            symbolic,
+        }
     }
 
     /// The schema in use.
@@ -51,6 +67,55 @@ impl ComplianceChecker {
     /// The policy in use.
     pub fn policy(&self) -> &Policy {
         &self.policy
+    }
+
+    /// The schema's declared dependencies, derived once at construction.
+    pub fn dependencies(&self) -> &Dependencies {
+        &self.deps
+    }
+
+    /// The symbolic view snapshot shared by every template-level decision
+    /// (an `Arc`, so callers snapshot without cloning any view).
+    pub fn symbolic_views(&self) -> Result<Arc<ViewSet>, CoreError> {
+        self.symbolic.clone()
+    }
+
+    /// Proves one already-instantiated disjunct over the given views and
+    /// facts: `Some(certificate)` when the disjunct is unsatisfiable
+    /// (reveals nothing) or has an equivalent rewriting. This is the
+    /// per-disjunct kernel [`check_concrete`](Self::check_concrete) loops
+    /// over; compiled plans call it directly with a pruned view subset.
+    pub fn prove_disjunct(&self, d: &Cq, views: &ViewSet, facts: &[qlogic::Atom]) -> Option<Cq> {
+        if !qlogic::satisfiable(d) {
+            return Some(d.clone());
+        }
+        equivalent_rewriting_deps(d, views, facts, &self.deps)
+    }
+
+    /// Replays a precompiled certificate for one instantiated disjunct:
+    /// `Some(rw)` when the disjunct is unsatisfiable, or when `expansion`
+    /// (the template rewriting's precompiled view expansion, instantiated
+    /// with the same bindings as `d` and `rw`) is equivalent to `d` over
+    /// all databases containing `facts`. This is the verification tail of
+    /// the full rewriting search with everything else — candidate
+    /// generation, view instantiation, normalization, expansion — already
+    /// amortized into the plan. `None` means the certificate did not
+    /// verify; the caller falls back to the full
+    /// [`prove_disjunct`](Self::prove_disjunct) search, so replay can never
+    /// change a decision, only skip work.
+    pub fn replay_certificate(
+        &self,
+        d: &Cq,
+        rw: Cq,
+        expansion: &Cq,
+        facts: &[qlogic::Atom],
+    ) -> Option<Cq> {
+        if !qlogic::satisfiable(d) {
+            return Some(d.clone());
+        }
+        (qlogic::contained_given_deps(d, expansion, facts, &self.deps)
+            && qlogic::contained_given_deps(expansion, d, facts, &self.deps))
+        .then_some(rw)
     }
 
     /// Translates a SQL query to its conjunctive form.
@@ -69,7 +134,7 @@ impl ComplianceChecker {
                 }
             }
         };
-        let views = match self.policy.symbolic_views() {
+        let views = match &self.symbolic {
             Ok(v) => v,
             Err(e) => {
                 return Decision::Denied {
@@ -77,7 +142,7 @@ impl ComplianceChecker {
                 }
             }
         };
-        self.decide(&ucq, &views, &[], DecisionSource::TemplateProof)
+        self.decide(&ucq, views, &[], DecisionSource::TemplateProof)
     }
 
     /// Decides an instantiated query for one session, using its trace.
@@ -122,12 +187,7 @@ impl ComplianceChecker {
     ) -> Decision {
         let mut rewritings = Vec::with_capacity(ucq.disjuncts.len());
         for d in &ucq.disjuncts {
-            if !qlogic::satisfiable(d) {
-                // An unsatisfiable disjunct reveals nothing.
-                rewritings.push(d.clone());
-                continue;
-            }
-            match equivalent_rewriting_deps(d, views, facts, &self.schema.dependencies()) {
+            match self.prove_disjunct(d, views, facts) {
                 Some(rw) => rewritings.push(rw),
                 None => {
                     return Decision::Denied {
@@ -157,7 +217,7 @@ impl ComplianceChecker {
                 rewritings: vec![inst],
             };
         }
-        match equivalent_rewriting_deps(&inst, &views, trace.facts(), &self.schema.dependencies()) {
+        match equivalent_rewriting_deps(&inst, &views, trace.facts(), &self.deps) {
             Some(rw) => Decision::Allowed {
                 source: DecisionSource::ConcreteProof,
                 rewritings: vec![rw],

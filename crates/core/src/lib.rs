@@ -24,6 +24,7 @@ pub mod decision;
 pub mod error;
 pub mod latency;
 pub mod obs;
+pub mod plan;
 pub mod policy;
 pub mod proxy;
 pub mod trace;
@@ -35,6 +36,9 @@ pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use obs::{
     template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, JournalCursor,
     MetricsRegistry, Phase, PhaseTimer, Verdict, PHASE_COUNT,
+};
+pub use plan::{
+    compile_plan, DisjunctPlan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict,
 };
 pub use policy::{schema_of_database, Policy, ViewDef};
 pub use proxy::{ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};

@@ -1,0 +1,566 @@
+//! Compiled template plans: the parse/translate/prune work of a query
+//! template, done once and reused by every concrete decision.
+//!
+//! The paper's premise (§2.2) is that view-based enforcement is practical
+//! only when the Blockaid-style decision procedure is amortized across
+//! requests. The proxy's verdict caches amortize *decisions*; this module
+//! amortizes the *work leading up to a decision*. A [`TemplatePlan`]
+//! captures, per distinct SQL template:
+//!
+//! * the parsed [`Statement`] (skip tokenize/parse on every request),
+//! * the canonical UCQ translation, one [`DisjunctPlan`] per disjunct
+//!   (skip `sql_to_ucq` on every request),
+//! * a per-disjunct *pruned candidate-view list* from
+//!   [`qlogic::candidate_view_indices`] — the rewriting search then runs
+//!   only over views that can possibly participate (see the soundness
+//!   argument on that function: a view sharing no relation name with the
+//!   disjunct contributes zero MiniCon descriptions, so dropping it is
+//!   decision-identical for every binding, fact set, and search mode), and
+//! * the template-level verdict, when the proxy attempts one.
+//!
+//! [`PlanCache`] is the sharded, hash-keyed home of compiled plans. Its
+//! double-checked insert publishes an empty [`OnceLock`] cell under a
+//! brief write lock and compiles *outside* all locks: concurrent misses on
+//! the same template prove once (the losers block on the cell, not on a
+//! shard lock), and no lock is ever held across a proof. Distinct
+//! templates colliding on the 64-bit FNV hash chain under one key and are
+//! told apart by full-SQL comparison, so a collision costs a string
+//! compare, never a wrong plan.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::RwLock;
+use qlogic::{candidate_view_indices, Cq};
+use sqlir::{parse_statement, Statement};
+
+use crate::checker::ComplianceChecker;
+use crate::obs::{template_hash, Phase};
+
+/// Number of plan-cache shards (power of two; the shard index is the low
+/// bits of the template hash, which FNV-1a mixes well).
+const PLAN_SHARDS: usize = 16;
+
+/// One disjunct of a template's UCQ translation, with the candidate views
+/// that survived the relation-signature pre-filter.
+#[derive(Debug, Clone)]
+pub struct DisjunctPlan {
+    /// The symbolic (parameters preserved) conjunctive form.
+    pub template: Cq,
+    /// Indices into the policy's view list of the views sharing at least
+    /// one relation name with this disjunct — the only views the
+    /// rewriting search needs to consider.
+    pub view_indices: Vec<usize>,
+}
+
+/// A per-disjunct compliance certificate compiled into a template-allowed
+/// plan: the symbolic rewriting over the policy views *and its expansion
+/// over the view definitions*, both precomputed so a concrete replay needs
+/// no view instantiation, no normalization, and no expansion — it
+/// instantiates the two stored queries and checks mutual containment
+/// against the instantiated disjunct.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The rewriting over the views (what decisions surface as their
+    /// compliance certificate).
+    pub rewriting: Cq,
+    /// `expand(rewriting)` over the symbolic views. `None` when the
+    /// disjunct was proved by unsatisfiability (the "rewriting" is the
+    /// disjunct itself, which has no view expansion); replay then relies
+    /// on the concrete unsatisfiability check alone.
+    pub expansion: Option<Cq>,
+}
+
+/// The template-level verdict compiled into a plan.
+#[derive(Debug, Clone)]
+pub enum TemplateVerdict {
+    /// Proven compliant with parameters symbolic: valid for every session
+    /// and history. Carries the per-disjunct certificates.
+    Allowed(Vec<Certificate>),
+    /// Not decidable at template level (or outside the fragment); every
+    /// request needs a concrete check.
+    Undecidable,
+}
+
+/// The compiled body of a `SELECT` template.
+#[derive(Debug)]
+pub struct SelectPlan {
+    /// The parsed statement (always `Statement::Select`), kept whole so
+    /// binding and execution reuse the existing statement machinery.
+    pub stmt: Statement,
+    /// The UCQ translation with pruned candidate views, or the
+    /// out-of-fragment message replayed as the deny reason per request.
+    pub translation: Result<Vec<DisjunctPlan>, String>,
+    /// The template-level verdict. The proxy always compiles it: even with
+    /// the template *tier* disabled, an `Allowed` verdict's certificates
+    /// feed the concrete path's verify-first replay. `None` only when a
+    /// caller compiled with `attempt_template` off.
+    pub template: Option<TemplateVerdict>,
+}
+
+/// What a template compiles to.
+#[derive(Debug)]
+pub enum PlanBody {
+    /// A `SELECT` with its decision plan.
+    Select(SelectPlan),
+    /// A non-`SELECT` statement (DML/DDL pass-through).
+    Other(Statement),
+    /// The SQL does not parse; the message is replayed per request.
+    ParseError(String),
+}
+
+/// One compiled template: everything about a SQL template that does not
+/// depend on the session, the bindings, or the trace.
+#[derive(Debug)]
+pub struct TemplatePlan {
+    sql: String,
+    hash: u64,
+    body: PlanBody,
+}
+
+impl TemplatePlan {
+    /// The template SQL this plan was compiled from.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The 64-bit FNV-1a template hash ([`template_hash`]) — the plan's
+    /// cache key and its identity in decision events.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The compiled body.
+    pub fn body(&self) -> &PlanBody {
+        &self.body
+    }
+
+    /// The select plan, if this template is a `SELECT`.
+    pub fn select(&self) -> Option<&SelectPlan> {
+        match &self.body {
+            PlanBody::Select(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Compiles one template. `attempt_template` runs the symbolic
+/// (session-independent) proof over the pruned candidate views; the proxy
+/// always passes `true` — an `Allowed` verdict doubles as the certificate
+/// store for concrete-path replay — while tests pass `false` to compile
+/// only the parse/translate/prune work.
+///
+/// `lap` receives phase boundaries so a proxy compiling on the decision
+/// path can attribute the work: [`Phase::Parse`] after parsing, and
+/// [`Phase::Proof`] after the symbolic proof (when attempted). Callers
+/// compiling off the hot path pass a no-op.
+pub fn compile_plan(
+    checker: &ComplianceChecker,
+    sql: &str,
+    hash: u64,
+    attempt_template: bool,
+    lap: &mut dyn FnMut(Phase),
+) -> TemplatePlan {
+    let parsed = parse_statement(sql);
+    lap(Phase::Parse);
+    let stmt = match parsed {
+        Ok(s) => s,
+        Err(e) => {
+            return TemplatePlan {
+                sql: sql.to_string(),
+                hash,
+                body: PlanBody::ParseError(e.to_string()),
+            }
+        }
+    };
+    let Statement::Select(q) = &stmt else {
+        return TemplatePlan {
+            sql: sql.to_string(),
+            hash,
+            body: PlanBody::Other(stmt),
+        };
+    };
+
+    let translation = match (checker.translate(q), checker.symbolic_views()) {
+        (Ok(ucq), Ok(symbolic)) => Ok(ucq
+            .disjuncts
+            .into_iter()
+            .map(|d| {
+                let view_indices = candidate_view_indices(&d, &symbolic);
+                DisjunctPlan {
+                    template: d,
+                    view_indices,
+                }
+            })
+            .collect::<Vec<_>>()),
+        (Err(e), _) | (_, Err(e)) => Err(e.to_string()),
+    };
+
+    let template = if attempt_template {
+        Some(match &translation {
+            Ok(disjuncts) => {
+                let mut certs = Vec::with_capacity(disjuncts.len());
+                let mut verdict = None;
+                for d in disjuncts {
+                    let views = checker.policy().symbolic_subset(&d.view_indices);
+                    match checker.prove_disjunct(&d.template, &views, &[]) {
+                        Some(rw) => {
+                            let expansion = qlogic::expand(&rw, &views).ok();
+                            certs.push(Certificate {
+                                rewriting: rw,
+                                expansion,
+                            });
+                        }
+                        None => {
+                            verdict = Some(TemplateVerdict::Undecidable);
+                            break;
+                        }
+                    }
+                }
+                let v = verdict.unwrap_or(TemplateVerdict::Allowed(certs));
+                lap(Phase::Proof);
+                v
+            }
+            // Outside the fragment: the symbolic proof cannot run; the
+            // concrete path replays the typed denial.
+            Err(_) => TemplateVerdict::Undecidable,
+        })
+    } else {
+        None
+    };
+
+    TemplatePlan {
+        sql: sql.to_string(),
+        hash,
+        body: PlanBody::Select(SelectPlan {
+            stmt,
+            translation,
+            template,
+        }),
+    }
+}
+
+/// One cache slot: the template's SQL (for exact matching under hash
+/// collisions) and the prove-once cell its plan is published through.
+struct PlanEntry {
+    sql: String,
+    cell: Arc<OnceLock<Arc<TemplatePlan>>>,
+}
+
+struct PlanShard {
+    /// Collision chains: distinct templates sharing a 64-bit hash live in
+    /// one bucket and are told apart by full-SQL comparison.
+    map: HashMap<u64, Vec<PlanEntry>>,
+    /// Insertion order of bucket keys, for FIFO eviction.
+    order: Vec<u64>,
+    /// Total entries across all chains in this shard.
+    entries: usize,
+}
+
+/// Sharded, hash-keyed cache of compiled template plans with a bounded
+/// capacity (FIFO eviction) and prove-once misses.
+///
+/// The lookup key is the 64-bit [`template_hash`] — computed without
+/// allocating — and the warm path is one shard read lock plus one string
+/// *comparison* (never a string allocation). See the module docs for the
+/// insert protocol.
+pub struct PlanCache {
+    shards: Vec<RwLock<PlanShard>>,
+    per_shard_capacity: usize,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("len", &self.len())
+            .field("capacity", &(self.per_shard_capacity * self.shards.len()))
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// Creates a cache retaining at most `capacity` compiled templates
+    /// (rounded up to a multiple of the shard count).
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            shards: (0..PLAN_SHARDS)
+                .map(|_| {
+                    RwLock::new(PlanShard {
+                        map: HashMap::new(),
+                        order: Vec::new(),
+                        entries: 0,
+                    })
+                })
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(PLAN_SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, hash: u64) -> &RwLock<PlanShard> {
+        &self.shards[(hash as usize) & (PLAN_SHARDS - 1)]
+    }
+
+    /// Number of cached templates (including cells still being compiled).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().entries).sum()
+    }
+
+    /// `true` when no template is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The prove-once cell for a template: `(cell, existed)`. When
+    /// `existed` is false this call published a fresh empty cell and the
+    /// caller is expected to `get_or_init` it (concurrent callers of
+    /// `get_or_init` block on the cell — never on a shard lock — and
+    /// exactly one compiles). The write lock is held only for the
+    /// double-checked map insert, never across compilation.
+    pub fn entry(&self, sql: &str) -> (Arc<OnceLock<Arc<TemplatePlan>>>, bool) {
+        self.entry_hashed(template_hash(sql), sql)
+    }
+
+    /// [`PlanCache::entry`] with a caller-supplied hash. The proxy uses
+    /// this to hash once per request; tests use it to force two distinct
+    /// templates onto one hash and exercise the collision chain.
+    pub fn entry_hashed(&self, hash: u64, sql: &str) -> (Arc<OnceLock<Arc<TemplatePlan>>>, bool) {
+        let shard = self.shard(hash);
+        {
+            let s = shard.read();
+            if let Some(chain) = s.map.get(&hash) {
+                if let Some(e) = chain.iter().find(|e| e.sql == sql) {
+                    return (e.cell.clone(), true);
+                }
+            }
+        }
+        let mut s = shard.write();
+        // Double-check: another thread may have inserted while we upgraded.
+        if let Some(chain) = s.map.get(&hash) {
+            if let Some(e) = chain.iter().find(|e| e.sql == sql) {
+                return (e.cell.clone(), true);
+            }
+        }
+        while s.entries >= self.per_shard_capacity && !s.order.is_empty() {
+            let oldest = s.order.remove(0);
+            if let Some(chain) = s.map.remove(&oldest) {
+                s.entries -= chain.len();
+            }
+        }
+        let cell = Arc::new(OnceLock::new());
+        let chain = s.map.entry(hash).or_default();
+        if chain.is_empty() {
+            s.order.push(hash);
+        }
+        s.map.entry(hash).or_default().push(PlanEntry {
+            sql: sql.to_string(),
+            cell: cell.clone(),
+        });
+        s.entries += 1;
+        (cell, false)
+    }
+
+    /// The cached plan for a template, if present and fully compiled.
+    pub fn get(&self, sql: &str) -> Option<Arc<TemplatePlan>> {
+        let hash = template_hash(sql);
+        let s = self.shard(hash).read();
+        s.map
+            .get(&hash)?
+            .iter()
+            .find(|e| e.sql == sql)
+            .and_then(|e| e.cell.get().cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use qlogic::RelSchema;
+
+    fn checker() -> ComplianceChecker {
+        let mut s = RelSchema::new();
+        s.add_table("Events", ["EId", "Title", "Kind"]);
+        s.add_table("Attendance", ["UId", "EId", "Notes"]);
+        s.add_table("Lonely", ["X"]);
+        let policy = Policy::from_sql(
+            &s,
+            &[
+                ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+                (
+                    "V2",
+                    "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                     WHERE a.UId = ?MyUId",
+                ),
+                ("VL", "SELECT X FROM Lonely"),
+            ],
+        )
+        .unwrap();
+        ComplianceChecker::new(s, policy)
+    }
+
+    fn compile(c: &ComplianceChecker, sql: &str, attempt: bool) -> TemplatePlan {
+        compile_plan(c, sql, template_hash(sql), attempt, &mut |_| {})
+    }
+
+    #[test]
+    fn select_plan_prunes_candidate_views() {
+        let c = checker();
+        let plan = compile(&c, "SELECT * FROM Events WHERE EId = ?e", true);
+        let select = plan.select().expect("select body");
+        let disjuncts = select.translation.as_ref().expect("in fragment");
+        assert_eq!(disjuncts.len(), 1);
+        // Only V2 mentions Events; V1 (Attendance) and VL (Lonely) prune.
+        assert_eq!(disjuncts[0].view_indices, vec![1]);
+        assert!(matches!(
+            select.template,
+            Some(TemplateVerdict::Undecidable)
+        ));
+    }
+
+    #[test]
+    fn template_allowed_plan_carries_certificates() {
+        let c = checker();
+        let plan = compile(&c, "SELECT EId FROM Attendance WHERE UId = ?MyUId", true);
+        let select = plan.select().unwrap();
+        match &select.template {
+            Some(TemplateVerdict::Allowed(certs)) => {
+                assert_eq!(certs.len(), 1);
+                assert!(
+                    certs[0].expansion.is_some(),
+                    "view rewriting carries its precompiled expansion"
+                );
+            }
+            other => panic!("expected template-allowed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_proof_skipped_when_disabled() {
+        let c = checker();
+        let plan = compile(&c, "SELECT EId FROM Attendance WHERE UId = ?MyUId", false);
+        assert!(plan.select().unwrap().template.is_none());
+    }
+
+    #[test]
+    fn parse_error_and_dml_bodies() {
+        let c = checker();
+        assert!(matches!(
+            compile(&c, "SELEC whoops", true).body(),
+            PlanBody::ParseError(_)
+        ));
+        assert!(matches!(
+            compile(&c, "DELETE FROM Events WHERE EId = 1", true).body(),
+            PlanBody::Other(_)
+        ));
+    }
+
+    #[test]
+    fn out_of_fragment_translation_is_replayable() {
+        let c = checker();
+        let plan = compile(&c, "SELECT COUNT(*) FROM Events", true);
+        let select = plan.select().unwrap();
+        assert!(select.translation.is_err());
+        assert!(matches!(
+            select.template,
+            Some(TemplateVerdict::Undecidable)
+        ));
+    }
+
+    #[test]
+    fn cache_entry_is_prove_once() {
+        let cache = PlanCache::new(64);
+        let c = checker();
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        let (cell, existed) = cache.entry(sql);
+        assert!(!existed);
+        let mut built = false;
+        cell.get_or_init(|| {
+            built = true;
+            Arc::new(compile(&c, sql, true))
+        });
+        assert!(built);
+        let (cell2, existed2) = cache.entry(sql);
+        assert!(existed2);
+        assert!(Arc::ptr_eq(&cell, &cell2));
+        let mut rebuilt = false;
+        cell2.get_or_init(|| {
+            rebuilt = true;
+            Arc::new(compile(&c, sql, true))
+        });
+        assert!(!rebuilt, "second entry reuses the compiled plan");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_misses_compile_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let cache = PlanCache::new(64);
+        let c = checker();
+        let sql = "SELECT * FROM Events WHERE EId = ?e";
+        let compiles = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let (cache, c, compiles) = (&cache, &c, &compiles);
+                scope.spawn(move || {
+                    let (cell, _) = cache.entry(sql);
+                    let plan = cell
+                        .get_or_init(|| {
+                            compiles.fetch_add(1, Ordering::Relaxed);
+                            Arc::new(compile(c, sql, true))
+                        })
+                        .clone();
+                    assert_eq!(plan.sql(), sql);
+                });
+            }
+        });
+        assert_eq!(compiles.load(Ordering::Relaxed), 1, "one proof, 8 winners");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_the_cache_with_fifo_eviction() {
+        // Per-shard FIFO: total retained entries never exceed the rounded
+        // capacity, and re-asking for an evicted template recompiles it.
+        let cache = PlanCache::new(1); // rounds to 1 per shard
+        let c = checker();
+        let sqls: Vec<String> = (0..200)
+            .map(|i| format!("SELECT * FROM Events WHERE EId = {i}"))
+            .collect();
+        for sql in &sqls {
+            let (cell, _) = cache.entry(sql);
+            cell.get_or_init(|| Arc::new(compile(&c, sql, false)));
+        }
+        assert!(
+            cache.len() <= PLAN_SHARDS,
+            "len {} exceeds capacity",
+            cache.len()
+        );
+        // The newest template of some shard is still present; the oldest
+        // overall is gone and comes back as a fresh (uncompiled) cell.
+        assert!(cache.get(&sqls[199]).is_some());
+        let (_, existed) = cache.entry(&sqls[0]);
+        assert!(!existed, "evicted template must be re-inserted");
+    }
+
+    #[test]
+    fn hash_collisions_fall_back_to_full_sql_comparison() {
+        let cache = PlanCache::new(64);
+        let c = checker();
+        let a = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        let b = "SELECT * FROM Events WHERE EId = ?e";
+        let forced = 0xdead_beef_u64; // same hash for both templates
+        let (cell_a, _) = cache.entry_hashed(forced, a);
+        cell_a.get_or_init(|| Arc::new(compile(&c, a, true)));
+        let (cell_b, existed_b) = cache.entry_hashed(forced, b);
+        assert!(!existed_b, "colliding template is a distinct entry");
+        cell_b.get_or_init(|| Arc::new(compile(&c, b, true)));
+        assert!(!Arc::ptr_eq(&cell_a, &cell_b));
+        assert_eq!(cell_a.get().unwrap().sql(), a);
+        assert_eq!(cell_b.get().unwrap().sql(), b);
+        assert_eq!(cache.len(), 2);
+        // Both remain retrievable through the same forced hash.
+        let (again_a, existed) = cache.entry_hashed(forced, a);
+        assert!(existed);
+        assert!(Arc::ptr_eq(&again_a, &cell_a));
+    }
+}

@@ -160,6 +160,32 @@ impl Policy {
                 .collect(),
         )?)
     }
+
+    /// The symbolic views at the given indices (policy order). Skips the
+    /// name-uniqueness validation of [`Policy::symbolic_views`] — the
+    /// policy enforced uniqueness when the views were added, and a subset
+    /// of unique names stays unique. Out-of-range indices are ignored.
+    pub fn symbolic_subset(&self, indices: &[usize]) -> ViewSet {
+        ViewSet::from_prevalidated(
+            indices
+                .iter()
+                .filter_map(|&i| self.views.get(i).map(|v| v.cq.clone()))
+                .collect(),
+        )
+    }
+
+    /// Instantiates only the views at the given indices for one session —
+    /// the compiled-plan concrete path, which skips views a template's
+    /// relation signature already ruled out. Out-of-range indices are
+    /// ignored.
+    pub fn instantiate_subset(&self, indices: &[usize], bindings: &[(String, Value)]) -> ViewSet {
+        ViewSet::from_prevalidated(
+            indices
+                .iter()
+                .filter_map(|&i| self.views.get(i).map(|v| v.cq.instantiate(bindings)))
+                .collect(),
+        )
+    }
 }
 
 /// Derives a [`RelSchema`] (column names per table) from a live database —

@@ -6,21 +6,48 @@
 //! allowed queries are recorded into the session's [`Trace`], which later
 //! decisions may rely on.
 //!
-//! # Caching
+//! # Compiled plans and caching
 //!
-//! Three caches amortize decision cost:
+//! The proxy's unit of amortization is the *query template*: application
+//! code issues a handful of distinct SQL strings with varying bindings, so
+//! everything about a template that does not depend on the session is done
+//! once and reused. A [`TemplatePlan`] (see [`crate::plan`]) captures the
+//! parsed statement, the UCQ translation, the per-disjunct candidate views
+//! that survive the relation-signature pre-filter, and the symbolic
+//! verdict itself with its rewriting certificates. Plans live in a sharded,
+//! bounded [`PlanCache`] keyed by the 64-bit template hash; a warm request
+//! performs no tokenizing, no parsing, no translation, and allocates no
+//! `String` for any cache key.
 //!
-//! * a global *template cache* of query templates proven compliant with
-//!   parameters symbolic (valid for every session and history),
-//! * a global *negative template cache* of templates proven **not**
-//!   decidable at template level, so the (expensive) symbolic proof is
-//!   attempted at most once per template, and
-//! * a per-session *concrete cache* of allowed (query, bindings) pairs —
-//!   sound to reuse because compliance is monotone in the trace facts, and a
-//!   session's facts only grow. Concrete *denials* are cached too, keyed by
-//!   the fact count they were proved at: new facts can flip a denial (never
-//!   the reverse), so a cached denial is served only while the session's
-//!   fact count is unchanged.
+//! On top of the plan, the decision caches amortize proof cost:
+//!
+//! * the plan's *template verdict*: `Allowed` plays the role of the old
+//!   global template cache (proven with parameters symbolic, valid for
+//!   every session and history); `Undecidable` plays the role of the old
+//!   negative template cache, so the expensive symbolic proof runs at most
+//!   once per template (the plan cache's `OnceLock` cells make that
+//!   literal: racing misses block on the winner instead of proving twice).
+//!   Even with this tier *off* (the T10 "no-caches" ablation), an
+//!   `Allowed` verdict still pays: the concrete proof replays the plan's
+//!   instantiated certificate through a verification-only check before
+//!   falling back to the full rewriting search — every request still runs
+//!   a fresh proof over its own facts, but the candidate enumeration is
+//!   amortized into the plan. And
+//! * a per-session *concrete cache* of allowed (template, bindings) pairs,
+//!   keyed by the allocation-free `ConcreteKey` fingerprint — sound to
+//!   reuse because compliance is monotone in the trace facts, and a
+//!   session's facts only grow. Concrete *denials* are cached too, stamped
+//!   with the fact count they were proved at: new facts can flip a denial
+//!   (never the reverse), so a cached denial is served only while the
+//!   session's fact count is unchanged.
+//!
+//! [`ProxyConfig::plan_cache`] = false disables plan compilation entirely
+//! and routes every request through the naive path (parse, translate, and
+//! prove from scratch via [`ComplianceChecker`] — with *no* template
+//! memoization, so `template_cache` = true then means "attempt a fresh
+//! symbolic proof per request"). That path is the measured baseline of the
+//! T10 bench and the oracle of the differential tests: planned and naive
+//! decisions are asserted identical.
 //!
 //! # Concurrency model
 //!
@@ -36,10 +63,12 @@
 //!   trace, so sessions in different shards never contend, and sessions in
 //!   the same shard contend only with that shard's writers (cache
 //!   write-back and trace recording, both brief).
-//! * **Template caches** — `RwLock<HashSet>` each; the steady-state path is
-//!   a single read-lock lookup. Two threads may race to prove the same
-//!   fresh template; both proofs succeed identically and the second insert
-//!   is a no-op (the proof is deterministic in the immutable policy).
+//! * **Plan cache** — sharded by template hash; the steady-state path is a
+//!   single shard read lock plus one string *comparison*. A miss publishes
+//!   an empty `OnceLock` cell under a brief write lock (double-checked, so
+//!   concurrent misses get the same cell) and compiles outside all locks:
+//!   the template is parsed/translated/proved exactly once no matter how
+//!   many threads race, and no write lock is ever held across a proof.
 //! * **Statistics** — per-field atomic counters registered in the proxy's
 //!   [`MetricsRegistry`], so [`SqlProxy::stats`] and the Prometheus
 //!   exposition read the very same atomics; see [`SqlProxy::stats`] for
@@ -54,10 +83,12 @@
 //!
 //! ## Soundness under concurrency
 //!
-//! *Negative template cache*: `check_template` depends only on the query
+//! *Template verdict*: the symbolic proof depends only on the query
 //! template and the policy, and the policy is immutable for the proxy's
-//! lifetime — a template-level failure is permanent, so skipping the
-//! re-proof forever cannot change any decision, only its cost.
+//! lifetime — a compiled `Undecidable` is permanent, so never re-proving
+//! it cannot change any decision, only its cost. Plan *eviction* is
+//! likewise cost-only: recompiling a template reproduces the identical
+//! plan, and session caches keyed by its hash stay valid.
 //!
 //! *Deny cache*: a denial is recorded together with the fact count observed
 //! when it was proved, and is replayed only while the session's fact count
@@ -88,6 +119,7 @@ use crate::obs::{
     template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, MetricsRegistry, Phase,
     PhaseTimer, Verdict, PHASE_COUNT,
 };
+use crate::plan::{compile_plan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict};
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
 
 /// Number of session shards. Sixteen keeps per-shard contention negligible
@@ -107,6 +139,12 @@ pub struct ProxyConfig {
     pub session_cache: bool,
     /// Whether DML statements pass through or are blocked.
     pub allow_writes: bool,
+    /// Compile and cache template plans. Off, every request parses,
+    /// translates, and proves from scratch (the naive baseline; template
+    /// verdicts are then *never* memoized).
+    pub plan_cache: bool,
+    /// Compiled templates retained before FIFO eviction.
+    pub plan_capacity: usize,
     /// Capture decision provenance: per-phase timings, per-phase latency
     /// histograms, and one [`DecisionEvent`] per `execute` into the
     /// journal. The T9 bench sweeps this off to price the enabled path.
@@ -122,6 +160,8 @@ impl Default for ProxyConfig {
             template_cache: true,
             session_cache: true,
             allow_writes: true,
+            plan_cache: true,
+            plan_capacity: 1024,
             observe: true,
             journal_capacity: 4096,
         }
@@ -267,12 +307,84 @@ struct SessionState {
     /// copying (sessions never rebind; the `Arc` is cloned per request).
     bindings: Arc<Vec<(String, Value)>>,
     trace: Trace,
-    allowed_cache: HashSet<String>,
-    /// Denials keyed by concrete query, valid while the fact count they were
-    /// proved at is unchanged (more facts can flip a denial, never fewer).
-    /// The stored query is the disjunct that failed, replayed on cache hits
-    /// so diagnosis consumers see the real reason.
-    denied_cache: HashMap<String, (usize, qlogic::Cq)>,
+    allowed_cache: HashSet<ConcreteKey>,
+    /// Denials keyed by concrete fingerprint, valid while the fact count
+    /// they were proved at is unchanged (more facts can flip a denial,
+    /// never fewer). The stored query is the disjunct that failed, replayed
+    /// on cache hits so diagnosis consumers see the real reason.
+    denied_cache: HashMap<ConcreteKey, (usize, qlogic::Cq)>,
+}
+
+/// Fingerprint of one (template, bindings) pair — the session-cache key.
+///
+/// Three `u64`s, computed with zero allocation: the template hash, the
+/// binding count, and a commutative digest of the bindings (sum and
+/// sum-of-squares of each pair's FNV-1a hash), so binding *order* never
+/// splits cache entries — the old string key sorted by name for the same
+/// reason. The key is probabilistic where the old string key was exact,
+/// but it is scoped to one session *and* one exact template hash: a wrong
+/// cache answer needs two binding sets of the same session and template to
+/// collide on both 64-bit digests, and the worst consequence is replaying
+/// that session's own earlier decision for the template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ConcreteKey {
+    template: u64,
+    len: u64,
+    sum: u64,
+    sum_sq: u64,
+}
+
+/// FNV-1a over one binding: name bytes, a separator, the value's
+/// discriminant, then the value's bytes. No intermediate `String`.
+fn binding_hash(name: &str, v: &Value) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let step = |h: &mut u64, b: u8| {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(PRIME);
+    };
+    for &b in name.as_bytes() {
+        step(&mut h, b);
+    }
+    step(&mut h, 0);
+    match v {
+        Value::Null => step(&mut h, 0),
+        Value::Int(i) => {
+            step(&mut h, 1);
+            for b in i.to_le_bytes() {
+                step(&mut h, b);
+            }
+        }
+        Value::Str(s) => {
+            step(&mut h, 2);
+            for &b in s.as_bytes() {
+                step(&mut h, b);
+            }
+        }
+        Value::Bool(b) => {
+            step(&mut h, 3);
+            step(&mut h, *b as u8);
+        }
+    }
+    h
+}
+
+impl ConcreteKey {
+    fn new(template: u64, bindings: &[(String, Value)]) -> ConcreteKey {
+        let mut sum = 0u64;
+        let mut sum_sq = 0u64;
+        for (k, v) in bindings {
+            let h = binding_hash(k, v);
+            sum = sum.wrapping_add(h);
+            sum_sq = sum_sq.wrapping_add(h.wrapping_mul(h));
+        }
+        ConcreteKey {
+            template,
+            len: bindings.len() as u64,
+            sum,
+            sum_sq,
+        }
+    }
 }
 
 /// The response to a proxied statement.
@@ -309,8 +421,7 @@ pub struct SqlProxy {
     config: ProxyConfig,
     shards: Vec<RwLock<HashMap<u64, SessionState>>>,
     next_session: AtomicU64,
-    template_cache: RwLock<HashSet<String>>,
-    template_negative: RwLock<HashSet<String>>,
+    plans: PlanCache,
     stats: AtomicProxyStats,
     registry: MetricsRegistry,
     journal: EventJournal,
@@ -354,8 +465,7 @@ impl SqlProxy {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             next_session: AtomicU64::new(1),
-            template_cache: RwLock::new(HashSet::new()),
-            template_negative: RwLock::new(HashSet::new()),
+            plans: PlanCache::new(config.plan_capacity),
             stats,
             registry,
             journal: EventJournal::with_capacity(config.journal_capacity),
@@ -479,9 +589,65 @@ impl SqlProxy {
         sql: &str,
         extra_bindings: &[(String, Value)],
     ) -> Result<ProxyResponse, CoreError> {
+        let hash = template_hash(sql);
         let t0 = Instant::now();
         let mut prov = Prov::new(self.config.observe);
-        let result = self.execute_timed(session_id, sql, extra_bindings, &mut prov);
+        let result = if self.config.plan_cache {
+            let (plan, built) = self.plan_for(sql, hash, &mut prov);
+            self.execute_plan_timed(session_id, &plan, built, extra_bindings, &mut prov)
+        } else {
+            self.execute_naive(session_id, sql, hash, extra_bindings, &mut prov)
+        };
+        self.publish(session_id, hash, t0, &prov, &result);
+        result
+    }
+
+    /// Compiles (or prefetches) the plan for a template without deciding
+    /// anything. The returned plan can be replayed any number of times via
+    /// [`SqlProxy::execute_planned`], skipping even the plan-cache probe —
+    /// the wire protocol's `prepare` frame maps to this.
+    ///
+    /// With [`ProxyConfig::plan_cache`] off the plan is compiled transient
+    /// (not retained). No statistics are touched; replays through a
+    /// template-allowed plan count as template-cache hits.
+    pub fn prepare(&self, sql: &str) -> Arc<TemplatePlan> {
+        let hash = template_hash(sql);
+        if self.config.plan_cache {
+            let (cell, _) = self.plans.entry_hashed(hash, sql);
+            cell.get_or_init(|| Arc::new(compile_plan(&self.checker, sql, hash, true, &mut |_| {})))
+                .clone()
+        } else {
+            Arc::new(compile_plan(&self.checker, sql, hash, true, &mut |_| {}))
+        }
+    }
+
+    /// Executes a previously [`prepare`](SqlProxy::prepare)d plan — the
+    /// decision hot path with the plan lookup already paid. Statistics,
+    /// phase timings, and journal events are recorded exactly as for
+    /// [`SqlProxy::execute`] of the same template.
+    pub fn execute_planned(
+        &self,
+        session_id: u64,
+        plan: &TemplatePlan,
+        extra_bindings: &[(String, Value)],
+    ) -> Result<ProxyResponse, CoreError> {
+        let t0 = Instant::now();
+        let mut prov = Prov::new(self.config.observe);
+        let result = self.execute_plan_timed(session_id, plan, false, extra_bindings, &mut prov);
+        self.publish(session_id, plan.hash(), t0, &prov, &result);
+        result
+    }
+
+    /// Records the end-to-end latency and, when observing, the per-phase
+    /// histograms and the journal event for one finished request.
+    fn publish(
+        &self,
+        session_id: u64,
+        hash: u64,
+        t0: Instant,
+        prov: &Prov,
+        result: &Result<ProxyResponse, CoreError>,
+    ) {
         let total = t0.elapsed();
         self.stats.latency.record(total);
         if let Some(timer) = &prov.timer {
@@ -493,7 +659,7 @@ impl SqlProxy {
             }
             // Only decided statements get a journal entry; a `NoSuchSession`
             // error is the caller's bug, not a decision.
-            if let Ok(response) = &result {
+            if let Ok(response) = result {
                 let verdict = if response.is_allowed() {
                     Verdict::Allowed
                 } else {
@@ -502,7 +668,7 @@ impl SqlProxy {
                 self.journal.record(DecisionEvent {
                     seq: 0, // assigned on publication
                     session: session_id,
-                    template_hash: template_hash(sql),
+                    template_hash: hash,
                     verdict,
                     tier: prov.tier,
                     negative_template_hit: prov.negative_template_hit,
@@ -511,13 +677,84 @@ impl SqlProxy {
                 });
             }
         }
-        result
     }
 
-    fn execute_timed(
+    /// The compiled plan for a template, proving at most once across all
+    /// threads: `(plan, built)` where `built` says this call did the
+    /// compilation (and its `Parse`/`Proof` laps are already attributed).
+    fn plan_for(&self, sql: &str, hash: u64, prov: &mut Prov) -> (Arc<TemplatePlan>, bool) {
+        let (cell, _) = self.plans.entry_hashed(hash, sql);
+        let mut built = false;
+        let plan = cell
+            .get_or_init(|| {
+                built = true;
+                // The symbolic proof is always attempted at compile time:
+                // even with the template tier off, the plan's certificate
+                // feeds the concrete path's verify-first replay.
+                Arc::new(compile_plan(&self.checker, sql, hash, true, &mut |ph| {
+                    prov.lap(ph)
+                }))
+            })
+            .clone();
+        if !built {
+            // Cache hit, or this thread waited out another thread's build:
+            // either way the time was spent looking the template up.
+            prov.lap(Phase::TemplateLookup);
+        }
+        (plan, built)
+    }
+
+    /// The session's policy bindings, shared by `Arc`.
+    fn session_bindings(&self, session_id: u64) -> Result<Arc<Vec<(String, Value)>>, CoreError> {
+        Ok(self
+            .shard(session_id)
+            .read()
+            .get(&session_id)
+            .ok_or(CoreError::NoSuchSession(session_id))?
+            .bindings
+            .clone())
+    }
+
+    /// Decides and executes one request through a compiled plan.
+    fn execute_plan_timed(
+        &self,
+        session_id: u64,
+        plan: &TemplatePlan,
+        built: bool,
+        extra_bindings: &[(String, Value)],
+        prov: &mut Prov,
+    ) -> Result<ProxyResponse, CoreError> {
+        // A parse failure is replayed before the session lookup, matching
+        // the naive path (parse errors never depend on the session).
+        if let PlanBody::ParseError(msg) = plan.body() {
+            self.stats.blocked.inc();
+            return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg.clone())));
+        }
+        let session_bindings = self.session_bindings(session_id)?;
+        let merged = merge_bindings(&session_bindings, extra_bindings);
+        let bindings: &[(String, Value)] = merged.as_deref().unwrap_or(&session_bindings);
+        match plan.body() {
+            PlanBody::Select(sp) => {
+                let decision =
+                    self.decide_select_planned(session_id, sp, plan.hash(), built, bindings, prov)?;
+                self.complete_select(session_id, &sp.stmt, bindings, decision, prov, |rows| {
+                    self.record_observation_planned(session_id, sp, bindings, rows)
+                })
+            }
+            PlanBody::Other(stmt) => self.run_write(stmt, bindings, prov),
+            PlanBody::ParseError(_) => unreachable!("handled before session lookup"),
+        }
+    }
+
+    /// The naive decision path ([`ProxyConfig::plan_cache`] = false):
+    /// parse, translate, and prove from scratch, with no template
+    /// memoization. This is the measured baseline plans are compared to,
+    /// and the oracle the differential tests hold the planned path to.
+    fn execute_naive(
         &self,
         session_id: u64,
         sql: &str,
+        hash: u64,
         extra_bindings: &[(String, Value)],
         prov: &mut Prov,
     ) -> Result<ProxyResponse, CoreError> {
@@ -532,77 +769,84 @@ impl SqlProxy {
                 )));
             }
         };
-        let session_bindings: Arc<Vec<(String, Value)>> = self
-            .shard(session_id)
-            .read()
-            .get(&session_id)
-            .ok_or(CoreError::NoSuchSession(session_id))?
-            .bindings
-            .clone();
-        // Fast path: with no request parameters the session bindings are
-        // used as-is through the shared `Arc` — no per-statement copy.
-        let merged: Option<Vec<(String, Value)>> = if extra_bindings.is_empty() {
-            None
-        } else {
-            let mut m = session_bindings.as_ref().clone();
-            for (k, v) in extra_bindings {
-                m.retain(|(n, _)| n != k);
-                m.push((k.clone(), v.clone()));
-            }
-            Some(m)
-        };
+        let session_bindings = self.session_bindings(session_id)?;
+        let merged = merge_bindings(&session_bindings, extra_bindings);
         let bindings: &[(String, Value)] = merged.as_deref().unwrap_or(&session_bindings);
-
         match &stmt {
             Statement::Select(q) => {
-                let decision = self.decide_select(session_id, sql, q, bindings, prov)?;
-                match decision {
-                    Decision::Allowed { .. } => {
-                        // Binding failures (e.g. a parameter the caller never
-                        // supplied) are the caller's malformed input, not an
-                        // internal error: block, don't fail.
-                        let rows = match self.run_select(&stmt, bindings) {
-                            Ok(rows) => rows,
-                            Err(CoreError::Parse(msg)) => {
-                                self.stats.blocked.inc();
-                                return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
-                            }
-                            Err(other) => return Err(other),
-                        };
-                        prov.lap(Phase::DbExec);
-                        self.stats.allowed.inc();
-                        self.record_observation(session_id, q, bindings, &rows);
-                        prov.lap(Phase::TraceRecord);
-                        Ok(ProxyResponse::Rows(rows))
-                    }
-                    Decision::Denied { reason } => {
-                        self.stats.blocked.inc();
-                        Ok(ProxyResponse::Blocked(reason))
-                    }
-                }
+                let decision = self.decide_select_naive(session_id, q, hash, bindings, prov)?;
+                self.complete_select(session_id, &stmt, bindings, decision, prov, |rows| {
+                    self.record_observation_naive(session_id, q, bindings, rows)
+                })
             }
-            _ => {
-                if !self.config.allow_writes {
-                    self.stats.blocked.inc();
-                    return Ok(ProxyResponse::Blocked(DenyReason::WriteBlocked));
-                }
-                let bound = match bind_to_statement(&stmt, bindings) {
-                    Ok(b) => b,
+            _ => self.run_write(&stmt, bindings, prov),
+        }
+    }
+
+    /// Runs an allowed/denied `SELECT` decision to completion: execute the
+    /// statement, count, record the observation (via `record`), and map
+    /// the denial.
+    fn complete_select(
+        &self,
+        _session_id: u64,
+        stmt: &Statement,
+        bindings: &[(String, Value)],
+        decision: Decision,
+        prov: &mut Prov,
+        record: impl FnOnce(&Rows),
+    ) -> Result<ProxyResponse, CoreError> {
+        match decision {
+            Decision::Allowed { .. } => {
+                // Binding failures (e.g. a parameter the caller never
+                // supplied) are the caller's malformed input, not an
+                // internal error: block, don't fail.
+                let rows = match self.run_select(stmt, bindings) {
+                    Ok(rows) => rows,
                     Err(CoreError::Parse(msg)) => {
                         self.stats.blocked.inc();
                         return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
                     }
                     Err(other) => return Err(other),
                 };
-                let result = self.db.write().execute(&bound)?;
                 prov.lap(Phase::DbExec);
-                self.stats.writes.inc();
-                match result {
-                    minidb::ExecResult::Affected(n) => Ok(ProxyResponse::Affected(n)),
-                    minidb::ExecResult::Created => Ok(ProxyResponse::Affected(0)),
-                    minidb::ExecResult::Rows(r) => Ok(ProxyResponse::Rows(r)),
-                }
+                self.stats.allowed.inc();
+                record(&rows);
+                prov.lap(Phase::TraceRecord);
+                Ok(ProxyResponse::Rows(rows))
             }
+            Decision::Denied { reason } => {
+                self.stats.blocked.inc();
+                Ok(ProxyResponse::Blocked(reason))
+            }
+        }
+    }
+
+    /// Executes a pass-through (non-`SELECT`) statement.
+    fn run_write(
+        &self,
+        stmt: &Statement,
+        bindings: &[(String, Value)],
+        prov: &mut Prov,
+    ) -> Result<ProxyResponse, CoreError> {
+        if !self.config.allow_writes {
+            self.stats.blocked.inc();
+            return Ok(ProxyResponse::Blocked(DenyReason::WriteBlocked));
+        }
+        let bound = match bind_to_statement(stmt, bindings) {
+            Ok(b) => b,
+            Err(CoreError::Parse(msg)) => {
+                self.stats.blocked.inc();
+                return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg)));
+            }
+            Err(other) => return Err(other),
+        };
+        let result = self.db.write().execute(&bound)?;
+        prov.lap(Phase::DbExec);
+        self.stats.writes.inc();
+        match result {
+            minidb::ExecResult::Affected(n) => Ok(ProxyResponse::Affected(n)),
+            minidb::ExecResult::Created => Ok(ProxyResponse::Affected(0)),
+            minidb::ExecResult::Rows(r) => Ok(ProxyResponse::Rows(r)),
         }
     }
 
@@ -624,61 +868,153 @@ impl SqlProxy {
         }
     }
 
-    fn decide_select(
+    /// Decides a `SELECT` through its compiled plan. The template tier is
+    /// a field read (the verdict was compiled into the plan); the concrete
+    /// tier instantiates only the pre-pruned candidate views per disjunct.
+    fn decide_select_planned(
         &self,
         session_id: u64,
-        sql: &str,
-        q: &sqlir::Query,
+        sp: &SelectPlan,
+        hash: u64,
+        built: bool,
         bindings: &[(String, Value)],
         prov: &mut Prov,
     ) -> Result<Decision, CoreError> {
-        // 1. Template caches (positive, then negative).
+        // 1. Template tier, compiled into the plan. `built` attributes the
+        //    verdict: this request paid the proof, or it reused one.
         if self.config.template_cache {
-            if self.template_cache.read().contains(sql) {
-                prov.lap(Phase::TemplateLookup);
-                prov.tier = CacheTier::TemplateCache;
-                self.stats.template_cache_hits.inc();
-                return Ok(Decision::Allowed {
-                    source: DecisionSource::TemplateCache,
-                    rewritings: Vec::new(),
-                });
-            }
-            let known_undecidable = self.template_negative.read().contains(sql);
-            prov.lap(Phase::TemplateLookup);
-            if known_undecidable {
-                // Known template-undecidable: go straight to the concrete
-                // path. Sound because the policy is immutable — see the
-                // module docs.
-                prov.negative_template_hit = true;
-                self.stats.template_negative_hits.inc();
-            } else {
-                // 2. Fresh template-level proof (session-independent). Two
-                // racing threads may both prove the same template; the
-                // duplicate insert is harmless.
-                match self.checker.check_template(q) {
-                    Decision::Allowed { rewritings, .. } => {
-                        self.template_cache.write().insert(sql.to_string());
-                        prov.lap(Phase::Proof);
+            match &sp.template {
+                Some(TemplateVerdict::Allowed(certs)) => {
+                    if built {
                         prov.tier = CacheTier::TemplateProof;
                         self.stats.template_proofs.inc();
                         return Ok(Decision::Allowed {
                             source: DecisionSource::TemplateProof,
-                            rewritings,
+                            rewritings: certs.iter().map(|c| c.rewriting.clone()).collect(),
                         });
                     }
-                    Decision::Denied { .. } => {
-                        self.template_negative.write().insert(sql.to_string());
-                        prov.lap(Phase::Proof);
+                    prov.tier = CacheTier::TemplateCache;
+                    self.stats.template_cache_hits.inc();
+                    return Ok(Decision::Allowed {
+                        source: DecisionSource::TemplateCache,
+                        rewritings: Vec::new(),
+                    });
+                }
+                Some(TemplateVerdict::Undecidable) if !built => {
+                    // Known template-undecidable: straight to the concrete
+                    // path without re-proving. Sound because the policy is
+                    // immutable — see the module docs.
+                    prov.negative_template_hit = true;
+                    self.stats.template_negative_hits.inc();
+                }
+                _ => {}
+            }
+        }
+        // 2. Concrete tier over the pruned plan.
+        let key = ConcreteKey::new(hash, bindings);
+        self.decide_concrete(session_id, key, prov, |checker, trace| {
+            match &sp.translation {
+                Err(msg) => Decision::Denied {
+                    reason: DenyReason::OutOfFragment(msg.clone()),
+                },
+                Ok(disjuncts) => {
+                    // When the template proved compliant at compile time,
+                    // each disjunct carries a certificate with its
+                    // precompiled view expansion: replay it (instantiate
+                    // rewriting + expansion, then verify mutual containment
+                    // against the instantiated disjunct) before falling
+                    // back to the full rewriting search. Verification gates
+                    // acceptance and the fallback preserves completeness,
+                    // so this is decision-identical to the naive path — it
+                    // only amortizes candidate generation, view
+                    // instantiation, and expansion into the plan.
+                    let certs = match &sp.template {
+                        Some(TemplateVerdict::Allowed(cs)) => Some(cs),
+                        _ => None,
+                    };
+                    let mut rewritings = Vec::with_capacity(disjuncts.len());
+                    for (i, d) in disjuncts.iter().enumerate() {
+                        let inst = d.template.instantiate(bindings);
+                        let replayed = certs.and_then(|cs| cs.get(i)).and_then(|c| {
+                            let expansion = c.expansion.as_ref()?;
+                            checker.replay_certificate(
+                                &inst,
+                                c.rewriting.instantiate(bindings),
+                                &expansion.instantiate(bindings),
+                                trace.facts(),
+                            )
+                        });
+                        let proved = replayed.or_else(|| {
+                            // Replay failed (or no certificate): run the
+                            // full search over the pruned candidate views.
+                            let views = checker
+                                .policy()
+                                .instantiate_subset(&d.view_indices, bindings);
+                            checker.prove_disjunct(&inst, &views, trace.facts())
+                        });
+                        match proved {
+                            Some(rw) => rewritings.push(rw),
+                            None => {
+                                return Decision::Denied {
+                                    reason: DenyReason::NotDetermined { query: inst },
+                                }
+                            }
+                        }
+                    }
+                    Decision::Allowed {
+                        source: DecisionSource::ConcreteProof,
+                        rewritings,
                     }
                 }
             }
+        })
+    }
+
+    /// Decides a `SELECT` on the naive path: fresh symbolic proof when the
+    /// template tier is on (never memoized), then the full unpruned
+    /// concrete check.
+    fn decide_select_naive(
+        &self,
+        session_id: u64,
+        q: &sqlir::Query,
+        hash: u64,
+        bindings: &[(String, Value)],
+        prov: &mut Prov,
+    ) -> Result<Decision, CoreError> {
+        if self.config.template_cache {
+            match self.checker.check_template(q) {
+                Decision::Allowed { rewritings, .. } => {
+                    prov.lap(Phase::Proof);
+                    prov.tier = CacheTier::TemplateProof;
+                    self.stats.template_proofs.inc();
+                    return Ok(Decision::Allowed {
+                        source: DecisionSource::TemplateProof,
+                        rewritings,
+                    });
+                }
+                Decision::Denied { .. } => prov.lap(Phase::Proof),
+            }
         }
-        // 3. Per-session concrete caches (allowals are monotone in the
-        //    trace; denials stay valid while the fact set is unchanged).
-        //    The shard read lock is held across the concrete proof so the
-        //    trace cannot shrink or move underneath it; same-shard sessions
-        //    may still read concurrently.
-        let concrete_key = concrete_cache_key(sql, bindings);
+        let key = ConcreteKey::new(hash, bindings);
+        self.decide_concrete(session_id, key, prov, |checker, trace| {
+            checker.check_concrete(q, bindings, trace)
+        })
+    }
+
+    /// The shared concrete tier: session caches around one fresh proof.
+    ///
+    /// Per-session concrete caches (allowals are monotone in the trace;
+    /// denials stay valid while the fact set is unchanged). The shard read
+    /// lock is held across the concrete proof so the trace cannot shrink
+    /// or move underneath it; same-shard sessions may still read
+    /// concurrently.
+    fn decide_concrete(
+        &self,
+        session_id: u64,
+        concrete_key: ConcreteKey,
+        prov: &mut Prov,
+        prove: impl FnOnce(&ComplianceChecker, &Trace) -> Decision,
+    ) -> Result<Decision, CoreError> {
         let (decision, fact_count) = {
             let sessions = self.shard(session_id).read();
             let session = sessions
@@ -709,14 +1045,14 @@ impl SqlProxy {
                 }
             }
             prov.lap(Phase::ConcreteLookup);
-            // 4. Fresh concrete proof.
+            // Fresh concrete proof.
             let empty = Trace::new();
             let trace: &Trace = if self.config.trace_aware {
                 &session.trace
             } else {
                 &empty
             };
-            (self.checker.check_concrete(q, bindings, trace), fact_count)
+            (prove(&self.checker, trace), fact_count)
         };
         // Whether allowed or denied, the verdict came from the fresh
         // concrete proof; cache write-back below is attributed back to the
@@ -763,7 +1099,34 @@ impl SqlProxy {
         }
     }
 
-    fn record_observation(
+    /// Observation recording through the plan's cached translation (no
+    /// re-translation on the hot path).
+    fn record_observation_planned(
+        &self,
+        session_id: u64,
+        sp: &SelectPlan,
+        bindings: &[(String, Value)],
+        rows: &Rows,
+    ) {
+        if !self.config.trace_aware {
+            return;
+        }
+        // Only single-disjunct queries contribute facts: a union's non-empty
+        // answer doesn't say which disjunct held.
+        let Ok(disjuncts) = &sp.translation else {
+            return;
+        };
+        if disjuncts.len() != 1 {
+            return;
+        }
+        self.record_single_disjunct(
+            session_id,
+            disjuncts[0].template.instantiate(bindings),
+            rows,
+        );
+    }
+
+    fn record_observation_naive(
         &self,
         session_id: u64,
         q: &sqlir::Query,
@@ -773,15 +1136,16 @@ impl SqlProxy {
         if !self.config.trace_aware {
             return;
         }
-        // Only single-disjunct queries contribute facts: a union's non-empty
-        // answer doesn't say which disjunct held.
         let Ok(ucq) = self.checker.translate(q) else {
             return;
         };
         if ucq.disjuncts.len() != 1 {
             return;
         }
-        let cq = ucq.disjuncts[0].instantiate(bindings);
+        self.record_single_disjunct(session_id, ucq.disjuncts[0].instantiate(bindings), rows);
+    }
+
+    fn record_single_disjunct(&self, session_id: u64, cq: qlogic::Cq, rows: &Rows) {
         if !cq.params().is_empty() {
             return; // unbound parameters: nothing definite to record
         }
@@ -790,6 +1154,29 @@ impl SqlProxy {
             session.trace.record(cq, obs);
         }
     }
+
+    /// The compiled-plan cache (observability and tests).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+}
+
+/// Merged request-over-session bindings. Fast path: with no request
+/// parameters the session bindings are used as-is through the shared
+/// `Arc` — no per-statement copy, no `String` clone.
+fn merge_bindings(
+    session_bindings: &Arc<Vec<(String, Value)>>,
+    extra_bindings: &[(String, Value)],
+) -> Option<Vec<(String, Value)>> {
+    if extra_bindings.is_empty() {
+        return None;
+    }
+    let mut m = session_bindings.as_ref().clone();
+    for (k, v) in extra_bindings {
+        m.retain(|(n, _)| n != k);
+        m.push((k.clone(), v.clone()));
+    }
+    Some(m)
 }
 
 fn bind_to_statement(
@@ -801,32 +1188,6 @@ fn bind_to_statement(
         pb.set(k.clone(), v.clone());
     }
     bind_statement(stmt, &pb).map_err(|e| CoreError::Parse(e.to_string()))
-}
-
-/// Cache key for one (template, bindings) pair. Bindings are sorted by
-/// name through a vector of references (no pair is cloned), literals are
-/// rendered once, and the buffer is sized exactly from their lengths.
-fn concrete_cache_key(sql: &str, bindings: &[(String, Value)]) -> String {
-    let mut sorted: Vec<&(String, Value)> = bindings.iter().collect();
-    sorted.sort_by(|a, b| a.0.cmp(&b.0));
-    let literals: Vec<String> = sorted.iter().map(|(_, v)| v.to_sql_literal()).collect();
-    let cap = sql.len()
-        + 1
-        + sorted
-            .iter()
-            .zip(&literals)
-            .map(|((k, _), lit)| k.len() + lit.len() + 2)
-            .sum::<usize>();
-    let mut key = String::with_capacity(cap);
-    key.push_str(sql);
-    key.push('\u{1}');
-    for ((k, _), lit) in sorted.iter().zip(&literals) {
-        key.push_str(k);
-        key.push('=');
-        key.push_str(lit);
-        key.push(';');
-    }
-    key
 }
 
 #[cfg(test)]
@@ -1319,5 +1680,137 @@ mod tests {
             "bep_cache_hits_total{{tier=\"template\"}} {}\n",
             stats.template_cache_hits
         )));
+    }
+
+    #[test]
+    fn concrete_key_is_order_insensitive_and_discriminates() {
+        let h = template_hash("SELECT * FROM Events WHERE EId = ?e");
+        let a = ("a".to_string(), Value::Int(1));
+        let b = ("b".to_string(), Value::str("x"));
+        let k1 = ConcreteKey::new(h, &[a.clone(), b.clone()]);
+        let k2 = ConcreteKey::new(h, &[b.clone(), a.clone()]);
+        assert_eq!(k1, k2, "binding order must not split cache entries");
+        assert_ne!(k1, ConcreteKey::new(h ^ 1, &[a.clone(), b.clone()]));
+        assert_ne!(
+            k1,
+            ConcreteKey::new(h, &[a.clone(), ("b".to_string(), Value::str("y"))])
+        );
+        assert_ne!(k1, ConcreteKey::new(h, std::slice::from_ref(&a)));
+        // Value type matters, not just bytes: Int(1) vs Bool(true) vs "1".
+        assert_ne!(
+            ConcreteKey::new(h, &[("a".to_string(), Value::Int(1))]),
+            ConcreteKey::new(h, &[("a".to_string(), Value::Bool(true))])
+        );
+    }
+
+    #[test]
+    fn naive_path_decides_identically_without_memoizing_templates() {
+        // plan_cache = false is the from-scratch baseline: same verdicts,
+        // but every template-allowed request pays a fresh symbolic proof.
+        let config = ProxyConfig {
+            plan_cache: false,
+            ..Default::default()
+        };
+        let p = proxy(config);
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        for _ in 0..3 {
+            assert!(p.execute(s, sql, &[]).unwrap().is_allowed());
+        }
+        let stats = p.stats();
+        assert_eq!(stats.template_proofs, 3, "no memoization on the naive path");
+        assert_eq!(stats.template_cache_hits, 0);
+        assert_eq!(p.plan_cache().len(), 0, "no plans are compiled");
+
+        // The trace flow still holds end to end: the Attendance probe
+        // above already witnessed that user 1 attends event 2, so fetching
+        // event 2 is allowed while event 3 stays blocked.
+        assert!(!p
+            .execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
+            .unwrap()
+            .is_allowed());
+        assert!(p
+            .execute(s, "SELECT * FROM Events WHERE EId = 2", &[])
+            .unwrap()
+            .is_allowed());
+    }
+
+    #[test]
+    fn prepare_then_execute_planned_skips_the_proof() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        let plan = p.prepare(sql);
+        assert_eq!(plan.hash(), template_hash(sql));
+        assert_eq!(p.stats().template_proofs, 0, "prepare is not a decision");
+        let r = p.execute_planned(s, &plan, &[]).unwrap();
+        assert!(r.is_allowed());
+        let stats = p.stats();
+        // Replaying a prepared template-allowed plan is a cache hit, never
+        // a proof — the proof happened (uncounted) at prepare time.
+        assert_eq!(stats.template_proofs, 0);
+        assert_eq!(stats.template_cache_hits, 1);
+        // `execute` of the same SQL reuses the prepared plan.
+        assert!(p.execute(s, sql, &[]).unwrap().is_allowed());
+        assert_eq!(p.stats().template_cache_hits, 2);
+        assert_eq!(p.plan_cache().len(), 1);
+    }
+
+    #[test]
+    fn execute_planned_checks_the_session() {
+        let p = proxy(ProxyConfig::default());
+        let plan = p.prepare("SELECT EId FROM Attendance WHERE UId = ?MyUId");
+        let err = p.execute_planned(4242, &plan, &[]).unwrap_err();
+        assert_eq!(err, CoreError::NoSuchSession(4242));
+        // A prepared parse error replays as Blocked, like `execute`.
+        let bad = p.prepare("SELEC whoops");
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let r = p.execute_planned(s, &bad, &[]).unwrap();
+        assert!(matches!(
+            r,
+            ProxyResponse::Blocked(DenyReason::ParseError(_))
+        ));
+    }
+
+    #[test]
+    fn planned_and_naive_proxies_agree_query_by_query() {
+        // Differential smoke (the full generated-workload version lives in
+        // tests/differential.rs): every (sql, bindings) in a mixed script
+        // gets the same verdict, deny reason, and rows from a planned proxy
+        // and a naive one.
+        let planned = proxy(ProxyConfig::default());
+        let naive = proxy(ProxyConfig {
+            plan_cache: false,
+            template_cache: false,
+            session_cache: false,
+            ..Default::default()
+        });
+        let script: &[(&str, &[(&str, i64)])] = &[
+            (
+                "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+                &[("event", 3)],
+            ),
+            ("SELECT * FROM Events WHERE EId = ?event", &[("event", 3)]),
+            (
+                "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+                &[("event", 2)],
+            ),
+            ("SELECT * FROM Events WHERE EId = ?event", &[("event", 2)]),
+            ("SELECT * FROM Events WHERE EId = ?event", &[("event", 2)]),
+            ("SELECT COUNT(*) FROM Events", &[]),
+            ("SELEC whoops", &[]),
+            ("SELECT EId FROM Attendance WHERE UId = ?MyUId", &[]),
+        ];
+        let sp = planned.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let sn = naive.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        for (sql, binds) in script {
+            let binds: Vec<(String, Value)> = binds
+                .iter()
+                .map(|(k, v)| (k.to_string(), Value::Int(*v)))
+                .collect();
+            let a = planned.execute(sp, sql, &binds).unwrap();
+            let b = naive.execute(sn, sql, &binds).unwrap();
+            assert_eq!(a, b, "diverged on {sql}");
+        }
     }
 }

@@ -50,6 +50,6 @@ pub use generalize::{anti_unify, anti_unify_all, canonicalize_vars, const_to_par
 pub use instance::Instance;
 pub use minimize::minimize;
 pub use rewrite::{
-    contained_rewritings, containing_rewritings, equivalent_rewriting, equivalent_rewriting_deps,
-    expand, maximally_contained, ViewSet,
+    candidate_view_indices, contained_rewritings, containing_rewritings, equivalent_rewriting,
+    equivalent_rewriting_deps, expand, maximally_contained, ViewSet,
 };

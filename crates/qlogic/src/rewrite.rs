@@ -52,6 +52,15 @@ impl ViewSet {
         Ok(ViewSet { views })
     }
 
+    /// Creates a view set from views whose names are already known to be
+    /// unique — e.g. a subset of an existing [`ViewSet`], or views drawn
+    /// from a policy that enforces name uniqueness at construction. Skips
+    /// the name-validation pass of [`ViewSet::new`]; callers own the
+    /// uniqueness invariant.
+    pub fn from_prevalidated(views: Vec<Cq>) -> ViewSet {
+        ViewSet { views }
+    }
+
     /// The views.
     pub fn views(&self) -> &[Cq] {
         &self.views
@@ -61,6 +70,33 @@ impl ViewSet {
     pub fn get(&self, name: &str) -> Option<&Cq> {
         self.views.iter().find(|v| v.name.as_deref() == Some(name))
     }
+}
+
+/// Indices of the views that can possibly participate in a rewriting of
+/// `q`: those sharing at least one relation name with `q`'s body.
+///
+/// This is the cheap relation-signature pre-filter behind compiled
+/// template plans. It is *decision-preserving* for
+/// [`equivalent_rewriting_deps`]: an MCD requires a query atom and a view
+/// atom with the same relation name and arity ([`mcds_for_view`]), so a
+/// view sharing no relation with `q` yields zero MCDs in both strict and
+/// relaxed mode and can never appear in a candidate; dropping it leaves
+/// the MCD accumulation sequence (and hence every `MAX_MCDS` /
+/// `MAX_COMBOS` truncation point) unchanged. Key-dependency
+/// normalization ([`crate::deps::normalize_cq`]) only merges or rewrites
+/// atoms in place — it never introduces a relation that was absent — and
+/// fact reductions only *remove* query atoms, so the filter stays sound
+/// after both. Pruning by name alone (ignoring arity) is deliberately a
+/// superset of the MCD gate.
+pub fn candidate_view_indices(q: &Cq, views: &ViewSet) -> Vec<usize> {
+    let q_rels: BTreeSet<&str> = q.atoms.iter().map(|a| a.relation.as_str()).collect();
+    views
+        .views
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.atoms.iter().any(|a| q_rels.contains(a.relation.as_str())))
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// Unfolds a rewriting (whose atoms reference view names) into base tables.
@@ -1002,6 +1038,51 @@ mod tests {
         for rw in &rws {
             let exp = expand(rw, &views).unwrap();
             assert!(contained(&q, &exp), "q ⊆ expansion must hold");
+        }
+    }
+
+    #[test]
+    fn candidate_view_indices_prunes_by_relation_signature() {
+        let views = calendar_views(); // V1: Attendance; V2: Events+Attendance
+        assert_eq!(candidate_view_indices(&q1(), &views), vec![0, 1]);
+        // Q2 touches only Events → only V2 can participate.
+        assert_eq!(candidate_view_indices(&q2(), &views), vec![1]);
+        // A query over an unrelated relation prunes everything.
+        let q = Cq::new(
+            vec![Term::var("x")],
+            vec![Atom::new("Unrelated", vec![Term::var("x")])],
+            vec![],
+        );
+        assert!(candidate_view_indices(&q, &views).is_empty());
+    }
+
+    #[test]
+    fn pruned_view_set_is_decision_identical() {
+        // The compiled-plan soundness claim, checked directly: running the
+        // rewriting search over only the signature-pruned views returns the
+        // same verdict (and the same certificate) as the full set, with and
+        // without facts, with and without dependencies.
+        let views = calendar_views();
+        let mut deps = Dependencies::none();
+        deps = deps.with_key("Events".to_string(), vec![0]);
+        let fact = Atom::new(
+            "Attendance",
+            vec![Term::int(1), Term::int(2), Term::var("w")],
+        );
+        for q in [q1(), q2()] {
+            let pruned = ViewSet::from_prevalidated(
+                candidate_view_indices(&q, &views)
+                    .into_iter()
+                    .map(|i| views.views()[i].clone())
+                    .collect(),
+            );
+            for facts in [&[][..], std::slice::from_ref(&fact)] {
+                for d in [&Dependencies::none(), &deps] {
+                    let full = equivalent_rewriting_deps(&q, &views, facts, d);
+                    let cut = equivalent_rewriting_deps(&q, &pruned, facts, d);
+                    assert_eq!(full, cut, "pruning changed the decision for {q:?}");
+                }
+            }
         }
     }
 

@@ -165,6 +165,39 @@ impl Client {
         }
     }
 
+    /// Compiles a statement template into a server-held plan for `session`
+    /// and returns its connection-scoped id.
+    pub fn prepare(&mut self, session: u64, sql: &str) -> Result<u64, ClientError> {
+        let req = Request::Prepare {
+            session,
+            sql: sql.to_string(),
+        };
+        match self.round_trip(&req)? {
+            Response::Prepared { plan } => Ok(plan),
+            other => Err(expect_error(other, "prepared")),
+        }
+    }
+
+    /// Executes a previously prepared plan under enforcement.
+    pub fn execute_prepared(
+        &mut self,
+        session: u64,
+        plan: u64,
+        bindings: &[(String, Value)],
+    ) -> Result<ExecOutcome, ClientError> {
+        let req = Request::ExecutePrepared {
+            session,
+            plan,
+            bindings: bindings.to_vec(),
+        };
+        match self.round_trip(&req)? {
+            Response::Rows { columns, rows } => Ok(ExecOutcome::Rows(Rows { columns, rows })),
+            Response::Affected { n } => Ok(ExecOutcome::Affected(n)),
+            Response::Blocked { reason, detail } => Ok(ExecOutcome::Blocked { reason, detail }),
+            other => Err(expect_error(other, "rows/affected/blocked")),
+        }
+    }
+
     /// Fetches a session's trace summary and recent decision provenance.
     pub fn trace_summary(&mut self, session: u64) -> Result<TraceInfo, ClientError> {
         match self.round_trip(&Request::Trace { session })? {

@@ -17,13 +17,13 @@
 //! session the connection ever began that is still live — the server never
 //! leaks orphaned sessions.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bep_core::{CoreError, ProxyResponse, SqlProxy};
+use bep_core::{CoreError, ProxyResponse, SqlProxy, TemplatePlan};
 
 use crate::framing::{write_frame, FrameError, FrameEvent, FrameReader};
 use crate::protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
@@ -52,6 +52,23 @@ struct SessionSweep<'a> {
 impl Drop for SessionSweep<'_> {
     fn drop(&mut self) {
         self.proxy.end_sessions(self.owned.iter().copied());
+    }
+}
+
+/// Plans compiled by `prepare` on this connection. Like sessions, plan ids
+/// are connection-scoped capabilities: the map (and the `Arc`s pinning the
+/// compiled plans) dies with the connection.
+#[derive(Default)]
+struct PreparedPlans {
+    plans: HashMap<u64, Arc<TemplatePlan>>,
+    next: u64,
+}
+
+impl PreparedPlans {
+    fn insert(&mut self, plan: Arc<TemplatePlan>) -> u64 {
+        self.next += 1;
+        self.plans.insert(self.next, plan);
+        self.next
     }
 }
 
@@ -100,6 +117,7 @@ pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
         proxy: &shared.proxy,
         owned: HashSet::new(),
     };
+    let mut prepared = PreparedPlans::default();
     let mut greeted = false;
     let mut last_activity = Instant::now();
 
@@ -175,7 +193,7 @@ pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
             }
         };
 
-        let (response, close) = dispatch(shared, &mut sweep, &mut greeted, request);
+        let (response, close) = dispatch(shared, &mut sweep, &mut prepared, &mut greeted, request);
         if send(&mut stream, &response).is_err() || close {
             return;
         }
@@ -187,6 +205,7 @@ pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
 fn dispatch(
     shared: &ConnShared,
     sweep: &mut SessionSweep<'_>,
+    prepared: &mut PreparedPlans,
     greeted: &mut bool,
     request: Request,
 ) -> (Response, bool) {
@@ -244,29 +263,47 @@ fn dispatch(
             if !sweep.owned.contains(&session) {
                 return (no_such_session(session), false);
             }
-            match shared.proxy.execute(session, &sql, &bindings) {
-                Ok(ProxyResponse::Rows(rows)) => (
-                    Response::Rows {
-                        columns: rows.columns,
-                        rows: rows.rows,
-                    },
-                    false,
-                ),
-                Ok(ProxyResponse::Affected(n)) => (Response::Affected { n: n as u64 }, false),
-                Ok(ProxyResponse::Blocked(reason)) => (
-                    Response::Blocked {
-                        reason: reason.label().to_string(),
-                        detail: match &reason {
-                            bep_core::DenyReason::NotDetermined { query } => format!("{query:?}"),
-                            bep_core::DenyReason::OutOfFragment(m) => m.clone(),
-                            bep_core::DenyReason::ParseError(m) => m.clone(),
-                            bep_core::DenyReason::WriteBlocked => String::new(),
-                        },
-                    },
-                    false,
-                ),
-                Err(e) => (core_error(e), false),
+            (
+                exec_response(shared.proxy.execute(session, &sql, &bindings)),
+                false,
+            )
+        }
+        Request::Prepare { session, sql } => {
+            // Plans are compiled against the (session-independent) policy,
+            // but the ownership gate still applies: a connection may only
+            // prepare work for sessions it began.
+            if !sweep.owned.contains(&session) {
+                return (no_such_session(session), false);
             }
+            let plan = shared.proxy.prepare(&sql);
+            (
+                Response::Prepared {
+                    plan: prepared.insert(plan),
+                },
+                false,
+            )
+        }
+        Request::ExecutePrepared {
+            session,
+            plan,
+            bindings,
+        } => {
+            if !sweep.owned.contains(&session) {
+                return (no_such_session(session), false);
+            }
+            let Some(plan) = prepared.plans.get(&plan).cloned() else {
+                return (
+                    Response::Error {
+                        kind: ErrorKind::NoSuchPlan,
+                        msg: format!("no such prepared plan: {plan}"),
+                    },
+                    false,
+                );
+            };
+            (
+                exec_response(shared.proxy.execute_planned(session, &plan, &bindings)),
+                false,
+            )
         }
         Request::Trace { session } => {
             if !sweep.owned.contains(&session) {
@@ -322,6 +359,27 @@ fn dispatch(
             let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
             (Response::Bye, true)
         }
+    }
+}
+
+/// Maps one proxy execution result (plain or prepared) to its wire form.
+fn exec_response(result: Result<ProxyResponse, CoreError>) -> Response {
+    match result {
+        Ok(ProxyResponse::Rows(rows)) => Response::Rows {
+            columns: rows.columns,
+            rows: rows.rows,
+        },
+        Ok(ProxyResponse::Affected(n)) => Response::Affected { n: n as u64 },
+        Ok(ProxyResponse::Blocked(reason)) => Response::Blocked {
+            reason: reason.label().to_string(),
+            detail: match &reason {
+                bep_core::DenyReason::NotDetermined { query } => format!("{query:?}"),
+                bep_core::DenyReason::OutOfFragment(m) => m.clone(),
+                bep_core::DenyReason::ParseError(m) => m.clone(),
+                bep_core::DenyReason::WriteBlocked => String::new(),
+            },
+        },
+        Err(e) => core_error(e),
     }
 }
 

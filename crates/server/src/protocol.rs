@@ -9,6 +9,8 @@
 //! | `hello` | `v` | handshake; must be the first message |
 //! | `begin` | `bindings` | open a session with policy-parameter bindings |
 //! | `execute` | `session`, `sql`, `bindings` | run one statement under enforcement |
+//! | `prepare` | `session`, `sql` | compile a statement template into a server-held plan |
+//! | `execute_prepared` | `session`, `plan`, `bindings` | run a previously prepared plan |
 //! | `trace` | `session` | summarize the session's trace (+ its recent decision events) |
 //! | `stats` | | proxy counters + latency percentiles |
 //! | `metrics` | | Prometheus text exposition of the proxy's registry |
@@ -16,9 +18,9 @@
 //! | `end` | `session` | end a session (idempotent) |
 //! | `shutdown` | | ask the whole server to drain and stop |
 //!
-//! Server → client: `welcome`, `busy`, `began`, `rows`, `affected`,
-//! `blocked`, `trace`, `stats`, `metrics`, `journal`, `ended`, `bye`, and
-//! `error` (with a stable `kind`). SQL [`Value`]s are encoded
+//! Server → client: `welcome`, `busy`, `began`, `prepared`, `rows`,
+//! `affected`, `blocked`, `trace`, `stats`, `metrics`, `journal`, `ended`,
+//! `bye`, and `error` (with a stable `kind`). SQL [`Value`]s are encoded
 //! unambiguously as `null`, `{"i":n}`, `{"s":"…"}`, `{"b":bool}` so
 //! integer 1, string "1", and boolean true never collide.
 //!
@@ -60,6 +62,9 @@ pub enum ErrorKind {
     /// The referenced session does not exist (or belongs to another
     /// connection).
     NoSuchSession,
+    /// The referenced prepared-plan id was never issued on this
+    /// connection (plans, like sessions, are connection-scoped).
+    NoSuchPlan,
     /// Protocol version mismatch or out-of-order handshake.
     Unsupported,
     /// A server-side invariant failed.
@@ -72,6 +77,7 @@ impl ErrorKind {
         match self {
             ErrorKind::Malformed => "malformed",
             ErrorKind::NoSuchSession => "no-such-session",
+            ErrorKind::NoSuchPlan => "no-such-plan",
             ErrorKind::Unsupported => "unsupported",
             ErrorKind::Internal => "internal",
         }
@@ -81,6 +87,7 @@ impl ErrorKind {
         Some(match s {
             "malformed" => ErrorKind::Malformed,
             "no-such-session" => ErrorKind::NoSuchSession,
+            "no-such-plan" => ErrorKind::NoSuchPlan,
             "unsupported" => ErrorKind::Unsupported,
             "internal" => ErrorKind::Internal,
             _ => return None,
@@ -107,6 +114,25 @@ pub enum Request {
         session: u64,
         /// SQL template (may contain `?name` parameters).
         sql: String,
+        /// Request parameters.
+        bindings: Vec<(String, Value)>,
+    },
+    /// Compile one statement template into a plan held by the server for
+    /// this connection; later [`Request::ExecutePrepared`] frames reference
+    /// it by id and skip parse/translate/rewrite entirely.
+    Prepare {
+        /// Session the plan is prepared for (ownership is checked, like
+        /// `execute`).
+        session: u64,
+        /// SQL template (may contain `?name` parameters).
+        sql: String,
+    },
+    /// Execute a previously prepared plan.
+    ExecutePrepared {
+        /// Session to execute under.
+        session: u64,
+        /// Plan id from a `prepared` response on this connection.
+        plan: u64,
         /// Request parameters.
         bindings: Vec<(String, Value)>,
     },
@@ -183,6 +209,11 @@ pub enum Response {
     Began {
         /// The new session id.
         session: u64,
+    },
+    /// Statement template compiled; execute it with `execute_prepared`.
+    Prepared {
+        /// Connection-scoped plan id (sequential from 1).
+        plan: u64,
     },
     /// Rows of an allowed `SELECT`.
     Rows {
@@ -424,6 +455,21 @@ impl Request {
                 ("sql", Json::str(sql.clone())),
                 ("bindings", bindings_to_json(bindings)),
             ]),
+            Request::Prepare { session, sql } => Json::obj([
+                ("t", Json::str("prepare")),
+                ("session", Json::Int(*session as i64)),
+                ("sql", Json::str(sql.clone())),
+            ]),
+            Request::ExecutePrepared {
+                session,
+                plan,
+                bindings,
+            } => Json::obj([
+                ("t", Json::str("execute_prepared")),
+                ("session", Json::Int(*session as i64)),
+                ("plan", Json::Int(*plan as i64)),
+                ("bindings", bindings_to_json(bindings)),
+            ]),
             Request::Trace { session } => Json::obj([
                 ("t", Json::str("trace")),
                 ("session", Json::Int(*session as i64)),
@@ -462,6 +508,15 @@ impl Request {
                 sql: str_field(&j, "sql")?.to_string(),
                 bindings: bindings_from_json(field(&j, "bindings")?)?,
             }),
+            "prepare" => Ok(Request::Prepare {
+                session: u64_field(&j, "session")?,
+                sql: str_field(&j, "sql")?.to_string(),
+            }),
+            "execute_prepared" => Ok(Request::ExecutePrepared {
+                session: u64_field(&j, "session")?,
+                plan: u64_field(&j, "plan")?,
+                bindings: bindings_from_json(field(&j, "bindings")?)?,
+            }),
             "trace" => Ok(Request::Trace {
                 session: u64_field(&j, "session")?,
             }),
@@ -493,6 +548,10 @@ impl Response {
             Response::Began { session } => Json::obj([
                 ("t", Json::str("began")),
                 ("session", Json::Int(*session as i64)),
+            ]),
+            Response::Prepared { plan } => Json::obj([
+                ("t", Json::str("prepared")),
+                ("plan", Json::Int(*plan as i64)),
             ]),
             Response::Rows { columns, rows } => Json::obj([
                 ("t", Json::str("rows")),
@@ -580,6 +639,9 @@ impl Response {
             "busy" => Ok(Response::Busy),
             "began" => Ok(Response::Began {
                 session: u64_field(&j, "session")?,
+            }),
+            "prepared" => Ok(Response::Prepared {
+                plan: u64_field(&j, "plan")?,
             }),
             "rows" => {
                 let columns = field(&j, "columns")?
@@ -720,6 +782,15 @@ mod tests {
                 sql: "SELECT * FROM Events WHERE EId = ?event".into(),
                 bindings: vec![("event".into(), Value::Int(2))],
             },
+            Request::Prepare {
+                session: 42,
+                sql: "SELECT * FROM Events WHERE EId = ?event".into(),
+            },
+            Request::ExecutePrepared {
+                session: 42,
+                plan: 3,
+                bindings: vec![("event".into(), Value::Int(2))],
+            },
             Request::Trace { session: 42 },
             Request::Stats,
             Request::Metrics,
@@ -744,6 +815,7 @@ mod tests {
             },
             Response::Busy,
             Response::Began { session: 7 },
+            Response::Prepared { plan: 1 },
             Response::Rows {
                 columns: vec!["EId".into(), "Title".into()],
                 rows: vec![
@@ -792,6 +864,10 @@ mod tests {
                 kind: ErrorKind::NoSuchSession,
                 msg: "no such session: 9".into(),
             },
+            Response::Error {
+                kind: ErrorKind::NoSuchPlan,
+                msg: "no such prepared plan: 5".into(),
+            },
         ];
         for resp in all {
             let wire = resp.to_wire();
@@ -810,6 +886,8 @@ mod tests {
             r#"{"t":"execute","session":-1,"sql":"x","bindings":[]}"#,
             r#"{"t":"begin","bindings":[["x",{"q":1}]]}"#,
             r#"{"t":"begin","bindings":[["x"]]}"#,
+            r#"{"t":"prepare","sql":"SELECT 1"}"#,
+            r#"{"t":"execute_prepared","session":1,"bindings":[]}"#,
         ] {
             assert!(
                 Request::from_wire(bad).is_err(),

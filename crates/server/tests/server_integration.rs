@@ -608,3 +608,98 @@ fn raw_split_writes_still_form_frames() {
     assert!(matches!(resp, bep_server::Response::Welcome { .. }));
     server.shutdown();
 }
+
+#[test]
+fn prepared_plans_execute_over_the_wire() {
+    let (server, proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    // Prepare both templates up front; ids are sequential from 1.
+    let probe = c
+        .prepare(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+        )
+        .unwrap();
+    let fetch = c
+        .prepare(s, "SELECT * FROM Events WHERE EId = ?event")
+        .unwrap();
+    assert_eq!((probe, fetch), (1, 2));
+
+    // The fetch is blocked before the probe unlocks it — exactly the
+    // Example 2.1 flow, driven entirely through prepared plans.
+    let event = [("event".to_string(), Value::Int(2))];
+    let blocked = c.execute_prepared(s, fetch, &event).unwrap();
+    assert!(!blocked.is_allowed(), "{blocked:?}");
+    match c.execute_prepared(s, probe, &event).unwrap() {
+        ExecOutcome::Rows(rows) => assert_eq!(rows.rows.len(), 1),
+        other => panic!("expected rows, got {other:?}"),
+    }
+    match c.execute_prepared(s, fetch, &event).unwrap() {
+        ExecOutcome::Rows(rows) => assert_eq!(rows.rows[0][1], Value::str("standup")),
+        other => panic!("expected rows, got {other:?}"),
+    }
+
+    // The prepared templates live in the proxy's shared plan cache.
+    assert!(proxy.plan_cache().len() >= 2);
+    server.shutdown();
+}
+
+#[test]
+fn prepare_on_unknown_session_is_typed_no_such_session() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+
+    // Never-issued session id.
+    match c.prepare(999, "SELECT EId FROM Attendance WHERE UId = ?MyUId") {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-session"),
+        other => panic!("expected no-such-session, got {other:?}"),
+    }
+
+    // A session owned by a *different* connection is just as unknown.
+    let s = c.begin(uid_bindings(1)).unwrap();
+    let mut intruder = Client::connect(server.addr(), IO).unwrap();
+    match intruder.prepare(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId") {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-session"),
+        other => panic!("expected no-such-session, got {other:?}"),
+    }
+
+    // The rejected connection is still usable.
+    let s2 = intruder.begin(uid_bindings(2)).unwrap();
+    assert!(intruder
+        .prepare(s2, "SELECT EId FROM Attendance WHERE UId = ?MyUId")
+        .is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn unknown_plan_id_is_typed_no_such_plan() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    match c.execute_prepared(s, 7, &[]) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-plan"),
+        other => panic!("expected no-such-plan, got {other:?}"),
+    }
+
+    // Plan ids are connection-scoped: another connection's id 1 does not
+    // resolve here even though that connection prepared it.
+    let mut other = Client::connect(server.addr(), IO).unwrap();
+    let so = other.begin(uid_bindings(1)).unwrap();
+    let plan = other
+        .prepare(so, "SELECT EId FROM Attendance WHERE UId = ?MyUId")
+        .unwrap();
+    match c.execute_prepared(s, plan, &[]) {
+        Err(ClientError::Server { kind, .. }) => assert_eq!(kind, "no-such-plan"),
+        other => panic!("expected no-such-plan, got {other:?}"),
+    }
+
+    // The connection survives a bad plan id.
+    assert!(c
+        .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap()
+        .is_allowed());
+    server.shutdown();
+}
