@@ -23,7 +23,7 @@ fn chain(n: usize) -> (ViewSet, Cq) {
             vec![atom],
             vec![],
         );
-        v.name = Some(format!("V{i}"));
+        v.name = Some(format!("V{i}").into());
         views.push(v);
     }
     let q = Cq::new(

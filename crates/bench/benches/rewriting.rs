@@ -34,7 +34,7 @@ fn policy_with_decoys(n: usize) -> ViewSet {
             )],
             vec![],
         );
-        v.name = Some(format!("D{i}"));
+        v.name = Some(format!("D{i}").into());
         policy.add_cq_view(&format!("D{i}"), v).unwrap();
     }
     policy

@@ -22,7 +22,7 @@ struct Scenario {
 }
 
 fn named(mut cq: Cq, name: &str) -> Cq {
-    cq.name = Some(name.to_string());
+    cq.name = Some(name.into());
     cq
 }
 

@@ -151,7 +151,7 @@ fn main() {
                             let mut all: Vec<qlogic::Cq> = views.views().to_vec();
                             for (i, v) in pp.additions.iter().enumerate() {
                                 let mut n = v.clone();
-                                n.name = Some(format!("N{i}"));
+                                n.name = Some(format!("N{i}").into());
                                 all.push(n);
                             }
                             qlogic::ViewSet::new(all)

@@ -22,6 +22,7 @@
 //! | T8 | `t8_server` |
 //! | T9 | `t9_observability` |
 //! | T10 | `t10_plans` |
+//! | T11 | `t11_kernel` |
 
 #![warn(missing_docs)]
 

@@ -79,7 +79,7 @@ impl Policy {
         let ucq = sql_to_ucq(schema, &parsed)?;
         if ucq.disjuncts.len() == 1 {
             let mut cq = ucq.disjuncts.into_iter().next().expect("one disjunct");
-            cq.name = Some(name.to_string());
+            cq.name = Some(name.into());
             self.views.push(ViewDef {
                 name: name.to_string(),
                 sql: sql.to_string(),
@@ -88,7 +88,7 @@ impl Policy {
         } else {
             for (k, mut cq) in ucq.disjuncts.into_iter().enumerate() {
                 let split_name = format!("{name}#{}", k + 1);
-                cq.name = Some(split_name.clone());
+                cq.name = Some(split_name.as_str().into());
                 self.views.push(ViewDef {
                     name: split_name,
                     sql: sql.to_string(),
@@ -104,7 +104,7 @@ impl Policy {
         if self.views.iter().any(|v| v.name == name) {
             return Err(CoreError::DuplicateView(name.to_string()));
         }
-        cq.name = Some(name.to_string());
+        cq.name = Some(name.into());
         let sql = format!("-- compiled: {cq}");
         self.views.push(ViewDef {
             name: name.to_string(),
@@ -134,6 +134,7 @@ impl Policy {
         let mut out: Vec<String> = Vec::new();
         for v in &self.views {
             for p in v.cq.params() {
+                let p = p.as_str().to_string();
                 if !out.contains(&p) {
                     out.push(p);
                 }

@@ -94,18 +94,18 @@ impl Trace {
                         continue; // a NULL tells us nothing definite
                     }
                     match subst.get(name) {
-                        Some(Term::Const(prev)) if prev != v => return,
+                        Some(Term::Const(prev)) if prev.to_value() != *v => return,
                         _ => {
-                            subst.insert(name.clone(), Term::Const(v.clone()));
+                            subst.insert(*name, Term::constant(v));
                         }
                     }
                 }
             }
         }
         for v in query.variables() {
-            if let std::collections::btree_map::Entry::Vacant(e) = subst.entry(v) {
+            if !subst.contains_key(&v) {
                 self.skolem_counter += 1;
-                e.insert(Term::var(format!("sk{}", self.skolem_counter)));
+                subst.insert(v, Term::var(format!("sk{}", self.skolem_counter)));
             }
         }
         for atom in &query.atoms {

@@ -62,13 +62,13 @@ pub fn abduce_checks(
         for a in &cq.atoms {
             for t in &a.args {
                 if t.is_rigid() && !rigid_pool.contains(t) {
-                    rigid_pool.push(t.clone());
+                    rigid_pool.push(*t);
                 }
             }
         }
         for t in &cq.head {
             if t.is_rigid() && !rigid_pool.contains(t) {
-                rigid_pool.push(t.clone());
+                rigid_pool.push(*t);
             }
         }
     };
@@ -79,10 +79,10 @@ pub fn abduce_checks(
 
     // Relations worth abducing over: those appearing in view bodies (a fact
     // about an un-viewed relation cannot change any rewriting).
-    let mut relations: Vec<(String, usize)> = Vec::new();
+    let mut relations: Vec<(qlogic::Sym, usize)> = Vec::new();
     for v in views.views() {
         for a in &v.atoms {
-            let entry = (a.relation.clone(), a.args.len());
+            let entry = (a.relation, a.args.len());
             if !relations.contains(&entry) {
                 relations.push(entry);
             }
@@ -100,7 +100,7 @@ pub fn abduce_checks(
             for prefix in &stack {
                 for t in &rigid_pool {
                     let mut p = prefix.clone();
-                    p.push(t.clone());
+                    p.push(*t);
                     next.push(p);
                 }
                 let mut p = prefix.clone();
@@ -117,7 +117,7 @@ pub fn abduce_checks(
                 break;
             }
             tested += 1;
-            let fact = Atom::new(relation.clone(), args);
+            let fact = Atom::new(relation, args);
             // Skip facts already known.
             if trace_facts.contains(&fact) {
                 continue;
@@ -166,7 +166,7 @@ pub fn abduce_checks(
 
 /// Renders `EXISTS`-style check SQL for an abduced fact.
 fn fact_check_sql(fact: &Atom, schema: &RelSchema) -> Option<String> {
-    let columns = schema.columns(&fact.relation).ok()?;
+    let columns = schema.columns(fact.relation.as_str()).ok()?;
     if columns.len() != fact.args.len() {
         return None;
     }

@@ -44,7 +44,7 @@ pub fn ground_body(cq: &Cq) -> Option<(Instance, Subst)> {
     for c in &cq.comparisons {
         for t in [&c.lhs, &c.rhs] {
             if let Term::Const(v) = t {
-                if let sqlir::Value::Int(i) = v {
+                if let qlogic::CVal::Int(i) = v {
                     for delta in [-1i64, 0, 1] {
                         let cand = Term::int(i + delta);
                         if !base_candidates.contains(&cand) {
@@ -52,7 +52,7 @@ pub fn ground_body(cq: &Cq) -> Option<(Instance, Subst)> {
                         }
                     }
                 } else {
-                    let cand = Term::Const(v.clone());
+                    let cand = Term::Const(*v);
                     if !base_candidates.contains(&cand) {
                         base_candidates.push(cand);
                     }
@@ -61,7 +61,7 @@ pub fn ground_body(cq: &Cq) -> Option<(Instance, Subst)> {
         }
     }
 
-    fn assign(vars: &[String], idx: usize, cq: &Cq, base: &[Term], subst: &mut Subst) -> bool {
+    fn assign(vars: &[qlogic::Sym], idx: usize, cq: &Cq, base: &[Term], subst: &mut Subst) -> bool {
         if idx == vars.len() {
             // All assigned: check comparisons concretely.
             return cq.comparisons.iter().all(|c| {
@@ -81,7 +81,7 @@ pub fn ground_body(cq: &Cq) -> Option<(Instance, Subst)> {
         let mut candidates = vec![fresh];
         candidates.extend(base.iter().cloned());
         for cand in candidates {
-            subst.insert(vars[idx].clone(), cand);
+            subst.insert(vars[idx], cand);
             if assign(vars, idx + 1, cq, base, subst) {
                 return true;
             }
@@ -120,8 +120,9 @@ pub fn find_counterexample(q: &Cq, views: &ViewSet, facts: &[Atom]) -> Option<Co
         let mut fs = Subst::new();
         for t in &f.args {
             if let Term::Var(v) = t {
-                fs.entry(v.clone())
-                    .or_insert_with(|| Term::int(8_000 + i as i64));
+                if !fs.contains_key(v) {
+                    fs.insert(*v, Term::int(8_000 + i as i64));
+                }
             }
         }
         let ground = qlogic::cq::apply_atom(f, &fs);
@@ -192,7 +193,7 @@ pub fn find_counterexample(q: &Cq, views: &ViewSet, facts: &[Atom]) -> Option<Co
         let mut out = Vec::new();
         for c in &q.comparisons {
             for t in [&c.lhs, &c.rhs] {
-                if let Term::Const(sqlir::Value::Int(i)) = t {
+                if let Term::Const(qlogic::CVal::Int(i)) = t {
                     for delta in [-1i64, 0, 1] {
                         let cand = Term::int(i + delta);
                         if !out.contains(&cand) {
@@ -209,7 +210,7 @@ pub fn find_counterexample(q: &Cq, views: &ViewSet, facts: &[Atom]) -> Option<Co
             .args
             .iter()
             .enumerate()
-            .filter(|(_, t)| matches!(t, Term::Const(sqlir::Value::Int(i)) if *i >= 9_000))
+            .filter(|(_, t)| matches!(t, Term::Const(qlogic::CVal::Int(i)) if *i >= 9_000))
             .map(|(i, _)| i)
             .collect();
         if mutable.is_empty() || mutable.len() > 8 {
@@ -246,7 +247,7 @@ pub fn find_counterexample(q: &Cq, views: &ViewSet, facts: &[Atom]) -> Option<Co
         for &pos in &mutable {
             for v in &neighbour_values {
                 let mut mutated = atom.clone();
-                mutated.args[pos] = v.clone();
+                mutated.args[pos] = *v;
                 if let Some(ce) = substitute(mutated) {
                     return Some(ce);
                 }
@@ -274,14 +275,14 @@ pub fn find_counterexample(q: &Cq, views: &ViewSet, facts: &[Atom]) -> Option<Co
             }
             // D_a: original row + other row with fresh payload.
             let mut other_a = other.clone();
-            other_a.args[swap_pos] = fresh_payload.clone();
+            other_a.args[swap_pos] = fresh_payload;
             let mut da = d2.clone();
             da.add(other_a);
             // D_b: payloads exchanged between the two anchor rows.
             let mut self_b = atom.clone();
-            self_b.args[swap_pos] = fresh_payload.clone();
+            self_b.args[swap_pos] = fresh_payload;
             let mut other_b = other.clone();
-            other_b.args[swap_pos] = atom.args[swap_pos].clone();
+            other_b.args[swap_pos] = atom.args[swap_pos];
             let mut db_ = Instance::new();
             for a in &d2.atoms {
                 if a == atom {
@@ -396,7 +397,7 @@ mod tests {
         assert_eq!(inst.atoms.len(), 1);
         let age = qlogic::cq::apply_term(&Term::var("a"), &subst);
         match age {
-            Term::Const(sqlir::Value::Int(i)) => assert!((60..65).contains(&i)),
+            Term::Const(qlogic::CVal::Int(i)) => assert!((60..65).contains(&i)),
             other => panic!("unexpected {other:?}"),
         }
     }

@@ -31,7 +31,7 @@ pub fn extraction_delta(current: &[Cq], extracted: &[Cq]) -> Result<Vec<Cq>, Dia
         .enumerate()
         .map(|(i, v)| {
             let mut n = v.clone();
-            n.name = Some(format!("C{i}"));
+            n.name = Some(format!("C{i}").into());
             n
         })
         .collect();
@@ -61,12 +61,12 @@ pub fn propose(
         let mut all: Vec<Cq> = Vec::with_capacity(current.len() + additions.len());
         for (i, v) in current.iter().enumerate() {
             let mut n = v.clone();
-            n.name = Some(format!("C{i}"));
+            n.name = Some(format!("C{i}").into());
             all.push(n);
         }
         for (i, v) in additions.iter().enumerate() {
             let mut n = v.clone();
-            n.name = Some(format!("N{i}"));
+            n.name = Some(format!("N{i}").into());
             all.push(n);
         }
         let viewset = ViewSet::new(all)?;

@@ -61,7 +61,7 @@ const EVAL_LIMIT: usize = 65_536;
 pub fn check_release(db: &Instance, views: &ViewSet, quasi: &[(&str, Vec<usize>)]) -> KAnonReport {
     let mut per_view = Vec::new();
     for v in views.views() {
-        let name = v.name.clone().unwrap_or_else(|| "?".to_string());
+        let name = v.name.map_or_else(|| "?".to_string(), |n| n.to_string());
         let rows = db.eval(v, EVAL_LIMIT);
         let default: Vec<usize> = (0..v.head.len()).collect();
         let cols = quasi

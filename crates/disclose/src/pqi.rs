@@ -66,7 +66,7 @@ mod tests {
     use qlogic::{Atom, CmpOp, Comparison, Term};
 
     fn named(mut cq: Cq, name: &str) -> Cq {
-        cq.name = Some(name.to_string());
+        cq.name = Some(name.into());
         cq
     }
 

@@ -144,7 +144,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn named(mut cq: Cq, name: &str) -> Cq {
-        cq.name = Some(name.to_string());
+        cq.name = Some(name.into());
         cq
     }
 

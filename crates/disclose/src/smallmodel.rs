@@ -282,7 +282,7 @@ mod tests {
     use qlogic::Atom;
 
     fn named(mut cq: Cq, name: &str) -> Cq {
-        cq.name = Some(name.to_string());
+        cq.name = Some(name.into());
         cq
     }
 

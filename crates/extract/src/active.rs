@@ -182,7 +182,7 @@ fn constant_positions(view: &Cq) -> Vec<(String, usize, Value)> {
     for a in &view.atoms {
         for (i, t) in a.args.iter().enumerate() {
             if let Term::Const(v) = t {
-                let entry = (a.relation.clone(), i, v.clone());
+                let entry = (a.relation.to_string(), i, v.to_value());
                 if !out.contains(&entry) {
                     out.push(entry);
                 }
@@ -230,24 +230,25 @@ fn scrambled(v: &Value) -> Value {
 
 /// Replaces every occurrence of a constant with a term.
 fn replace_const(cq: &Cq, from: &Value, to: &Term) -> Cq {
+    let from = qlogic::CVal::from_value(from);
     let f = |t: &Term| -> Term {
         match t {
-            Term::Const(c) if c == from => to.clone(),
-            other => other.clone(),
+            Term::Const(c) if *c == from => *to,
+            other => *other,
         }
     };
     let mut out = Cq::new(
         cq.head.iter().map(f).collect(),
         cq.atoms
             .iter()
-            .map(|a| qlogic::Atom::new(a.relation.clone(), a.args.iter().map(f).collect()))
+            .map(|a| qlogic::Atom::new(a.relation, a.args.iter().map(f).collect()))
             .collect(),
         cq.comparisons
             .iter()
             .map(|c| qlogic::Comparison::new(f(&c.lhs), c.op, f(&c.rhs)))
             .collect(),
     );
-    out.name = cq.name.clone();
+    out.name = cq.name;
     out
 }
 

@@ -76,10 +76,10 @@ impl Hints {
         for a in &cq.atoms {
             for (i, t) in a.args.iter().enumerate() {
                 if matches!(t, Term::Const(_))
-                    && self.is_opaque(&a.relation, i)
+                    && self.is_opaque(a.relation.as_str(), i)
                     && !targets.contains(t)
                 {
-                    targets.push(t.clone());
+                    targets.push(*t);
                 }
             }
         }
@@ -103,23 +103,23 @@ impl Hints {
 fn replace_term(cq: &Cq, from: &Term, to: &Term) -> Cq {
     let f = |t: &Term| -> Term {
         if t == from {
-            to.clone()
+            *to
         } else {
-            t.clone()
+            *t
         }
     };
     let mut out = Cq::new(
         cq.head.iter().map(f).collect(),
         cq.atoms
             .iter()
-            .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(f).collect()))
+            .map(|a| Atom::new(a.relation, a.args.iter().map(f).collect()))
             .collect(),
         cq.comparisons
             .iter()
             .map(|c| Comparison::new(f(&c.lhs), c.op, f(&c.rhs)))
             .collect(),
     );
-    out.name = cq.name.clone();
+    out.name = cq.name;
     out
 }
 

@@ -285,7 +285,7 @@ fn rigid_terms(cq: &Cq) -> Vec<Term> {
     for a in &cq.atoms {
         for t in &a.args {
             if t.is_rigid() && !out.contains(t) {
-                out.push(t.clone());
+                out.push(*t);
             }
         }
     }
@@ -348,12 +348,13 @@ fn expose_generalization_vars(cq: &mut Cq) {
     for a in &cq.atoms {
         for t in &a.args {
             if let Term::Var(v) = t {
+                let v = v.as_str();
                 if v.starts_with('g')
                     && v[1..].chars().all(|c| c.is_ascii_digit())
                     && !cq.head.contains(t)
                     && !to_add.contains(t)
                 {
-                    to_add.push(t.clone());
+                    to_add.push(*t);
                 }
             }
         }

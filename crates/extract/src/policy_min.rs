@@ -22,7 +22,7 @@ pub fn drop_redundant(views: Vec<Cq>) -> Vec<Cq> {
                 .filter(|(j, _)| *j != i)
                 .map(|(j, v)| {
                     let mut named = v.clone();
-                    named.name = Some(format!("P{j}"));
+                    named.name = Some(format!("P{j}").into());
                     named
                 })
                 .collect();

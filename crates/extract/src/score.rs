@@ -64,7 +64,7 @@ fn head_normalized(cq: &Cq) -> Cq {
             continue;
         }
         if !head.contains(t) {
-            head.push(t.clone());
+            head.push(*t);
         }
     }
     head.sort();
@@ -98,7 +98,7 @@ pub fn view_equivalent_deps(a: &Cq, b: &Cq, deps: &Dependencies) -> bool {
 /// `target` has an equivalent rewriting over `{base}`.
 fn expressible_from(target: &Cq, base: &Cq, deps: &Dependencies) -> bool {
     let mut named = base.clone();
-    named.name = Some("X".to_string());
+    named.name = Some("X".into());
     let Ok(viewset) = ViewSet::new(vec![named]) else {
         return false;
     };
@@ -147,7 +147,7 @@ fn covered_count(targets: &[Cq], base: &[Cq], deps: &Dependencies) -> usize {
         .enumerate()
         .map(|(i, v)| {
             let mut n = v.clone();
-            n.name = Some(format!("B{i}"));
+            n.name = Some(format!("B{i}").into());
             n
         })
         .collect();

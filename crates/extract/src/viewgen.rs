@@ -94,23 +94,23 @@ fn subst_params(cq: &Cq, map: &[(String, Term)]) -> Cq {
     let f = |t: &Term| -> Term {
         if let Term::Param(p) = t {
             if let Some((_, to)) = map.iter().find(|(n, _)| n == p) {
-                return to.clone();
+                return *to;
             }
         }
-        t.clone()
+        *t
     };
     let mut out = Cq::new(
         cq.head.iter().map(f).collect(),
         cq.atoms
             .iter()
-            .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(f).collect()))
+            .map(|a| Atom::new(a.relation, a.args.iter().map(f).collect()))
             .collect(),
         cq.comparisons
             .iter()
             .map(|c| Comparison::new(f(&c.lhs), c.op, f(&c.rhs)))
             .collect(),
     );
-    out.name = cq.name.clone();
+    out.name = cq.name;
     out
 }
 
@@ -179,7 +179,7 @@ pub fn views_from_paths(
                         }
                         for c in &g.cq.comparisons {
                             if !comparisons.contains(c) {
-                                comparisons.push(c.clone());
+                                comparisons.push(*c);
                             }
                         }
                     }
@@ -269,14 +269,14 @@ fn translate_query(
                     Term::var(format!("req·{p}"))
                 }
             }
-            SymScalar::Lit(v) => Term::Const(v.clone()),
+            SymScalar::Lit(v) => Term::constant(v),
             SymScalar::Field { query, column } => earlier
                 .get(*query)
                 .and_then(|tq| {
                     tq.out_map
                         .iter()
                         .find(|(n, _)| n == column)
-                        .map(|(_, t)| t.clone())
+                        .map(|(_, t)| *t)
                 })
                 .unwrap_or_else(|| {
                     *fresh += 1;
@@ -304,8 +304,8 @@ fn request_vars(atoms: &[Atom]) -> Vec<Term> {
     for a in atoms {
         for t in &a.args {
             if let Term::Var(v) = t {
-                if v.starts_with("req·") && !out.contains(t) {
-                    out.push(t.clone());
+                if v.as_str().starts_with("req·") && !out.contains(t) {
+                    out.push(*t);
                 }
             }
         }

@@ -78,7 +78,7 @@ impl CmpContext {
             match terms.iter().position(|x| x == t) {
                 Some(i) => i,
                 None => {
-                    terms.push(t.clone());
+                    terms.push(*t);
                     terms.len() - 1
                 }
             }
@@ -145,8 +145,8 @@ impl CmpContext {
                     let n = match index.get(&terms[rep]) {
                         Some(&n) => n,
                         None => {
-                            nodes.push(terms[rep].clone());
-                            index.insert(terms[rep].clone(), nodes.len() - 1);
+                            nodes.push(terms[rep]);
+                            index.insert(terms[rep], nodes.len() - 1);
                             nodes.len() - 1
                         }
                     };
@@ -154,7 +154,7 @@ impl CmpContext {
                     n
                 }
             };
-            index.entry(terms[i].clone()).or_insert(node);
+            index.entry(terms[i]).or_insert(node);
         }
 
         let n = nodes.len();

@@ -50,7 +50,7 @@ pub fn contained_given_deps(q1: &Cq, q2: &Cq, facts: &[Atom], deps: &Dependencie
             let mut renamed = a.clone();
             for t in &mut renamed.args {
                 if let Term::Var(v) = t {
-                    *t = Term::Var(format!("f·{v}"));
+                    *t = Term::var(format!("f·{v}"));
                 }
             }
             renamed
@@ -88,12 +88,11 @@ pub fn contained_given_deps(q1: &Cq, q2: &Cq, facts: &[Atom], deps: &Dependencie
                 Some(bound) if bound != h1 => return false,
                 Some(_) => {}
                 None => {
-                    initial.insert(v.clone(), h1.clone());
+                    initial.insert(*v, *h1);
                 }
             },
             rigid => {
-                let eq =
-                    crate::cq::Comparison::new(rigid.clone(), crate::cq::CmpOp::Eq, h1.clone());
+                let eq = crate::cq::Comparison::new(*rigid, crate::cq::CmpOp::Eq, *h1);
                 if rigid != h1 && !ctx.entails(&eq) {
                     return false;
                 }

@@ -14,48 +14,180 @@
 //!
 //! Unions of conjunctive queries ([`Ucq`]) represent `OR` and `IN`-list
 //! queries.
+//!
+//! All names — variables, parameters, relations, string constants — are
+//! interned [`Sym`]s, so a [`Term`] is a 16-byte `Copy` value and the
+//! homomorphism search never touches the heap per candidate binding. The
+//! string-based constructors (`Term::var("x")`, `Atom::new("R", …)`) remain
+//! as thin shims over the interner.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use sqlir::Value;
 
-/// A term: variable, constant, or named parameter.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+use crate::sym::{Sym, ToSym};
+
+/// A constant value with interned string payloads: the `Copy` twin of
+/// [`sqlir::Value`] used inside terms.
+///
+/// Conversion: [`CVal::from_value`] / [`CVal::to_value`]. Ordering matches
+/// [`Value::total_cmp`] (`Null < Int < Str < Bool`, strings by content), so
+/// normalization and every sorted container behave exactly as before the
+/// interning refactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CVal {
+    /// The SQL `NULL`.
+    Null,
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// An interned UTF-8 string.
+    Str(Sym),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl CVal {
+    /// Interns a [`Value`] into its compact form.
+    pub fn from_value(v: &Value) -> CVal {
+        match v {
+            Value::Null => CVal::Null,
+            Value::Int(i) => CVal::Int(*i),
+            Value::Str(s) => CVal::Str(Sym::new(s)),
+            Value::Bool(b) => CVal::Bool(*b),
+        }
+    }
+
+    /// Expands back into a [`Value`].
+    pub fn to_value(self) -> Value {
+        match self {
+            CVal::Null => Value::Null,
+            CVal::Int(i) => Value::Int(i),
+            CVal::Str(s) => Value::Str(s.as_str().to_string()),
+            CVal::Bool(b) => Value::Bool(b),
+        }
+    }
+
+    /// `true` if the value is `NULL`.
+    pub fn is_null(self) -> bool {
+        matches!(self, CVal::Null)
+    }
+
+    /// Total order over all values; mirrors [`Value::total_cmp`].
+    pub fn total_cmp(&self, other: &CVal) -> std::cmp::Ordering {
+        fn rank(v: &CVal) -> u8 {
+            match v {
+                CVal::Null => 0,
+                CVal::Int(_) => 1,
+                CVal::Str(_) => 2,
+                CVal::Bool(_) => 3,
+            }
+        }
+        match (self, other) {
+            (CVal::Null, CVal::Null) => std::cmp::Ordering::Equal,
+            (CVal::Int(a), CVal::Int(b)) => a.cmp(b),
+            (CVal::Str(a), CVal::Str(b)) => a.cmp(b),
+            (CVal::Bool(a), CVal::Bool(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+
+    /// SQL three-valued comparison: any `NULL` operand yields `None`.
+    pub fn sql_cmp(&self, other: &CVal) -> Option<std::cmp::Ordering> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(self.total_cmp(other))
+    }
+
+    /// Renders the value as a SQL literal (strings quoted and escaped);
+    /// byte-identical to [`Value::to_sql_literal`].
+    pub fn to_sql_literal(self) -> String {
+        match self {
+            CVal::Null => "NULL".to_string(),
+            CVal::Int(i) => i.to_string(),
+            CVal::Str(s) => format!("'{}'", s.as_str().replace('\'', "''")),
+            CVal::Bool(b) => if b { "TRUE" } else { "FALSE" }.to_string(),
+        }
+    }
+}
+
+impl PartialOrd for CVal {
+    fn partial_cmp(&self, other: &CVal) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CVal {
+    fn cmp(&self, other: &CVal) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl fmt::Display for CVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CVal::Null => f.write_str("NULL"),
+            CVal::Int(i) => write!(f, "{i}"),
+            CVal::Str(s) => f.write_str(s.as_str()),
+            CVal::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<&Value> for CVal {
+    fn from(v: &Value) -> CVal {
+        CVal::from_value(v)
+    }
+}
+
+impl From<Value> for CVal {
+    fn from(v: Value) -> CVal {
+        CVal::from_value(&v)
+    }
+}
+
+/// A term: variable, constant, or named parameter. `Copy` and 16 bytes:
+/// binding one during homomorphism search is a register move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A variable (existential unless it appears in the head).
-    Var(String),
+    Var(Sym),
     /// A constant value.
-    Const(Value),
+    Const(CVal),
     /// A named parameter, treated as a distinguished constant.
-    Param(String),
+    Param(Sym),
 }
 
 impl Term {
     /// Convenience constructor for a variable.
-    pub fn var(name: impl Into<String>) -> Term {
-        Term::Var(name.into())
+    pub fn var(name: impl ToSym) -> Term {
+        Term::Var(name.to_sym())
     }
 
     /// Convenience constructor for an integer constant.
     pub fn int(v: i64) -> Term {
-        Term::Const(Value::Int(v))
+        Term::Const(CVal::Int(v))
     }
 
     /// Convenience constructor for a string constant.
-    pub fn str(v: impl Into<String>) -> Term {
-        Term::Const(Value::Str(v.into()))
+    pub fn str(v: impl ToSym) -> Term {
+        Term::Const(CVal::Str(v.to_sym()))
+    }
+
+    /// Convenience constructor for a constant from a runtime [`Value`].
+    pub fn constant(v: &Value) -> Term {
+        Term::Const(CVal::from_value(v))
     }
 
     /// Convenience constructor for a parameter.
-    pub fn param(name: impl Into<String>) -> Term {
-        Term::Param(name.into())
+    pub fn param(name: impl ToSym) -> Term {
+        Term::Param(name.to_sym())
     }
 
-    /// Returns the variable name, if this is a variable.
-    pub fn as_var(&self) -> Option<&str> {
+    /// Returns the variable symbol, if this is a variable.
+    pub fn as_var(&self) -> Option<Sym> {
         match self {
-            Term::Var(v) => Some(v),
+            Term::Var(v) => Some(*v),
             _ => None,
         }
     }
@@ -64,6 +196,33 @@ impl Term {
     /// homomorphisms).
     pub fn is_rigid(&self) -> bool {
         !matches!(self, Term::Var(_))
+    }
+}
+
+impl PartialOrd for Term {
+    fn partial_cmp(&self, other: &Term) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Term {
+    // Matches the pre-interning derived order: Var < Const < Param, names by
+    // string content. Comparison normalization and BTree iteration depend on
+    // this order being unchanged.
+    fn cmp(&self, other: &Term) -> std::cmp::Ordering {
+        fn rank(t: &Term) -> u8 {
+            match t {
+                Term::Var(_) => 0,
+                Term::Const(_) => 1,
+                Term::Param(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Term::Var(a), Term::Var(b)) => a.cmp(b),
+            (Term::Const(a), Term::Const(b)) => a.total_cmp(b),
+            (Term::Param(a), Term::Param(b)) => a.cmp(b),
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
     }
 }
 
@@ -81,16 +240,16 @@ impl fmt::Display for Term {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Atom {
     /// Relation (table) name.
-    pub relation: String,
+    pub relation: Sym,
     /// Argument terms, one per column.
     pub args: Vec<Term>,
 }
 
 impl Atom {
     /// Creates an atom.
-    pub fn new(relation: impl Into<String>, args: Vec<Term>) -> Atom {
+    pub fn new(relation: impl ToSym, args: Vec<Term>) -> Atom {
         Atom {
-            relation: relation.into(),
+            relation: relation.to_sym(),
             args,
         }
     }
@@ -151,9 +310,9 @@ impl CmpOp {
         }
     }
 
-    /// Evaluates the operator on two concrete values (three-valued: `None`
+    /// Evaluates the operator on two interned values (three-valued: `None`
     /// if either side is `NULL`).
-    pub fn eval(self, a: &Value, b: &Value) -> Option<bool> {
+    pub fn eval(self, a: &CVal, b: &CVal) -> Option<bool> {
         use std::cmp::Ordering::*;
         let ord = a.sql_cmp(b)?;
         Some(match self {
@@ -165,10 +324,15 @@ impl CmpOp {
             CmpOp::Ge => ord != Less,
         })
     }
+
+    /// Evaluates the operator on two runtime [`Value`]s.
+    pub fn eval_values(self, a: &Value, b: &Value) -> Option<bool> {
+        self.eval(&CVal::from_value(a), &CVal::from_value(b))
+    }
 }
 
 /// A comparison constraint between two terms.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Comparison {
     /// Left term.
     pub lhs: Term,
@@ -187,7 +351,7 @@ impl Comparison {
     /// Canonical form: constants on the right where possible, and ordered
     /// operands for symmetric operators.
     pub fn normalized(&self) -> Comparison {
-        let mut c = self.clone();
+        let mut c = *self;
         let should_flip = match (&c.lhs, &c.rhs) {
             (l, Term::Var(_)) if l.is_rigid() => true,
             _ => matches!(c.op, CmpOp::Ne | CmpOp::Eq) && c.lhs > c.rhs,
@@ -206,21 +370,172 @@ impl fmt::Display for Comparison {
     }
 }
 
-/// A substitution from variable names to terms.
-pub type Subst = BTreeMap<String, Term>;
+/// A substitution from variables to terms.
+///
+/// Stored as a flat `Vec` of `(Sym, Term)` pairs in insertion order — the
+/// entry count in this workspace is a handful of variables, where a linear
+/// id scan over `Copy` pairs beats a `BTreeMap<String, Term>` walk by a wide
+/// margin and allocates nothing on clone beyond one `Vec`.
+///
+/// Keys accept anything [`ToSym`], so `s.get("x")`, `s.get(&sym)`, and
+/// `s["x"]` all work. Equality is set-like (insertion order does not
+/// matter), matching the old map semantics.
+#[derive(Clone, Default)]
+pub struct Subst {
+    entries: Vec<(Sym, Term)>,
+}
+
+impl Subst {
+    /// An empty substitution.
+    pub fn new() -> Subst {
+        Subst {
+            entries: Vec::new(),
+        }
+    }
+
+    /// An empty substitution with room for `cap` bindings.
+    pub fn with_capacity(cap: usize) -> Subst {
+        Subst {
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if there are no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a binding.
+    pub fn get<K: ToSym + ?Sized>(&self, key: &K) -> Option<&Term> {
+        let k = key.to_sym();
+        self.entries
+            .iter()
+            .find(|(s, _)| s.id() == k.id())
+            .map(|(_, t)| t)
+    }
+
+    /// Inserts or replaces a binding, returning the previous value.
+    pub fn insert(&mut self, key: impl ToSym, value: Term) -> Option<Term> {
+        let k = key.to_sym();
+        for (s, t) in &mut self.entries {
+            if s.id() == k.id() {
+                return Some(std::mem::replace(t, value));
+            }
+        }
+        self.entries.push((k, value));
+        None
+    }
+
+    /// Removes a binding, returning it if present.
+    pub fn remove<K: ToSym + ?Sized>(&mut self, key: &K) -> Option<Term> {
+        let k = key.to_sym();
+        let pos = self.entries.iter().position(|(s, _)| s.id() == k.id())?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// `true` if the key is bound.
+    pub fn contains_key<K: ToSym + ?Sized>(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Iterates bindings in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Sym, &Term)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterates bindings mutably (values only may be changed).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&Sym, &mut Term)> {
+        self.entries.iter_mut().map(|(k, v)| (&*k, v))
+    }
+
+    /// Iterates the bound variables.
+    pub fn keys(&self) -> impl Iterator<Item = &Sym> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Iterates the bound terms.
+    pub fn values(&self) -> impl Iterator<Item = &Term> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Subst {
+    fn eq(&self, other: &Subst) -> bool {
+        self.entries.len() == other.entries.len()
+            && self.entries.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl Eq for Subst {}
+
+impl fmt::Debug for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map()
+            .entries(self.entries.iter().map(|(k, v)| (k, v)))
+            .finish()
+    }
+}
+
+impl<K: ToSym> FromIterator<(K, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (K, Term)>>(iter: I) -> Subst {
+        let mut s = Subst::new();
+        for (k, v) in iter {
+            s.insert(k, v);
+        }
+        s
+    }
+}
+
+impl IntoIterator for Subst {
+    type Item = (Sym, Term);
+    type IntoIter = std::vec::IntoIter<(Sym, Term)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Subst {
+    type Item = (&'a Sym, &'a Term);
+    type IntoIter = std::iter::Map<
+        std::slice::Iter<'a, (Sym, Term)>,
+        fn(&'a (Sym, Term)) -> (&'a Sym, &'a Term),
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl std::ops::Index<&str> for Subst {
+    type Output = Term;
+    fn index(&self, key: &str) -> &Term {
+        self.get(key).expect("no binding for variable")
+    }
+}
+
+impl std::ops::Index<Sym> for Subst {
+    type Output = Term;
+    fn index(&self, key: Sym) -> &Term {
+        self.get(&key).expect("no binding for variable")
+    }
+}
 
 /// Applies a substitution to a term.
 pub fn apply_term(t: &Term, s: &Subst) -> Term {
     match t {
-        Term::Var(v) => s.get(v).cloned().unwrap_or_else(|| t.clone()),
-        _ => t.clone(),
+        Term::Var(v) => s.get(v).copied().unwrap_or(*t),
+        _ => *t,
     }
 }
 
 /// Applies a substitution to an atom.
 pub fn apply_atom(a: &Atom, s: &Subst) -> Atom {
     Atom {
-        relation: a.relation.clone(),
+        relation: a.relation,
         args: a.args.iter().map(|t| apply_term(t, s)).collect(),
     }
 }
@@ -238,7 +553,7 @@ pub fn apply_comparison(c: &Comparison, s: &Subst) -> Comparison {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cq {
     /// Optional name (set for views; `ans` when printed otherwise).
-    pub name: Option<String>,
+    pub name: Option<Sym>,
     /// Head (distinguished) terms.
     pub head: Vec<Term>,
     /// Relational atoms.
@@ -259,12 +574,12 @@ impl Cq {
     }
 
     /// All variables appearing anywhere, in first-occurrence order.
-    pub fn variables(&self) -> Vec<String> {
+    pub fn variables(&self) -> Vec<Sym> {
         let mut out = Vec::new();
         let mut push = |t: &Term| {
             if let Term::Var(v) = t {
                 if !out.contains(v) {
-                    out.push(v.clone());
+                    out.push(*v);
                 }
             }
         };
@@ -284,12 +599,12 @@ impl Cq {
     }
 
     /// Variables appearing in the head.
-    pub fn head_vars(&self) -> Vec<String> {
+    pub fn head_vars(&self) -> Vec<Sym> {
         let mut out = Vec::new();
         for t in &self.head {
             if let Term::Var(v) = t {
                 if !out.contains(v) {
-                    out.push(v.clone());
+                    out.push(*v);
                 }
             }
         }
@@ -297,12 +612,12 @@ impl Cq {
     }
 
     /// Named parameters mentioned anywhere.
-    pub fn params(&self) -> Vec<String> {
+    pub fn params(&self) -> Vec<Sym> {
         let mut out = Vec::new();
         let mut push = |t: &Term| {
             if let Term::Param(p) = t {
                 if !out.contains(p) {
-                    out.push(p.clone());
+                    out.push(*p);
                 }
             }
         };
@@ -324,7 +639,7 @@ impl Cq {
     /// Applies a substitution to the whole query.
     pub fn substitute(&self, s: &Subst) -> Cq {
         Cq {
-            name: self.name.clone(),
+            name: self.name,
             head: self.head.iter().map(|t| apply_term(t, s)).collect(),
             atoms: self.atoms.iter().map(|a| apply_atom(a, s)).collect(),
             comparisons: self
@@ -338,22 +653,26 @@ impl Cq {
     /// Replaces parameters with constant values (instantiating a view for a
     /// session). Unlisted parameters are left in place.
     pub fn instantiate(&self, bindings: &[(String, Value)]) -> Cq {
+        let interned: Vec<(Sym, Term)> = bindings
+            .iter()
+            .map(|(n, v)| (Sym::new(n), Term::constant(v)))
+            .collect();
         let map_term = |t: &Term| -> Term {
             if let Term::Param(p) = t {
-                if let Some((_, v)) = bindings.iter().find(|(n, _)| n == p) {
-                    return Term::Const(v.clone());
+                if let Some((_, c)) = interned.iter().find(|(n, _)| n.id() == p.id()) {
+                    return *c;
                 }
             }
-            t.clone()
+            *t
         };
         Cq {
-            name: self.name.clone(),
+            name: self.name,
             head: self.head.iter().map(map_term).collect(),
             atoms: self
                 .atoms
                 .iter()
                 .map(|a| Atom {
-                    relation: a.relation.clone(),
+                    relation: a.relation,
                     args: a.args.iter().map(map_term).collect(),
                 })
                 .collect(),
@@ -375,7 +694,7 @@ impl Cq {
         let s: Subst = self
             .variables()
             .into_iter()
-            .map(|v| (v.clone(), Term::Var(format!("{prefix}{v}"))))
+            .map(|v| (v, Term::var(format!("{prefix}{v}"))))
             .collect();
         self.substitute(&s)
     }
@@ -388,7 +707,7 @@ impl Cq {
 
 impl fmt::Display for Cq {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(", self.name.as_deref().unwrap_or("ans"))?;
+        write!(f, "{}(", self.name.map(Sym::as_str).unwrap_or("ans"))?;
         for (i, t) in self.head.iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
@@ -482,7 +801,7 @@ mod tests {
     #[test]
     fn substitution_applies_everywhere() {
         let mut s = Subst::new();
-        s.insert("u".into(), Term::int(7));
+        s.insert("u", Term::int(7));
         let q = sample().substitute(&s);
         assert_eq!(q.head[0], Term::int(7));
         assert_eq!(q.atoms[0].args[0], Term::int(7));
@@ -532,11 +851,45 @@ mod tests {
 
     #[test]
     fn cmp_op_eval() {
-        assert_eq!(CmpOp::Lt.eval(&Value::Int(1), &Value::Int(2)), Some(true));
         assert_eq!(
-            CmpOp::Ge.eval(&Value::str("b"), &Value::str("a")),
+            CmpOp::Lt.eval_values(&Value::Int(1), &Value::Int(2)),
             Some(true)
         );
-        assert_eq!(CmpOp::Eq.eval(&Value::Null, &Value::Int(1)), None);
+        assert_eq!(
+            CmpOp::Ge.eval_values(&Value::str("b"), &Value::str("a")),
+            Some(true)
+        );
+        assert_eq!(CmpOp::Eq.eval_values(&Value::Null, &Value::Int(1)), None);
+    }
+
+    #[test]
+    fn term_is_copy_and_small() {
+        // The refactor's contract: terms are registers, not heap clones.
+        assert_eq!(std::mem::size_of::<Term>(), 16);
+        let t = Term::var("x");
+        let u = t; // Copy, not move
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn subst_equality_ignores_insertion_order() {
+        let mut a = Subst::new();
+        a.insert("x", Term::int(1));
+        a.insert("y", Term::int(2));
+        let mut b = Subst::new();
+        b.insert("y", Term::int(2));
+        b.insert("x", Term::int(1));
+        assert_eq!(a, b);
+        b.insert("z", Term::int(3));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn subst_index_by_str_and_sym() {
+        let mut s = Subst::new();
+        s.insert("x", Term::int(1));
+        assert_eq!(s["x"], Term::int(1));
+        assert_eq!(s[crate::sym::Sym::new("x")], Term::int(1));
+        assert_eq!(s.get("missing"), None);
     }
 }

@@ -15,13 +15,14 @@
 //! database satisfying the keys contains the canonical facts at all.
 
 use crate::cq::{apply_atom, Atom, Subst, Term};
+use crate::sym::{Sym, ToSym};
 
 /// A key-style functional dependency: the `key` positions of `relation`
 /// determine the whole row.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fd {
     /// Relation name.
-    pub relation: String,
+    pub relation: Sym,
     /// Determinant column positions.
     pub key: Vec<usize>,
 }
@@ -31,11 +32,11 @@ pub struct Fd {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ind {
     /// Referencing relation.
-    pub child: String,
+    pub child: Sym,
     /// Referencing column positions.
     pub child_cols: Vec<usize>,
     /// Referenced relation.
-    pub parent: String,
+    pub parent: Sym,
     /// Referenced column positions.
     pub parent_cols: Vec<usize>,
     /// Referenced relation's arity (needed to mint fresh nulls).
@@ -58,9 +59,9 @@ impl Dependencies {
     }
 
     /// Adds a key dependency.
-    pub fn with_key(mut self, relation: impl Into<String>, key: Vec<usize>) -> Dependencies {
+    pub fn with_key(mut self, relation: impl ToSym, key: Vec<usize>) -> Dependencies {
         self.fds.push(Fd {
-            relation: relation.into(),
+            relation: relation.to_sym(),
             key,
         });
         self
@@ -103,7 +104,7 @@ pub fn chase_fds(atoms: &[Atom], deps: &Dependencies) -> ChaseOutcome {
     loop {
         // Find one forced unification, then apply it and restart: the
         // substitution can invalidate earlier scan state.
-        let mut pending: Option<(String, Term)> = None;
+        let mut pending: Option<(Sym, Term)> = None;
         'scan: for i in 0..atoms.len() {
             for j in (i + 1)..atoms.len() {
                 let (a, b) = (&atoms[i], &atoms[j]);
@@ -125,7 +126,7 @@ pub fn chase_fds(atoms: &[Atom], deps: &Dependencies) -> ChaseOutcome {
                         }
                         match (x, y) {
                             (Term::Var(v), other) | (other, Term::Var(v)) => {
-                                pending = Some((v.clone(), other.clone()));
+                                pending = Some((*v, *other));
                                 break 'scan;
                             }
                             (Term::Const(_), Term::Const(_)) => {
@@ -174,7 +175,9 @@ pub fn chase_full(atoms: &[Atom], deps: &Dependencies) -> ChaseOutcome {
                     *t = crate::cq::apply_term(t, &s);
                 }
                 for (k, v) in s {
-                    subst.entry(k).or_insert(v);
+                    if !subst.contains_key(&k) {
+                        subst.insert(k, v);
+                    }
                 }
             }
             ChaseOutcome::Inconsistent => return ChaseOutcome::Inconsistent,
@@ -210,14 +213,14 @@ pub fn chase_full(atoms: &[Atom], deps: &Dependencies) -> ChaseOutcome {
                 let mut args = Vec::with_capacity(ind.parent_arity);
                 for i in 0..ind.parent_arity {
                     match ind.parent_cols.iter().position(|&pc| pc == i) {
-                        Some(j) => args.push(key[j].clone()),
+                        Some(j) => args.push(*key[j]),
                         None => {
                             fresh += 1;
                             args.push(Term::var(format!("ind·{fresh}")));
                         }
                     }
                 }
-                let parent = Atom::new(ind.parent.clone(), args);
+                let parent = Atom::new(ind.parent, args);
                 if !added.contains(&parent) {
                     added.push(parent);
                 }
@@ -255,9 +258,9 @@ pub fn normalize_cq(cq: &crate::cq::Cq, deps: &Dependencies) -> crate::cq::Cq {
     }
 }
 
-fn bind(atoms: &mut [Atom], subst: &mut Subst, var: String, to: Term) {
+fn bind(atoms: &mut [Atom], subst: &mut Subst, var: Sym, to: Term) {
     let mut one = Subst::new();
-    one.insert(var.clone(), to.clone());
+    one.insert(var, to);
     for a in atoms.iter_mut() {
         *a = apply_atom(a, &one);
     }

@@ -68,9 +68,9 @@ impl RelSchema {
             return;
         };
         self.foreign_keys.push(crate::deps::Ind {
-            child: child.into(),
+            child: crate::sym::Sym::from(child.into()),
             child_cols,
-            parent,
+            parent: crate::sym::Sym::from(parent),
             parent_cols,
             parent_arity,
         });
@@ -319,7 +319,7 @@ fn expr_to_term(
             if v.is_null() {
                 Err(LogicError::OutOfFragment("NULL literal".into()))
             } else {
-                Ok(Term::Const(v.clone()))
+                Ok(Term::constant(v))
             }
         }
         Expr::Param(Param::Named(n)) => Ok(Term::param(n.clone())),
@@ -437,7 +437,7 @@ fn to_dnf(
                     .iter()
                     .map(|item| {
                         Ok(Comparison::new(
-                            t.clone(),
+                            t,
                             CmpOp::Ne,
                             expr_to_term(item, scope, outer)?,
                         ))
@@ -453,7 +453,7 @@ fn to_dnf(
                 for item in list {
                     out.push(LeafConj {
                         comparisons: vec![Comparison::new(
-                            t.clone(),
+                            t,
                             CmpOp::Eq,
                             expr_to_term(item, scope, outer)?,
                         )],
@@ -478,7 +478,7 @@ fn to_dnf(
             if bt_neg ^ negated {
                 Ok(vec![
                     LeafConj {
-                        comparisons: vec![Comparison::new(t.clone(), CmpOp::Lt, lo)],
+                        comparisons: vec![Comparison::new(t, CmpOp::Lt, lo)],
                         extra_atoms: vec![],
                     },
                     LeafConj {
@@ -489,7 +489,7 @@ fn to_dnf(
             } else {
                 Ok(vec![LeafConj {
                     comparisons: vec![
-                        Comparison::new(t.clone(), CmpOp::Ge, lo),
+                        Comparison::new(t, CmpOp::Ge, lo),
                         Comparison::new(t, CmpOp::Le, hi),
                     ],
                     extra_atoms: vec![],
@@ -572,7 +572,7 @@ fn disjuncts_to_leaves(sub: Vec<Cq>, in_term: Option<Term>) -> Result<Vec<LeafCo
                 ));
             }
             leaf.comparisons
-                .push(Comparison::new(t.clone(), CmpOp::Eq, cq.head[0].clone()));
+                .push(Comparison::new(*t, CmpOp::Eq, cq.head[0]));
         }
         out.push(leaf);
     }
@@ -647,7 +647,7 @@ fn normalize_disjunct(mut cq: Cq, raw_comparisons: &[Comparison]) -> Option<Cq> 
             (a, b) if a == b => {}
             (Term::Var(v), t) | (t, Term::Var(v)) => {
                 let mut s = Subst::new();
-                s.insert(v.clone(), t.clone());
+                s.insert(*v, *t);
                 cq = cq.substitute(&s);
                 comps = comps
                     .iter()
@@ -718,12 +718,12 @@ fn normalize_disjunct(mut cq: Cq, raw_comparisons: &[Comparison]) -> Option<Cq> 
 pub fn cq_to_sql(schema: &RelSchema, cq: &Cq) -> Result<Query, LogicError> {
     let mut q = Query::new();
     q.distinct = Distinctness::Distinct;
-    let mut var_site: BTreeMap<String, Expr> = BTreeMap::new();
+    let mut var_site: BTreeMap<crate::sym::Sym, Expr> = BTreeMap::new();
     let mut conditions: Vec<Expr> = Vec::new();
 
     for (i, atom) in cq.atoms.iter().enumerate() {
         let alias = format!("t{i}");
-        let columns = schema.columns(&atom.relation)?;
+        let columns = schema.columns(atom.relation.as_str())?;
         if columns.len() != atom.args.len() {
             return Err(LogicError::Internal(format!(
                 "atom {} arity {} does not match schema arity {}",
@@ -733,21 +733,21 @@ pub fn cq_to_sql(schema: &RelSchema, cq: &Cq) -> Result<Query, LogicError> {
             )));
         }
         q.from
-            .push(TableRef::aliased(atom.relation.clone(), alias.clone()));
+            .push(TableRef::aliased(atom.relation.as_str(), alias.clone()));
         for (col, arg) in columns.iter().zip(&atom.args) {
             let site = Expr::qcol(alias.clone(), col.clone());
             match arg {
                 Term::Var(v) => match var_site.get(v) {
                     Some(first) => conditions.push(Expr::eq(site, first.clone())),
                     None => {
-                        var_site.insert(v.clone(), site);
+                        var_site.insert(*v, site);
                     }
                 },
                 Term::Const(c) => {
-                    conditions.push(Expr::eq(site, Expr::Literal(c.clone())));
+                    conditions.push(Expr::eq(site, Expr::Literal(c.to_value())));
                 }
                 Term::Param(p) => {
-                    conditions.push(Expr::eq(site, Expr::named_param(p.clone())));
+                    conditions.push(Expr::eq(site, Expr::named_param(p.as_str())));
                 }
             }
         }
@@ -759,8 +759,8 @@ pub fn cq_to_sql(schema: &RelSchema, cq: &Cq) -> Result<Query, LogicError> {
                 .get(v)
                 .cloned()
                 .ok_or_else(|| LogicError::Internal(format!("unsafe variable {v}")))?,
-            Term::Const(c) => Expr::Literal(c.clone()),
-            Term::Param(p) => Expr::named_param(p.clone()),
+            Term::Const(c) => Expr::Literal(c.to_value()),
+            Term::Param(p) => Expr::named_param(p.as_str()),
         })
     };
 

@@ -12,7 +12,8 @@ use std::collections::BTreeMap;
 
 use sqlir::Value;
 
-use crate::cq::{Atom, Comparison, Cq, Term};
+use crate::cq::{Atom, CVal, Comparison, Cq, Term};
+use crate::sym::Sym;
 
 /// Anti-unifies two queries with identical shape (same relation sequence,
 /// head arity, and comparison operators). Returns `None` if shapes differ.
@@ -38,15 +39,12 @@ pub fn anti_unify(a: &Cq, b: &Cq) -> Option<Cq> {
     let mut fresh = 0usize;
     let mut gen_term = |ta: &Term, tb: &Term| -> Term {
         if ta == tb {
-            return ta.clone();
+            return *ta;
         }
-        pairs
-            .entry((ta.clone(), tb.clone()))
-            .or_insert_with(|| {
-                fresh += 1;
-                Term::var(format!("g{fresh}"))
-            })
-            .clone()
+        *pairs.entry((*ta, *tb)).or_insert_with(|| {
+            fresh += 1;
+            Term::var(format!("g{fresh}"))
+        })
     };
 
     let head = a
@@ -61,7 +59,7 @@ pub fn anti_unify(a: &Cq, b: &Cq) -> Option<Cq> {
         .zip(&b.atoms)
         .map(|(x, y)| {
             Atom::new(
-                x.relation.clone(),
+                x.relation,
                 x.args
                     .iter()
                     .zip(&y.args)
@@ -78,7 +76,7 @@ pub fn anti_unify(a: &Cq, b: &Cq) -> Option<Cq> {
         .collect();
 
     let mut out = Cq::new(head, atoms, comparisons);
-    out.name = a.name.clone();
+    out.name = a.name;
     Some(out)
 }
 
@@ -98,24 +96,25 @@ pub fn anti_unify_all<'a>(queries: impl IntoIterator<Item = &'a Cq>) -> Option<C
 /// generalization: a trace issued for user 1 mentions `1` where the view
 /// should say `?MyUId`.
 pub fn const_to_param(cq: &Cq, value: &Value, param: &str) -> Cq {
+    let cval = CVal::from_value(value);
     let map = |t: &Term| -> Term {
         match t {
-            Term::Const(c) if c == value => Term::param(param.to_string()),
-            other => other.clone(),
+            Term::Const(c) if *c == cval => Term::param(param),
+            other => *other,
         }
     };
     let mut out = Cq::new(
         cq.head.iter().map(map).collect(),
         cq.atoms
             .iter()
-            .map(|a| Atom::new(a.relation.clone(), a.args.iter().map(map).collect()))
+            .map(|a| Atom::new(a.relation, a.args.iter().map(map).collect()))
             .collect(),
         cq.comparisons
             .iter()
             .map(|c| Comparison::new(map(&c.lhs), c.op, map(&c.rhs)))
             .collect(),
     );
-    out.name = cq.name.clone();
+    out.name = cq.name;
     out
 }
 
@@ -127,11 +126,11 @@ pub fn const_to_param(cq: &Cq, value: &Value, param: &str) -> Cq {
 /// generalization variables where *rigid* terms differ — the signal the
 /// mining pipeline cares about.
 pub fn canonicalize_vars(cq: &Cq) -> Cq {
-    let mut order: Vec<String> = Vec::new();
-    let push = |t: &Term, order: &mut Vec<String>| {
+    let mut order: Vec<Sym> = Vec::new();
+    let push = |t: &Term, order: &mut Vec<Sym>| {
         if let Term::Var(v) = t {
             if !order.contains(v) {
-                order.push(v.clone());
+                order.push(*v);
             }
         }
     };

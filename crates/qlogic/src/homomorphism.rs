@@ -5,9 +5,32 @@
 //! atom and every source comparison is entailed by what is known about the
 //! target. This single primitive powers query evaluation over instances,
 //! containment checking, and view rewriting.
+//!
+//! # How the search runs
+//!
+//! The problem is compiled once per call into a slot program:
+//!
+//! * every variable (initial bindings first, then first occurrence across
+//!   the ordered source atoms) gets a dense *slot*; the search state is a
+//!   flat `Vec<Option<Term>>` plus an undo trail — no tree map, no string
+//!   keys, no per-binding allocation (terms are `Copy`);
+//! * target atoms are indexed by relation symbol, so each source atom only
+//!   enumerates candidates of its own relation instead of scanning the whole
+//!   target body (candidate order within a relation is preserved, so the
+//!   emission order is exactly what the naive scan produced);
+//! * each comparison is scheduled at the earliest depth where all of its
+//!   slotted variables are bound — which is a static property of the atom
+//!   order — so contradicted branches die early. Since bindings never change
+//!   between a variable's bind depth and backtracking past it, checking
+//!   early accepts and rejects exactly the leaves the check-at-leaf search
+//!   did.
+//!
+//! The emitted homomorphisms — set, order, and bindings — are identical to
+//! the pre-compilation implementation; only the work per candidate changed.
 
 use crate::compare::CmpContext;
-use crate::cq::{apply_comparison, Atom, Comparison, Subst, Term};
+use crate::cq::{Atom, CmpOp, Comparison, Subst, Term};
+use crate::sym::Sym;
 
 /// A homomorphism search problem.
 pub struct HomProblem<'a> {
@@ -53,6 +76,57 @@ pub fn for_each_homomorphism(p: &HomProblem<'_>, emit: &mut dyn FnMut(&Subst) ->
     search(p, emit);
 }
 
+/// A source-atom argument, resolved against the slot table.
+enum CArg {
+    /// A variable's slot.
+    Slot(u32),
+    /// A constant or parameter: must match the target term outright.
+    Rigid(Term),
+}
+
+/// A compiled source atom.
+struct CAtom {
+    /// Index into the plan's relation table (and `rel_index`).
+    rel: usize,
+    args: Vec<CArg>,
+}
+
+/// One side of a compiled comparison.
+#[derive(Clone, Copy)]
+enum CSide {
+    /// A slotted variable, bound by the comparison's due depth.
+    Slot(u32),
+    /// Anything else: rigid terms, and variables that never get a slot
+    /// (they stay themselves under the mapping, exactly as `apply_term`
+    /// leaves unbound variables in place).
+    Fixed(Term),
+}
+
+/// A comparison scheduled at its earliest fully-bound depth.
+struct CCmp {
+    lhs: CSide,
+    op: CmpOp,
+    rhs: CSide,
+}
+
+/// The per-call compiled program (immutable during the search).
+struct Plan {
+    atoms: Vec<CAtom>,
+    /// `due[d]` = comparisons checkable once `d` atoms are mapped.
+    due: Vec<Vec<CCmp>>,
+    /// Slot → variable symbol, for materializing emitted substitutions.
+    slot_names: Vec<Sym>,
+    /// `rel_index[r]` = target atom positions of source relation `r`, in
+    /// target order. Relations no source atom mentions are never indexed.
+    rel_index: Vec<Vec<u32>>,
+}
+
+/// The mutable search state: dense bindings plus an undo trail.
+struct State {
+    bindings: Vec<Option<Term>>,
+    trail: Vec<u32>,
+}
+
 /// Core backtracking search; `emit` returns `true` to stop.
 fn search(p: &HomProblem<'_>, emit: &mut dyn FnMut(&Subst) -> bool) {
     // Order source atoms most-constrained-first: more rigid terms and more
@@ -63,77 +137,197 @@ fn search(p: &HomProblem<'_>, emit: &mut dyn FnMut(&Subst) -> bool) {
         let a = &p.source_atoms[i];
         std::cmp::Reverse(a.args.iter().filter(|t| t.is_rigid()).count())
     });
-    let mut subst = p.initial.clone();
-    let _ = step(p, &order, 0, &mut subst, emit);
+
+    // Slot table: initial bindings first (bound from depth 0), then first
+    // occurrence across atoms in search order (bound once that atom maps).
+    // Variable and relation counts are small, so id-keyed linear scans beat
+    // hashing; nothing here allocates per lookup.
+    let mut slot_names: Vec<Sym> = Vec::new();
+    let mut slot_depth: Vec<usize> = Vec::new();
+    let mut bindings: Vec<Option<Term>> = Vec::new();
+    let slot_of = |names: &[Sym], v: Sym| -> Option<u32> {
+        names
+            .iter()
+            .position(|s| s.id() == v.id())
+            .map(|i| i as u32)
+    };
+    for (v, t) in p.initial.iter() {
+        if slot_of(&slot_names, *v).is_none() {
+            slot_names.push(*v);
+            slot_depth.push(0);
+            bindings.push(Some(*t));
+        }
+    }
+    let mut rels: Vec<Sym> = Vec::new();
+    let mut atoms = Vec::with_capacity(order.len());
+    for (d, &ai) in order.iter().enumerate() {
+        let a = &p.source_atoms[ai];
+        let args = a
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => {
+                    let slot = slot_of(&slot_names, *v).unwrap_or_else(|| {
+                        slot_names.push(*v);
+                        slot_depth.push(d + 1);
+                        bindings.push(None);
+                        (slot_names.len() - 1) as u32
+                    });
+                    CArg::Slot(slot)
+                }
+                rigid => CArg::Rigid(*rigid),
+            })
+            .collect();
+        let rel = rels
+            .iter()
+            .position(|r| r.id() == a.relation.id())
+            .unwrap_or_else(|| {
+                rels.push(a.relation);
+                rels.len() - 1
+            });
+        atoms.push(CAtom { rel, args });
+    }
+
+    // Schedule each comparison at the earliest depth where every slotted
+    // variable in it is bound; variables that never get a slot push it to
+    // the leaf (where they stay as themselves, like `apply_term` unbound).
+    let leaf = order.len();
+    let mut due: Vec<Vec<CCmp>> = (0..=leaf).map(|_| Vec::new()).collect();
+    for c in p.source_comparisons {
+        let mut depth = 0usize;
+        let mut side = |t: &Term| -> CSide {
+            if let Term::Var(v) = t {
+                if let Some(s) = slot_of(&slot_names, *v) {
+                    depth = depth.max(slot_depth[s as usize]);
+                    return CSide::Slot(s);
+                }
+                depth = leaf;
+            }
+            CSide::Fixed(*t)
+        };
+        let lhs = side(&c.lhs);
+        let rhs = side(&c.rhs);
+        due[depth].push(CCmp { lhs, op: c.op, rhs });
+    }
+
+    // Index target atoms by source relation, preserving target order within
+    // each relation so candidate enumeration order matches the naive scan.
+    // Target atoms of relations the source never mentions are skipped.
+    let mut rel_index: Vec<Vec<u32>> = rels.iter().map(|_| Vec::new()).collect();
+    for (i, t) in p.target_atoms.iter().enumerate() {
+        if let Some(r) = rels.iter().position(|r| r.id() == t.relation.id()) {
+            rel_index[r].push(i as u32);
+        }
+    }
+
+    let plan = Plan {
+        atoms,
+        due,
+        slot_names,
+        rel_index,
+    };
+    let mut state = State {
+        bindings,
+        trail: Vec::new(),
+    };
+    if !check_due(&plan, p, &state, 0) {
+        return;
+    }
+    let _ = step(&plan, p, &mut state, 0, emit);
 }
 
 fn step(
+    plan: &Plan,
     p: &HomProblem<'_>,
-    order: &[usize],
+    state: &mut State,
     depth: usize,
-    subst: &mut Subst,
     emit: &mut dyn FnMut(&Subst) -> bool,
 ) -> bool {
-    if depth == order.len() {
-        // All atoms mapped; verify comparisons.
-        for c in p.source_comparisons {
-            let mapped = apply_comparison(c, subst);
-            if !p.target_ctx.entails(&mapped) {
-                return false;
-            }
-        }
-        return emit(subst);
+    if depth == plan.atoms.len() {
+        // All atoms mapped and all comparisons already checked on the way
+        // down; materialize the substitution (every slot is bound here).
+        let subst: Subst = plan
+            .slot_names
+            .iter()
+            .zip(&state.bindings)
+            .map(|(v, b)| (*v, b.expect("all slots bound at leaf")))
+            .collect();
+        return emit(&subst);
     }
-    let atom = &p.source_atoms[order[depth]];
-    for target in p.target_atoms {
-        if target.relation != atom.relation || target.args.len() != atom.args.len() {
+    let atom = &plan.atoms[depth];
+    for &ti in &plan.rel_index[atom.rel] {
+        let target = &p.target_atoms[ti as usize];
+        if target.args.len() != atom.args.len() {
             continue;
         }
-        // Try to unify this atom with the target atom.
-        let mut added: Vec<String> = Vec::new();
-        let mut ok = true;
-        for (s, t) in atom.args.iter().zip(&target.args) {
-            match s {
-                Term::Var(v) => match subst.get(v) {
-                    Some(bound) => {
-                        if !terms_match(bound, t, p.target_ctx) {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    None => {
-                        subst.insert(v.clone(), t.clone());
-                        added.push(v.clone());
-                    }
-                },
-                rigid => {
-                    if !terms_match(rigid, t, p.target_ctx) {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-        }
-        if ok && step(p, order, depth + 1, subst, emit) {
+        let mark = state.trail.len();
+        if unify(atom, target, p.target_ctx, state)
+            && check_due(plan, p, state, depth + 1)
+            && step(plan, p, state, depth + 1, emit)
+        {
             return true;
         }
-        for v in added {
-            subst.remove(&v);
+        while state.trail.len() > mark {
+            let slot = state.trail.pop().expect("trail mark in bounds");
+            state.bindings[slot as usize] = None;
         }
     }
     false
 }
 
+/// Tries to map a compiled atom onto one target atom, recording new
+/// bindings on the trail. On failure the caller unwinds to its mark.
+fn unify(atom: &CAtom, target: &Atom, ctx: &CmpContext, state: &mut State) -> bool {
+    for (s, t) in atom.args.iter().zip(&target.args) {
+        match s {
+            CArg::Slot(slot) => match state.bindings[*slot as usize] {
+                Some(bound) => {
+                    if !terms_match(&bound, t, ctx) {
+                        return false;
+                    }
+                }
+                None => {
+                    state.bindings[*slot as usize] = Some(*t);
+                    state.trail.push(*slot);
+                }
+            },
+            CArg::Rigid(rigid) => {
+                if !terms_match(rigid, t, ctx) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Checks every comparison that became fully bound at `depth`.
+fn check_due(plan: &Plan, p: &HomProblem<'_>, state: &State, depth: usize) -> bool {
+    for c in &plan.due[depth] {
+        let resolve = |s: CSide| -> Term {
+            match s {
+                CSide::Slot(slot) => state.bindings[slot as usize]
+                    .expect("slotted comparison side bound by its due depth"),
+                CSide::Fixed(t) => t,
+            }
+        };
+        let mapped = Comparison::new(resolve(c.lhs), c.op, resolve(c.rhs));
+        if !p.target_ctx.entails(&mapped) {
+            return false;
+        }
+    }
+    true
+}
+
 /// Whether a mapped source term is compatible with a target term: identical,
 /// or provably equal under the target's constraints.
 fn terms_match(a: &Term, b: &Term, ctx: &CmpContext) -> bool {
-    a == b || ctx.entails(&Comparison::new(a.clone(), crate::cq::CmpOp::Eq, b.clone()))
+    a == b || ctx.entails(&Comparison::new(*a, CmpOp::Eq, *b))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cq::CmpOp;
 
     fn ctx_empty() -> CmpContext {
         CmpContext::new(&[])
@@ -181,7 +375,7 @@ mod tests {
         ];
         let ctx = ctx_empty();
         let mut initial = Subst::new();
-        initial.insert("x".into(), Term::int(2));
+        initial.insert("x", Term::int(2));
         let p = HomProblem {
             source_atoms: &source,
             source_comparisons: &[],
@@ -265,5 +459,52 @@ mod tests {
             initial: Subst::new(),
         };
         assert!(find_homomorphism(&p).is_none());
+    }
+
+    #[test]
+    fn comparison_only_variables_stay_unbound() {
+        // `z` appears only in a comparison; it must be left as itself and
+        // judged against the target context, as apply_comparison would.
+        let source = [Atom::new("R", vec![Term::var("x")])];
+        let comps = [Comparison::new(Term::var("z"), CmpOp::Ge, Term::int(5))];
+        let target = [Atom::new("R", vec![Term::int(1)])];
+        let known = [Comparison::new(Term::var("z"), CmpOp::Ge, Term::int(10))];
+        let ctx = CmpContext::new(&known);
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &comps,
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        let h = find_homomorphism(&p).expect("z >= 10 entails z >= 5");
+        assert!(
+            h.get("z").is_none(),
+            "comparison-only var must stay unbound"
+        );
+        assert_eq!(h["x"], Term::int(1));
+    }
+
+    #[test]
+    fn emission_order_matches_target_order_per_relation() {
+        // Interleaved relations: candidates for R must come in target order.
+        let source = [Atom::new("R", vec![Term::var("x")])];
+        let target = [
+            Atom::new("S", vec![Term::int(0)]),
+            Atom::new("R", vec![Term::int(3)]),
+            Atom::new("S", vec![Term::int(9)]),
+            Atom::new("R", vec![Term::int(1)]),
+            Atom::new("R", vec![Term::int(2)]),
+        ];
+        let ctx = ctx_empty();
+        let p = HomProblem {
+            source_atoms: &source,
+            source_comparisons: &[],
+            target_atoms: &target,
+            target_ctx: &ctx,
+            initial: Subst::new(),
+        };
+        let xs: Vec<Term> = find_homomorphisms(&p, 10).iter().map(|h| h["x"]).collect();
+        assert_eq!(xs, vec![Term::int(3), Term::int(1), Term::int(2)]);
     }
 }

@@ -43,10 +43,7 @@ impl Instance {
         let mut atoms = Vec::new();
         for (rel, rows) in tables {
             for row in rows {
-                atoms.push(Atom::new(
-                    rel,
-                    row.iter().cloned().map(Term::Const).collect(),
-                ));
+                atoms.push(Atom::new(rel, row.iter().map(Term::constant).collect()));
             }
         }
         Instance {
@@ -69,7 +66,7 @@ impl Instance {
         }
         for c in &other.constraints {
             if !self.constraints.contains(c) {
-                self.constraints.push(c.clone());
+                self.constraints.push(*c);
             }
         }
     }
@@ -117,7 +114,7 @@ impl Instance {
                     Some(bound) if bound != t => return false,
                     Some(_) => {}
                     None => {
-                        initial.insert(v.clone(), t.clone());
+                        initial.insert(*v, *t);
                     }
                 },
                 rigid => {

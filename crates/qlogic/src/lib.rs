@@ -4,6 +4,7 @@
 //! HotOS '23 paper "Access Control for Database Applications: Beyond Policy
 //! Enforcement" presupposes:
 //!
+//! * [`sym`] — the global symbol interner every name in the core runs on;
 //! * [`cq`] — conjunctive queries (CQs) with comparisons and parameters,
 //!   and unions thereof;
 //! * [`from_sql`] — translation between the SQL AST and CQs (both ways);
@@ -36,13 +37,14 @@ pub mod homomorphism;
 pub mod instance;
 pub mod minimize;
 pub mod rewrite;
+pub mod sym;
 
 pub use compare::CmpContext;
 pub use containment::{
     contained, contained_given, contained_given_deps, contained_in_union, equivalent,
     equivalent_given, satisfiable, union_contained, union_equivalent,
 };
-pub use cq::{Atom, CmpOp, Comparison, Cq, Subst, Term, Ucq};
+pub use cq::{Atom, CVal, CmpOp, Comparison, Cq, Subst, Term, Ucq};
 pub use deps::{chase_fds, chase_full, normalize_cq, ChaseOutcome, Dependencies, Fd, Ind};
 pub use error::LogicError;
 pub use from_sql::{cq_to_sql, sql_to_cq, sql_to_ucq, RelSchema};
@@ -53,3 +55,4 @@ pub use rewrite::{
     candidate_view_indices, contained_rewritings, containing_rewritings, equivalent_rewriting,
     equivalent_rewriting_deps, expand, maximally_contained, ViewSet,
 };
+pub use sym::{intern, Sym, ToSym};

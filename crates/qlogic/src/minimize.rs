@@ -9,6 +9,7 @@ use std::collections::BTreeSet;
 
 use crate::containment::equivalent;
 use crate::cq::Cq;
+use crate::sym::Sym;
 
 /// Returns an equivalent query with redundant atoms removed.
 ///
@@ -40,20 +41,20 @@ pub fn minimize(cq: &Cq) -> Cq {
 
 /// Every variable used in the head or comparisons must appear in an atom.
 fn is_safe(cq: &Cq) -> bool {
-    let atom_vars: BTreeSet<&str> = cq
+    let atom_vars: BTreeSet<Sym> = cq
         .atoms
         .iter()
         .flat_map(|a| a.args.iter().filter_map(|t| t.as_var()))
         .collect();
     for v in cq.head_vars() {
-        if !atom_vars.contains(v.as_str()) {
+        if !atom_vars.contains(&v) {
             return false;
         }
     }
     for c in &cq.comparisons {
         for t in [&c.lhs, &c.rhs] {
             if let Some(v) = t.as_var() {
-                if !atom_vars.contains(v) {
+                if !atom_vars.contains(&v) {
                     return false;
                 }
             }

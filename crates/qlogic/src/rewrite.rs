@@ -24,6 +24,7 @@ use crate::deps::Dependencies;
 use crate::error::LogicError;
 use crate::homomorphism::{find_homomorphisms, HomProblem};
 use crate::instance::Instance;
+use crate::sym::{Sym, ToSym};
 
 /// Bound on MCDs per view and on assembled combinations, keeping worst-case
 /// work polynomially bounded in practice.
@@ -39,13 +40,12 @@ pub struct ViewSet {
 impl ViewSet {
     /// Creates a view set; every view must carry a unique name.
     pub fn new(views: Vec<Cq>) -> Result<ViewSet, LogicError> {
-        let mut names = BTreeSet::new();
+        let mut names: BTreeSet<Sym> = BTreeSet::new();
         for v in &views {
             let name = v
                 .name
-                .as_deref()
                 .ok_or_else(|| LogicError::Internal("view without a name".into()))?;
-            if !names.insert(name.to_string()) {
+            if !names.insert(name) {
                 return Err(LogicError::Internal(format!("duplicate view name {name}")));
             }
         }
@@ -66,9 +66,12 @@ impl ViewSet {
         &self.views
     }
 
-    /// Looks up a view by name.
-    pub fn get(&self, name: &str) -> Option<&Cq> {
-        self.views.iter().find(|v| v.name.as_deref() == Some(name))
+    /// Looks up a view by name (accepts `&str` or `Sym`).
+    pub fn get<K: ToSym + ?Sized>(&self, name: &K) -> Option<&Cq> {
+        let k = name.to_sym();
+        self.views
+            .iter()
+            .find(|v| v.name.map(Sym::id) == Some(k.id()))
     }
 }
 
@@ -89,12 +92,12 @@ impl ViewSet {
 /// after both. Pruning by name alone (ignoring arity) is deliberately a
 /// superset of the MCD gate.
 pub fn candidate_view_indices(q: &Cq, views: &ViewSet) -> Vec<usize> {
-    let q_rels: BTreeSet<&str> = q.atoms.iter().map(|a| a.relation.as_str()).collect();
+    let q_rels: BTreeSet<Sym> = q.atoms.iter().map(|a| a.relation).collect();
     views
         .views
         .iter()
         .enumerate()
-        .filter(|(_, v)| v.atoms.iter().any(|a| q_rels.contains(a.relation.as_str())))
+        .filter(|(_, v)| v.atoms.iter().any(|a| q_rels.contains(&a.relation)))
         .map(|(i, _)| i)
         .collect()
 }
@@ -102,7 +105,7 @@ pub fn candidate_view_indices(q: &Cq, views: &ViewSet) -> Vec<usize> {
 /// Unfolds a rewriting (whose atoms reference view names) into base tables.
 pub fn expand(rw: &Cq, views: &ViewSet) -> Result<Cq, LogicError> {
     let mut out = Cq::new(rw.head.clone(), Vec::new(), rw.comparisons.clone());
-    out.name = rw.name.clone();
+    out.name = rw.name;
     let mut fresh = 0usize;
     let mut pending_eqs: Vec<(Term, Term)> = Vec::new();
 
@@ -122,15 +125,15 @@ pub fn expand(rw: &Cq, views: &ViewSet) -> Result<Cq, LogicError> {
         for (h, a) in renamed.head.iter().zip(&atom.args) {
             match h {
                 Term::Var(v) => match subst.get(v) {
-                    Some(prev) if prev != a => pending_eqs.push((prev.clone(), a.clone())),
+                    Some(prev) if prev != a => pending_eqs.push((*prev, *a)),
                     Some(_) => {}
                     None => {
-                        subst.insert(v.clone(), a.clone());
+                        subst.insert(*v, *a);
                     }
                 },
                 rigid => {
                     if rigid != a {
-                        pending_eqs.push((rigid.clone(), a.clone()));
+                        pending_eqs.push((*rigid, *a));
                     }
                 }
             }
@@ -148,7 +151,7 @@ pub fn expand(rw: &Cq, views: &ViewSet) -> Result<Cq, LogicError> {
         match (&a, &b) {
             (Term::Var(v), t) | (t, Term::Var(v)) => {
                 let mut s = Subst::new();
-                s.insert(v.clone(), t.clone());
+                s.insert(*v, *t);
                 out = out.substitute(&s);
             }
             _ => out
@@ -164,13 +167,13 @@ pub fn expand(rw: &Cq, views: &ViewSet) -> Result<Cq, LogicError> {
 struct Mcd {
     view_idx: usize,
     covered: BTreeSet<usize>,
-    /// Query variable → view variable name.
-    fwd: BTreeMap<String, String>,
+    /// Query variable → view variable symbol.
+    fwd: BTreeMap<Sym, Sym>,
     /// View variable → query term.
-    inv: BTreeMap<String, Term>,
+    inv: BTreeMap<Sym, Term>,
     /// Query variables whose comparisons are entailed inside the view (no
     /// re-application needed or possible).
-    entailed_vars: BTreeSet<String>,
+    entailed_vars: BTreeSet<Sym>,
 }
 
 /// Enumerates MCDs for one view against the query. In `relaxed` mode the
@@ -180,17 +183,12 @@ struct Mcd {
 /// are invisible to the syntactic MiniCon test.
 fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> {
     let mut out = Vec::new();
-    let head_vars: BTreeSet<String> = view.head_vars().into_iter().collect();
-    let q_head_vars: BTreeSet<String> = q.head_vars().into_iter().collect();
-    let q_cmp_vars: BTreeSet<String> = q
+    let head_vars: BTreeSet<Sym> = view.head_vars().into_iter().collect();
+    let q_head_vars: BTreeSet<Sym> = q.head_vars().into_iter().collect();
+    let q_cmp_vars: BTreeSet<Sym> = q
         .comparisons
         .iter()
-        .flat_map(|c| {
-            [
-                c.lhs.as_var().map(String::from),
-                c.rhs.as_var().map(String::from),
-            ]
-        })
+        .flat_map(|c| [c.lhs.as_var(), c.rhs.as_var()])
         .flatten()
         .collect();
 
@@ -203,8 +201,8 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
         view_idx: usize,
         idx: usize,
         covered: &mut BTreeSet<usize>,
-        fwd: &mut BTreeMap<String, String>,
-        inv: &mut BTreeMap<String, Term>,
+        fwd: &mut BTreeMap<Sym, Sym>,
+        inv: &mut BTreeMap<Sym, Term>,
         out: &mut Vec<Mcd>,
     ) {
         if out.len() >= MAX_MCDS {
@@ -230,8 +228,8 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
             if va.relation != g.relation || va.args.len() != g.args.len() {
                 continue;
             }
-            let mut added_fwd: Vec<String> = Vec::new();
-            let mut added_inv: Vec<String> = Vec::new();
+            let mut added_fwd: Vec<Sym> = Vec::new();
+            let mut added_inv: Vec<Sym> = Vec::new();
             let mut ok = true;
             for (qt, vt) in g.args.iter().zip(&va.args) {
                 match vt {
@@ -244,8 +242,8 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
                             }
                             Some(_) => {}
                             None => {
-                                inv.insert(y.clone(), qt.clone());
-                                added_inv.push(y.clone());
+                                inv.insert(*y, *qt);
+                                added_inv.push(*y);
                             }
                         }
                         // fwd consistency for query variables.
@@ -257,8 +255,8 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
                                 }
                                 Some(_) => {}
                                 None => {
-                                    fwd.insert(x.clone(), y.clone());
-                                    added_fwd.push(x.clone());
+                                    fwd.insert(*x, *y);
+                                    added_fwd.push(*x);
                                 }
                             }
                         }
@@ -308,7 +306,7 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
     out.retain_mut(|m| {
         for (x, y) in &m.fwd {
             let shared_outside = q.atoms.iter().enumerate().any(|(i, a)| {
-                !m.covered.contains(&i) && a.args.iter().any(|t| t.as_var() == Some(x.as_str()))
+                !m.covered.contains(&i) && a.args.iter().any(|t| t.as_var() == Some(*x))
             });
             // Distinguished in the query, or shared with uncovered subgoals:
             // the view must export it.
@@ -322,9 +320,7 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
                 let all_entailed = q
                     .comparisons
                     .iter()
-                    .filter(|c| {
-                        c.lhs.as_var() == Some(x.as_str()) || c.rhs.as_var() == Some(x.as_str())
-                    })
+                    .filter(|c| c.lhs.as_var() == Some(*x) || c.rhs.as_var() == Some(*x))
                     .all(|c| {
                         let mapped = map_comparison_fwd(c, &m.fwd);
                         match mapped {
@@ -335,7 +331,7 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
                 if !all_entailed {
                     return false;
                 }
-                m.entailed_vars.insert(x.clone());
+                m.entailed_vars.insert(*x);
             }
         }
         // Rigid query terms matched against view variables require the view
@@ -354,12 +350,12 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
 /// `None` if some variable is unmapped.
 fn map_comparison_fwd(
     c: &crate::cq::Comparison,
-    fwd: &BTreeMap<String, String>,
+    fwd: &BTreeMap<Sym, Sym>,
 ) -> Option<crate::cq::Comparison> {
     let map = |t: &Term| -> Option<Term> {
         match t {
-            Term::Var(v) => fwd.get(v).map(|y| Term::var(y.clone())),
-            rigid => Some(rigid.clone()),
+            Term::Var(v) => fwd.get(v).map(|y| Term::Var(*y)),
+            rigid => Some(*rigid),
         }
     };
     Some(crate::cq::Comparison::new(map(&c.lhs)?, c.op, map(&c.rhs)?))
@@ -371,14 +367,14 @@ fn view_atom(m: &Mcd, view: &Cq, fresh: &mut usize) -> Atom {
         .head
         .iter()
         .map(|h| match h {
-            Term::Var(y) => m.inv.get(y).cloned().unwrap_or_else(|| {
+            Term::Var(y) => m.inv.get(y).copied().unwrap_or_else(|| {
                 *fresh += 1;
                 Term::var(format!("r·{fresh}"))
             }),
-            rigid => rigid.clone(),
+            rigid => *rigid,
         })
         .collect();
-    Atom::new(view.name.clone().expect("views are named"), args)
+    Atom::new(view.name.expect("views are named"), args)
 }
 
 /// Generates candidate rewritings (unverified).
@@ -459,27 +455,27 @@ fn candidates_mode(q: &Cq, views: &ViewSet, relaxed: bool) -> Vec<Cq> {
         let mut fresh = 0usize;
         let mut rw = Cq::new(q.head.clone(), Vec::new(), Vec::new());
         let mut ok = true;
-        let mut entailed: BTreeSet<&String> = BTreeSet::new();
+        let mut entailed: BTreeSet<Sym> = BTreeSet::new();
         for &mi in &combo {
             let m = &all_mcds[mi];
             let view = &views.views[m.view_idx];
             rw.atoms.push(view_atom(m, view, &mut fresh));
-            entailed.extend(m.entailed_vars.iter());
+            entailed.extend(m.entailed_vars.iter().copied());
         }
-        let avail: BTreeSet<String> = rw
+        let avail: BTreeSet<Sym> = rw
             .atoms
             .iter()
-            .flat_map(|a| a.args.iter().filter_map(|t| t.as_var().map(String::from)))
+            .flat_map(|a| a.args.iter().filter_map(|t| t.as_var()))
             .collect();
         // Comparisons re-apply on the rewriting when their variables are
         // exported; otherwise they must be entailed inside a chosen view.
         // (In relaxed mode unavailable comparisons are dropped and the
         // verifier decides.)
         for c in &q.comparisons {
-            let vars: Vec<&str> = [&c.lhs, &c.rhs].iter().filter_map(|t| t.as_var()).collect();
-            if vars.iter().all(|v| avail.contains(*v)) {
-                rw.comparisons.push(c.clone());
-            } else if !relaxed && !vars.iter().all(|v| entailed.contains(&v.to_string())) {
+            let vars: Vec<Sym> = [&c.lhs, &c.rhs].iter().filter_map(|t| t.as_var()).collect();
+            if vars.iter().all(|v| avail.contains(v)) {
+                rw.comparisons.push(*c);
+            } else if !relaxed && !vars.iter().all(|v| entailed.contains(v)) {
                 ok = false;
             }
         }
@@ -644,7 +640,7 @@ pub fn containing_rewritings(q: &Cq, views: &ViewSet, max_atoms: usize) -> Vec<C
                 .iter()
                 .map(|t| crate::cq::apply_term(t, &h))
                 .collect();
-            let atom = Atom::new(view.name.clone().expect("views are named"), args);
+            let atom = Atom::new(view.name.expect("views are named"), args);
             if !applications.contains(&atom) {
                 applications.push(atom);
             }
@@ -652,12 +648,12 @@ pub fn containing_rewritings(q: &Cq, views: &ViewSet, max_atoms: usize) -> Vec<C
     }
 
     // Combine up to `max_atoms` applications covering the query head vars.
-    let head_vars: BTreeSet<String> = q.head_vars().into_iter().collect();
+    let head_vars: BTreeSet<Sym> = q.head_vars().into_iter().collect();
     let mut out: Vec<Cq> = Vec::new();
     let mut choose = |combo: &[&Atom]| {
-        let avail: BTreeSet<String> = combo
+        let avail: BTreeSet<Sym> = combo
             .iter()
-            .flat_map(|a| a.args.iter().filter_map(|t| t.as_var().map(String::from)))
+            .flat_map(|a| a.args.iter().filter_map(|t| t.as_var()))
             .collect();
         if !head_vars.iter().all(|v| avail.contains(v)) {
             return;
@@ -744,7 +740,7 @@ fn fact_reductions(q: &Cq, facts: &[Atom]) -> Vec<Cq> {
                     .map(|c| crate::cq::apply_comparison(c, &h))
                     .collect(),
             );
-            reduced.name = q.name.clone();
+            reduced.name = q.name;
             if !out.contains(&reduced) {
                 out.push(reduced);
             }

@@ -37,13 +37,13 @@ fn cq() -> impl Strategy<Value = Cq> {
     )
         .prop_map(|(atoms, head_vars)| {
             // Keep the query safe: head vars must occur in an atom.
-            let atom_vars: Vec<&str> = atoms
+            let atom_vars: Vec<qlogic::Sym> = atoms
                 .iter()
                 .flat_map(|a| a.args.iter().filter_map(|t| t.as_var()))
                 .collect();
             let head: Vec<Term> = head_vars
                 .into_iter()
-                .filter(|v| atom_vars.contains(v))
+                .filter(|v| atom_vars.iter().any(|av| av == v))
                 .map(Term::var)
                 .collect();
             Cq::new(head, atoms, vec![])
@@ -142,16 +142,16 @@ proptest! {
         // If the context holds under the assignment, an entailed goal must too.
         let holds = |c: &Comparison| -> bool {
             let lv = match &c.lhs {
-                Term::Var(v) => Value::Int(assign[v[1..].parse::<usize>().unwrap()]),
-                Term::Const(v) => v.clone(),
+                Term::Var(v) => Value::Int(assign[v.as_str()[1..].parse::<usize>().unwrap()]),
+                Term::Const(v) => v.to_value(),
                 Term::Param(_) => return true,
             };
             let rv = match &c.rhs {
-                Term::Var(v) => Value::Int(assign[v[1..].parse::<usize>().unwrap()]),
-                Term::Const(v) => v.clone(),
+                Term::Var(v) => Value::Int(assign[v.as_str()[1..].parse::<usize>().unwrap()]),
+                Term::Const(v) => v.to_value(),
                 Term::Param(_) => return true,
             };
-            c.op.eval(&lv, &rv).unwrap_or(false)
+            c.op.eval_values(&lv, &rv).unwrap_or(false)
         };
         if ctx.iter().all(holds) && reasoner.entails(&g) {
             prop_assert!(
@@ -178,11 +178,11 @@ proptest! {
             // No integer assignment may satisfy all comparisons.
             let holds = |c: &Comparison| -> bool {
                 let get = |t: &Term| match t {
-                    Term::Var(v) => Value::Int(assign[v[1..].parse::<usize>().unwrap()]),
-                    Term::Const(v) => v.clone(),
+                    Term::Var(v) => Value::Int(assign[v.as_str()[1..].parse::<usize>().unwrap()]),
+                    Term::Const(v) => v.to_value(),
                     Term::Param(_) => Value::Int(0),
                 };
-                c.op.eval(&get(&c.lhs), &get(&c.rhs)).unwrap_or(false)
+                c.op.eval_values(&get(&c.lhs), &get(&c.rhs)).unwrap_or(false)
             };
             prop_assert!(
                 !ctx.iter().all(holds),

@@ -10,7 +10,7 @@ use beyond_enforcement::prelude::*;
 use qlogic::{Atom, CmpOp, Comparison};
 
 fn named(mut cq: Cq, name: &str) -> Cq {
-    cq.name = Some(name.to_string());
+    cq.name = Some(name.into());
     cq
 }
 

@@ -12,7 +12,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn named(mut cq: Cq, name: &str) -> Cq {
-    cq.name = Some(name.to_string());
+    cq.name = Some(name.into());
     cq
 }
 
