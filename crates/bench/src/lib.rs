@@ -23,6 +23,7 @@
 //! | T9 | `t9_observability` |
 //! | T10 | `t10_plans` |
 //! | T11 | `t11_kernel` |
+//! | T12 | `t12_reactor` |
 
 #![warn(missing_docs)]
 

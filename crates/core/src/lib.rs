@@ -41,5 +41,5 @@ pub use plan::{
     compile_plan, DisjunctPlan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict,
 };
 pub use policy::{schema_of_database, Policy, ViewDef};
-pub use proxy::{ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
+pub use proxy::{BatchItem, BatchStmt, ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
 pub use trace::{Observation, Trace, TraceEntry};

@@ -1,0 +1,311 @@
+//! Differential tests of cross-connection batched execution.
+//!
+//! [`SqlProxy::execute_batch`] is the event-driven server's amortization
+//! point: one call decides a burst of frames drained from many
+//! connections, sharing the plan-cache probe within the batch and
+//! deferring journal publication into one block claim. Like the plan
+//! machinery, it is *pure* amortization — these properties drive
+//! generated template mixes over the calendar and forum schemas, chunk
+//! them into arbitrary batch shapes (including mixed-session batches and
+//! prepared-plan items), and assert against a step-by-step sequential
+//! proxy fed the identical global order:
+//!
+//! * every response is bit-identical (verdict, deny reason, rows,
+//!   errors);
+//! * every session's accumulated trace is identical afterwards;
+//! * the decision journals agree event by event on session, template
+//!   hash, verdict, cache tier, and negative-cache provenance — batching
+//!   may defer publication, never change what is published;
+//! * the aggregate allowed/blocked counters agree.
+
+use bep_core::{
+    schema_of_database, BatchItem, BatchStmt, ComplianceChecker, Policy, ProxyConfig, SqlProxy,
+};
+use minidb::Database;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use sqlir::Value;
+
+/// One generated request: (session slot, SQL, submit as a prepared plan).
+type Step = (usize, String, bool);
+
+fn calendar_db() -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+    )
+    .unwrap();
+    for e in 0..4 {
+        db.execute_sql(&format!(
+            "INSERT INTO Events (EId, Title, Kind) VALUES ({e}, 'title{e}', 'kind{e}')"
+        ))
+        .unwrap();
+        db.execute_sql(&format!(
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES ({e}, {e}, NULL)"
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn calendar_policy(db: &Database) -> (qlogic::RelSchema, Policy) {
+    let schema = schema_of_database(db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[
+            ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+            (
+                "V2",
+                "SELECT * FROM Events e JOIN Attendance a ON e.EId = a.EId \
+                 WHERE a.UId = ?MyUId",
+            ),
+        ],
+    )
+    .unwrap();
+    (schema, policy)
+}
+
+fn calendar_sql() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i64..4, 0i64..4)
+            .prop_map(|(u, e)| format!("SELECT 1 FROM Attendance WHERE UId = {u} AND EId = {e}")),
+        (0i64..4).prop_map(|e| format!("SELECT * FROM Events WHERE EId = {e}")),
+        (0i64..4)
+            .prop_map(|e| format!("SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = {e}")),
+        Just("SELECT EId FROM Attendance WHERE UId = ?MyUId".to_string()),
+        // Out of fragment and unparseable: error paths must batch too.
+        Just("SELECT COUNT(*) FROM Events".to_string()),
+        Just("SELEC whoops".to_string()),
+    ]
+}
+
+fn forum_db() -> Database {
+    let mut db = Database::new();
+    for ddl in [
+        "CREATE TABLE Groups (GId INT PRIMARY KEY, Name TEXT NOT NULL, Public BOOL NOT NULL)",
+        "CREATE TABLE Membership (UId INT NOT NULL, GId INT NOT NULL, Role TEXT NOT NULL, \
+         PRIMARY KEY (UId, GId))",
+        "CREATE TABLE Posts (PId INT PRIMARY KEY, GId INT NOT NULL, AuthorId INT NOT NULL, \
+         Title TEXT NOT NULL, Body TEXT NOT NULL)",
+    ] {
+        db.execute_sql(ddl).unwrap();
+    }
+    db.execute_sql(
+        "INSERT INTO Groups (GId, Name, Public) VALUES \
+         (0, 'g0', TRUE), (1, 'g1', FALSE), (2, 'g2', FALSE)",
+    )
+    .unwrap();
+    db.execute_sql(
+        "INSERT INTO Membership (UId, GId, Role) VALUES \
+         (0, 0, 'member'), (1, 1, 'member'), (2, 2, 'member')",
+    )
+    .unwrap();
+    db.execute_sql(
+        "INSERT INTO Posts (PId, GId, AuthorId, Title, Body) VALUES \
+         (10, 0, 0, 't10', 'b10'), (11, 1, 1, 't11', 'b11'), (12, 2, 2, 't12', 'b12')",
+    )
+    .unwrap();
+    db
+}
+
+fn forum_policy(db: &Database) -> (qlogic::RelSchema, Policy) {
+    let schema = schema_of_database(db);
+    let policy = Policy::from_sql(
+        &schema,
+        &[
+            ("PostGroups", "SELECT PId, GId FROM Posts"),
+            (
+                "MyMemberships",
+                "SELECT GId FROM Membership WHERE UId = ?MyUId",
+            ),
+            (
+                "PublicGroups",
+                "SELECT GId, Name FROM Groups WHERE Public = TRUE",
+            ),
+            (
+                "GroupPosts",
+                "SELECT p.PId, p.GId, p.Title, p.Body, p.AuthorId FROM Posts p \
+                 JOIN Membership m ON p.GId = m.GId WHERE m.UId = ?MyUId",
+            ),
+        ],
+    )
+    .unwrap();
+    (schema, policy)
+}
+
+fn forum_sql() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (10i64..13).prop_map(|p| format!("SELECT GId FROM Posts WHERE PId = {p}")),
+        (0i64..3)
+            .prop_map(|g| format!("SELECT 1 FROM Membership WHERE UId = ?MyUId AND GId = {g}")),
+        (10i64..13)
+            .prop_map(|p| format!("SELECT PId, Title, Body, AuthorId FROM Posts WHERE PId = {p}")),
+        Just("SELECT GId, Name FROM Groups WHERE Public = TRUE".to_string()),
+        // A write mixed in: the DB mutates mid-batch identically on both
+        // sides (and identically violates the primary key on repeats).
+        (10i64..13, 900i64..903).prop_map(|(g, p)| format!(
+            "INSERT INTO Posts (PId, GId, AuthorId, Title, Body) VALUES ({p}, {g}, 0, 't', 'b')"
+        )),
+    ]
+}
+
+fn step(sql: impl Strategy<Value = String>, sessions: usize) -> impl Strategy<Value = Step> {
+    (0..sessions, sql, any::<bool>())
+}
+
+/// Replays `steps` chunked into `batch_sizes`-shaped batches through one
+/// proxy's `execute_batch` and one item at a time through another, then
+/// compares responses, traces, journals, and counters.
+fn assert_batch_differential(
+    db: &Database,
+    schema: qlogic::RelSchema,
+    policy: Policy,
+    sessions: usize,
+    steps: &[Step],
+    batch_sizes: &[usize],
+) -> Result<(), TestCaseError> {
+    let checker = ComplianceChecker::new(schema, policy);
+    let sequential = SqlProxy::new(db.clone(), checker.clone(), ProxyConfig::default());
+    let batched = SqlProxy::new(db.clone(), checker, ProxyConfig::default());
+
+    // One session per slot on each proxy; slot i binds MyUId = i, so a
+    // mixed-session batch interleaves genuinely different principals.
+    let bind = |uid: usize| vec![("MyUId".to_string(), Value::Int(uid as i64))];
+    let seq_sessions: Vec<u64> = (0..sessions)
+        .map(|u| sequential.begin_session(bind(u)))
+        .collect();
+    let bat_sessions: Vec<u64> = (0..sessions)
+        .map(|u| batched.begin_session(bind(u)))
+        .collect();
+
+    let mut off = 0;
+    let mut turn = 0;
+    while off < steps.len() {
+        let n = batch_sizes[turn % batch_sizes.len()].min(steps.len() - off);
+        turn += 1;
+        let chunk = &steps[off..off + n];
+        off += n;
+
+        // Build the batch exactly as the event loop does: prepared items
+        // resolve their plan at classification time, before the batch
+        // runs. Mirror those prepares on the sequential side first so
+        // both plan caches see the same history at every step.
+        let items: Vec<BatchItem> = chunk
+            .iter()
+            .map(|(slot, sql, prepared)| BatchItem {
+                session: bat_sessions[*slot],
+                stmt: if *prepared {
+                    BatchStmt::Plan(batched.prepare(sql))
+                } else {
+                    BatchStmt::Sql(sql.clone())
+                },
+                bindings: Vec::new(),
+            })
+            .collect();
+        let seq_plans: Vec<_> = chunk
+            .iter()
+            .map(|(_, sql, prepared)| prepared.then(|| sequential.prepare(sql)))
+            .collect();
+
+        let got = batched.execute_batch(&items);
+        assert_eq!(got.len(), chunk.len(), "one response per item");
+        for (i, ((slot, sql, _), response)) in chunk.iter().zip(&got).enumerate() {
+            let want = match &seq_plans[i] {
+                Some(plan) => sequential.execute_planned(seq_sessions[*slot], plan, &[]),
+                None => sequential.execute(seq_sessions[*slot], sql, &[]),
+            };
+            prop_assert_eq!(
+                &want,
+                response,
+                "batched vs sequential diverged on `{}` (session slot {})",
+                sql,
+                slot
+            );
+        }
+    }
+
+    // Traces must have evolved identically, session by session.
+    for (slot, (&s, &b)) in seq_sessions.iter().zip(&bat_sessions).enumerate() {
+        let st = sequential.session_trace(s).expect("sequential trace");
+        let bt = batched.session_trace(b).expect("batched trace");
+        prop_assert_eq!(
+            format!("{st:?}"),
+            format!("{bt:?}"),
+            "trace diverged for session slot {}",
+            slot
+        );
+    }
+
+    // Journal parity: batching defers publication, never changes it. The
+    // sequences must agree on everything except wall-clock timings.
+    let seq_events = sequential.journal().events_since(0, usize::MAX);
+    let bat_events = batched.journal().events_since(0, usize::MAX);
+    prop_assert_eq!(seq_events.len(), bat_events.len(), "journal lengths differ");
+    let slot_of = |sessions: &[u64], id: u64| sessions.iter().position(|&s| s == id);
+    for (i, (se, be)) in seq_events.iter().zip(&bat_events).enumerate() {
+        prop_assert_eq!(se.seq, be.seq, "event {}: seq", i);
+        prop_assert_eq!(
+            slot_of(&seq_sessions, se.session),
+            slot_of(&bat_sessions, be.session),
+            "event {}: session slot",
+            i
+        );
+        prop_assert_eq!(se.template_hash, be.template_hash, "event {}: hash", i);
+        prop_assert_eq!(se.verdict, be.verdict, "event {}: verdict", i);
+        prop_assert_eq!(se.tier, be.tier, "event {}: cache tier", i);
+        prop_assert_eq!(
+            se.negative_template_hit,
+            be.negative_template_hit,
+            "event {}: negative-cache provenance",
+            i
+        );
+    }
+
+    let ss = sequential.stats();
+    let bs = batched.stats();
+    prop_assert_eq!(
+        (ss.allowed, ss.blocked),
+        (bs.allowed, bs.blocked),
+        "aggregate decision counters diverged"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn calendar_batches_are_decision_identical(
+        steps in proptest::collection::vec(step(calendar_sql(), 3), 1..24),
+        batch_sizes in proptest::collection::vec(1usize..9, 1..6),
+    ) {
+        let db = calendar_db();
+        let (schema, policy) = calendar_policy(&db);
+        assert_batch_differential(&db, schema, policy, 3, &steps, &batch_sizes)?;
+    }
+
+    #[test]
+    fn forum_batches_are_decision_identical(
+        steps in proptest::collection::vec(step(forum_sql(), 3), 1..24),
+        batch_sizes in proptest::collection::vec(1usize..9, 1..6),
+    ) {
+        let db = forum_db();
+        let (schema, policy) = forum_policy(&db);
+        assert_batch_differential(&db, schema, policy, 3, &steps, &batch_sizes)?;
+    }
+
+    /// Degenerate shapes: all-singleton batches must equal `execute`
+    /// exactly, and one giant batch must equal the same requests one at a
+    /// time — the batch boundary carries no semantics.
+    #[test]
+    fn batch_boundaries_carry_no_semantics(
+        steps in proptest::collection::vec(step(calendar_sql(), 2), 1..16),
+    ) {
+        let db = calendar_db();
+        let (schema, policy) = calendar_policy(&db);
+        assert_batch_differential(&db, schema.clone(), policy.clone(), 2, &steps, &[1])?;
+        assert_batch_differential(&db, schema, policy, 2, &steps, &[steps.len()])?;
+    }
+}

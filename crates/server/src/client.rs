@@ -23,8 +23,15 @@ use crate::protocol::{Request, Response, WireStats, PROTOCOL_VERSION};
 pub enum ClientError {
     /// Transport-level failure (connect, read, write, or timeout).
     Io(std::io::Error),
-    /// The server is at capacity; retry later.
-    Busy,
+    /// The server is at capacity; retry later. Carries the server's load
+    /// snapshot at rejection time (zeros when the server predates the
+    /// payload).
+    Busy {
+        /// Requests queued ahead of the rejected one.
+        queue_depth: u64,
+        /// Worker threads serving the pool.
+        workers: u64,
+    },
     /// The server closed the connection.
     Closed,
     /// The peer violated the protocol (bad frame or unexpected message).
@@ -42,7 +49,13 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
-            ClientError::Busy => write!(f, "server busy"),
+            ClientError::Busy {
+                queue_depth,
+                workers,
+            } => write!(
+                f,
+                "server busy (queue depth {queue_depth}, {workers} workers)"
+            ),
             ClientError::Closed => write!(f, "server closed the connection"),
             ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
             ClientError::Server { kind, msg } => write!(f, "server error [{kind}]: {msg}"),
@@ -132,7 +145,13 @@ impl Client {
             version: PROTOCOL_VERSION,
         })? {
             Response::Welcome { .. } => Ok(client),
-            Response::Busy => Err(ClientError::Busy),
+            Response::Busy {
+                queue_depth,
+                workers,
+            } => Err(ClientError::Busy {
+                queue_depth,
+                workers,
+            }),
             other => Err(unexpected("welcome", &other)),
         }
     }
@@ -163,6 +182,36 @@ impl Client {
             Response::Blocked { reason, detail } => Ok(ExecOutcome::Blocked { reason, detail }),
             other => Err(expect_error(other, "rows/affected/blocked")),
         }
+    }
+
+    /// Executes a burst of statements **pipelined**: every request frame
+    /// is written back-to-back before the first response is read, so a
+    /// pipelining server can keep several frames in flight on this one
+    /// connection. Responses come back in request order; the result vector
+    /// is index-aligned with `stmts`.
+    pub fn execute_pipelined(
+        &mut self,
+        session: u64,
+        stmts: &[(String, Vec<(String, Value)>)],
+    ) -> Result<Vec<ExecOutcome>, ClientError> {
+        for (sql, bindings) in stmts {
+            let req = Request::Execute {
+                session,
+                sql: sql.clone(),
+                bindings: bindings.clone(),
+            };
+            write_frame(&mut self.stream, req.to_wire().as_bytes())?;
+        }
+        let mut out = Vec::with_capacity(stmts.len());
+        for _ in stmts {
+            out.push(match self.read_response()? {
+                Response::Rows { columns, rows } => ExecOutcome::Rows(Rows { columns, rows }),
+                Response::Affected { n } => ExecOutcome::Affected(n),
+                Response::Blocked { reason, detail } => ExecOutcome::Blocked { reason, detail },
+                other => return Err(expect_error(other, "rows/affected/blocked")),
+            });
+        }
+        Ok(out)
     }
 
     /// Compiles a statement template into a server-held plan for `session`
@@ -313,7 +362,13 @@ fn expect_error(response: Response, wanted: &str) -> ClientError {
             kind: kind.label().to_string(),
             msg,
         },
-        Response::Busy => ClientError::Busy,
+        Response::Busy {
+            queue_depth,
+            workers,
+        } => ClientError::Busy {
+            queue_depth,
+            workers,
+        },
         Response::Bye => ClientError::Closed,
         other => unexpected(wanted, &other),
     }

@@ -1,9 +1,16 @@
-//! Per-connection protocol loop.
+//! Per-connection protocol state, shared by both server front-ends.
 //!
-//! One worker thread runs [`handle_connection`] for the lifetime of a TCP
-//! connection. The loop enforces the handshake, decodes one frame at a
-//! time, dispatches to the shared [`SqlProxy`], and writes one response
-//! frame per request. Error containment is graded:
+//! [`ConnCore`] owns everything one connection's protocol needs — the
+//! handshake flag, the sessions it began, its prepared plans — and
+//! classifies each decoded request into either an *immediate* response
+//! (control-plane messages, answered inline) or an *execute* item
+//! ([`BatchItem`]) that the caller decides how to run: the blocking loop
+//! runs it at once, the event loop defers it into a cross-connection
+//! batch. Keeping classification in one place is what makes the two
+//! front-ends decision-identical by construction.
+//!
+//! [`handle_connection`] is the blocking front-end: one worker thread runs
+//! it for the lifetime of a TCP connection. Error containment is graded:
 //!
 //! * a *malformed message* (bad JSON, unknown tag, missing field) gets a
 //!   typed `error` response and the connection stays open — one bad frame
@@ -23,7 +30,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bep_core::{CoreError, ProxyResponse, SqlProxy, TemplatePlan};
+use bep_core::{BatchItem, BatchStmt, CoreError, ProxyResponse, SqlProxy, TemplatePlan};
 
 use crate::framing::{write_frame, FrameError, FrameEvent, FrameReader};
 use crate::protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
@@ -37,19 +44,21 @@ pub(crate) struct ConnShared {
     pub config: ServerConfig,
     /// Server-wide shutdown flag.
     pub shutdown: Arc<AtomicBool>,
-    /// The server's own address (used to poke the accept loop awake when a
-    /// client-initiated shutdown arrives).
+    /// The server's own address (used to poke the accept/event loop awake
+    /// when a client-initiated shutdown arrives).
     pub addr: SocketAddr,
 }
 
 /// Ends every still-live session this connection began, on any exit path
-/// (including unwinding out of a handler panic).
-struct SessionSweep<'a> {
-    proxy: &'a SqlProxy,
+/// (including unwinding out of a handler panic). Owns its proxy handle so
+/// connection state can outlive any particular stack frame — the event
+/// loop keeps thousands of these alive at once.
+struct SessionSweep {
+    proxy: Arc<SqlProxy>,
     owned: HashSet<u64>,
 }
 
-impl Drop for SessionSweep<'_> {
+impl Drop for SessionSweep {
     fn drop(&mut self) {
         self.proxy.end_sessions(self.owned.iter().copied());
     }
@@ -100,12 +109,245 @@ const TRACE_EVENTS_MAX: usize = 32;
 /// with `after`.
 const JOURNAL_BATCH_MAX: usize = 512;
 
+/// What [`ConnCore::classify`] decided about one request.
+pub(crate) enum Dispatched {
+    /// Control-plane request, answered inline.
+    Immediate {
+        /// The response to write.
+        response: Response,
+        /// Whether the connection should close after sending it.
+        close: bool,
+    },
+    /// An enforcement decision (`execute` / `execute_prepared`), already
+    /// ownership-checked and plan-resolved. The caller chooses the
+    /// execution strategy: immediately (blocking front-end) or pooled into
+    /// a cross-connection batch (event front-end). Either way the answer
+    /// is [`exec_response`] of the proxy result.
+    Execute(BatchItem),
+}
+
+/// One connection's protocol state, front-end agnostic.
+pub(crate) struct ConnCore {
+    shared: Arc<ConnShared>,
+    sweep: SessionSweep,
+    prepared: PreparedPlans,
+    greeted: bool,
+}
+
+impl ConnCore {
+    pub(crate) fn new(shared: Arc<ConnShared>) -> ConnCore {
+        let proxy = Arc::clone(&shared.proxy);
+        ConnCore {
+            shared,
+            sweep: SessionSweep {
+                proxy,
+                owned: HashSet::new(),
+            },
+            prepared: PreparedPlans::default(),
+            greeted: false,
+        }
+    }
+
+    /// Decodes one frame payload into a request, mapping UTF-8 and
+    /// protocol failures to the typed error response the peer should see
+    /// (the connection survives either).
+    pub(crate) fn parse(payload: &[u8]) -> Result<Request, Response> {
+        let text = std::str::from_utf8(payload).map_err(|_| Response::Error {
+            kind: ErrorKind::Malformed,
+            msg: "frame is not valid UTF-8".into(),
+        })?;
+        Request::from_wire(text).map_err(|e| Response::Error {
+            kind: ErrorKind::Malformed,
+            msg: e.to_string(),
+        })
+    }
+
+    /// Handles one decoded request up to — but not including — decision
+    /// execution.
+    pub(crate) fn classify(&mut self, request: Request) -> Dispatched {
+        if !self.greeted {
+            return match request {
+                Request::Hello { version } if version == PROTOCOL_VERSION => {
+                    self.greeted = true;
+                    immediate(
+                        Response::Welcome {
+                            version: PROTOCOL_VERSION,
+                        },
+                        false,
+                    )
+                }
+                Request::Hello { version } => immediate(
+                    Response::Error {
+                        kind: ErrorKind::Unsupported,
+                        msg: format!(
+                            "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
+                        ),
+                    },
+                    true,
+                ),
+                _ => immediate(
+                    Response::Error {
+                        kind: ErrorKind::Unsupported,
+                        msg: "handshake required: send hello first".into(),
+                    },
+                    true,
+                ),
+            };
+        }
+
+        let shared = &self.shared;
+        match request {
+            Request::Hello { .. } => immediate(
+                Response::Error {
+                    kind: ErrorKind::Unsupported,
+                    msg: "already greeted".into(),
+                },
+                false,
+            ),
+            Request::Begin { bindings } => {
+                let session = shared.proxy.begin_session(bindings);
+                self.sweep.owned.insert(session);
+                immediate(Response::Began { session }, false)
+            }
+            Request::Execute {
+                session,
+                sql,
+                bindings,
+            } => {
+                // Sessions are connection-scoped capabilities: a connection
+                // may only touch sessions it began, so one client can never
+                // read another's trace-unlocked state by guessing ids.
+                if !self.sweep.owned.contains(&session) {
+                    return immediate(no_such_session(session), false);
+                }
+                Dispatched::Execute(BatchItem {
+                    session,
+                    stmt: BatchStmt::Sql(sql),
+                    bindings,
+                })
+            }
+            Request::Prepare { session, sql } => {
+                // Plans are compiled against the (session-independent)
+                // policy, but the ownership gate still applies: a
+                // connection may only prepare work for sessions it began.
+                if !self.sweep.owned.contains(&session) {
+                    return immediate(no_such_session(session), false);
+                }
+                let plan = shared.proxy.prepare(&sql);
+                immediate(
+                    Response::Prepared {
+                        plan: self.prepared.insert(plan),
+                    },
+                    false,
+                )
+            }
+            Request::ExecutePrepared {
+                session,
+                plan,
+                bindings,
+            } => {
+                if !self.sweep.owned.contains(&session) {
+                    return immediate(no_such_session(session), false);
+                }
+                let Some(plan) = self.prepared.plans.get(&plan).cloned() else {
+                    return immediate(
+                        Response::Error {
+                            kind: ErrorKind::NoSuchPlan,
+                            msg: format!("no such prepared plan: {plan}"),
+                        },
+                        false,
+                    );
+                };
+                Dispatched::Execute(BatchItem {
+                    session,
+                    stmt: BatchStmt::Plan(plan),
+                    bindings,
+                })
+            }
+            Request::Trace { session } => {
+                if !self.sweep.owned.contains(&session) {
+                    return immediate(no_such_session(session), false);
+                }
+                match shared.proxy.session_trace(session) {
+                    Ok(trace) => immediate(
+                        Response::TraceSummary {
+                            entries: trace.len() as u64,
+                            facts: trace.facts().len() as u64,
+                            events: shared
+                                .proxy
+                                .journal()
+                                .recent(TRACE_EVENTS_MAX, Some(session)),
+                        },
+                        false,
+                    ),
+                    Err(e) => immediate(core_error(e), false),
+                }
+            }
+            Request::Stats => immediate(Response::Stats(wire_stats(&shared.proxy)), false),
+            Request::Metrics => immediate(
+                Response::Metrics {
+                    text: shared.proxy.metrics_text(),
+                },
+                false,
+            ),
+            Request::Journal { after, max } => {
+                let journal = shared.proxy.journal();
+                let max = (max as usize).min(JOURNAL_BATCH_MAX);
+                immediate(
+                    Response::Journal {
+                        events: journal.events_since(after, max),
+                        published: journal.published(),
+                        evicted: journal.evicted(),
+                    },
+                    false,
+                )
+            }
+            Request::End { session } => {
+                if !self.sweep.owned.contains(&session) {
+                    return immediate(no_such_session(session), false);
+                }
+                // `owned` deliberately keeps the id: a repeated End must
+                // stay idempotent (`was_live: false`), not become
+                // no-such-session.
+                let was_live = shared.proxy.end_session(session);
+                immediate(Response::Ended { was_live }, false)
+            }
+            Request::Shutdown => {
+                shared.shutdown.store(true, Ordering::Release);
+                // Whichever front-end is blocked waiting for traffic, a
+                // loopback connection wakes it so it observes the flag.
+                // Any error just means it is already awake.
+                let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+                immediate(Response::Bye, true)
+            }
+        }
+    }
+
+    /// Runs one already-classified decision immediately through the proxy
+    /// — the blocking front-end's execution strategy (and the event
+    /// front-end's for a batch of one).
+    pub(crate) fn execute_now(&self, item: &BatchItem) -> Response {
+        exec_response(match &item.stmt {
+            BatchStmt::Sql(sql) => self.shared.proxy.execute(item.session, sql, &item.bindings),
+            BatchStmt::Plan(plan) => {
+                self.shared
+                    .proxy
+                    .execute_planned(item.session, plan, &item.bindings)
+            }
+        })
+    }
+}
+
+fn immediate(response: Response, close: bool) -> Dispatched {
+    Dispatched::Immediate { response, close }
+}
+
 fn send(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     write_frame(stream, response.to_wire().as_bytes())
 }
 
-/// Runs the protocol loop until the connection closes.
-pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
+/// Runs the blocking protocol loop until the connection closes.
+pub(crate) fn handle_connection(shared: &Arc<ConnShared>, mut stream: TcpStream) {
     // The read timeout doubles as the poll tick for the shutdown flag and
     // the idle clock; the write timeout bounds a stuck peer's backpressure.
     let _ = stream.set_read_timeout(Some(shared.config.poll_interval));
@@ -113,12 +355,7 @@ pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
     let _ = stream.set_nodelay(true);
 
     let mut reader = FrameReader::new(shared.config.max_frame);
-    let mut sweep = SessionSweep {
-        proxy: &shared.proxy,
-        owned: HashSet::new(),
-    };
-    let mut prepared = PreparedPlans::default();
-    let mut greeted = false;
+    let mut core = ConnCore::new(Arc::clone(shared));
     let mut last_activity = Instant::now();
 
     loop {
@@ -157,213 +394,29 @@ pub(crate) fn handle_connection(shared: &ConnShared, mut stream: TcpStream) {
         };
         last_activity = Instant::now();
 
-        let text = match std::str::from_utf8(&payload) {
-            Ok(t) => t,
-            Err(_) => {
-                if send(
-                    &mut stream,
-                    &Response::Error {
-                        kind: ErrorKind::Malformed,
-                        msg: "frame is not valid UTF-8".into(),
-                    },
-                )
-                .is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        };
-        let request = match Request::from_wire(text) {
+        let request = match ConnCore::parse(&payload) {
             Ok(r) => r,
-            Err(e) => {
+            Err(error_response) => {
                 // Malformed message: typed error, connection survives.
-                if send(
-                    &mut stream,
-                    &Response::Error {
-                        kind: ErrorKind::Malformed,
-                        msg: e.to_string(),
-                    },
-                )
-                .is_err()
-                {
+                if send(&mut stream, &error_response).is_err() {
                     return;
                 }
                 continue;
             }
         };
 
-        let (response, close) = dispatch(shared, &mut sweep, &mut prepared, &mut greeted, request);
+        let (response, close) = match core.classify(request) {
+            Dispatched::Immediate { response, close } => (response, close),
+            Dispatched::Execute(item) => (core.execute_now(&item), false),
+        };
         if send(&mut stream, &response).is_err() || close {
             return;
         }
     }
 }
 
-/// Handles one decoded request. Returns the response and whether the
-/// connection should close after sending it.
-fn dispatch(
-    shared: &ConnShared,
-    sweep: &mut SessionSweep<'_>,
-    prepared: &mut PreparedPlans,
-    greeted: &mut bool,
-    request: Request,
-) -> (Response, bool) {
-    if !*greeted {
-        return match request {
-            Request::Hello { version } if version == PROTOCOL_VERSION => {
-                *greeted = true;
-                (
-                    Response::Welcome {
-                        version: PROTOCOL_VERSION,
-                    },
-                    false,
-                )
-            }
-            Request::Hello { version } => (
-                Response::Error {
-                    kind: ErrorKind::Unsupported,
-                    msg: format!(
-                        "protocol version {version} not supported (server speaks {PROTOCOL_VERSION})"
-                    ),
-                },
-                true,
-            ),
-            _ => (
-                Response::Error {
-                    kind: ErrorKind::Unsupported,
-                    msg: "handshake required: send hello first".into(),
-                },
-                true,
-            ),
-        };
-    }
-
-    match request {
-        Request::Hello { .. } => (
-            Response::Error {
-                kind: ErrorKind::Unsupported,
-                msg: "already greeted".into(),
-            },
-            false,
-        ),
-        Request::Begin { bindings } => {
-            let session = shared.proxy.begin_session(bindings);
-            sweep.owned.insert(session);
-            (Response::Began { session }, false)
-        }
-        Request::Execute {
-            session,
-            sql,
-            bindings,
-        } => {
-            // Sessions are connection-scoped capabilities: a connection may
-            // only touch sessions it began, so one client can never read
-            // another's trace-unlocked state by guessing ids.
-            if !sweep.owned.contains(&session) {
-                return (no_such_session(session), false);
-            }
-            (
-                exec_response(shared.proxy.execute(session, &sql, &bindings)),
-                false,
-            )
-        }
-        Request::Prepare { session, sql } => {
-            // Plans are compiled against the (session-independent) policy,
-            // but the ownership gate still applies: a connection may only
-            // prepare work for sessions it began.
-            if !sweep.owned.contains(&session) {
-                return (no_such_session(session), false);
-            }
-            let plan = shared.proxy.prepare(&sql);
-            (
-                Response::Prepared {
-                    plan: prepared.insert(plan),
-                },
-                false,
-            )
-        }
-        Request::ExecutePrepared {
-            session,
-            plan,
-            bindings,
-        } => {
-            if !sweep.owned.contains(&session) {
-                return (no_such_session(session), false);
-            }
-            let Some(plan) = prepared.plans.get(&plan).cloned() else {
-                return (
-                    Response::Error {
-                        kind: ErrorKind::NoSuchPlan,
-                        msg: format!("no such prepared plan: {plan}"),
-                    },
-                    false,
-                );
-            };
-            (
-                exec_response(shared.proxy.execute_planned(session, &plan, &bindings)),
-                false,
-            )
-        }
-        Request::Trace { session } => {
-            if !sweep.owned.contains(&session) {
-                return (no_such_session(session), false);
-            }
-            match shared.proxy.session_trace(session) {
-                Ok(trace) => (
-                    Response::TraceSummary {
-                        entries: trace.len() as u64,
-                        facts: trace.facts().len() as u64,
-                        events: shared
-                            .proxy
-                            .journal()
-                            .recent(TRACE_EVENTS_MAX, Some(session)),
-                    },
-                    false,
-                ),
-                Err(e) => (core_error(e), false),
-            }
-        }
-        Request::Stats => (Response::Stats(wire_stats(&shared.proxy)), false),
-        Request::Metrics => (
-            Response::Metrics {
-                text: shared.proxy.metrics_text(),
-            },
-            false,
-        ),
-        Request::Journal { after, max } => {
-            let journal = shared.proxy.journal();
-            let max = (max as usize).min(JOURNAL_BATCH_MAX);
-            (
-                Response::Journal {
-                    events: journal.events_since(after, max),
-                    published: journal.published(),
-                    evicted: journal.evicted(),
-                },
-                false,
-            )
-        }
-        Request::End { session } => {
-            if !sweep.owned.contains(&session) {
-                return (no_such_session(session), false);
-            }
-            // `owned` deliberately keeps the id: a repeated End must stay
-            // idempotent (`was_live: false`), not become no-such-session.
-            let was_live = shared.proxy.end_session(session);
-            (Response::Ended { was_live }, false)
-        }
-        Request::Shutdown => {
-            shared.shutdown.store(true, Ordering::Release);
-            // The accept loop is blocked in accept(); poke it awake so it
-            // observes the flag. Any error just means it is already awake.
-            let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
-            (Response::Bye, true)
-        }
-    }
-}
-
 /// Maps one proxy execution result (plain or prepared) to its wire form.
-fn exec_response(result: Result<ProxyResponse, CoreError>) -> Response {
+pub(crate) fn exec_response(result: Result<ProxyResponse, CoreError>) -> Response {
     match result {
         Ok(ProxyResponse::Rows(rows)) => Response::Rows {
             columns: rows.columns,

@@ -129,6 +129,101 @@ impl FrameReader {
     }
 }
 
+/// Buffer-based incremental frame decoder for nonblocking transports.
+///
+/// Where [`FrameReader`] *pulls* from a blocking `Read`, `FrameDecoder` is
+/// *fed*: the event loop reads whatever the socket has into a scratch
+/// buffer, [`feed`](FrameDecoder::feed)s it, and then drains zero or more
+/// complete frames with [`next_frame`](FrameDecoder::next_frame) — which
+/// is exactly the shape pipelining needs, because one readiness event may
+/// carry many frames (or a fraction of one). Splits at any byte boundary
+/// are tolerated; an oversized length prefix is rejected from the header
+/// alone, before any payload is buffered.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    limit: usize,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`, compacted after every extracted frame.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder that rejects frames larger than `limit` bytes.
+    pub fn new(limit: usize) -> FrameDecoder {
+        FrameDecoder {
+            limit,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Appends raw bytes read off the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// `true` while a frame is partially buffered (EOF now would be
+    /// truncation, and an idle clock should not tick).
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// The announced length of the next frame, once its header is
+    /// complete.
+    fn pending_len(&self) -> Option<usize> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return None;
+        }
+        Some(u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize)
+    }
+
+    /// `true` when at least one complete frame is buffered and a
+    /// [`next_frame`](FrameDecoder::next_frame) call would yield it. Lets
+    /// a fairness-capped loop know it must revisit this decoder even
+    /// without new socket readiness.
+    pub fn has_frame(&self) -> bool {
+        match self.pending_len() {
+            Some(len) => len > self.limit || self.buffered() >= 4 + len,
+            None => false,
+        }
+    }
+
+    /// Extracts the next complete frame, if one is fully buffered.
+    /// `Ok(None)` means "feed me more"; an oversized announcement is an
+    /// unrecoverable [`FrameError::Oversized`] (framing cannot resync).
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, FrameError> {
+        let Some(len) = self.pending_len() else {
+            return Ok(None);
+        };
+        if len > self.limit {
+            return Err(FrameError::Oversized {
+                announced: len,
+                limit: self.limit,
+            });
+        }
+        if self.buffered() < 4 + len {
+            return Ok(None);
+        }
+        let start = self.pos + 4;
+        let payload = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        // Compact: drop the consumed prefix so the buffer tracks only
+        // in-flight bytes (pipelined bursts stay bounded by what the
+        // socket delivered, not by connection lifetime).
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(Some(payload))
+    }
+}
+
 fn soft_or_hard(e: io::Error) -> Result<FrameEvent, FrameError> {
     match e.kind() {
         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => Ok(FrameEvent::TimedOut),

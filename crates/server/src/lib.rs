@@ -11,27 +11,40 @@
 //!   provenance ([`bep_core::DecisionEvent`]), `metrics` the Prometheus
 //!   text exposition;
 //! * [`framing`] — 4-byte length-prefixed frames with split-read tolerance
-//!   and oversized-frame rejection;
+//!   and oversized-frame rejection, in both pull
+//!   ([`framing::FrameReader`]) and push ([`framing::FrameDecoder`]) form;
+//! * [`reactor`] — a minimal level-triggered epoll abstraction (raw
+//!   syscalls against the libc `std` already links: no external deps);
+//! * [`event_loop`] — the default front-end: one reactor thread holding
+//!   every connection, pipelined frames, and cross-connection decision
+//!   batching through [`bep_core::SqlProxy::execute_batch`];
 //! * [`pool`] — a fixed worker thread-pool with a bounded backlog and
 //!   explicit admission control (saturation returns the connection to the
-//!   acceptor, which answers `busy` — the server never stalls);
-//! * [`conn`] — the per-connection loop: handshake enforcement,
-//!   connection-scoped session ownership, typed errors for malformed
-//!   frames, idle reaping, and a drop guard that sweeps orphaned sessions;
-//! * [`server`] — accept loop and graceful drain-then-join shutdown;
-//! * [`client`] — the blocking client used by tests, the benches (T8),
-//!   and the `serve_calendar` example.
+//!   acceptor, which answers `busy` with a load snapshot — the server
+//!   never stalls); drives the blocking front-end kept for differential
+//!   comparison ([`server::ServerMode::Blocking`]);
+//! * [`conn`] — per-connection protocol state shared by both front-ends:
+//!   handshake enforcement, connection-scoped session ownership, typed
+//!   errors for malformed frames, idle reaping, and a drop guard that
+//!   sweeps orphaned sessions;
+//! * [`server`] — front-end selection and graceful drain-then-join
+//!   shutdown;
+//! * [`client`] — the blocking client used by tests, the benches
+//!   (T8/T12), and the `serve_calendar` example; supports pipelined
+//!   bursts via [`client::Client::execute_pipelined`].
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub(crate) mod conn;
+pub(crate) mod event_loop;
 pub mod framing;
 pub mod json;
 pub mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 
 pub use client::{Client, ClientError, ExecOutcome, JournalPage, TraceInfo};
 pub use protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, ServerMode};

@@ -41,6 +41,20 @@ pub struct ThreadPool<T: Send + 'static> {
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A refused submission: the item comes back untouched together with a
+/// load snapshot taken under the pool lock at the moment of rejection, so
+/// the caller's `busy` response can tell the client *how* overloaded the
+/// server was rather than just that it was.
+#[derive(Debug)]
+pub struct Rejection<T> {
+    /// The item, returned to the caller.
+    pub item: T,
+    /// Items waiting in the backlog queue when the rejection happened.
+    pub queue_depth: usize,
+    /// Worker threads serving the pool.
+    pub workers: usize,
+}
+
 impl<T: Send + 'static> ThreadPool<T> {
     /// Spawns `workers` threads running `handler`, with room for
     /// `queue_capacity` waiting items beyond the ones being handled.
@@ -78,18 +92,26 @@ impl<T: Send + 'static> ThreadPool<T> {
     /// Submits an item unless the pool is saturated. An item is accepted
     /// when a worker is idle to take it at once, or when the backlog queue
     /// has room; otherwise (and after shutdown began) the item comes
-    /// straight back as `Err` and the caller decides what rejection looks
-    /// like.
-    pub fn try_execute(&self, item: T) -> Result<(), T> {
+    /// straight back as `Err` — with the queue depth and worker count at
+    /// rejection time — and the caller decides what rejection looks like.
+    pub fn try_execute(&self, item: T) -> Result<(), Rejection<T>> {
         let mut state = self.shared.state.lock().expect("pool lock");
         if state.shutting_down {
-            return Err(item);
+            return Err(Rejection {
+                queue_depth: state.queue.len(),
+                workers: self.workers.len(),
+                item,
+            });
         }
         // A queued item is picked up at once by an idle worker, so the
         // effective room is idle workers + backlog slots.
         let effective_room = state.idle_workers + self.shared.queue_capacity;
         if state.queue.len() >= effective_room {
-            return Err(item);
+            return Err(Rejection {
+                queue_depth: state.queue.len(),
+                workers: self.workers.len(),
+                item,
+            });
         }
         state.queue.push_back(item);
         drop(state);
@@ -165,7 +187,7 @@ mod tests {
                 match pool.try_execute(task) {
                     Ok(()) => break,
                     Err(back) => {
-                        task = back;
+                        task = back.item;
                         std::thread::sleep(Duration::from_millis(1));
                     }
                 }
@@ -200,8 +222,12 @@ mod tests {
         let rejected = pool.try_execute(Box::new(move || {
             marker2.store(0, Ordering::SeqCst);
         }) as Task);
-        assert!(rejected.is_err(), "saturated pool must reject");
-        drop(rejected);
+        let rejection = rejected.expect_err("saturated pool must reject");
+        // The load snapshot reflects the saturation that caused the
+        // rejection: one item in the backlog, one worker.
+        assert_eq!(rejection.queue_depth, 1);
+        assert_eq!(rejection.workers, 1);
+        drop(rejection);
         assert_eq!(marker.load(Ordering::SeqCst), 7, "rejected task never ran");
         release_tx.send(()).unwrap();
         pool.shutdown();

@@ -203,8 +203,14 @@ pub enum Response {
         version: i64,
     },
     /// The server is at capacity; the connection will be closed. Retry
-    /// later. May arrive instead of `welcome`.
-    Busy,
+    /// later. May arrive instead of `welcome`. Carries a load snapshot so
+    /// clients can make an informed backoff decision.
+    Busy {
+        /// Requests queued ahead of the rejected one at rejection time.
+        queue_depth: u64,
+        /// Worker threads serving the pool (the concurrency ceiling).
+        workers: u64,
+    },
     /// Session opened.
     Began {
         /// The new session id.
@@ -544,7 +550,14 @@ impl Response {
                 ("v", Json::Int(*version)),
                 ("server", Json::str("bep-server")),
             ]),
-            Response::Busy => Json::obj([("t", Json::str("busy"))]),
+            Response::Busy {
+                queue_depth,
+                workers,
+            } => Json::obj([
+                ("t", Json::str("busy")),
+                ("queue_depth", Json::Int(*queue_depth as i64)),
+                ("workers", Json::Int(*workers as i64)),
+            ]),
             Response::Began { session } => Json::obj([
                 ("t", Json::str("began")),
                 ("session", Json::Int(*session as i64)),
@@ -636,7 +649,12 @@ impl Response {
                     .as_i64()
                     .ok_or_else(|| ProtocolError("field \"v\" must be an integer".into()))?,
             }),
-            "busy" => Ok(Response::Busy),
+            // Load fields default to 0 when absent so frames from a
+            // pre-payload server still decode.
+            "busy" => Ok(Response::Busy {
+                queue_depth: j.get("queue_depth").and_then(Json::as_u64).unwrap_or(0),
+                workers: j.get("workers").and_then(Json::as_u64).unwrap_or(0),
+            }),
             "began" => Ok(Response::Began {
                 session: u64_field(&j, "session")?,
             }),
@@ -750,6 +768,20 @@ mod tests {
     }
 
     #[test]
+    fn busy_without_load_fields_still_decodes() {
+        // A pre-payload server sends a bare busy frame; the load snapshot
+        // defaults to zero.
+        let resp = Response::from_wire(r#"{"t":"busy"}"#).unwrap();
+        assert_eq!(
+            resp,
+            Response::Busy {
+                queue_depth: 0,
+                workers: 0,
+            }
+        );
+    }
+
+    #[test]
     fn trace_without_events_field_still_decodes() {
         // A pre-observability server omits "events"; the field defaults.
         let resp = Response::from_wire(r#"{"t":"trace","entries":4,"facts":6}"#).unwrap();
@@ -813,7 +845,10 @@ mod tests {
             Response::Welcome {
                 version: PROTOCOL_VERSION,
             },
-            Response::Busy,
+            Response::Busy {
+                queue_depth: 3,
+                workers: 2,
+            },
             Response::Began { session: 7 },
             Response::Prepared { plan: 1 },
             Response::Rows {

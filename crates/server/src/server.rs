@@ -1,19 +1,28 @@
-//! The TCP server: accept loop, admission control, graceful shutdown.
+//! The TCP server: front-end selection, admission control, graceful
+//! shutdown.
 //!
-//! [`Server::start`] binds a listener, spawns the worker
-//! [`ThreadPool`](crate::pool::ThreadPool), and hands each accepted
-//! connection to a worker for its whole lifetime (connection-per-worker:
-//! the proxy's decision path is CPU-bound, so more in-flight connections
-//! than workers would only add queueing delay). Admission control is
-//! explicit: when every worker is occupied and the bounded backlog is
-//! full, the acceptor immediately writes one `busy` frame and closes —
-//! overload produces fast typed rejections, never a stalled accept queue.
+//! [`Server::start`] binds a listener and launches one of two front-ends,
+//! chosen by [`ServerConfig::mode`]:
+//!
+//! * [`ServerMode::EventDriven`] (default) — a single reactor thread runs
+//!   the epoll readiness loop in [`crate::event_loop`]: nonblocking
+//!   sockets, pipelined frames, cross-connection decision batching, 10k+
+//!   idle connections with no thread growth. Admission control is the
+//!   `max_connections` cap; past it the acceptor answers `busy` with a
+//!   load snapshot.
+//! * [`ServerMode::Blocking`] — the original connection-per-worker pool
+//!   ([`crate::pool::ThreadPool`]): each accepted connection occupies a
+//!   worker thread for its lifetime; when every worker is occupied and
+//!   the bounded backlog is full, the acceptor writes `busy` (with the
+//!   pool's queue depth and worker count) and closes. Kept as the
+//!   differential baseline: both front-ends answer byte-identically, and
+//!   the T12 gate asserts it on replayed workloads.
 //!
 //! Shutdown — either [`Server::shutdown`] from the owning process or a
-//! client's `shutdown` request — is graceful: the flag flips, the accept
-//! loop is poked awake and stops admitting, every connection loop finishes
-//! its in-flight request, answers it, sends `bye`, and its drop guard ends
-//! any sessions the client left behind. Only then are the workers joined.
+//! client's `shutdown` request — is graceful in both modes: the flag
+//! flips, the front-end is woken (loopback poke or reactor waker), every
+//! connection gets its in-flight answer and a `bye`, session sweeps run,
+//! and only then are the serving threads joined.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -26,22 +35,49 @@ use std::time::Duration;
 use bep_core::SqlProxy;
 
 use crate::conn::{handle_connection, ConnShared};
+use crate::event_loop;
 use crate::framing::{write_frame, MAX_FRAME};
 use crate::pool::ThreadPool;
 use crate::protocol::Response;
+use crate::reactor::{waker_pair, Waker};
+
+/// Which front-end serves connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ServerMode {
+    /// One reactor thread, epoll readiness, pipelining, cross-connection
+    /// decision batching.
+    #[default]
+    EventDriven,
+    /// Connection-per-worker thread pool with a bounded backlog — the
+    /// pre-reactor front-end, kept for differential comparison.
+    Blocking,
+}
 
 /// Server tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads; each owns one live connection at a time.
+    /// Front-end selection (event-driven by default).
+    pub mode: ServerMode,
+    /// Worker threads (blocking mode); each owns one live connection at a
+    /// time.
     pub workers: usize,
     /// Accepted connections that may wait for a worker beyond the ones
-    /// being served; anything past `workers + queue_capacity` gets `busy`.
+    /// being served (blocking mode); anything past `workers +
+    /// queue_capacity` gets `busy`.
     pub queue_capacity: usize,
+    /// Live-connection admission cap (event mode); past it new
+    /// connections get `busy`.
+    pub max_connections: usize,
+    /// Largest group of decisions run through one
+    /// [`SqlProxy::execute_batch`] call (event mode).
+    pub batch_max: usize,
+    /// Fairness cap: frames decoded per connection per loop iteration
+    /// (event mode); surplus pipelined frames wait one lap.
+    pub frames_per_conn_per_tick: usize,
     /// Largest accepted frame in bytes.
     pub max_frame: usize,
-    /// Socket read timeout; doubles as the poll tick for the shutdown flag
-    /// and the idle clock.
+    /// Socket read timeout (blocking mode) / poll tick (event mode);
+    /// paces the shutdown flag and the idle clock.
     pub poll_interval: Duration,
     /// Socket write timeout (bounds a stuck peer's backpressure).
     pub write_timeout: Duration,
@@ -52,14 +88,29 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
         ServerConfig {
+            mode: ServerMode::default(),
             workers: 4,
             queue_capacity: 2,
+            max_connections: 12_288,
+            batch_max: 64,
+            frames_per_conn_per_tick: 32,
             max_frame: MAX_FRAME,
             poll_interval: Duration::from_millis(20),
             write_timeout: Duration::from_secs(2),
             idle_timeout: Duration::from_secs(30),
         }
     }
+}
+
+/// The mode-specific serving machinery behind a running [`Server`].
+enum Engine {
+    /// Accept thread owning the worker pool.
+    Blocking(JoinHandle<ThreadPool<TcpStream>>),
+    /// Reactor thread plus the waker that interrupts its poller.
+    Event {
+        thread: JoinHandle<()>,
+        waker: Waker,
+    },
 }
 
 /// A running enforcement server. Dropping without calling
@@ -69,12 +120,12 @@ pub struct Server {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     busy_rejections: Arc<AtomicU64>,
-    accept_thread: Option<JoinHandle<ThreadPool<TcpStream>>>,
+    engine: Option<Engine>,
 }
 
 impl Server {
     /// Binds `bind_addr` (use `127.0.0.1:0` for an ephemeral port), wraps
-    /// `proxy`, and starts serving.
+    /// `proxy`, and starts serving in the configured mode.
     pub fn start(
         proxy: Arc<SqlProxy>,
         config: ServerConfig,
@@ -90,29 +141,47 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
             addr,
         });
-        let handler_shared = Arc::clone(&shared);
-        let pool = ThreadPool::new(config.workers, config.queue_capacity, move |stream| {
-            // A panicking handler must not kill the worker; the connection
-            // guard inside still sweeps its sessions during unwind.
-            let _ = catch_unwind(AssertUnwindSafe(|| {
-                handle_connection(&handler_shared, stream);
-            }));
-        });
 
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_busy = Arc::clone(&busy_rejections);
-        let accept_thread = std::thread::Builder::new()
-            .name("bep-server-accept".into())
-            .spawn(move || {
-                accept_loop(&listener, &pool, &shared, &accept_shutdown, &accept_busy);
-                pool
-            })?;
+        let engine = match config.mode {
+            ServerMode::EventDriven => {
+                let (waker, waker_rx) = waker_pair()?;
+                let loop_shared = Arc::clone(&shared);
+                let loop_busy = Arc::clone(&busy_rejections);
+                let thread = std::thread::Builder::new()
+                    .name("bep-server-reactor".into())
+                    .spawn(move || {
+                        event_loop::run(listener, loop_shared, waker_rx, loop_busy);
+                    })?;
+                Engine::Event { thread, waker }
+            }
+            ServerMode::Blocking => {
+                let handler_shared = Arc::clone(&shared);
+                let pool = ThreadPool::new(config.workers, config.queue_capacity, move |stream| {
+                    // A panicking handler must not kill the worker; the
+                    // connection guard inside still sweeps its sessions
+                    // during unwind.
+                    let _ = catch_unwind(AssertUnwindSafe(|| {
+                        handle_connection(&handler_shared, stream);
+                    }));
+                });
+
+                let accept_shutdown = Arc::clone(&shutdown);
+                let accept_busy = Arc::clone(&busy_rejections);
+                let thread = std::thread::Builder::new()
+                    .name("bep-server-accept".into())
+                    .spawn(move || {
+                        accept_loop(&listener, &pool, &shared, &accept_shutdown, &accept_busy);
+                        pool
+                    })?;
+                Engine::Blocking(thread)
+            }
+        };
 
         Ok(Server {
             addr,
             shutdown,
             busy_rejections,
-            accept_thread: Some(accept_thread),
+            engine: Some(engine),
         })
     }
 
@@ -132,7 +201,8 @@ impl Server {
     }
 
     /// Requests shutdown and blocks until drained: connections finish
-    /// their in-flight request, orphaned sessions are swept, workers join.
+    /// their in-flight request, orphaned sessions are swept, serving
+    /// threads join.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Release);
         self.finish();
@@ -148,20 +218,28 @@ impl Server {
     }
 
     fn finish(&mut self) {
-        let Some(handle) = self.accept_thread.take() else {
+        let Some(engine) = self.engine.take() else {
             return;
         };
-        // Poke the blocking accept() so it observes the flag.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-        if let Ok(pool) = handle.join() {
-            pool.shutdown();
+        match engine {
+            Engine::Blocking(handle) => {
+                // Poke the blocking accept() so it observes the flag.
+                let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+                if let Ok(pool) = handle.join() {
+                    pool.shutdown();
+                }
+            }
+            Engine::Event { thread, waker } => {
+                waker.wake();
+                let _ = thread.join();
+            }
         }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if self.accept_thread.is_some() {
+        if self.engine.is_some() {
             self.shutdown.store(true, Ordering::Release);
             self.finish();
         }
@@ -190,12 +268,20 @@ fn accept_loop(
             reject(stream, &Response::Bye, shared.config.write_timeout);
             return;
         }
-        if let Err(stream) = pool.try_execute(stream) {
+        if let Err(rejection) = pool.try_execute(stream) {
             // Saturation: every worker busy and the backlog full. The
-            // rejected stream comes back, so the client hears `busy`
-            // instead of a silent close or an unbounded wait.
+            // rejected stream comes back with the pool's load snapshot, so
+            // the client hears a quantified `busy` instead of a silent
+            // close or an unbounded wait.
             busy_rejections.fetch_add(1, Ordering::Relaxed);
-            reject(stream, &Response::Busy, shared.config.write_timeout);
+            reject(
+                rejection.item,
+                &Response::Busy {
+                    queue_depth: rejection.queue_depth as u64,
+                    workers: rejection.workers as u64,
+                },
+                shared.config.write_timeout,
+            );
         }
     }
 }
@@ -205,12 +291,14 @@ fn accept_loop(
 /// usually pipelined its `hello` already, and closing a socket with
 /// unread data sends an RST that destroys the very `busy` frame we just
 /// wrote. So the rejection drains the client's bytes until FIN (briefly),
-/// and runs on its own short-lived thread to keep the accept loop free.
-fn reject(mut stream: TcpStream, response: &Response, write_timeout: Duration) {
+/// and runs on its own short-lived thread to keep the accept/event loop
+/// free.
+pub(crate) fn reject(mut stream: TcpStream, response: &Response, write_timeout: Duration) {
     let wire = response.to_wire();
     let _ = std::thread::Builder::new()
         .name("bep-server-reject".into())
         .spawn(move || {
+            let _ = stream.set_nonblocking(false);
             let _ = stream.set_write_timeout(Some(write_timeout));
             let _ = stream.set_nodelay(true);
             let _ = write_frame(&mut stream, wire.as_bytes());

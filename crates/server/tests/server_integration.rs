@@ -10,7 +10,7 @@ use bep_core::{
     SqlProxy, Verdict,
 };
 use bep_server::framing::{frame_bytes, write_frame};
-use bep_server::{Client, ClientError, ExecOutcome, Server, ServerConfig};
+use bep_server::{Client, ClientError, ExecOutcome, Server, ServerConfig, ServerMode};
 use minidb::Database;
 use sqlir::Value;
 
@@ -258,7 +258,10 @@ fn sessions_are_connection_scoped_capabilities() {
 
 #[test]
 fn saturated_server_answers_busy_not_silence() {
+    // Pool-saturation semantics are the blocking front-end's; the event
+    // loop has its own admission cap (tested separately).
     let config = ServerConfig {
+        mode: ServerMode::Blocking,
         workers: 1,
         queue_capacity: 0,
         ..Default::default()
@@ -272,10 +275,18 @@ fn saturated_server_answers_busy_not_silence() {
         .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
         .unwrap();
 
-    // ...then the next connection must be rejected with `busy`, quickly.
+    // ...then the next connection must be rejected with `busy`, quickly —
+    // and the typed payload must carry the pool's load snapshot: one
+    // worker, nothing waiting (the backlog has zero capacity).
     let t0 = std::time::Instant::now();
     match Client::connect(server.addr(), IO) {
-        Err(ClientError::Busy) => {}
+        Err(ClientError::Busy {
+            queue_depth,
+            workers,
+        }) => {
+            assert_eq!(queue_depth, 0, "zero-capacity backlog was empty");
+            assert_eq!(workers, 1, "the pool advertises its worker count");
+        }
         other => panic!("expected busy, got {other:?}"),
     }
     assert!(
@@ -297,13 +308,137 @@ fn saturated_server_answers_busy_not_silence() {
     loop {
         match Client::connect(server.addr(), IO) {
             Ok(_) => break,
-            Err(ClientError::Busy) if std::time::Instant::now() < deadline => {
+            Err(ClientError::Busy { .. }) if std::time::Instant::now() < deadline => {
                 std::thread::sleep(Duration::from_millis(20));
             }
             other => panic!("expected eventual admission, got {other:?}"),
         }
     }
     server.shutdown();
+}
+
+#[test]
+fn event_loop_connection_cap_answers_busy_with_load_snapshot() {
+    let config = ServerConfig {
+        max_connections: 1,
+        ..Default::default()
+    };
+    let (server, _proxy) = start(config);
+
+    let mut holder = Client::connect(server.addr(), IO).unwrap();
+    let s = holder.begin(uid_bindings(1)).unwrap();
+
+    match Client::connect(server.addr(), IO) {
+        Err(ClientError::Busy {
+            queue_depth,
+            workers,
+        }) => {
+            assert_eq!(queue_depth, 1, "the live connection count is the depth");
+            assert_eq!(workers, 1, "one reactor thread serves everything");
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    assert!(server.busy_rejections() >= 1);
+
+    // The admitted connection is unaffected by the rejection traffic.
+    assert!(holder
+        .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+        .unwrap()
+        .is_allowed());
+
+    // Closing it re-opens admission.
+    holder.abandon();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect(server.addr(), IO) {
+            Ok(_) => break,
+            Err(ClientError::Busy { .. }) if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            other => panic!("expected eventual admission, got {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_frames_get_ordered_responses() {
+    let (server, _proxy) = start(ServerConfig::default());
+    let mut c = Client::connect(server.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+
+    // A pipelined burst mixing an unlocking probe, the unlocked fetch, a
+    // blocked statement, and a parse error — responses must come back in
+    // request order with the same verdicts sequential execution gives.
+    let burst: Vec<(String, Vec<(String, Value)>)> = vec![
+        (
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2".into(),
+            vec![],
+        ),
+        ("SELECT * FROM Events WHERE EId = 2".into(), vec![]),
+        ("SELECT * FROM Events WHERE EId = 3".into(), vec![]),
+        ("SELEC whoops".into(), vec![]),
+    ];
+    let outcomes = c.execute_pipelined(s, &burst).unwrap();
+    assert_eq!(outcomes.len(), 4);
+    assert!(outcomes[0].is_allowed(), "{:?}", outcomes[0]);
+    match &outcomes[1] {
+        ExecOutcome::Rows(rows) => assert_eq!(rows.rows[0][1], Value::str("standup")),
+        other => panic!("probe must have unlocked the fetch, got {other:?}"),
+    }
+    match &outcomes[2] {
+        ExecOutcome::Blocked { reason, .. } => assert_eq!(reason, "not-determined"),
+        other => panic!("expected blocked, got {other:?}"),
+    }
+    match &outcomes[3] {
+        ExecOutcome::Blocked { reason, .. } => assert_eq!(reason, "parse-error"),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+
+    // The journal saw the decisions in pipeline order.
+    let page = c.journal(0, 100).unwrap();
+    assert_eq!(page.events.len(), 4);
+    assert_eq!(page.events[0].verdict, Verdict::Allowed);
+    assert_eq!(page.events[1].verdict, Verdict::Allowed);
+    assert_eq!(page.events[2].verdict, Verdict::Blocked);
+    assert_eq!(page.events[3].verdict, Verdict::Blocked);
+    server.shutdown();
+}
+
+#[test]
+fn front_ends_answer_identically_on_the_same_workload() {
+    // Differential gate in miniature: the same scripted conversation
+    // against both front-ends must produce byte-identical outcomes.
+    let script: Vec<(String, Vec<(String, Value)>)> = vec![
+        (
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event".into(),
+            vec![("event".into(), Value::Int(2))],
+        ),
+        (
+            "SELECT * FROM Events WHERE EId = ?event".into(),
+            vec![("event".into(), Value::Int(2))],
+        ),
+        ("SELECT * FROM Events WHERE EId = 3".into(), vec![]),
+        (
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 3, NULL)".into(),
+            vec![],
+        ),
+    ];
+    let run = |mode: ServerMode| {
+        let (server, _proxy) = start(ServerConfig {
+            mode,
+            ..Default::default()
+        });
+        let mut c = Client::connect(server.addr(), IO).unwrap();
+        let s = c.begin(uid_bindings(1)).unwrap();
+        let mut outcomes = Vec::new();
+        for (sql, bindings) in &script {
+            outcomes.push(c.execute(s, sql, bindings).unwrap());
+        }
+        server.shutdown();
+        outcomes
+    };
+    assert_eq!(run(ServerMode::EventDriven), run(ServerMode::Blocking));
 }
 
 #[test]
