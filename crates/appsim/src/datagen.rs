@@ -1,7 +1,13 @@
 //! Seeded random data population for the simulated applications.
+//!
+//! Population is *streaming*: each family emits typed rows into a
+//! [`BatchSink`] that flushes bounded batches into the database, so peak
+//! memory is one batch regardless of scale — there is never a materialized
+//! all-rows `Vec`, and no SQL text is formatted or parsed per row.
 
-use minidb::Database;
+use minidb::{Database, DbError};
 use rand::Rng;
+use sqlir::Value;
 
 /// Data-set scale knobs.
 #[derive(Debug, Clone, Copy)]
@@ -51,22 +57,85 @@ const KINDS: &[&str] = &["work", "fun", "family", "errand"];
 const DISEASES: &[&str] = &["pneumonia", "tuberculosis", "flu", "migraine", "asthma"];
 const DEPTS: &[&str] = &["eng", "ops", "sales", "legal"];
 
-/// Populates the calendar schema.
-pub fn seed_calendar(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+/// Rows per insert batch; bounds the populate path's peak memory.
+pub const BATCH_ROWS: usize = 4096;
+
+/// A batching row sink: buffers consecutive rows for one table and flushes
+/// them through [`Database::insert_rows`] when the batch fills or the
+/// target table changes. Constraint checks still run per row inside the
+/// database; the batching only amortizes call overhead and bounds memory.
+pub struct BatchSink<'a> {
+    db: &'a mut Database,
+    table: String,
+    buf: Vec<Vec<Value>>,
+    total: usize,
+}
+
+impl<'a> BatchSink<'a> {
+    /// Wraps a database for streaming population.
+    pub fn new(db: &'a mut Database) -> BatchSink<'a> {
+        BatchSink {
+            db,
+            table: String::new(),
+            buf: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Queues one row for `table`, flushing as needed.
+    pub fn push(&mut self, table: &str, row: Vec<Value>) -> Result<(), DbError> {
+        if self.table != table {
+            self.flush()?;
+            self.table = table.to_string();
+        }
+        self.buf.push(row);
+        if self.buf.len() >= BATCH_ROWS {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes any buffered rows.
+    pub fn flush(&mut self) -> Result<(), DbError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.buf);
+        self.total += self.db.insert_rows(&self.table, rows)?;
+        Ok(())
+    }
+
+    /// Total rows inserted so far (flushed only).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+fn int(v: i64) -> Value {
+    Value::Int(v)
+}
+
+fn text(s: impl Into<String>) -> Value {
+    Value::Str(s.into())
+}
+
+/// Streams the calendar schema's rows.
+pub fn stream_calendar(
+    sink: &mut BatchSink<'_>,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<(), DbError> {
     for u in 0..scale.users {
         let uid = FIRST_UID + u as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Users (UId, Name) VALUES ({uid}, 'user{u}')"
-        ))
-        .expect("seed user");
+        sink.push("Users", vec![int(uid), text(format!("user{u}"))])?;
     }
     for e in 0..scale.entities {
         let eid = 1 + e as i64;
         let kind = KINDS[rng.gen_range(0..KINDS.len())];
-        db.execute_sql(&format!(
-            "INSERT INTO Events (EId, Title, Kind) VALUES ({eid}, 'event{e}', '{kind}')"
-        ))
-        .expect("seed event");
+        sink.push(
+            "Events",
+            vec![int(eid), text(format!("event{e}")), text(kind)],
+        )?;
     }
     for u in 0..scale.users {
         let uid = FIRST_UID + u as i64;
@@ -78,77 +147,82 @@ pub fn seed_calendar(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
             }
             joined.push(eid);
             let notes = if rng.gen_bool(0.3) {
-                format!("'note{u}x{eid}'")
+                text(format!("note{u}x{eid}"))
             } else {
-                "NULL".into()
+                Value::Null
             };
-            db.execute_sql(&format!(
-                "INSERT INTO Attendance (UId, EId, Notes) VALUES ({uid}, {eid}, {notes})"
-            ))
-            .expect("seed attendance");
+            sink.push("Attendance", vec![int(uid), int(eid), notes])?;
         }
     }
+    Ok(())
 }
 
-/// Populates the hospital schema.
-pub fn seed_hospital(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+/// Streams the hospital schema's rows.
+pub fn stream_hospital(
+    sink: &mut BatchSink<'_>,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<(), DbError> {
     for p in 0..scale.users {
         let pid = 1 + p as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Patients (PId, Name) VALUES ({pid}, 'patient{p}')"
-        ))
-        .expect("seed patient");
+        sink.push("Patients", vec![int(pid), text(format!("patient{p}"))])?;
     }
     let doctors = scale.entities.max(1);
     for d in 0..doctors {
         let did = 500 + d as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Doctors (DId, Name) VALUES ({did}, 'dr{d}')"
-        ))
-        .expect("seed doctor");
+        sink.push("Doctors", vec![int(did), text(format!("dr{d}"))])?;
     }
     for p in 0..scale.users {
         let pid = 1 + p as i64;
         let did = 500 + rng.gen_range(0..doctors) as i64;
         let disease = DISEASES[rng.gen_range(0..DISEASES.len())];
-        db.execute_sql(&format!(
-            "INSERT INTO Treatment (PId, DId, Disease) VALUES ({pid}, {did}, '{disease}')"
-        ))
-        .expect("seed treatment");
+        sink.push("Treatment", vec![int(pid), int(did), text(disease)])?;
     }
+    Ok(())
 }
 
-/// Populates the employees schema.
-pub fn seed_employees(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+/// Streams the employees schema's rows.
+pub fn stream_employees(
+    sink: &mut BatchSink<'_>,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<(), DbError> {
     for e in 0..scale.users {
         let id = 1 + e as i64;
-        let age = rng.gen_range(16..70);
+        let age = rng.gen_range(16i64..70);
         let dept = DEPTS[rng.gen_range(0..DEPTS.len())];
-        let salary = rng.gen_range(50..250) * 1000;
-        db.execute_sql(&format!(
-            "INSERT INTO Employees (EmpId, Name, Age, Dept, Salary) VALUES \
-             ({id}, 'emp{e}', {age}, '{dept}', {salary})"
-        ))
-        .expect("seed employee");
+        let salary = rng.gen_range(50i64..250) * 1000;
+        sink.push(
+            "Employees",
+            vec![
+                int(id),
+                text(format!("emp{e}")),
+                int(age),
+                text(dept),
+                int(salary),
+            ],
+        )?;
     }
+    Ok(())
 }
 
-/// Populates the forum schema.
-pub fn seed_forum(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+/// Streams the forum schema's rows.
+pub fn stream_forum(
+    sink: &mut BatchSink<'_>,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<(), DbError> {
     for u in 0..scale.users {
         let uid = FIRST_UID + u as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Users (UId, Name) VALUES ({uid}, 'user{u}')"
-        ))
-        .expect("seed user");
+        sink.push("Users", vec![int(uid), text(format!("user{u}"))])?;
     }
     for g in 0..scale.entities {
         let gid = 1 + g as i64;
-        let public = if rng.gen_bool(0.25) { "TRUE" } else { "FALSE" };
-        db.execute_sql(&format!(
-            "INSERT INTO Groups (GId, Name, Public) VALUES ({gid}, 'group{g}', {public})"
-        ))
-        .expect("seed group");
+        let public = rng.gen_bool(0.25);
+        sink.push(
+            "Groups",
+            vec![int(gid), text(format!("group{g}")), Value::Bool(public)],
+        )?;
     }
     for u in 0..scale.users {
         let uid = FIRST_UID + u as i64;
@@ -160,10 +234,7 @@ pub fn seed_forum(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
             }
             joined.push(gid);
             let role = if rng.gen_bool(0.1) { "admin" } else { "member" };
-            db.execute_sql(&format!(
-                "INSERT INTO Membership (UId, GId, Role) VALUES ({uid}, {gid}, '{role}')"
-            ))
-            .expect("seed membership");
+            sink.push("Membership", vec![int(uid), int(gid), text(role)])?;
         }
     }
     let posts = scale.entities * 2;
@@ -171,59 +242,63 @@ pub fn seed_forum(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
         let pid = 1000 + p as i64;
         let gid = 1 + rng.gen_range(0..scale.entities) as i64;
         let author = FIRST_UID + rng.gen_range(0..scale.users) as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Posts (PId, GId, AuthorId, Title, Body) VALUES \
-             ({pid}, {gid}, {author}, 'post{p}', 'body of post {p}')"
-        ))
-        .expect("seed post");
+        sink.push(
+            "Posts",
+            vec![
+                int(pid),
+                int(gid),
+                int(author),
+                text(format!("post{p}")),
+                text(format!("body of post {p}")),
+            ],
+        )?;
         // A couple of comments per post.
         for c in 0..rng.gen_range(0..3) {
             let cid = pid * 10 + c;
             let commenter = FIRST_UID + rng.gen_range(0..scale.users) as i64;
-            db.execute_sql(&format!(
-                "INSERT INTO Comments (CId, PId, AuthorId, Body) VALUES \
-                 ({cid}, {pid}, {commenter}, 'comment {cid}')"
-            ))
-            .expect("seed comment");
+            sink.push(
+                "Comments",
+                vec![
+                    int(cid),
+                    int(pid),
+                    int(commenter),
+                    text(format!("comment {cid}")),
+                ],
+            )?;
         }
     }
+    Ok(())
 }
 
-/// Populates the wiki schema. The space distribution is deliberately
+/// Streams the wiki schema's rows. The space distribution is deliberately
 /// skewed (most documents land in the first space) so that small workloads
 /// leave the analytics probe's space id invariant — the trap active
 /// constraint discovery exists to undo.
-pub fn seed_wiki(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+pub fn stream_wiki(
+    sink: &mut BatchSink<'_>,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<(), DbError> {
     for u in 0..scale.users {
         let uid = FIRST_UID + u as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Users (UId, Name) VALUES ({uid}, 'user{u}')"
-        ))
-        .expect("seed user");
+        sink.push("Users", vec![int(uid), text(format!("user{u}"))])?;
     }
     let spaces = scale.entities.clamp(2, 8);
     for s in 0..spaces {
         let sid = 1 + s as i64;
-        db.execute_sql(&format!(
-            "INSERT INTO Spaces (SId, Name) VALUES ({sid}, 'space{s}')"
-        ))
-        .expect("seed space");
+        sink.push("Spaces", vec![int(sid), text(format!("space{s}"))])?;
     }
     for u in 0..scale.users {
         let uid = FIRST_UID + u as i64;
         let mut joined: Vec<i64> = vec![1]; // everyone can read space 1
-        db.execute_sql(&format!("INSERT INTO Access (UId, SId) VALUES ({uid}, 1)"))
-            .expect("seed access");
+        sink.push("Access", vec![int(uid), int(1)])?;
         for _ in 0..scale.links_per_user {
             let sid = 1 + rng.gen_range(0..spaces) as i64;
             if joined.contains(&sid) {
                 continue;
             }
             joined.push(sid);
-            db.execute_sql(&format!(
-                "INSERT INTO Access (UId, SId) VALUES ({uid}, {sid})"
-            ))
-            .expect("seed access");
+            sink.push("Access", vec![int(uid), int(sid)])?;
         }
     }
     for d in 0..scale.entities * 2 {
@@ -234,24 +309,78 @@ pub fn seed_wiki(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
         } else {
             1 + rng.gen_range(0..spaces) as i64
         };
-        db.execute_sql(&format!(
-            "INSERT INTO Docs (DId, SId, Title, Body) VALUES \
-             ({did}, {sid}, 'doc{d}', 'body of doc {d}')"
-        ))
-        .expect("seed doc");
+        sink.push(
+            "Docs",
+            vec![
+                int(did),
+                int(sid),
+                text(format!("doc{d}")),
+                text(format!("body of doc {d}")),
+            ],
+        )?;
     }
+    Ok(())
+}
+
+/// Streams the named application's rows into `sink`.
+pub fn stream_app(
+    name: &str,
+    sink: &mut BatchSink<'_>,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<(), DbError> {
+    match name {
+        "calendar" => stream_calendar(sink, rng, scale),
+        "hospital" => stream_hospital(sink, rng, scale),
+        "employees" => stream_employees(sink, rng, scale),
+        "forum" => stream_forum(sink, rng, scale),
+        "wiki" => stream_wiki(sink, rng, scale),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// Populates the database for the named application, returning the number
+/// of rows inserted.
+pub fn populate_app(
+    name: &str,
+    db: &mut Database,
+    rng: &mut impl Rng,
+    scale: &Scale,
+) -> Result<usize, DbError> {
+    let mut sink = BatchSink::new(db);
+    stream_app(name, &mut sink, rng, scale)?;
+    sink.flush()?;
+    Ok(sink.total())
+}
+
+/// Populates the calendar schema (thin wrapper over the streaming API).
+pub fn seed_calendar(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    populate_app("calendar", db, rng, scale).expect("seed calendar");
+}
+
+/// Populates the hospital schema (thin wrapper over the streaming API).
+pub fn seed_hospital(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    populate_app("hospital", db, rng, scale).expect("seed hospital");
+}
+
+/// Populates the employees schema (thin wrapper over the streaming API).
+pub fn seed_employees(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    populate_app("employees", db, rng, scale).expect("seed employees");
+}
+
+/// Populates the forum schema (thin wrapper over the streaming API).
+pub fn seed_forum(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    populate_app("forum", db, rng, scale).expect("seed forum");
+}
+
+/// Populates the wiki schema (thin wrapper over the streaming API).
+pub fn seed_wiki(db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
+    populate_app("wiki", db, rng, scale).expect("seed wiki");
 }
 
 /// Seeds the database for the named application.
 pub fn seed_app(name: &str, db: &mut Database, rng: &mut impl Rng, scale: &Scale) {
-    match name {
-        "calendar" => seed_calendar(db, rng, scale),
-        "hospital" => seed_hospital(db, rng, scale),
-        "employees" => seed_employees(db, rng, scale),
-        "forum" => seed_forum(db, rng, scale),
-        "wiki" => seed_wiki(db, rng, scale),
-        other => panic!("unknown app {other}"),
-    }
+    populate_app(name, db, rng, scale).expect("seed app");
 }
 
 #[cfg(test)]
@@ -296,5 +425,18 @@ mod tests {
             &Scale::medium(),
         );
         assert!(medium.total_rows() > small.total_rows());
+    }
+
+    #[test]
+    fn populate_reports_row_count() {
+        let mut db = CALENDAR.empty_db();
+        let n = populate_app(
+            "calendar",
+            &mut db,
+            &mut SmallRng::seed_from_u64(3),
+            &Scale::small(),
+        )
+        .unwrap();
+        assert_eq!(n, db.total_rows());
     }
 }

@@ -30,15 +30,15 @@ pub mod wiki;
 pub mod workload;
 
 pub use calendar::CALENDAR;
-pub use datagen::{seed_app, Scale, FIRST_UID};
+pub use datagen::{populate_app, seed_app, stream_app, BatchSink, Scale, BATCH_ROWS, FIRST_UID};
 pub use employees::EMPLOYEES;
 pub use forum::FORUM;
 pub use hospital::HOSPITAL;
-pub use simapp::{ProxyPort, SimApp};
+pub use simapp::{AppSpec, ProxyPort, SimApp};
 pub use wiki::WIKI;
 pub use workload::{
     calendar_workload, employees_workload, forum_workload, hospital_workload, wiki_workload,
-    workload_for,
+    workload_for, WorkloadError,
 };
 
 /// All five applications.

@@ -67,6 +67,87 @@ impl SimApp {
     }
 }
 
+/// What every application — hand-written ([`SimApp`]) or generated (the
+/// `scenario` crate's fleet) — provides to run under the enforcement,
+/// extraction, and diagnosis pipelines.
+///
+/// The provided methods mirror [`SimApp`]'s helpers so pipeline code can be
+/// written once against `&dyn AppSpec`.
+pub trait AppSpec {
+    /// Application name.
+    fn name(&self) -> &str;
+    /// `CREATE TABLE` statements.
+    fn ddl(&self) -> Vec<String>;
+    /// Handler source (the whole application, in the DSL).
+    fn source(&self) -> &str;
+    /// The intended (ground-truth) policy as `(name, SQL)` views.
+    fn ground_truth(&self) -> Vec<(String, String)>;
+    /// Session parameter names (shared with the policy namespace).
+    fn session_params(&self) -> Vec<String>;
+
+    /// Parses the application.
+    fn app(&self) -> App {
+        parse_app(self.source()).unwrap_or_else(|e| panic!("{} source: {e}", self.name()))
+    }
+
+    /// Creates an empty database with the application's schema.
+    fn empty_db(&self) -> Database {
+        let mut db = Database::new();
+        for ddl in self.ddl() {
+            db.execute_sql(&ddl)
+                .unwrap_or_else(|e| panic!("{} ddl: {e}", self.name()));
+        }
+        db
+    }
+
+    /// The relational schema (for the logic layer).
+    fn schema(&self) -> RelSchema {
+        bep_core::schema_of_database(&self.empty_db())
+    }
+
+    /// Compiles the ground-truth policy.
+    fn policy(&self) -> Result<Policy, CoreError> {
+        let gt = self.ground_truth();
+        let views: Vec<(&str, &str)> = gt.iter().map(|(n, s)| (n.as_str(), s.as_str())).collect();
+        Policy::from_sql(&self.schema(), &views)
+    }
+
+    /// The ground-truth views as conjunctive queries.
+    fn ground_truth_cqs(&self) -> Vec<qlogic::Cq> {
+        self.policy()
+            .expect("ground truth compiles")
+            .views()
+            .iter()
+            .map(|v| v.cq.clone())
+            .collect()
+    }
+}
+
+impl AppSpec for SimApp {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn ddl(&self) -> Vec<String> {
+        self.ddl.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn source(&self) -> &str {
+        self.source
+    }
+
+    fn ground_truth(&self) -> Vec<(String, String)> {
+        self.ground_truth
+            .iter()
+            .map(|(n, s)| (n.to_string(), s.to_string()))
+            .collect()
+    }
+
+    fn session_params(&self) -> Vec<String> {
+        self.session_params.iter().map(|s| s.to_string()).collect()
+    }
+}
+
 /// A [`QueryPort`] adapter running handlers through the enforcing proxy.
 ///
 /// Holds a shared reference: any number of ports (one per worker thread,

@@ -5,15 +5,68 @@
 //! extraction, and diagnosis all see both sides of every check.
 
 use appdsl::Request;
-use minidb::Database;
+use minidb::{Database, DbError};
 use rand::Rng;
 use sqlir::Value;
 
-/// Reads the distinct values of one integer column.
-fn int_column(db: &Database, sql: &str) -> Vec<i64> {
-    db.query_sql(sql)
-        .map(|rows| rows.rows.iter().filter_map(|r| r[0].as_int()).collect())
-        .unwrap_or_default()
+/// Workload generation failed: the seeded database does not hold the values
+/// a generator needs. Silently producing an empty workload here used to
+/// mask mis-seeded databases; callers now get a typed error instead.
+#[derive(Debug)]
+pub enum WorkloadError {
+    /// A seed-value scan failed outright.
+    Query {
+        /// The scan that failed.
+        sql: String,
+        /// The underlying database error.
+        source: DbError,
+    },
+    /// A seed-value scan returned no usable values.
+    Empty {
+        /// The scan that came back empty.
+        sql: String,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Query { sql, source } => {
+                write!(f, "workload seed scan `{sql}` failed: {source}")
+            }
+            WorkloadError::Empty { sql } => {
+                write!(
+                    f,
+                    "workload seed scan `{sql}` returned no values (mis-seeded database?)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Query { source, .. } => Some(source),
+            WorkloadError::Empty { .. } => None,
+        }
+    }
+}
+
+/// Reads the distinct values of one integer column; errors if the scan
+/// fails or yields nothing.
+fn int_column(db: &Database, sql: &str) -> Result<Vec<i64>, WorkloadError> {
+    let rows = db.query_sql(sql).map_err(|source| WorkloadError::Query {
+        sql: sql.to_string(),
+        source,
+    })?;
+    let vals: Vec<i64> = rows.rows.iter().filter_map(|r| r[0].as_int()).collect();
+    if vals.is_empty() {
+        return Err(WorkloadError::Empty {
+            sql: sql.to_string(),
+        });
+    }
+    Ok(vals)
 }
 
 fn pick<T: Copy>(rng: &mut impl Rng, items: &[T]) -> Option<T> {
@@ -29,9 +82,13 @@ fn session(uid: i64) -> Vec<(String, Value)> {
 }
 
 /// Generates a calendar workload of `n` requests.
-pub fn calendar_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
-    let users = int_column(db, "SELECT UId FROM Users");
-    let events = int_column(db, "SELECT EId FROM Events");
+pub fn calendar_workload(
+    db: &Database,
+    rng: &mut impl Rng,
+    n: usize,
+) -> Result<Vec<Request>, WorkloadError> {
+    let users = int_column(db, "SELECT UId FROM Users")?;
+    let events = int_column(db, "SELECT EId FROM Events")?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let Some(uid) = pick(rng, &users) else { break };
@@ -68,13 +125,17 @@ pub fn calendar_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Req
         };
         out.push(request);
     }
-    out
+    Ok(out)
 }
 
 /// Generates a hospital workload (staff sessions carry no parameters).
-pub fn hospital_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
-    let patients = int_column(db, "SELECT PId FROM Patients");
-    let doctors = int_column(db, "SELECT DId FROM Doctors");
+pub fn hospital_workload(
+    db: &Database,
+    rng: &mut impl Rng,
+    n: usize,
+) -> Result<Vec<Request>, WorkloadError> {
+    let patients = int_column(db, "SELECT PId FROM Patients")?;
+    let doctors = int_column(db, "SELECT DId FROM Doctors")?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let request = match rng.gen_range(0..4) {
@@ -107,13 +168,17 @@ pub fn hospital_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Req
         };
         out.push(request);
     }
-    out
+    Ok(out)
 }
 
 const DEPTS: &[&str] = &["eng", "ops", "sales", "legal"];
 
 /// Generates an employees workload.
-pub fn employees_workload(_db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+pub fn employees_workload(
+    _db: &Database,
+    rng: &mut impl Rng,
+    n: usize,
+) -> Result<Vec<Request>, WorkloadError> {
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let dept = DEPTS[rng.gen_range(0..DEPTS.len())];
@@ -136,14 +201,18 @@ pub fn employees_workload(_db: &Database, rng: &mut impl Rng, n: usize) -> Vec<R
         };
         out.push(request);
     }
-    out
+    Ok(out)
 }
 
 /// Generates a forum workload of `n` requests.
-pub fn forum_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
-    let users = int_column(db, "SELECT UId FROM Users");
-    let groups = int_column(db, "SELECT GId FROM Groups");
-    let posts = int_column(db, "SELECT PId FROM Posts");
+pub fn forum_workload(
+    db: &Database,
+    rng: &mut impl Rng,
+    n: usize,
+) -> Result<Vec<Request>, WorkloadError> {
+    let users = int_column(db, "SELECT UId FROM Users")?;
+    let groups = int_column(db, "SELECT GId FROM Groups")?;
+    let posts = int_column(db, "SELECT PId FROM Posts")?;
     let mut out = Vec::with_capacity(n);
     let mut next_comment = 900_000i64;
     for _ in 0..n {
@@ -201,14 +270,18 @@ pub fn forum_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Reques
         };
         out.push(request);
     }
-    out
+    Ok(out)
 }
 
 /// Generates a wiki workload of `n` requests.
-pub fn wiki_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
-    let users = int_column(db, "SELECT UId FROM Users");
-    let docs = int_column(db, "SELECT DId FROM Docs");
-    let spaces = int_column(db, "SELECT SId FROM Spaces");
+pub fn wiki_workload(
+    db: &Database,
+    rng: &mut impl Rng,
+    n: usize,
+) -> Result<Vec<Request>, WorkloadError> {
+    let users = int_column(db, "SELECT UId FROM Users")?;
+    let docs = int_column(db, "SELECT DId FROM Docs")?;
+    let spaces = int_column(db, "SELECT SId FROM Spaces")?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let Some(uid) = pick(rng, &users) else { break };
@@ -234,11 +307,16 @@ pub fn wiki_workload(db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request
         };
         out.push(request);
     }
-    out
+    Ok(out)
 }
 
 /// Generates a workload for the named application.
-pub fn workload_for(name: &str, db: &Database, rng: &mut impl Rng, n: usize) -> Vec<Request> {
+pub fn workload_for(
+    name: &str,
+    db: &Database,
+    rng: &mut impl Rng,
+    n: usize,
+) -> Result<Vec<Request>, WorkloadError> {
     match name {
         "calendar" => calendar_workload(db, rng, n),
         "hospital" => hospital_workload(db, rng, n),
@@ -264,7 +342,7 @@ mod tests {
             let mut rng = SmallRng::seed_from_u64(11);
             let mut db = app.empty_db();
             seed_app(app.name, &mut db, &mut rng, &Scale::small());
-            let requests = workload_for(app.name, &db, &mut rng, 30);
+            let requests = workload_for(app.name, &db, &mut rng, 30).expect("workload");
             assert_eq!(requests.len(), 30, "{}", app.name);
             let parsed = app.app();
             for req in &requests {
@@ -282,13 +360,23 @@ mod tests {
     }
 
     #[test]
+    fn unseeded_database_is_a_typed_error() {
+        let db = CALENDAR.empty_db();
+        let mut rng = SmallRng::seed_from_u64(5);
+        match calendar_workload(&db, &mut rng, 10) {
+            Err(WorkloadError::Empty { sql }) => assert!(sql.contains("Users"), "{sql}"),
+            other => panic!("expected Empty error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn workload_mixes_outcomes() {
         // At small scale with random probing, the calendar workload must
         // contain both authorized and unauthorized show_event requests.
         let mut rng = SmallRng::seed_from_u64(3);
         let mut db = CALENDAR.empty_db();
         seed_app("calendar", &mut db, &mut rng, &Scale::small());
-        let requests = calendar_workload(&db, &mut rng, 60);
+        let requests = calendar_workload(&db, &mut rng, 60).expect("workload");
         let app = CALENDAR.app();
         let mut ok = 0;
         let mut denied = 0;

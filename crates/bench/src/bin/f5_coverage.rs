@@ -24,13 +24,18 @@ fn main() {
         let schema = sim.schema();
 
         // Naive: a fixed 300-request workload.
-        let workload = workload_for(sim.name, &db, &mut rng, 300);
+        let workload = workload_for(sim.name, &db, &mut rng, 300).expect("workload");
+        assert!(
+            !workload.is_empty(),
+            "{} workload must be non-empty",
+            sim.name
+        );
         let naive = naive_curve(&db, &app, &workload).expect("naive");
 
         // Guided: the same generator feeds a candidate pool; only
         // behaviour-novel requests (plus a few exemplars each) are kept.
         let mut gen_rng = SmallRng::seed_from_u64(29);
-        let pool = workload_for(sim.name, &db, &mut gen_rng, 2_000);
+        let pool = workload_for(sim.name, &db, &mut gen_rng, 2_000).expect("workload");
         let report = coverage_guided(
             &db,
             &app,

@@ -24,6 +24,7 @@
 //! | T10 | `t10_plans` |
 //! | T11 | `t11_kernel` |
 //! | T12 | `t12_reactor` |
+//! | T13 | `t13_scale` |
 
 #![warn(missing_docs)]
 
@@ -49,7 +50,12 @@ pub fn app_env(sim: &'static SimApp, seed: u64, scale: Scale, n_requests: usize)
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut db = sim.empty_db();
     seed_app(sim.name, &mut db, &mut rng, &scale);
-    let requests = workload_for(sim.name, &db, &mut rng, n_requests);
+    let requests = workload_for(sim.name, &db, &mut rng, n_requests).expect("workload");
+    assert!(
+        n_requests == 0 || !requests.is_empty(),
+        "{} workload must be non-empty",
+        sim.name
+    );
     AppEnv { sim, db, requests }
 }
 

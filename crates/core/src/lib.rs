@@ -34,8 +34,9 @@ pub use decision::{Decision, DecisionSource, DenyReason};
 pub use error::CoreError;
 pub use latency::{LatencyHistogram, LatencySnapshot};
 pub use obs::{
-    template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, JournalCursor,
-    MetricsRegistry, Phase, PhaseTimer, Verdict, PHASE_COUNT,
+    read_process_memory, template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge,
+    JournalCursor, MemoryGauges, MetricsRegistry, Phase, PhaseTimer, ProcessMemory, Verdict,
+    PHASE_COUNT,
 };
 pub use plan::{
     compile_plan, DisjunctPlan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict,

@@ -782,6 +782,100 @@ fn render_sample(
     out.push_str(&format!(" {value}\n"));
 }
 
+/// Point-in-time process memory readings from the kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessMemory {
+    /// Resident set size in bytes (`/proc/self/statm` field 2 × page size).
+    pub resident_bytes: u64,
+    /// Peak resident set size in bytes (`VmHWM:` from `/proc/self/status`).
+    pub peak_resident_bytes: u64,
+}
+
+/// The hardware page size, from the auxiliary vector's `AT_PAGESZ` entry
+/// (no libc dependency); 4096 when `/proc/self/auxv` is unavailable.
+fn page_size() -> u64 {
+    static PAGE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *PAGE.get_or_init(|| {
+        if let Ok(buf) = std::fs::read("/proc/self/auxv") {
+            const AT_PAGESZ: u64 = 6;
+            let mut i = 0;
+            while i + 16 <= buf.len() {
+                let key = u64::from_ne_bytes(buf[i..i + 8].try_into().unwrap());
+                let val = u64::from_ne_bytes(buf[i + 8..i + 16].try_into().unwrap());
+                if key == AT_PAGESZ && val > 0 {
+                    return val;
+                }
+                i += 16;
+            }
+        }
+        4096
+    })
+}
+
+/// Reads the current process's memory from procfs. On platforms without
+/// `/proc` both readings are zero (the gauges then report 0 rather than
+/// failing).
+pub fn read_process_memory() -> ProcessMemory {
+    let resident_pages = std::fs::read_to_string("/proc/self/statm")
+        .ok()
+        .and_then(|s| {
+            s.split_whitespace()
+                .nth(1)
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .unwrap_or(0);
+    let peak_kb = std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse::<u64>().ok())
+        })
+        .unwrap_or(0);
+    ProcessMemory {
+        resident_bytes: resident_pages * page_size(),
+        peak_resident_bytes: peak_kb * 1024,
+    }
+}
+
+/// The process-memory gauge pair (`bep_process_resident_bytes`,
+/// `bep_process_vm_hwm_bytes`), registered on a [`MetricsRegistry`] and
+/// refreshed by [`MemoryGauges::sample`]. The soak bench and the serving
+/// front-end's `--metrics` exposition both read memory through this one
+/// source.
+#[derive(Debug, Clone)]
+pub struct MemoryGauges {
+    resident: Arc<Gauge>,
+    peak: Arc<Gauge>,
+}
+
+impl MemoryGauges {
+    /// Registers the gauge pair on `registry`.
+    pub fn register(registry: &MetricsRegistry) -> MemoryGauges {
+        MemoryGauges {
+            resident: registry.gauge(
+                "bep_process_resident_bytes",
+                "Resident set size (RSS) of this process in bytes",
+                &[],
+            ),
+            peak: registry.gauge(
+                "bep_process_vm_hwm_bytes",
+                "Peak resident set size (VmHWM) of this process in bytes",
+                &[],
+            ),
+        }
+    }
+
+    /// Reads procfs, refreshes both gauges, and returns the reading.
+    pub fn sample(&self) -> ProcessMemory {
+        let m = read_process_memory();
+        self.resident.set(m.resident_bytes);
+        self.peak.set(m.peak_resident_bytes);
+        m
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,8 +116,8 @@ use crate::decision::{Decision, DecisionSource, DenyReason};
 use crate::error::CoreError;
 use crate::latency::{LatencyHistogram, LatencySnapshot};
 use crate::obs::{
-    template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, MetricsRegistry, Phase,
-    PhaseTimer, Verdict, PHASE_COUNT,
+    template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, MemoryGauges,
+    MetricsRegistry, Phase, PhaseTimer, Verdict, PHASE_COUNT,
 };
 use crate::plan::{compile_plan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict};
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
@@ -461,6 +461,8 @@ pub struct SqlProxy {
     batches: Arc<Counter>,
     /// Requests carried by those batches.
     batch_requests: Arc<Counter>,
+    /// Process RSS/VmHWM gauges refreshed by [`SqlProxy::metrics_text`].
+    memory: MemoryGauges,
 }
 
 impl SqlProxy {
@@ -496,6 +498,7 @@ impl SqlProxy {
             "Requests decided inside cross-connection batches",
             &[],
         );
+        let memory = MemoryGauges::register(&registry);
         SqlProxy {
             db: RwLock::new(db),
             checker,
@@ -514,6 +517,7 @@ impl SqlProxy {
             journal_evicted,
             batches,
             batch_requests,
+            memory,
         }
     }
 
@@ -592,6 +596,7 @@ impl SqlProxy {
         self.sessions_gauge.set(self.session_count() as u64);
         self.journal_published.set(self.journal.published());
         self.journal_evicted.set(self.journal.evicted());
+        self.memory.sample();
         self.registry.render()
     }
 
@@ -1798,6 +1803,19 @@ mod tests {
         assert!(text.contains("bep_journal_evicted 0\n"));
         assert!(text.contains("bep_phase_latency_ns{phase=\"parse\",quantile=\"0.5\"}"));
         assert!(text.contains("bep_phase_latency_ns_count{phase=\"proof\"}"));
+        assert!(text.contains("# TYPE bep_process_resident_bytes gauge\n"));
+        assert!(text.contains("# TYPE bep_process_vm_hwm_bytes gauge\n"));
+    }
+
+    #[test]
+    fn memory_gauges_read_procfs() {
+        // On Linux hosts procfs is present and a running process has a
+        // nonzero RSS; elsewhere the reading degrades to zero.
+        let m = crate::obs::read_process_memory();
+        if std::path::Path::new("/proc/self/statm").exists() {
+            assert!(m.resident_bytes > 0, "{m:?}");
+            assert!(m.peak_resident_bytes >= m.resident_bytes / 2, "{m:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Quick scaling sanity: bulk insert with PK+FK checks, then point lookups.
+use minidb::Database;
+use sqlir::Value;
+
+fn main() {
+    let n: i64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE Users (UId INT PRIMARY KEY, Name TEXT NOT NULL)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE Posts (PId INT PRIMARY KEY, AuthorId INT, Title TEXT NOT NULL, \
+         FOREIGN KEY (AuthorId) REFERENCES Users (UId))",
+    )
+    .unwrap();
+    let t0 = std::time::Instant::now();
+    for u in 0..n {
+        db.execute_sql(&format!(
+            "INSERT INTO Users (UId, Name) VALUES ({u}, 'u{u}')"
+        ))
+        .unwrap();
+    }
+    let t1 = std::time::Instant::now();
+    for p in 0..n {
+        db.execute_sql(&format!(
+            "INSERT INTO Posts (PId, AuthorId, Title) VALUES ({p}, {}, 't{p}')",
+            p % n
+        ))
+        .unwrap();
+    }
+    let t2 = std::time::Instant::now();
+    let mut hits = 0;
+    for i in 0..10_000 {
+        let r = db
+            .query_sql(&format!(
+                "SELECT Title FROM Posts WHERE AuthorId = {}",
+                i % n
+            ))
+            .unwrap();
+        hits += r.len();
+    }
+    let t3 = std::time::Instant::now();
+    let r = db
+        .query_sql("SELECT COUNT(*) FROM Posts p JOIN Users u ON p.AuthorId = u.UId")
+        .unwrap();
+    let t4 = std::time::Instant::now();
+    assert_eq!(r.scalar(), Some(&Value::Int(n)));
+    println!(
+        "n={n}: users {:.2}s, posts(fk) {:.2}s, 10k lookups {:.3}s ({hits} hits), join {:.3}s",
+        (t1 - t0).as_secs_f64(),
+        (t2 - t1).as_secs_f64(),
+        (t3 - t2).as_secs_f64(),
+        (t4 - t3).as_secs_f64()
+    );
+}

@@ -1,10 +1,13 @@
 //! Query execution: joins, filtering, grouping, projection, ordering.
 
-use sqlir::{Distinctness, Expr, Query, SelectItem, SetFunc, Value};
+use sqlir::{
+    BinaryOp, CmpResult, Distinctness, Expr, Query, SelectItem, SetFunc, SqlType, UnaryOp, Value,
+};
 
 use crate::db::Database;
 use crate::error::DbError;
 use crate::expr::{value_to_cmp, EvalCtx, Scope, ScopeEntry};
+use crate::table::Table;
 
 /// Projected output paired with its ORDER BY sort key, one entry per row.
 type KeyedRows = Vec<(Vec<Value>, Vec<Value>)>;
@@ -54,7 +57,17 @@ impl Rows {
 
 /// Executes a `SELECT` against the database.
 pub fn execute_query(db: &Database, q: &Query) -> Result<Rows, DbError> {
-    execute_query_with_outer(db, q, None)
+    execute_query_impl(db, q, None, true)
+}
+
+/// Executes a `SELECT` with every access-path optimization disabled: plain
+/// nested-loop joins and a single whole-expression `WHERE` pass.
+///
+/// This is the oracle for differential tests of the optimized path (index
+/// probes, hash joins, predicate pushdown); results must be identical,
+/// including row order.
+pub fn execute_query_naive(db: &Database, q: &Query) -> Result<Rows, DbError> {
+    execute_query_impl(db, q, None, false)
 }
 
 /// Executes a `SELECT`, with an optional outer context for correlated
@@ -64,40 +77,142 @@ pub(crate) fn execute_query_with_outer(
     q: &Query,
     outer: Option<&EvalCtx<'_>>,
 ) -> Result<Rows, DbError> {
-    // 1. Build the scope and enumerate source rows.
-    let mut scope = Scope::default();
-    let mut source_rows: Vec<Vec<Value>> = vec![Vec::new()];
+    execute_query_impl(db, q, outer, true)
+}
 
+fn execute_query_impl(
+    db: &Database,
+    q: &Query,
+    outer: Option<&EvalCtx<'_>>,
+    optimize: bool,
+) -> Result<Rows, DbError> {
+    // 1. Resolve every source table and build the *full* scope up front.
+    //    Pushed-down conjuncts are classified against the full scope so name
+    //    resolution — including ambiguity errors — matches what the final
+    //    WHERE pass would have seen.
+    let mut full_scope = Scope::default();
+    let mut tables: Vec<&Table> = Vec::with_capacity(q.from.len() + q.joins.len());
     for tref in &q.from {
         let table = db.table(&tref.table)?;
-        push_binding(&mut scope, tref.binding(), &table.schema.columns)?;
-        let mut next = Vec::new();
-        for base in &source_rows {
-            for row in table.rows() {
-                let mut r = base.clone();
-                r.extend(row.iter().cloned());
-                next.push(r);
-            }
-        }
-        source_rows = next;
+        push_binding(&mut full_scope, tref.binding(), &table.schema.columns)?;
+        tables.push(table);
     }
-
     for join in &q.joins {
         let table = db.table(&join.table.table)?;
-        push_binding(&mut scope, join.table.binding(), &table.schema.columns)?;
-        let mut next = Vec::new();
-        for base in &source_rows {
-            for row in table.rows() {
-                let mut r = base.clone();
-                r.extend(row.iter().cloned());
-                let ctx = EvalCtx {
-                    db,
-                    scope: &scope,
-                    row: &r,
-                    outer,
-                };
-                if value_to_cmp(&ctx.eval(&join.on)?)?.is_true() {
-                    next.push(r);
+        push_binding(&mut full_scope, join.table.binding(), &table.schema.columns)?;
+        tables.push(table);
+    }
+    let nstages = tables.len();
+
+    // 2. Split the WHERE clause into top-level AND conjuncts and push each
+    //    *total* predicate (see `pushable_stage`) down to the earliest stage
+    //    that binds all its columns. Fallible or unresolvable conjuncts stay
+    //    in the residual WHERE pass, where they behave exactly as before.
+    let mut stage_filters: Vec<Vec<&Expr>> = vec![Vec::new(); nstages];
+    let mut residual: Vec<&Expr> = Vec::new();
+    if let Some(w) = &q.where_clause {
+        if optimize && nstages > 0 {
+            let mut conjuncts = Vec::new();
+            split_and(w, &mut conjuncts);
+            for c in conjuncts {
+                match pushable_stage(c, &full_scope) {
+                    Some(stage) => stage_filters[stage].push(c),
+                    None => residual.push(c),
+                }
+            }
+        } else {
+            residual.push(w);
+        }
+    }
+
+    // 3. Enumerate source rows stage by stage (FROM tables, then JOINs).
+    //    The scope grows as the naive evaluator's would, so join `ON`
+    //    resolution sees only the bindings introduced so far.
+    let mut scope = Scope::default();
+    let mut source_rows: Vec<Vec<Value>> = vec![Vec::new()];
+    for (stage, table) in tables.iter().enumerate() {
+        let entry = &full_scope.entries[stage];
+        scope.entries.push(entry.clone());
+        let join = stage.checked_sub(q.from.len()).map(|j| &q.joins[j]);
+        let mut filters = std::mem::take(&mut stage_filters[stage]);
+
+        // Pick an access path. Both index paths skip rows before the join
+        // `ON` is evaluated, so they are only safe when the `ON` itself is a
+        // total predicate over already-bound columns (it cannot error on a
+        // skipped row).
+        let on_total = match join {
+            None => true,
+            Some(j) => pushable_stage(&j.on, &full_scope).is_some_and(|s| s <= stage),
+        };
+        let mut hash: Option<(usize, usize)> = None;
+        let mut probe: Option<(usize, Value)> = None;
+        if optimize && on_total {
+            if let Some(j) = join {
+                hash = hash_join_key(&j.on, entry, &full_scope);
+            }
+            if hash.is_none() {
+                if let Some(pos) = filters
+                    .iter()
+                    .position(|c| literal_probe(c, entry, &full_scope).is_some())
+                {
+                    probe = literal_probe(filters.remove(pos), entry, &full_scope);
+                }
+            }
+        }
+
+        // Assembles base+row, applies the join `ON` (full expression, so a
+        // hash path re-checks its own equality for free) and this stage's
+        // pushed filters, and keeps survivors. Pushed filters never error,
+        // so dropping a row here is indistinguishable from dropping it in
+        // the final WHERE pass.
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        let mut consider = |base: &[Value], row: &[Value]| -> Result<(), DbError> {
+            let mut r = base.to_vec();
+            r.extend(row.iter().cloned());
+            let ctx = EvalCtx {
+                db,
+                scope: &scope,
+                row: &r,
+                outer,
+            };
+            if let Some(j) = join {
+                if !value_to_cmp(&ctx.eval(&j.on)?)?.is_true() {
+                    return Ok(());
+                }
+            }
+            for f in &filters {
+                if !value_to_cmp(&ctx.eval(f)?)?.is_true() {
+                    return Ok(());
+                }
+            }
+            next.push(r);
+            Ok(())
+        };
+
+        if let Some((base_off, local)) = hash {
+            // Hash equi-join: probe the joined table's equality index with
+            // the already-bound side's value. Matching rows come back in
+            // insertion order, preserving nested-loop emission order.
+            let index = table.index_on(&[local]);
+            for base in &source_rows {
+                for &ri in index.rows_matching(std::slice::from_ref(&base[base_off])) {
+                    consider(base, &table.rows_slice()[ri as usize])?;
+                }
+            }
+        } else if let Some((local, lit)) = &probe {
+            // `col = literal` selection: one index lookup serves every base
+            // row.
+            let index = table.index_on(&[*local]);
+            let matches = index.rows_matching(std::slice::from_ref(lit));
+            for base in &source_rows {
+                for &ri in matches {
+                    consider(base, &table.rows_slice()[ri as usize])?;
+                }
+            }
+        } else {
+            for base in &source_rows {
+                for row in table.rows() {
+                    consider(base, row)?;
                 }
             }
         }
@@ -109,27 +224,35 @@ pub(crate) fn execute_query_with_outer(
         source_rows = vec![Vec::new()];
     }
 
-    // 2. WHERE filter.
+    // 4. Residual WHERE pass. Conjuncts are evaluated left to right with
+    //    AND's short-circuit on FALSE; an UNKNOWN keeps evaluating (and so
+    //    keeps surfacing later errors), matching single-pass evaluation of
+    //    the original conjunction.
     let mut filtered = Vec::with_capacity(source_rows.len());
     for r in source_rows {
-        let keep = match &q.where_clause {
-            None => true,
-            Some(w) => {
-                let ctx = EvalCtx {
-                    db,
-                    scope: &scope,
-                    row: &r,
-                    outer,
-                };
-                value_to_cmp(&ctx.eval(w)?)?.is_true()
-            }
+        let ctx = EvalCtx {
+            db,
+            scope: &scope,
+            row: &r,
+            outer,
         };
+        let mut keep = true;
+        for c in &residual {
+            match value_to_cmp(&ctx.eval(c)?)? {
+                CmpResult::True => {}
+                CmpResult::False => {
+                    keep = false;
+                    break;
+                }
+                CmpResult::Unknown => keep = false,
+            }
+        }
         if keep {
             filtered.push(r);
         }
     }
 
-    // 3. Grouping / projection.
+    // 5. Grouping / projection.
     let grouped = q.has_aggregates() || !q.group_by.is_empty();
     let (columns, mut out): (Vec<String>, KeyedRows) = if grouped {
         project_grouped(db, q, &scope, filtered, outer)?
@@ -137,13 +260,13 @@ pub(crate) fn execute_query_with_outer(
         project_plain(db, q, &scope, filtered, outer)?
     };
 
-    // 4. DISTINCT.
+    // 6. DISTINCT.
     if q.distinct == Distinctness::Distinct {
         let mut seen = std::collections::HashSet::new();
         out.retain(|(row, _)| seen.insert(row.clone()));
     }
 
-    // 5. ORDER BY (sort keys were computed during projection).
+    // 7. ORDER BY (sort keys were computed during projection).
     if !q.order_by.is_empty() {
         out.sort_by(|(_, ka), (_, kb)| {
             for (i, key) in q.order_by.iter().enumerate() {
@@ -157,7 +280,7 @@ pub(crate) fn execute_query_with_outer(
         });
     }
 
-    // 6. LIMIT.
+    // 8. LIMIT.
     let mut rows: Vec<Vec<Value>> = out.into_iter().map(|(row, _)| row).collect();
     if let Some(n) = q.limit {
         rows.truncate(n as usize);
@@ -182,6 +305,160 @@ fn push_binding<'a>(
         offset,
     });
     Ok(())
+}
+
+/// Splits a predicate into its top-level `AND` conjuncts.
+fn split_and<'q>(e: &'q Expr, out: &mut Vec<&'q Expr>) {
+    if let Expr::Binary {
+        op: BinaryOp::And,
+        lhs,
+        rhs,
+    } = e
+    {
+        split_and(lhs, out);
+        split_and(rhs, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// The index of the scope entry whose columns cover row offset `off`.
+fn stage_of_offset(scope: &Scope<'_>, off: usize) -> usize {
+    scope
+        .entries
+        .iter()
+        .rposition(|e| e.offset <= off)
+        .expect("offset within scope")
+}
+
+/// The declared type of the column at row offset `off`.
+fn column_ty_at(scope: &Scope<'_>, off: usize) -> SqlType {
+    let e = &scope.entries[stage_of_offset(scope, off)];
+    e.columns[off - e.offset].ty
+}
+
+/// If `e` is a *total predicate* — one whose evaluation can never raise an
+/// error, whatever the row holds — returns the latest stage whose columns it
+/// references (0 if none). `None` means the conjunct must stay in the final
+/// WHERE pass: it may error (arithmetic overflow, `LIKE` on non-strings,
+/// unbound parameters), contains a subquery, or references a name this scope
+/// cannot resolve cleanly (ambiguous, unknown, or outer-correlated).
+///
+/// Totality matters because a single-pass evaluator only reaches the WHERE
+/// clause for fully joined rows; evaluating a fallible conjunct early could
+/// surface an error on a row a later join would have dropped.
+fn pushable_stage(e: &Expr, scope: &Scope<'_>) -> Option<usize> {
+    match e {
+        Expr::Binary { op, lhs, rhs } if op.is_comparison() => {
+            Some(scalar_stage(lhs, scope)?.max(scalar_stage(rhs, scope)?))
+        }
+        Expr::Binary {
+            op: BinaryOp::And | BinaryOp::Or,
+            lhs,
+            rhs,
+        } => Some(pushable_stage(lhs, scope)?.max(pushable_stage(rhs, scope)?)),
+        Expr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => pushable_stage(expr, scope),
+        Expr::IsNull { expr, .. } => scalar_stage(expr, scope),
+        Expr::InList { expr, list, .. } => {
+            let mut stage = scalar_stage(expr, scope)?;
+            for item in list {
+                stage = stage.max(scalar_stage(item, scope)?);
+            }
+            Some(stage)
+        }
+        Expr::Between {
+            expr, low, high, ..
+        } => Some(
+            scalar_stage(expr, scope)?
+                .max(scalar_stage(low, scope)?)
+                .max(scalar_stage(high, scope)?),
+        ),
+        Expr::Literal(Value::Bool(_)) | Expr::Literal(Value::Null) => Some(0),
+        _ => None,
+    }
+}
+
+/// Stage of a column or literal comparison operand; `None` for anything that
+/// could error at evaluation time (arithmetic, parameters, subqueries) or
+/// that does not resolve in this scope.
+fn scalar_stage(e: &Expr, scope: &Scope<'_>) -> Option<usize> {
+    match e {
+        Expr::Literal(_) => Some(0),
+        Expr::Column(c) => match scope.resolve(c) {
+            Ok(Some(off)) => Some(stage_of_offset(scope, off)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Matches `col = literal` (either orientation) where `col` is bound by
+/// `entry` and the literal is a non-`NULL` value of the column's declared
+/// type, so an equality-index probe selects exactly the rows a scan would
+/// keep (stored values are shape-checked to the declared type or `NULL`,
+/// and the index excludes `NULL`s).
+fn literal_probe(e: &Expr, entry: &ScopeEntry<'_>, scope: &Scope<'_>) -> Option<(usize, Value)> {
+    let Expr::Binary {
+        op: BinaryOp::Eq,
+        lhs,
+        rhs,
+    } = e
+    else {
+        return None;
+    };
+    let (col, lit) = match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Column(c), Expr::Literal(v)) | (Expr::Literal(v), Expr::Column(c)) => (c, v),
+        _ => return None,
+    };
+    let off = scope.resolve(col).ok().flatten()?;
+    let local = off.checked_sub(entry.offset)?;
+    if local >= entry.columns.len() {
+        return None;
+    }
+    (lit.sql_type() == Some(entry.columns[local].ty)).then(|| (local, lit.clone()))
+}
+
+/// Finds an equi-join key among the `ON` conjuncts: `a.x = b.y` with one
+/// side bound by the joined table (`entry`) and the other by an earlier
+/// stage, declared types equal. Returns `(base_row_offset, local_column)`.
+fn hash_join_key(on: &Expr, entry: &ScopeEntry<'_>, scope: &Scope<'_>) -> Option<(usize, usize)> {
+    let mut conjuncts = Vec::new();
+    split_and(on, &mut conjuncts);
+    let local_end = entry.offset + entry.columns.len();
+    for c in conjuncts {
+        let Expr::Binary {
+            op: BinaryOp::Eq,
+            lhs,
+            rhs,
+        } = c
+        else {
+            continue;
+        };
+        let (Expr::Column(a), Expr::Column(b)) = (lhs.as_ref(), rhs.as_ref()) else {
+            continue;
+        };
+        let (Some(off_a), Some(off_b)) = (
+            scope.resolve(a).ok().flatten(),
+            scope.resolve(b).ok().flatten(),
+        ) else {
+            continue;
+        };
+        let (base_off, local) =
+            if (entry.offset..local_end).contains(&off_a) && off_b < entry.offset {
+                (off_b, off_a - entry.offset)
+            } else if (entry.offset..local_end).contains(&off_b) && off_a < entry.offset {
+                (off_a, off_b - entry.offset)
+            } else {
+                continue;
+            };
+        if column_ty_at(scope, base_off) == entry.columns[local].ty {
+            return Some((base_off, local));
+        }
+    }
+    None
 }
 
 /// Resolves output column names for the projection.

@@ -10,10 +10,13 @@
 //!
 //! Design notes:
 //!
-//! * Execution is straightforward nested-loop evaluation with incremental
-//!   join filtering; there are no indexes. At the data sizes used by the
-//!   paper's workloads (10²–10⁵ rows) this is more than fast enough and keeps
-//!   the engine trivially auditable.
+//! * Execution is nested-loop evaluation with incremental join filtering,
+//!   accelerated by lazily built equality indexes: `col = literal`
+//!   selections and equi-joins probe a hash index, and total WHERE conjuncts
+//!   are pushed down to the earliest join stage that binds their columns.
+//!   The unoptimized path is kept callable ([`exec::execute_query_naive`])
+//!   as the oracle for differential tests; results are identical including
+//!   row order.
 //! * SQL three-valued logic is implemented throughout (`WHERE` keeps only
 //!   `TRUE`; `NOT IN` with a `NULL` behaves per the standard).
 //! * [`Database`] is `Clone`, giving cheap whole-database snapshots; the
@@ -43,6 +46,6 @@ pub mod table;
 
 pub use db::{Database, ExecResult};
 pub use error::DbError;
-pub use exec::Rows;
+pub use exec::{execute_query_naive, Rows};
 pub use schema::{Column, ForeignKey, TableSchema};
-pub use table::Table;
+pub use table::{EqIndex, Table};

@@ -1,20 +1,77 @@
 //! Row storage for one table.
 
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
 use sqlir::Value;
 
 use crate::error::DbError;
 use crate::schema::TableSchema;
 
+/// A lazily built equality index over one column set: maps each non-NULL
+/// key tuple to the indices of the rows holding it, in insertion order.
+///
+/// Rows with a `NULL` in any key column are *excluded*: SQL `=` never
+/// matches `NULL`, so an equality probe can never select them, and their
+/// absence makes `NULL` probe keys miss for free.
+#[derive(Debug, Default, Clone)]
+pub struct EqIndex {
+    groups: HashMap<Vec<Value>, Vec<u32>>,
+}
+
+impl EqIndex {
+    fn build(cols: &[usize], rows: &[Vec<Value>]) -> EqIndex {
+        let mut groups: HashMap<Vec<Value>, Vec<u32>> = HashMap::new();
+        for (i, row) in rows.iter().enumerate() {
+            if cols.iter().any(|&c| row[c].is_null()) {
+                continue;
+            }
+            let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+            groups.entry(key).or_default().push(i as u32);
+        }
+        EqIndex { groups }
+    }
+
+    fn append(&mut self, cols: &[usize], row: &[Value], idx: u32) {
+        if cols.iter().any(|&c| row[c].is_null()) {
+            return;
+        }
+        let key: Vec<Value> = cols.iter().map(|&c| row[c].clone()).collect();
+        self.groups.entry(key).or_default().push(idx);
+    }
+
+    /// The indices of the rows whose key columns equal `key`, in insertion
+    /// order. A key containing `NULL` matches nothing.
+    pub fn rows_matching(&self, key: &[Value]) -> &[u32] {
+        self.groups.get(key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
 /// A stored table: schema plus rows.
 ///
-/// Rows are kept in insertion order; `minidb` has no clustered indexes (scans
-/// are fine at the workload sizes this workspace targets), but PK/UNIQUE
-/// lookups short-circuit on the constrained columns.
-#[derive(Debug, Clone)]
+/// Rows are kept in insertion order; `minidb` has no clustered storage, but
+/// equality lookups (PK/UNIQUE/FK checks, `col = literal` selections, and
+/// hash joins) go through lazily built [`EqIndex`]es so bulk loads and
+/// point queries stay linear at fleet scale. Indexes are built on first
+/// use, kept current incrementally on [`Table::push_row`], and dropped on
+/// any other mutation.
+#[derive(Debug)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
     rows: Vec<Vec<Value>>,
+    indexes: RwLock<HashMap<Vec<usize>, Arc<EqIndex>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        // Indexes are a cache: a clone starts cold and rebuilds on demand.
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            indexes: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl Table {
@@ -23,7 +80,23 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            indexes: RwLock::new(HashMap::new()),
         }
+    }
+
+    /// The equality index over `cols`, building it on first use.
+    pub fn index_on(&self, cols: &[usize]) -> Arc<EqIndex> {
+        if let Some(idx) = self.indexes.read().expect("index lock").get(cols) {
+            return Arc::clone(idx);
+        }
+        let built = Arc::new(EqIndex::build(cols, &self.rows));
+        let mut cache = self.indexes.write().expect("index lock");
+        Arc::clone(cache.entry(cols.to_vec()).or_insert(built))
+    }
+
+    /// Drops every cached index (any mutation other than an append).
+    fn invalidate_indexes(&mut self) {
+        self.indexes.get_mut().expect("index lock").clear();
     }
 
     /// The number of rows.
@@ -91,27 +164,43 @@ impl Table {
         if cols.iter().any(|&c| candidate[c].is_null()) {
             return false;
         }
-        self.rows
+        let key: Vec<Value> = cols.iter().map(|&c| candidate[c].clone()).collect();
+        self.index_on(cols)
+            .rows_matching(&key)
             .iter()
-            .enumerate()
-            .any(|(i, row)| Some(i) != skip_row && cols.iter().all(|&c| row[c] == candidate[c]))
+            .any(|&i| Some(i as usize) != skip_row)
     }
 
     /// Returns `true` if some row matches the given values on the given columns.
+    ///
+    /// Matching is structural (like the rest of `minidb`'s row comparisons):
+    /// a `NULL` in `values` matches a stored `NULL`, so the `NULL`-excluding
+    /// index only serves the all-non-`NULL` case and the rest falls back to
+    /// a scan.
     pub fn contains_on(&self, cols: &[usize], values: &[Value]) -> bool {
+        if values.iter().all(|v| !v.is_null()) {
+            return !self.index_on(cols).rows_matching(values).is_empty();
+        }
         self.rows
             .iter()
             .any(|row| cols.iter().zip(values).all(|(&c, v)| &row[c] == v))
     }
 
     /// Appends a shape-checked row (caller is responsible for constraints).
+    /// Already built indexes are kept current, so bulk loads that check
+    /// constraints per row stay linear.
     pub fn push_row(&mut self, row: Vec<Value>) {
         debug_assert_eq!(row.len(), self.schema.columns.len());
+        let idx = self.rows.len() as u32;
+        for (cols, index) in self.indexes.get_mut().expect("index lock").iter_mut() {
+            Arc::make_mut(index).append(cols, &row, idx);
+        }
         self.rows.push(row);
     }
 
     /// Removes the rows at the given (sorted ascending) indices.
     pub fn remove_rows(&mut self, mut indices: Vec<usize>) {
+        self.invalidate_indexes();
         indices.sort_unstable();
         for idx in indices.into_iter().rev() {
             self.rows.remove(idx);
@@ -120,11 +209,13 @@ impl Table {
 
     /// Mutable access to one row.
     pub fn row_mut(&mut self, idx: usize) -> &mut Vec<Value> {
+        self.invalidate_indexes();
         &mut self.rows[idx]
     }
 
     /// Replaces every row (used by bulk loaders and diagnosis search).
     pub fn set_rows(&mut self, rows: Vec<Vec<Value>>) {
+        self.invalidate_indexes();
         self.rows = rows;
     }
 }

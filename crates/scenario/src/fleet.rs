@@ -1,0 +1,233 @@
+//! The generated-application fleet.
+//!
+//! [`fleet`] instantiates one application per schema family — social
+//! graph, storefront, conference review — each parameterized by a user
+//! count and fully determined by a `u64` seed. A [`GeneratedApp`]
+//! implements [`appsim::AppSpec`], so the extraction, enforcement, and
+//! diagnosis pipelines consume it exactly like the hand-written apps.
+
+use crate::rng::{derive, SplitMix64};
+use crate::{review, social, store};
+use appdsl::Request;
+use appsim::{AppSpec, BatchSink, FIRST_UID};
+use minidb::{Database, DbError};
+
+/// The three schema families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Follower graph with block lists (social network ACLs).
+    Social,
+    /// Storefront with per-merchant order visibility.
+    Store,
+    /// Conference review with conflict-of-interest gating.
+    Review,
+}
+
+impl Family {
+    /// All families, in fleet order.
+    pub const ALL: [Family; 3] = [Family::Social, Family::Store, Family::Review];
+
+    /// The family's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Social => "social",
+            Family::Store => "store",
+            Family::Review => "review",
+        }
+    }
+}
+
+/// The user id for user index `i` (shared base with the hand-written
+/// apps' data generators).
+pub fn uid(i: u64) -> i64 {
+    FIRST_UID + i as i64
+}
+
+/// First id handed out for rows created by traffic-time writes; far above
+/// any seeded id so the two ranges can never collide.
+pub const FRESH_ID_BASE: i64 = 1_000_000_000_000;
+
+/// One generated application: schema, handler source, ground-truth
+/// policy, and a deterministic population/traffic recipe.
+#[derive(Debug, Clone)]
+pub struct GeneratedApp {
+    /// Which schema family this instance belongs to.
+    pub family: Family,
+    /// Application name (the family name).
+    pub name: String,
+    /// The family-local seed every derivation hangs off.
+    pub seed: u64,
+    /// Number of users the population pass seeds.
+    pub users: u64,
+}
+
+impl GeneratedApp {
+    /// A single generated application.
+    pub fn new(family: Family, seed: u64, users: u64) -> GeneratedApp {
+        assert!(users >= 2, "a fleet app needs at least two users");
+        GeneratedApp {
+            family,
+            name: family.name().to_string(),
+            seed,
+            users,
+        }
+    }
+
+    /// Streams the seeded population into `db` (which must already carry
+    /// the schema); returns the number of rows inserted. Peak memory is
+    /// bounded by one insert batch, not the population size.
+    pub fn populate(&self, db: &mut Database) -> Result<usize, DbError> {
+        let mut sink = BatchSink::new(db);
+        match self.family {
+            Family::Social => social::populate(&mut sink, self.seed, self.users)?,
+            Family::Store => store::populate(&mut sink, self.seed, self.users)?,
+            Family::Review => review::populate(&mut sink, self.seed, self.users)?,
+        }
+        sink.flush()?;
+        Ok(sink.total())
+    }
+
+    /// Number of request templates (for the traffic engine's template
+    /// popularity distribution).
+    pub fn template_count(&self) -> usize {
+        match self.family {
+            Family::Social => social::TEMPLATES,
+            Family::Store => store::TEMPLATES,
+            Family::Review => review::TEMPLATES,
+        }
+    }
+
+    /// An authorized request for user index `i` under `template`
+    /// (0-based; ordered hottest-first). `fresh` allocates ids for
+    /// traffic-time writes.
+    pub fn authorized_request(
+        &self,
+        i: u64,
+        template: usize,
+        rng: &mut SplitMix64,
+        fresh: &mut i64,
+    ) -> Request {
+        match self.family {
+            Family::Social => social::authorized(self.seed, self.users, i, template, rng, fresh),
+            Family::Store => store::authorized(self.seed, self.users, i, template, rng, fresh),
+            Family::Review => review::authorized(self.seed, self.users, i, template, rng, fresh),
+        }
+    }
+
+    /// A handler-level probe: a request the application itself should
+    /// refuse (403/404) for this user.
+    pub fn probe_request(&self, i: u64, rng: &mut SplitMix64) -> Request {
+        match self.family {
+            Family::Social => social::probe(self.seed, self.users, i, rng),
+            Family::Store => store::probe(self.seed, self.users, i, rng),
+            Family::Review => review::probe(self.seed, self.users, i, rng),
+        }
+    }
+
+    /// A raw SQL probe bypassing the handlers: a query no policy view
+    /// covers, which the proxy must block.
+    pub fn raw_probe(&self, i: u64, rng: &mut SplitMix64) -> String {
+        match self.family {
+            Family::Social => social::raw_probe(self.users, i, rng),
+            Family::Store => store::raw_probe(self.users, i, rng),
+            Family::Review => review::raw_probe(self.users, i, rng),
+        }
+    }
+}
+
+impl AppSpec for GeneratedApp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn ddl(&self) -> Vec<String> {
+        match self.family {
+            Family::Social => social::ddl(),
+            Family::Store => store::ddl(),
+            Family::Review => review::ddl(),
+        }
+    }
+
+    fn source(&self) -> &str {
+        match self.family {
+            Family::Social => social::SOURCE,
+            Family::Store => store::SOURCE,
+            Family::Review => review::SOURCE,
+        }
+    }
+
+    fn ground_truth(&self) -> Vec<(String, String)> {
+        match self.family {
+            Family::Social => social::ground_truth(),
+            Family::Store => store::ground_truth(),
+            Family::Review => review::ground_truth(),
+        }
+    }
+
+    fn session_params(&self) -> Vec<String> {
+        vec!["MyUId".to_string()]
+    }
+}
+
+/// The full fleet: one app per family, with family-local seeds derived
+/// from the fleet seed so the families' populations are independent.
+pub fn fleet(seed: u64, users: u64) -> Vec<GeneratedApp> {
+    Family::ALL
+        .iter()
+        .enumerate()
+        .map(|(idx, &family)| GeneratedApp::new(family, derive(seed, idx as u64), users))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn fleet_has_one_app_per_family() {
+        let apps = fleet(7, 8);
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names, vec!["social", "store", "review"]);
+        // Family seeds differ, so populations are independent.
+        assert_ne!(apps[0].seed, apps[1].seed);
+        assert_ne!(apps[1].seed, apps[2].seed);
+    }
+
+    #[test]
+    fn population_is_deterministic_and_streams() {
+        for app in fleet(42, 16) {
+            let mut a = app.empty_db();
+            let mut b = app.empty_db();
+            let ra = app.populate(&mut a).expect("populate");
+            let rb = app.populate(&mut b).expect("populate");
+            assert_eq!(ra, rb, "{}", app.name);
+            assert!(ra > 16, "{}: at least one row per user, got {ra}", app.name);
+            for table in a.table_names() {
+                assert_eq!(
+                    a.table(&table).unwrap().len(),
+                    b.table(&table).unwrap().len(),
+                    "{}.{table}",
+                    app.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_requests_are_deterministic() {
+        let app = &fleet(3, 32)[0];
+        let sample = |seed: u64| {
+            let mut rng = SplitMix64::new(seed);
+            let mut fresh = FRESH_ID_BASE;
+            (0..50)
+                .map(|k| {
+                    let i = rng.gen_range(0..app.users);
+                    let t = k % app.template_count();
+                    app.authorized_request(i, t, &mut rng, &mut fresh)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sample(9), sample(9));
+    }
+}

@@ -1,0 +1,114 @@
+//! Deterministic random streams for scenario generation.
+//!
+//! Everything the fleet produces — populations, adjacency, traffic — is a
+//! pure function of a `u64` seed. The generator is SplitMix64, chosen
+//! because its state is a single counter: *substreams* can be derived by
+//! hashing `(seed, tag, index)` without consuming draws from the parent,
+//! so the population pass and the traffic engine can independently
+//! re-derive, say, user 7's followee list without materializing any graph.
+
+use rand::Rng;
+
+/// The SplitMix64 increment (Weyl constant).
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mix (Stafford variant 13 finalizer).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A SplitMix64 generator.
+///
+/// Implements the workspace's [`rand::Rng`] trait, so it can drive the
+/// same `gen_range`/`gen_bool` helpers the hand-written data generators
+/// use. Integer-only state: identical output on every platform.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator whose output stream is a pure function of `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        mix(self.state)
+    }
+}
+
+/// Derives a child seed from a parent seed and a tag, without touching any
+/// generator state. `derive(derive(s, a), b)` gives nested namespaces.
+pub fn derive(seed: u64, tag: u64) -> u64 {
+    mix(seed ^ mix(tag ^ 0xE703_7ED1_A0B4_28DB))
+}
+
+/// A generator for the substream named by `tags` under `seed`.
+///
+/// Pure: calling this twice with the same arguments yields generators that
+/// produce identical streams, regardless of what else has been sampled.
+pub fn substream(seed: u64, tags: &[u64]) -> SplitMix64 {
+    let mut s = seed;
+    for &t in tags {
+        s = derive(s, t);
+    }
+    SplitMix64::new(s)
+}
+
+/// A uniform draw from `[0, 1)` with 53 bits of precision (the same
+/// construction as the `rand` stub's `gen_bool`, exposed for samplers that
+/// need the raw unit variate).
+pub fn unit_f64(rng: &mut impl Rng) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vectors for SplitMix64 with seed 0 (Vigna's original
+    /// implementation). Pins the stream across platforms and releases.
+    #[test]
+    fn splitmix64_matches_reference_vectors() {
+        let mut rng = SplitMix64::new(0);
+        assert_eq!(rng.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(rng.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(rng.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn substreams_are_pure_and_independent_of_consumption() {
+        let mut a = substream(42, &[1, 7]);
+        // Consuming from unrelated streams must not perturb the substream.
+        let mut noise = substream(42, &[1, 8]);
+        let _ = noise.next_u64();
+        let mut b = substream(42, &[1, 7]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn substreams_with_different_tags_diverge() {
+        let a = substream(42, &[1, 7]).next_u64();
+        let b = substream(42, &[1, 8]).next_u64();
+        let c = substream(42, &[2, 7]).next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..10_000 {
+            let u = unit_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+}

@@ -13,7 +13,7 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(2023);
     let mut db = CALENDAR.empty_db();
     seed_app("calendar", &mut db, &mut rng, &Scale::medium());
-    let requests = calendar_workload(&db, &mut rng, 200);
+    let requests = calendar_workload(&db, &mut rng, 200).expect("workload");
 
     let schema = CALENDAR.schema();
     let policy = CALENDAR.policy().unwrap();

@@ -32,7 +32,7 @@ fn main() {
         let mut rng = SmallRng::seed_from_u64(7);
         let mut db = app.empty_db();
         seed_app(app.name, &mut db, &mut rng, &Scale::small());
-        let requests = workload_for(app.name, &db, &mut rng, 120);
+        let requests = workload_for(app.name, &db, &mut rng, 120).expect("workload");
         let options = MineOptions {
             hints: Hints::id_columns(&schema),
             ..Default::default()

@@ -17,7 +17,7 @@ fn correct_apps_run_clean_under_ground_truth_policies() {
         let mut rng = SmallRng::seed_from_u64(99);
         let mut db = sim.empty_db();
         seed_app(sim.name, &mut db, &mut rng, &Scale::small());
-        let requests = workload_for(sim.name, &db, &mut rng, 40);
+        let requests = workload_for(sim.name, &db, &mut rng, 40).expect("workload");
 
         let checker = ComplianceChecker::new(sim.schema(), sim.policy().unwrap());
         let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
@@ -63,7 +63,7 @@ fn extracted_policies_admit_their_applications() {
         let mut rng = SmallRng::seed_from_u64(5);
         let mut db = sim.empty_db();
         seed_app(sim.name, &mut db, &mut rng, &Scale::small());
-        let requests = workload_for(sim.name, &db, &mut rng, 30);
+        let requests = workload_for(sim.name, &db, &mut rng, 30).expect("workload");
 
         let proxy = lc.enforce(db);
         for req in &requests {

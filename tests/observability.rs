@@ -27,7 +27,7 @@ fn drive_workload(proxy: &SqlProxy, n_requests: usize) {
     let mut rng = SmallRng::seed_from_u64(7);
     let mut db = CALENDAR.empty_db();
     seed_app("calendar", &mut db, &mut rng, &Scale::small());
-    let requests = workload_for("calendar", &db, &mut rng, n_requests);
+    let requests = workload_for("calendar", &db, &mut rng, n_requests).expect("workload");
     let app = CALENDAR.app();
     for req in &requests {
         let handler = app.handler(&req.handler).unwrap();
