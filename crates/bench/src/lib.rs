@@ -25,6 +25,7 @@
 //! | T11 | `t11_kernel` |
 //! | T12 | `t12_reactor` |
 //! | T13 | `t13_scale` |
+//! | T14 | `t14_introspect` |
 
 #![warn(missing_docs)]
 

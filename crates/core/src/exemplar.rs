@@ -1,0 +1,210 @@
+//! Slow-decision exemplars: the N slowest decisions per template, kept
+//! with their full span trees.
+//!
+//! Aggregates (histograms, summaries) tell you *that* a template's tail
+//! is slow; an exemplar tells you *why* — which disjunct, whether the
+//! certificate replayed or fell back, how many homomorphism nodes the
+//! search burned. The store is deliberately tiny: a handful of events per
+//! template, each at most [`SPAN_ARENA_CAPACITY`] span records, replaced
+//! only by a slower decision of the same template.
+//!
+//! [`SPAN_ARENA_CAPACITY`]: crate::span::SPAN_ARENA_CAPACITY
+
+use std::collections::HashMap;
+use std::mem::size_of;
+
+use parking_lot::Mutex;
+
+use crate::mem::HeapUsage;
+use crate::obs::DecisionEvent;
+use crate::span::SpanRecord;
+
+/// One retained slow decision: the journal event plus its span tree.
+#[derive(Debug, Clone)]
+pub struct Exemplar {
+    /// The decision event (seq 0 if it never reached the journal).
+    pub event: DecisionEvent,
+    /// The captured span tree, pre-order.
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Keeps the `per_template` slowest decisions for each template hash.
+///
+/// One mutex guards the whole store: [`offer`](ExemplarStore::offer) is
+/// called at most once per decision and does a capacity check plus (for
+/// qualifying decisions) one sorted insert, so the critical section is a
+/// few dozen nanoseconds — far below any proof the decision ran.
+pub struct ExemplarStore {
+    per_template: usize,
+    map: Mutex<HashMap<u64, Vec<Exemplar>>>,
+}
+
+impl std::fmt::Debug for ExemplarStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExemplarStore")
+            .field("per_template", &self.per_template)
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+impl ExemplarStore {
+    /// A store keeping the `per_template` slowest decisions per template.
+    /// Zero disables the store (offers are rejected without locking).
+    pub fn new(per_template: usize) -> ExemplarStore {
+        ExemplarStore {
+            per_template,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// `true` if the store retains nothing.
+    pub fn is_disabled(&self) -> bool {
+        self.per_template == 0
+    }
+
+    /// Would a decision of `total_ns` on `template_hash` be retained?
+    /// Used to decide whether capturing the span tree is worth the clone
+    /// *before* the tree is discarded.
+    pub fn would_accept(&self, template_hash: u64, total_ns: u64) -> bool {
+        if self.per_template == 0 {
+            return false;
+        }
+        let map = self.map.lock();
+        match map.get(&template_hash) {
+            None => true,
+            Some(v) => {
+                v.len() < self.per_template
+                    || v.last()
+                        .map(|e| e.event.total_ns < total_ns)
+                        .unwrap_or(true)
+            }
+        }
+    }
+
+    /// Offers a decision; it is retained iff it ranks among the slowest
+    /// `per_template` for its template. Entries are kept sorted slowest
+    /// first, so eviction drops the fastest retained exemplar.
+    pub fn offer(&self, event: DecisionEvent, spans: Vec<SpanRecord>) {
+        if self.per_template == 0 {
+            return;
+        }
+        let hash = event.template_hash;
+        let mut map = self.map.lock();
+        let v = map.entry(hash).or_default();
+        if v.len() >= self.per_template
+            && v.last()
+                .map(|e| e.event.total_ns >= event.total_ns)
+                .unwrap_or(false)
+        {
+            return;
+        }
+        let at = v
+            .iter()
+            .position(|e| e.event.total_ns < event.total_ns)
+            .unwrap_or(v.len());
+        v.insert(at, Exemplar { event, spans });
+        v.truncate(self.per_template);
+    }
+
+    /// The retained exemplars for one template, slowest first (clones, so
+    /// no lock outlives the call).
+    pub fn slowest(&self, template_hash: u64) -> Vec<Exemplar> {
+        self.map
+            .lock()
+            .get(&template_hash)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Every retained exemplar, grouped by template hash.
+    pub fn all(&self) -> Vec<(u64, Vec<Exemplar>)> {
+        self.map
+            .lock()
+            .iter()
+            .map(|(h, v)| (*h, v.clone()))
+            .collect()
+    }
+
+    /// Total exemplars retained across all templates.
+    pub fn count(&self) -> usize {
+        self.map.lock().values().map(|v| v.len()).sum()
+    }
+}
+
+impl HeapUsage for ExemplarStore {
+    fn heap_bytes(&self) -> usize {
+        let map = self.map.lock();
+        let mut b = map.capacity() * (size_of::<u64>() + size_of::<Vec<Exemplar>>());
+        for v in map.values() {
+            b += v.capacity() * size_of::<Exemplar>();
+            b += v
+                .iter()
+                .map(|e| e.spans.capacity() * size_of::<SpanRecord>())
+                .sum::<usize>();
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{CacheTier, Verdict};
+    use crate::span::SpanSummary;
+    use crate::PHASE_COUNT;
+
+    fn ev(hash: u64, total_ns: u64) -> DecisionEvent {
+        DecisionEvent {
+            seq: 0,
+            session: 1,
+            template_hash: hash,
+            verdict: Verdict::Allowed,
+            tier: CacheTier::ConcreteProof,
+            negative_template_hit: false,
+            total_ns,
+            phase_ns: [0; PHASE_COUNT],
+            span: SpanSummary::default(),
+        }
+    }
+
+    #[test]
+    fn keeps_the_n_slowest_per_template() {
+        let store = ExemplarStore::new(2);
+        for total in [50, 10, 90, 20, 70] {
+            assert_eq!(
+                store.would_accept(7, total),
+                total > 50 || store.count() < 2 || total == 50,
+            );
+            store.offer(ev(7, total), Vec::new());
+        }
+        let kept = store.slowest(7);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].event.total_ns, 90);
+        assert_eq!(kept[1].event.total_ns, 70);
+        assert_eq!(store.count(), 2);
+        // A different template has its own budget.
+        store.offer(ev(8, 1), Vec::new());
+        assert_eq!(store.count(), 3);
+        assert_eq!(store.slowest(8).len(), 1);
+    }
+
+    #[test]
+    fn would_accept_tracks_the_cutoff() {
+        let store = ExemplarStore::new(1);
+        assert!(store.would_accept(1, 5));
+        store.offer(ev(1, 100), Vec::new());
+        assert!(!store.would_accept(1, 99));
+        assert!(store.would_accept(1, 101));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let store = ExemplarStore::new(0);
+        assert!(store.is_disabled());
+        assert!(!store.would_accept(1, u64::MAX));
+        store.offer(ev(1, 1), Vec::new());
+        assert_eq!(store.count(), 0);
+        assert_eq!(store.heap_bytes(), 0);
+    }
+}

@@ -22,17 +22,24 @@
 pub mod checker;
 pub mod decision;
 pub mod error;
+pub mod exemplar;
 pub mod latency;
+pub mod lint;
+pub mod mem;
 pub mod obs;
 pub mod plan;
 pub mod policy;
 pub mod proxy;
+pub mod span;
 pub mod trace;
 
 pub use checker::ComplianceChecker;
 pub use decision::{Decision, DecisionSource, DenyReason};
 pub use error::CoreError;
+pub use exemplar::{Exemplar, ExemplarStore};
 pub use latency::{LatencyHistogram, LatencySnapshot};
+pub use lint::{lint_template, lint_templates};
+pub use mem::HeapUsage;
 pub use obs::{
     read_process_memory, template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge,
     JournalCursor, MemoryGauges, MetricsRegistry, Phase, PhaseTimer, ProcessMemory, Verdict,
@@ -43,4 +50,5 @@ pub use plan::{
 };
 pub use policy::{schema_of_database, Policy, ViewDef};
 pub use proxy::{BatchItem, BatchStmt, ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
+pub use span::{SpanKind, SpanRecord, SpanSummary, SPAN_ARENA_CAPACITY};
 pub use trace::{Observation, Trace, TraceEntry};

@@ -39,6 +39,7 @@ use std::time::Instant;
 use parking_lot::RwLock;
 
 use crate::latency::{LatencyHistogram, LatencySnapshot};
+use crate::span::SpanSummary;
 
 /// Number of timed decision phases.
 pub const PHASE_COUNT: usize = 6;
@@ -192,6 +193,9 @@ pub struct DecisionEvent {
     /// Per-phase nanoseconds, indexed by [`Phase`] (`as usize`). Phases
     /// that did not run are zero.
     pub phase_ns: [u64; PHASE_COUNT],
+    /// Compact solver-work summary from the decision's span tree
+    /// (all-zero when span collection is disabled).
+    pub span: SpanSummary,
 }
 
 impl DecisionEvent {
@@ -214,8 +218,9 @@ pub fn template_hash(sql: &str) -> u64 {
 }
 
 /// Words per journal slot: seq, session, template hash, packed
-/// verdict/tier/negative-hit, total, and one per phase.
-const EVENT_WORDS: usize = 5 + PHASE_COUNT;
+/// verdict/tier/negative-hit, total, one per phase, and the three-word
+/// span summary.
+const EVENT_WORDS: usize = 8 + PHASE_COUNT;
 
 fn encode_event(ev: &DecisionEvent) -> [u64; EVENT_WORDS] {
     let mut w = [0u64; EVENT_WORDS];
@@ -224,13 +229,16 @@ fn encode_event(ev: &DecisionEvent) -> [u64; EVENT_WORDS] {
     w[2] = ev.template_hash;
     w[3] = ev.verdict as u64 | (ev.tier as u64) << 8 | u64::from(ev.negative_template_hit) << 16;
     w[4] = ev.total_ns;
-    w[5..].copy_from_slice(&ev.phase_ns);
+    w[5..5 + PHASE_COUNT].copy_from_slice(&ev.phase_ns);
+    w[5 + PHASE_COUNT..].copy_from_slice(&ev.span.to_words());
     w
 }
 
 fn decode_event(w: &[u64; EVENT_WORDS]) -> DecisionEvent {
     let mut phase_ns = [0u64; PHASE_COUNT];
-    phase_ns.copy_from_slice(&w[5..]);
+    phase_ns.copy_from_slice(&w[5..5 + PHASE_COUNT]);
+    let mut span_words = [0u64; 3];
+    span_words.copy_from_slice(&w[5 + PHASE_COUNT..]);
     DecisionEvent {
         seq: w[0],
         session: w[1],
@@ -244,6 +252,7 @@ fn decode_event(w: &[u64; EVENT_WORDS]) -> DecisionEvent {
         negative_template_hit: (w[3] >> 16) & 1 == 1,
         total_ns: w[4],
         phase_ns,
+        span: SpanSummary::from_words(span_words),
     }
 }
 
@@ -275,6 +284,13 @@ pub struct JournalCursor {
 }
 
 impl JournalCursor {
+    /// A cursor positioned at sequence `next`, with nothing charged as
+    /// dropped yet: everything before `next` counts as intentionally
+    /// skipped, not lost. This is how a `subscribe {after}` stream starts.
+    pub fn starting_at(next: u64) -> JournalCursor {
+        JournalCursor { next, dropped: 0 }
+    }
+
     /// Events this cursor missed because the ring evicted them first.
     pub fn dropped(&self) -> u64 {
         self.dropped
@@ -473,6 +489,14 @@ impl EventJournal {
             events.drain(..events.len() - max);
         }
         events
+    }
+}
+
+impl crate::mem::HeapUsage for EventJournal {
+    /// The slot array is the journal's entire heap footprint: fixed at
+    /// construction, independent of traffic.
+    fn heap_bytes(&self) -> usize {
+        self.slots.len() * std::mem::size_of::<Slot>()
     }
 }
 
@@ -895,6 +919,16 @@ mod tests {
             negative_template_hit: session.is_multiple_of(3),
             total_ns: session.wrapping_mul(10),
             phase_ns: [session, 0, 0, session * 2, 0, 1],
+            span: SpanSummary {
+                rewrite_iterations: session as u32,
+                containment_checks: session.wrapping_mul(5) as u32,
+                hom_nodes: session.wrapping_mul(3) as u32,
+                hom_backtracks: (session >> 1) as u32,
+                cert_replays: (session % 7) as u16,
+                cert_fallbacks: (session % 3) as u16,
+                spans: 1 + (session % 5) as u16,
+                truncated: session.is_multiple_of(5),
+            },
         }
     }
 
@@ -1020,6 +1054,11 @@ mod tests {
                             "torn event"
                         );
                         assert_eq!(e.total_ns, e.session.wrapping_mul(10), "torn event");
+                        assert_eq!(
+                            e.span.containment_checks,
+                            e.session.wrapping_mul(5) as u32,
+                            "torn span summary"
+                        );
                         if let Some(prev) = last_seq {
                             assert!(e.seq > prev, "out-of-order delivery");
                         }
@@ -1036,6 +1075,120 @@ mod tests {
             j.events_since(0, usize::MAX).len() as u64 + j.evicted(),
             total
         );
+    }
+
+    #[test]
+    fn tier_and_verdict_labels_round_trip() {
+        // Exhaustive rather than sampled: six tiers, two verdicts.
+        for tier in [
+            CacheTier::TemplateCache,
+            CacheTier::SessionCache,
+            CacheTier::DenyCache,
+            CacheTier::TemplateProof,
+            CacheTier::ConcreteProof,
+            CacheTier::Uncached,
+        ] {
+            assert_eq!(CacheTier::from_label(tier.label()), Some(tier));
+            assert_eq!(CacheTier::from_u64(tier as u64), tier);
+        }
+        for verdict in [Verdict::Allowed, Verdict::Blocked] {
+            assert_eq!(Verdict::from_label(verdict.label()), Some(verdict));
+        }
+        assert_eq!(CacheTier::from_label("not-a-tier"), None);
+        assert_eq!(Verdict::from_label("maybe"), None);
+    }
+
+    #[test]
+    fn poll_accounts_lag_exactly_when_overtaken_by_eviction() {
+        // Satellite: a slow poller whose cursor is overtaken by ring
+        // eviction must see the exact dropped count at every poll, with
+        // no duplicate and no unaccounted event.
+        let cap = 8;
+        let j = EventJournal::with_capacity(cap);
+        let mut cursor = JournalCursor::default();
+        assert!(j.poll(&mut cursor, usize::MAX).is_empty());
+        assert_eq!(cursor.dropped(), 0);
+
+        // Overflow while the poller sleeps: only the newest `cap` remain.
+        for s in 0..20 {
+            j.record(event(s));
+        }
+        let got = j.poll(&mut cursor, usize::MAX);
+        assert_eq!(got.len(), cap);
+        assert_eq!(got.first().unwrap().seq, 12);
+        assert_eq!(cursor.dropped(), 12, "20 published, 8 retained");
+
+        // Catch up within the window: nothing new dropped.
+        for s in 20..25 {
+            j.record(event(s));
+        }
+        let got = j.poll(&mut cursor, usize::MAX);
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (20..25).collect::<Vec<_>>()
+        );
+        assert_eq!(cursor.dropped(), 12);
+
+        // Overtaken again: 11 published into an 8-slot ring from
+        // position 25 → exactly 3 more lost.
+        for s in 25..36 {
+            j.record(event(s));
+        }
+        let got = j.poll(&mut cursor, usize::MAX);
+        assert_eq!(
+            got.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (28..36).collect::<Vec<_>>()
+        );
+        assert_eq!(cursor.dropped(), 15);
+        assert_eq!(cursor.position(), j.published());
+
+        // Grand total: every published event is either delivered or
+        // counted dropped, never both.
+        assert_eq!(cap as u64 + 5 + 8 + cursor.dropped(), j.published());
+    }
+
+    #[test]
+    fn poll_never_duplicates_under_concurrent_eviction() {
+        // Satellite: hammer a tiny ring with one writer while a poller
+        // with a small batch size races it; every sequence number must be
+        // delivered at most once and the final accounting must be exact.
+        let j = EventJournal::with_capacity(4);
+        let total = 10_000u64;
+        std::thread::scope(|scope| {
+            let j = &j;
+            scope.spawn(move || {
+                for s in 0..total {
+                    j.record(event(s));
+                }
+            });
+            let mut cursor = JournalCursor::default();
+            let mut delivered = 0u64;
+            let mut last_seq = None;
+            while delivered + cursor.dropped() < total {
+                for e in j.poll(&mut cursor, 3) {
+                    if let Some(prev) = last_seq {
+                        assert!(e.seq > prev, "duplicate or out-of-order delivery");
+                    }
+                    last_seq = Some(e.seq);
+                    assert_eq!(e.session, e.seq, "torn event");
+                    delivered += 1;
+                }
+            }
+            assert_eq!(delivered + cursor.dropped(), total);
+            assert_eq!(cursor.position(), total);
+        });
+    }
+
+    #[test]
+    fn journal_heap_bytes_are_fixed_at_construction() {
+        use crate::mem::HeapUsage;
+        let j = EventJournal::with_capacity(64);
+        let before = j.heap_bytes();
+        assert!(before >= 64 * EVENT_WORDS * 8);
+        for s in 0..200 {
+            j.record(event(s));
+        }
+        assert_eq!(j.heap_bytes(), before, "ring never grows");
     }
 
     #[test]

@@ -161,6 +161,7 @@ pub fn compile_plan(
     attempt_template: bool,
     lap: &mut dyn FnMut(Phase),
 ) -> TemplatePlan {
+    let _span = crate::span::guard(crate::span::SpanKind::Compile);
     let parsed = parse_statement(sql);
     lap(Phase::Parse);
     let stmt = match parsed {
@@ -203,7 +204,11 @@ pub fn compile_plan(
                 let mut verdict = None;
                 for d in disjuncts {
                     let views = checker.policy().symbolic_subset(&d.view_indices);
-                    match checker.prove_disjunct(&d.template, &views, &[]) {
+                    let proved = {
+                        let _span = crate::span::guard(crate::span::SpanKind::TemplateProof);
+                        checker.prove_disjunct(&d.template, &views, &[])
+                    };
+                    match proved {
                         Some(rw) => {
                             let expansion = qlogic::expand(&rw, &views).ok();
                             certs.push(Certificate {
@@ -368,6 +373,66 @@ impl PlanCache {
             .iter()
             .find(|e| e.sql == sql)
             .and_then(|e| e.cell.get().cloned())
+    }
+}
+
+/// Heap bytes owned by one compiled plan. The parsed [`Statement`] is
+/// opaque to this crate, so it is approximated by the template's source
+/// text (an AST over interned operators is the same order of magnitude as
+/// its source); everything else — translation CQs, candidate-view lists,
+/// certificates — is counted exactly from vector capacities.
+fn plan_heap_bytes(plan: &TemplatePlan) -> usize {
+    use crate::mem::cq_heap_bytes;
+    use std::mem::size_of;
+    let mut b = size_of::<TemplatePlan>() + plan.sql.capacity();
+    match &plan.body {
+        PlanBody::ParseError(m) => b += m.capacity(),
+        PlanBody::Other(_) => b += plan.sql.len(),
+        PlanBody::Select(sp) => {
+            b += plan.sql.len(); // the parsed Statement, approximated
+            match &sp.translation {
+                Ok(ds) => {
+                    b += ds.capacity() * size_of::<DisjunctPlan>();
+                    for d in ds {
+                        b += cq_heap_bytes(&d.template)
+                            + d.view_indices.capacity() * size_of::<usize>();
+                    }
+                }
+                Err(m) => b += m.capacity(),
+            }
+            if let Some(TemplateVerdict::Allowed(certs)) = &sp.template {
+                b += certs.capacity() * size_of::<Certificate>();
+                for c in certs {
+                    b += cq_heap_bytes(&c.rewriting)
+                        + c.expansion.as_ref().map(cq_heap_bytes).unwrap_or(0);
+                }
+            }
+        }
+    }
+    b
+}
+
+impl crate::mem::HeapUsage for PlanCache {
+    /// Walks every shard under its read lock: entry chains, template SQL,
+    /// and each compiled plan's translation and certificates.
+    fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut total = 0;
+        for shard in &self.shards {
+            let s = shard.read();
+            total += s.order.capacity() * size_of::<u64>();
+            total += s.map.capacity() * (size_of::<u64>() + size_of::<Vec<PlanEntry>>());
+            for chain in s.map.values() {
+                total += chain.capacity() * size_of::<PlanEntry>();
+                for e in chain {
+                    total += e.sql.capacity();
+                    if let Some(plan) = e.cell.get() {
+                        total += plan_heap_bytes(plan);
+                    }
+                }
+            }
+        }
+        total
     }
 }
 

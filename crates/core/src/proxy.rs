@@ -114,12 +114,15 @@ use sqlir::{bind_statement, parse_statement, ParamBindings, Statement, Value};
 use crate::checker::ComplianceChecker;
 use crate::decision::{Decision, DecisionSource, DenyReason};
 use crate::error::CoreError;
+use crate::exemplar::ExemplarStore;
 use crate::latency::{LatencyHistogram, LatencySnapshot};
+use crate::mem::{bindings_heap_bytes, cq_heap_bytes, HeapUsage};
 use crate::obs::{
     template_hash, CacheTier, Counter, DecisionEvent, EventJournal, Gauge, MemoryGauges,
     MetricsRegistry, Phase, PhaseTimer, Verdict, PHASE_COUNT,
 };
 use crate::plan::{compile_plan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict};
+use crate::span::{self, SpanKind, SpanSummary};
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
 
 /// Number of session shards. Sixteen keeps per-shard contention negligible
@@ -151,6 +154,18 @@ pub struct ProxyConfig {
     pub observe: bool,
     /// Decision events the journal retains before evicting the oldest.
     pub journal_capacity: usize,
+    /// Collect a hierarchical span tree per decision (requires
+    /// [`observe`](Self::observe)): solver micro-spans with per-span
+    /// counter attribution, summarized onto every [`DecisionEvent`]. The
+    /// T14 bench prices this; off, the hooks cost one thread-local read.
+    pub spans: bool,
+    /// Capture every Nth decision's *full* span tree (0 = never). The
+    /// compact summary rides on every event regardless; this governs only
+    /// the arena clone.
+    pub span_sample_every: u64,
+    /// Slowest decisions retained per template with their full span trees
+    /// (0 disables the exemplar store).
+    pub exemplars_per_template: usize,
 }
 
 impl Default for ProxyConfig {
@@ -164,6 +179,9 @@ impl Default for ProxyConfig {
             plan_capacity: 1024,
             observe: true,
             journal_capacity: 4096,
+            spans: false,
+            span_sample_every: 0,
+            exemplars_per_template: 0,
         }
     }
 }
@@ -315,6 +333,25 @@ struct SessionState {
     denied_cache: HashMap<ConcreteKey, (usize, qlogic::Cq)>,
 }
 
+/// Heap bytes owned by one session's state: the binding list (counted at
+/// this holder even though it is shared by `Arc` — see [`crate::mem`]),
+/// the trace, and both concrete caches.
+fn session_state_bytes(state: &SessionState) -> usize {
+    use std::mem::size_of;
+    bindings_heap_bytes(&state.bindings)
+        + state.trace.heap_bytes()
+        + state.allowed_cache.capacity() * size_of::<ConcreteKey>()
+        + state
+            .denied_cache
+            .capacity()
+            .saturating_mul(size_of::<(ConcreteKey, (usize, qlogic::Cq))>())
+        + state
+            .denied_cache
+            .values()
+            .map(|(_, q)| cq_heap_bytes(q))
+            .sum::<usize>()
+}
+
 /// Fingerprint of one (template, bindings) pair — the session-cache key.
 ///
 /// Three `u64`s, computed with zero allocation: the template hash, the
@@ -463,6 +500,26 @@ pub struct SqlProxy {
     batch_requests: Arc<Counter>,
     /// Process RSS/VmHWM gauges refreshed by [`SqlProxy::metrics_text`].
     memory: MemoryGauges,
+    /// Slowest decisions per template, with full span trees.
+    exemplars: ExemplarStore,
+    /// Decisions that ran with span collection on (the sampling clock).
+    span_decisions: AtomicU64,
+    /// `bep_span_solver_total{counter=...}` series, fed from span
+    /// summaries: rewrite iterations, containment checks, hom nodes, hom
+    /// backtracks — in that order.
+    span_counters: [Arc<Counter>; 4],
+    /// Component heap gauges (`bep_mem_bytes{component=...}`), refreshed
+    /// by [`SqlProxy::metrics_text`]: plan cache, session state, journal,
+    /// exemplars — in that order.
+    mem_gauges: [Arc<Gauge>; 4],
+    /// Exemplars currently retained (`bep_exemplar_count`).
+    exemplar_count: Arc<Gauge>,
+    /// Heap bytes of each session's state at the moment it ended
+    /// (`bep_session_state_bytes`; recorded once per session, so scrapes
+    /// never double-count a live session).
+    session_state_bytes_hist: Arc<LatencyHistogram>,
+    /// Policy-lint warnings emitted (`bep_policy_lint_warnings`).
+    lint_warnings: Arc<Counter>,
 }
 
 impl SqlProxy {
@@ -499,6 +556,32 @@ impl SqlProxy {
             &[],
         );
         let memory = MemoryGauges::register(&registry);
+        let solver = "Solver work rolled up from decision span summaries";
+        let span_counters = [
+            "rewrite-iterations",
+            "containment-checks",
+            "hom-nodes",
+            "hom-backtracks",
+        ]
+        .map(|c| registry.counter("bep_span_solver_total", solver, &[("counter", c)]));
+        let heap = "Heap bytes currently owned, by component";
+        let mem_gauges = ["plan-cache", "session-state", "journal", "exemplars"]
+            .map(|c| registry.gauge("bep_mem_bytes", heap, &[("component", c)]));
+        let exemplar_count = registry.gauge(
+            "bep_exemplar_count",
+            "Slow-decision exemplars currently retained",
+            &[],
+        );
+        let session_state_bytes_hist = registry.histogram(
+            "bep_session_state_bytes",
+            "Heap bytes of a session's state when it ended",
+            &[],
+        );
+        let lint_warnings = registry.counter(
+            "bep_policy_lint_warnings",
+            "Startup policy-lint warnings (handler columns missing from view heads)",
+            &[],
+        );
         SqlProxy {
             db: RwLock::new(db),
             checker,
@@ -518,6 +601,13 @@ impl SqlProxy {
             batches,
             batch_requests,
             memory,
+            exemplars: ExemplarStore::new(config.exemplars_per_template),
+            span_decisions: AtomicU64::new(0),
+            span_counters,
+            mem_gauges,
+            exemplar_count,
+            session_state_bytes_hist,
+            lint_warnings,
         }
     }
 
@@ -547,9 +637,18 @@ impl SqlProxy {
 
     /// Ends a session, discarding its trace. Idempotent: ending an already
     /// ended (or never begun) session is a no-op, and the return value says
-    /// whether the session was live.
+    /// whether the session was live. The session's final state size is
+    /// recorded into the `bep_session_state_bytes` histogram.
     pub fn end_session(&self, id: u64) -> bool {
-        self.shard(id).write().remove(&id).is_some()
+        let state = self.shard(id).write().remove(&id);
+        match state {
+            Some(state) => {
+                self.session_state_bytes_hist
+                    .record(Duration::from_nanos(session_state_bytes(&state) as u64));
+                true
+            }
+            None => false,
+        }
     }
 
     /// Ends every session in `ids`, returning how many were live. The
@@ -591,13 +690,72 @@ impl SqlProxy {
     }
 
     /// Renders the Prometheus text exposition, refreshing the
-    /// point-in-time gauges (live sessions, journal accounting) first.
+    /// point-in-time gauges (live sessions, journal accounting, component
+    /// heap bytes) first.
     pub fn metrics_text(&self) -> String {
         self.sessions_gauge.set(self.session_count() as u64);
         self.journal_published.set(self.journal.published());
         self.journal_evicted.set(self.journal.evicted());
         self.memory.sample();
+        let [plan_cache, session_state, journal, exemplars] = &self.mem_gauges;
+        plan_cache.set(self.plans.heap_bytes() as u64);
+        session_state.set(self.sessions_heap_bytes() as u64);
+        journal.set(self.journal.heap_bytes() as u64);
+        exemplars.set(self.exemplars.heap_bytes() as u64);
+        self.exemplar_count.set(self.exemplars.count() as u64);
         self.registry.render()
+    }
+
+    /// The slow-decision exemplar store (empty unless
+    /// [`ProxyConfig::exemplars_per_template`] is set).
+    pub fn exemplars(&self) -> &ExemplarStore {
+        &self.exemplars
+    }
+
+    /// Point-in-time heap bytes per retaining component, in the same
+    /// order as the `bep_mem_bytes{component=...}` gauges.
+    pub fn component_heap_bytes(&self) -> [(&'static str, usize); 4] {
+        [
+            ("plan-cache", self.plans.heap_bytes()),
+            ("session-state", self.sessions_heap_bytes()),
+            ("journal", self.journal.heap_bytes()),
+            ("exemplars", self.exemplars.heap_bytes()),
+        ]
+    }
+
+    /// Distribution of per-session state sizes, recorded once per session
+    /// when it ends. The histogram reuses the latency machinery, so every
+    /// `_ns` field of the snapshot reads as **bytes**.
+    pub fn session_state_size_snapshot(&self) -> LatencySnapshot {
+        self.session_state_bytes_hist.snapshot()
+    }
+
+    /// Runs the startup policy lints over a set of SQL templates (e.g. an
+    /// application's handler bodies), counting each warning into
+    /// `bep_policy_lint_warnings`. Advisory: enforcement is unchanged.
+    pub fn lint_templates<'a>(&self, templates: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+        let warnings = crate::lint::lint_templates(&self.checker, templates);
+        self.lint_warnings.add(warnings.len() as u64);
+        warnings
+    }
+
+    /// Heap bytes currently owned by one live session's state (bindings,
+    /// trace, concrete caches), or `None` if the session is not live.
+    pub fn session_heap_bytes(&self, id: u64) -> Option<usize> {
+        self.shard(id).read().get(&id).map(session_state_bytes)
+    }
+
+    /// Heap bytes owned by all live session state, including the shard
+    /// tables themselves.
+    pub fn sessions_heap_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let shard = shard.read();
+                shard.capacity() * std::mem::size_of::<(u64, SessionState)>()
+                    + shard.values().map(session_state_bytes).sum::<usize>()
+            })
+            .sum()
     }
 
     /// Runs `f` with shared access to the wrapped database (e.g. for test
@@ -638,6 +796,7 @@ impl SqlProxy {
         let hash = template_hash(sql);
         let t0 = Instant::now();
         let mut prov = Prov::new(self.config.observe);
+        self.begin_span();
         let result = if self.config.plan_cache {
             let (plan, built) = self.plan_for(sql, hash, &mut prov);
             self.execute_plan_timed(session_id, &plan, built, extra_bindings, &mut prov)
@@ -679,9 +838,19 @@ impl SqlProxy {
     ) -> Result<ProxyResponse, CoreError> {
         let t0 = Instant::now();
         let mut prov = Prov::new(self.config.observe);
+        self.begin_span();
         let result = self.execute_plan_timed(session_id, plan, false, extra_bindings, &mut prov);
         self.publish(session_id, plan.hash(), t0, &prov, &result);
         result
+    }
+
+    /// Starts a per-decision span tree on this thread when configured.
+    /// Always paired with the [`span::finish`] inside
+    /// [`finish`](Self::finish), which also runs on the error paths.
+    fn begin_span(&self) {
+        if self.config.observe && self.config.spans {
+            span::begin();
+        }
     }
 
     /// Records the end-to-end latency and, when observing, the per-phase
@@ -712,7 +881,31 @@ impl SqlProxy {
         result: &Result<ProxyResponse, CoreError>,
     ) -> Option<DecisionEvent> {
         let total = t0.elapsed();
+        let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
         self.stats.latency.record(total);
+        // Close the span tree first: `begin_span` opened it whenever
+        // observing with spans on, and it must be closed on *every* path
+        // through here (including errors) or it would leak into the
+        // thread's next decision.
+        let (span_summary, span_records) = match span::active() {
+            false => (SpanSummary::default(), Vec::new()),
+            true => {
+                let n = self.span_decisions.fetch_add(1, Ordering::Relaxed);
+                let sampled = self.config.span_sample_every > 0
+                    && n.is_multiple_of(self.config.span_sample_every);
+                // Capture the full tree only when someone will keep it:
+                // the sampler, or an exemplar slot this decision would win.
+                let capture = sampled || self.exemplars.would_accept(hash, total_ns);
+                span::finish(capture).unwrap_or_default()
+            }
+        };
+        if !span_summary.is_empty() {
+            let [rw, cc, hn, hb] = &self.span_counters;
+            rw.add(span_summary.rewrite_iterations as u64);
+            cc.add(span_summary.containment_checks as u64);
+            hn.add(span_summary.hom_nodes as u64);
+            hb.add(span_summary.hom_backtracks as u64);
+        }
         let timer = prov.timer.as_ref()?;
         let phase_ns = timer.phase_ns();
         for (hist, ns) in self.phases.iter().zip(phase_ns) {
@@ -728,16 +921,23 @@ impl SqlProxy {
         } else {
             Verdict::Blocked
         };
-        Some(DecisionEvent {
+        let ev = DecisionEvent {
             seq: 0, // assigned on publication
             session: session_id,
             template_hash: hash,
             verdict,
             tier: prov.tier,
             negative_template_hit: prov.negative_template_hit,
-            total_ns: total.as_nanos().min(u64::MAX as u128) as u64,
+            total_ns,
             phase_ns,
-        })
+            span: span_summary,
+        };
+        if !span_records.is_empty() {
+            // The store re-checks the cutoff under its lock; a losing race
+            // with a slower decision just discards the clone.
+            self.exemplars.offer(ev, span_records);
+        }
+        Some(ev)
     }
 
     /// Executes a burst of requests drained off many connections in one
@@ -786,6 +986,7 @@ impl SqlProxy {
         for it in items {
             let t0 = Instant::now();
             let mut prov = Prov::new(self.config.observe);
+            self.begin_span();
             let (hash, plan, built) = match &it.stmt {
                 // A pre-compiled plan replays like `execute_planned`:
                 // never attributed the template proof.
@@ -1077,9 +1278,11 @@ impl SqlProxy {
                     };
                     let mut rewritings = Vec::with_capacity(disjuncts.len());
                     for (i, d) in disjuncts.iter().enumerate() {
+                        let _disjunct_span = span::guard(SpanKind::Disjunct);
                         let inst = d.template.instantiate(bindings);
                         let replayed = certs.and_then(|cs| cs.get(i)).and_then(|c| {
                             let expansion = c.expansion.as_ref()?;
+                            let _replay_span = span::guard(SpanKind::CertReplay);
                             checker.replay_certificate(
                                 &inst,
                                 c.rewriting.instantiate(bindings),
@@ -1087,14 +1290,22 @@ impl SqlProxy {
                                 trace.facts(),
                             )
                         });
-                        let proved = replayed.or_else(|| {
-                            // Replay failed (or no certificate): run the
-                            // full search over the pruned candidate views.
-                            let views = checker
-                                .policy()
-                                .instantiate_subset(&d.view_indices, bindings);
-                            checker.prove_disjunct(&inst, &views, trace.facts())
-                        });
+                        let proved = match replayed {
+                            Some(rw) => {
+                                span::note_cert_replay();
+                                Some(rw)
+                            }
+                            None => {
+                                // Replay failed (or no certificate): run the
+                                // full search over the pruned candidate views.
+                                span::note_cert_fallback();
+                                let _fallback_span = span::guard(SpanKind::CertFallback);
+                                let views = checker
+                                    .policy()
+                                    .instantiate_subset(&d.view_indices, bindings);
+                                checker.prove_disjunct(&inst, &views, trace.facts())
+                            }
+                        };
                         match proved {
                             Some(rw) => rewritings.push(rw),
                             None => {
@@ -1968,5 +2179,144 @@ mod tests {
             let b = naive.execute(sn, sql, &binds).unwrap();
             assert_eq!(a, b, "diverged on {sql}");
         }
+    }
+
+    #[test]
+    fn spans_summarize_solver_work_onto_events() {
+        let p = proxy(ProxyConfig {
+            spans: true,
+            span_sample_every: 1,
+            exemplars_per_template: 2,
+            ..ProxyConfig::default()
+        });
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.execute(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+        p.execute(
+            s,
+            "SELECT * FROM Events WHERE EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+
+        let events = p.journal().recent(usize::MAX, None);
+        assert_eq!(events.len(), 2);
+        // Every span-enabled decision carries at least the root span.
+        assert!(events.iter().all(|e| e.span.spans >= 1), "{events:?}");
+        // The trace-dependent Q2 runs a concrete proof: real solver work.
+        let q2 = events.last().unwrap();
+        assert!(
+            q2.span.containment_checks > 0 || q2.span.rewrite_iterations > 0,
+            "concrete proof left no solver footprint: {:?}",
+            q2.span
+        );
+        // With sampling at 1, both full trees were captured as exemplars.
+        assert_eq!(p.exemplars().count(), 2);
+        let slow = p.exemplars().slowest(q2.template_hash);
+        assert_eq!(slow.len(), 1);
+        assert!(!slow[0].spans.is_empty());
+        assert_eq!(slow[0].spans[0].kind, SpanKind::Decision);
+        // The exposition carries the new families.
+        let text = p.metrics_text();
+        assert!(text.contains("bep_span_solver_total{counter=\"containment-checks\"}"));
+        assert!(text.contains("bep_mem_bytes{component=\"plan-cache\"}"));
+        assert!(text.contains("bep_mem_bytes{component=\"session-state\"}"));
+        assert!(text.contains("bep_mem_bytes{component=\"journal\"}"));
+        assert!(text.contains("bep_mem_bytes{component=\"exemplars\"}"));
+        assert!(text.contains("bep_exemplar_count 2\n"), "{text}");
+        assert!(text.contains("bep_policy_lint_warnings 0\n"));
+    }
+
+    #[test]
+    fn spans_off_leave_summaries_empty_and_capture_nothing() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.execute(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+        let events = p.journal().recent(usize::MAX, None);
+        assert!(events.iter().all(|e| e.span.is_empty()), "{events:?}");
+        assert_eq!(p.exemplars().count(), 0);
+        assert!(!crate::span::active(), "no span tree may leak");
+    }
+
+    #[test]
+    fn batch_decisions_carry_spans_and_never_leak_the_tree() {
+        let p = proxy(ProxyConfig {
+            spans: true,
+            span_sample_every: 0, // summaries only, no capture
+            ..ProxyConfig::default()
+        });
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let items: Vec<BatchItem> = (0..3)
+            .map(|_| BatchItem {
+                session: s,
+                stmt: BatchStmt::Sql("SELECT EId FROM Attendance WHERE UId = ?MyUId".into()),
+                bindings: Vec::new(),
+            })
+            .collect();
+        for r in p.execute_batch(&items) {
+            assert!(r.unwrap().is_allowed());
+        }
+        assert!(!crate::span::active(), "batch left a span tree open");
+        let events = p.journal().recent(usize::MAX, None);
+        assert_eq!(events.len(), 3);
+        assert!(events.iter().all(|e| e.span.spans >= 1));
+        assert_eq!(p.exemplars().count(), 0, "capture disabled");
+    }
+
+    #[test]
+    fn ending_a_session_records_its_state_size() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.execute(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = ?event",
+            &[("event".into(), Value::Int(2))],
+        )
+        .unwrap();
+        let live = p.session_heap_bytes(s).expect("session is live");
+        assert!(live > 0, "a traced session owns heap");
+        assert!(p.sessions_heap_bytes() >= live);
+        assert!(p.end_session(s));
+        assert_eq!(p.session_heap_bytes(s), None);
+        let text = p.metrics_text();
+        assert!(text.contains("bep_session_state_bytes_count 1\n"), "{text}");
+        // The recorded size is the session's final footprint (p50 of one
+        // sample sits in the same log bucket as the live reading).
+        assert!(text.contains("bep_session_state_bytes_sum"), "{text}");
+    }
+
+    #[test]
+    fn lint_counter_tracks_warnings() {
+        // Only V1 (projecting EId alone): selecting Notes can never be
+        // covered, which is exactly what the lint warns about.
+        let db = calendar_db();
+        let schema = schema_of_database(&db);
+        let policy = Policy::from_sql(
+            &schema,
+            &[("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId")],
+        )
+        .unwrap();
+        let p = SqlProxy::new(
+            db,
+            ComplianceChecker::new(schema, policy),
+            ProxyConfig::default(),
+        );
+        let warnings = p.lint_templates([
+            "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+            "SELECT Notes FROM Attendance WHERE UId = ?MyUId",
+        ]);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("Attendance.Notes"), "{}", warnings[0]);
+        let text = p.metrics_text();
+        assert!(text.contains("bep_policy_lint_warnings 1\n"), "{text}");
     }
 }

@@ -145,6 +145,33 @@ impl Trace {
     }
 }
 
+impl crate::mem::HeapUsage for Trace {
+    /// Entries (query CQs plus recorded observation rows) and derived
+    /// facts, from vector capacities.
+    fn heap_bytes(&self) -> usize {
+        use crate::mem::{cq_heap_bytes, value_heap_bytes};
+        use std::mem::size_of;
+        let mut b = self.entries.capacity() * size_of::<TraceEntry>()
+            + self.facts.capacity() * size_of::<Atom>()
+            + self
+                .facts
+                .iter()
+                .map(|a| a.args.capacity() * size_of::<Term>())
+                .sum::<usize>();
+        for e in &self.entries {
+            b += cq_heap_bytes(&e.query);
+            if let Observation::Rows(rows) = &e.observation {
+                b += rows.capacity() * size_of::<Vec<Value>>();
+                for row in rows {
+                    b += row.capacity() * size_of::<Value>();
+                    b += row.iter().map(value_heap_bytes).sum::<usize>();
+                }
+            }
+        }
+        b
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -39,6 +39,7 @@ pub fn contained_given(q1: &Cq, q2: &Cq, facts: &[Atom]) -> bool {
 /// (e.g. two `Posts` atoms sharing a primary key are the same row) are
 /// visible to the containment argument.
 pub fn contained_given_deps(q1: &Cq, q2: &Cq, facts: &[Atom], deps: &Dependencies) -> bool {
+    crate::probe::bump_containment_check();
     if q1.head.len() != q2.head.len() {
         return false;
     }

@@ -256,6 +256,7 @@ fn step(
     }
     let atom = &plan.atoms[depth];
     for &ti in &plan.rel_index[atom.rel] {
+        crate::probe::bump_hom_node();
         let target = &p.target_atoms[ti as usize];
         if target.args.len() != atom.args.len() {
             continue;
@@ -267,6 +268,7 @@ fn step(
         {
             return true;
         }
+        crate::probe::bump_hom_backtrack();
         while state.trail.len() > mark {
             let slot = state.trail.pop().expect("trail mark in bounds");
             state.bindings[slot as usize] = None;

@@ -16,7 +16,10 @@
 //! * [`rewrite`] — MiniCon-style answering-queries-using-views: contained,
 //!   maximally-contained, and equivalent rewritings;
 //! * [`minimize`] — CQ cores;
-//! * [`generalize`] — anti-unification for specification mining.
+//! * [`generalize`] — anti-unification for specification mining;
+//! * [`probe`] — thread-local solver work counters (rewrite iterations,
+//!   containment calls, homomorphism nodes/backtracks) that introspection
+//!   harnesses read at span boundaries.
 //!
 //! Soundness stance: every positive answer (`contained`, `entails`,
 //! rewriting verified) is correct for the full semantics. Completeness is
@@ -36,6 +39,7 @@ pub mod generalize;
 pub mod homomorphism;
 pub mod instance;
 pub mod minimize;
+pub mod probe;
 pub mod rewrite;
 pub mod sym;
 
@@ -51,6 +55,7 @@ pub use from_sql::{cq_to_sql, sql_to_cq, sql_to_ucq, RelSchema};
 pub use generalize::{anti_unify, anti_unify_all, canonicalize_vars, const_to_param};
 pub use instance::Instance;
 pub use minimize::minimize;
+pub use probe::SolverCounters;
 pub use rewrite::{
     candidate_view_indices, contained_rewritings, containing_rewritings, equivalent_rewriting,
     equivalent_rewriting_deps, expand, maximally_contained, ViewSet,

@@ -205,6 +205,7 @@ fn mcds_for_view(q: &Cq, view: &Cq, view_idx: usize, relaxed: bool) -> Vec<Mcd> 
         inv: &mut BTreeMap<Sym, Term>,
         out: &mut Vec<Mcd>,
     ) {
+        crate::probe::bump_rewrite_iteration();
         if out.len() >= MAX_MCDS {
             return;
         }
@@ -401,6 +402,7 @@ fn candidates_mode(q: &Cq, views: &ViewSet, relaxed: bool) -> Vec<Cq> {
         chosen: &mut Vec<usize>,
         combos: &mut Vec<Vec<usize>>,
     ) {
+        crate::probe::bump_rewrite_iteration();
         if combos.len() >= MAX_COMBOS {
             return;
         }

@@ -30,7 +30,9 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bep_core::{BatchItem, BatchStmt, CoreError, ProxyResponse, SqlProxy, TemplatePlan};
+use bep_core::{
+    BatchItem, BatchStmt, CoreError, JournalCursor, ProxyResponse, SqlProxy, TemplatePlan,
+};
 
 use crate::framing::{write_frame, FrameError, FrameEvent, FrameReader};
 use crate::protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
@@ -132,10 +134,20 @@ pub(crate) struct ConnCore {
     sweep: SessionSweep,
     prepared: PreparedPlans,
     greeted: bool,
+    /// Whether this front-end can push unsolicited frames (the event loop
+    /// can; the blocking loop's strict request/response cadence cannot).
+    streaming: bool,
+    /// Live journal subscription, if this connection sent `subscribe`.
+    /// The event loop polls it every tick; the cursor's drop counter is
+    /// the stream's exact loss accounting.
+    pub(crate) subscription: Option<JournalCursor>,
 }
 
 impl ConnCore {
-    pub(crate) fn new(shared: Arc<ConnShared>) -> ConnCore {
+    /// `streaming` declares whether the owning front-end can push
+    /// unsolicited `events` frames; without it, `subscribe` is refused as
+    /// unsupported rather than silently never delivering.
+    pub(crate) fn new(shared: Arc<ConnShared>, streaming: bool) -> ConnCore {
         let proxy = Arc::clone(&shared.proxy);
         ConnCore {
             shared,
@@ -145,6 +157,8 @@ impl ConnCore {
             },
             prepared: PreparedPlans::default(),
             greeted: false,
+            streaming,
+            subscription: None,
         }
     }
 
@@ -302,6 +316,23 @@ impl ConnCore {
                     false,
                 )
             }
+            Request::Subscribe { after } => {
+                if !self.streaming {
+                    return immediate(
+                        Response::Error {
+                            kind: ErrorKind::Unsupported,
+                            msg: "subscribe requires the event-driven front-end \
+                                  (this front-end cannot push frames)"
+                                .into(),
+                        },
+                        false,
+                    );
+                }
+                // Re-subscribing repositions the stream; events before
+                // `after` are skipped, not charged as dropped.
+                self.subscription = Some(JournalCursor::starting_at(after));
+                immediate(Response::Subscribed, false)
+            }
             Request::End { session } => {
                 if !self.sweep.owned.contains(&session) {
                     return immediate(no_such_session(session), false);
@@ -355,7 +386,7 @@ pub(crate) fn handle_connection(shared: &Arc<ConnShared>, mut stream: TcpStream)
     let _ = stream.set_nodelay(true);
 
     let mut reader = FrameReader::new(shared.config.max_frame);
-    let mut core = ConnCore::new(Arc::clone(shared));
+    let mut core = ConnCore::new(Arc::clone(shared), false);
     let mut last_activity = Instant::now();
 
     loop {

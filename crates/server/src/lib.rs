@@ -6,18 +6,21 @@
 //! alone (the workspace stays offline-buildable — no async runtime):
 //!
 //! * [`protocol`] — typed `hello`/`begin`/`execute`/`trace`/`stats`/
-//!   `metrics`/`journal`/`end`/`shutdown` messages over a hand-rolled
-//!   JSON layer ([`json`]); `trace` and `journal` carry decision
-//!   provenance ([`bep_core::DecisionEvent`]), `metrics` the Prometheus
-//!   text exposition;
+//!   `metrics`/`journal`/`subscribe`/`end`/`shutdown` messages over a
+//!   hand-rolled JSON layer ([`json`]); `trace`, `journal`, and pushed
+//!   `events` frames carry decision provenance
+//!   ([`bep_core::DecisionEvent`], including its solver-span summary),
+//!   `metrics` the Prometheus text exposition;
 //! * [`framing`] — 4-byte length-prefixed frames with split-read tolerance
 //!   and oversized-frame rejection, in both pull
 //!   ([`framing::FrameReader`]) and push ([`framing::FrameDecoder`]) form;
 //! * [`reactor`] — a minimal level-triggered epoll abstraction (raw
 //!   syscalls against the libc `std` already links: no external deps);
 //! * [`event_loop`] — the default front-end: one reactor thread holding
-//!   every connection, pipelined frames, and cross-connection decision
-//!   batching through [`bep_core::SqlProxy::execute_batch`];
+//!   every connection, pipelined frames, cross-connection decision
+//!   batching through [`bep_core::SqlProxy::execute_batch`], and per-tick
+//!   journal pushes to `subscribe`d connections (bounded backlog, exact
+//!   drop accounting);
 //! * [`pool`] — a fixed worker thread-pool with a bounded backlog and
 //!   explicit admission control (saturation returns the connection to the
 //!   acceptor, which answers `busy` with a load snapshot — the server
@@ -45,6 +48,6 @@ pub mod protocol;
 pub mod reactor;
 pub mod server;
 
-pub use client::{Client, ClientError, ExecOutcome, JournalPage, TraceInfo};
+pub use client::{Client, ClientError, EventBatch, ExecOutcome, JournalPage, TraceInfo};
 pub use protocol::{ErrorKind, Request, Response, WireStats, PROTOCOL_VERSION};
 pub use server::{Server, ServerConfig, ServerMode};

@@ -15,25 +15,34 @@
 //! | `stats` | | proxy counters + latency percentiles |
 //! | `metrics` | | Prometheus text exposition of the proxy's registry |
 //! | `journal` | `after`, `max` | drain decision events with sequence ≥ `after` |
+//! | `subscribe` | `after` | stream journal events as they are published (event-driven front-end only) |
 //! | `end` | `session` | end a session (idempotent) |
 //! | `shutdown` | | ask the whole server to drain and stop |
 //!
 //! Server → client: `welcome`, `busy`, `began`, `prepared`, `rows`,
-//! `affected`, `blocked`, `trace`, `stats`, `metrics`, `journal`, `ended`,
-//! `bye`, and `error` (with a stable `kind`). SQL [`Value`]s are encoded
+//! `affected`, `blocked`, `trace`, `stats`, `metrics`, `journal`,
+//! `subscribed`, `events`, `ended`, `bye`, and `error` (with a stable
+//! `kind`). After a `subscribed` ack the server *pushes* `events` frames
+//! (each a batch of journal events plus the subscription's cumulative
+//! drop count) without further requests. SQL [`Value`]s are encoded
 //! unambiguously as `null`, `{"i":n}`, `{"s":"…"}`, `{"b":bool}` so
 //! integer 1, string "1", and boolean true never collide.
 //!
-//! Decision events ride in `trace` and `journal` responses as objects of
-//! the form `{"seq", "session", "hash", "verdict", "tier", "neg",
-//! "total_ns", "phases"}` — `hash` is the query-template FNV-1a hash as a
-//! 16-digit hex string (it does not fit a signed JSON integer), `tier` and
-//! `verdict` use the stable labels from [`bep_core::CacheTier`] and
-//! [`bep_core::Verdict`], and `phases` is the per-phase nanosecond array
-//! indexed by [`bep_core::Phase`]. Unknown fields are ignored on decode,
-//! so these extensions stay within protocol version 1.
+//! Decision events ride in `trace`, `journal`, and `events` responses as
+//! objects of the form `{"seq", "session", "hash", "verdict", "tier",
+//! "neg", "total_ns", "phases", "span"?}` — `hash` is the query-template
+//! FNV-1a hash as a 16-digit hex string (it does not fit a signed JSON
+//! integer), `tier` and `verdict` use the stable labels from
+//! [`bep_core::CacheTier`] and [`bep_core::Verdict`], and `phases` is the
+//! per-phase nanosecond array indexed by [`bep_core::Phase`]. `span` is
+//! the compact solver-work summary (`{"rw","cc","hn","hb","cr","cf",
+//! "spans","trunc"}` — rewrite iterations, containment checks,
+//! homomorphism nodes/backtracks, certificate replays/fallbacks, span
+//! count, truncation flag); it is omitted when all-zero and defaults on
+//! decode, so pre-span peers interoperate. Unknown fields are ignored on
+//! decode, so these extensions stay within protocol version 1.
 
-use bep_core::{CacheTier, DecisionEvent, Verdict, PHASE_COUNT};
+use bep_core::{CacheTier, DecisionEvent, SpanSummary, Verdict, PHASE_COUNT};
 use sqlir::Value;
 
 use crate::json::Json;
@@ -153,6 +162,16 @@ pub enum Request {
         /// At most this many events.
         max: u64,
     },
+    /// Stream journal events as they are published: the server acks with
+    /// `subscribed`, then pushes [`Response::Events`] frames without
+    /// further requests. Only the event-driven front-end streams; the
+    /// blocking front-end answers `error` with kind `unsupported`.
+    Subscribe {
+        /// Start the stream at sequence number ≥ this (0 = from the
+        /// oldest retained); earlier events are skipped, not counted as
+        /// dropped.
+        after: u64,
+    },
     /// End a session.
     End {
         /// Session to end.
@@ -268,6 +287,18 @@ pub enum Response {
         /// loss accounting compares this against its own cursor).
         evicted: u64,
     },
+    /// Subscription accepted: `events` frames will follow unprompted.
+    Subscribed,
+    /// One pushed batch of journal events on a subscribed connection,
+    /// oldest first, strictly increasing sequence numbers across the
+    /// whole stream.
+    Events {
+        /// The new events since the last push.
+        events: Vec<DecisionEvent>,
+        /// Cumulative events this subscription lost to ring eviction
+        /// (e.g. while the connection was backlogged). Monotone.
+        dropped: u64,
+    },
     /// Session ended.
     Ended {
         /// Whether the session was live.
@@ -360,8 +391,37 @@ fn rows_from_json(j: &Json) -> Result<Vec<Vec<Value>>, ProtocolError> {
         .collect()
 }
 
-fn event_to_json(e: &DecisionEvent) -> Json {
+fn span_to_json(s: &SpanSummary) -> Json {
     Json::obj([
+        ("rw", Json::Int(s.rewrite_iterations as i64)),
+        ("cc", Json::Int(s.containment_checks as i64)),
+        ("hn", Json::Int(s.hom_nodes as i64)),
+        ("hb", Json::Int(s.hom_backtracks as i64)),
+        ("cr", Json::Int(s.cert_replays as i64)),
+        ("cf", Json::Int(s.cert_fallbacks as i64)),
+        ("spans", Json::Int(s.spans as i64)),
+        ("trunc", Json::Bool(s.truncated)),
+    ])
+}
+
+fn span_from_json(j: &Json) -> Result<SpanSummary, ProtocolError> {
+    // Each counter defaults to zero when absent so a peer that adds (or
+    // never learned) a field still interoperates.
+    let counter = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
+    Ok(SpanSummary {
+        rewrite_iterations: counter("rw") as u32,
+        containment_checks: counter("cc") as u32,
+        hom_nodes: counter("hn") as u32,
+        hom_backtracks: counter("hb") as u32,
+        cert_replays: counter("cr") as u16,
+        cert_fallbacks: counter("cf") as u16,
+        spans: counter("spans") as u16,
+        truncated: j.get("trunc").and_then(Json::as_bool).unwrap_or(false),
+    })
+}
+
+fn event_to_json(e: &DecisionEvent) -> Json {
+    let mut fields = vec![
         ("seq", Json::Int(e.seq as i64)),
         ("session", Json::Int(e.session as i64)),
         ("hash", Json::str(format!("{:016x}", e.template_hash))),
@@ -373,7 +433,13 @@ fn event_to_json(e: &DecisionEvent) -> Json {
             "phases",
             Json::Arr(e.phase_ns.iter().map(|&n| Json::Int(n as i64)).collect()),
         ),
-    ])
+    ];
+    // All-zero summaries (spans disabled) are omitted entirely: the
+    // common streaming case costs no extra bytes, and decode defaults.
+    if !e.span.is_empty() {
+        fields.push(("span", span_to_json(&e.span)));
+    }
+    Json::obj(fields)
 }
 
 fn event_from_json(j: &Json) -> Result<DecisionEvent, ProtocolError> {
@@ -408,6 +474,12 @@ fn event_from_json(j: &Json) -> Result<DecisionEvent, ProtocolError> {
             .ok_or_else(|| ProtocolError("neg must be a boolean".into()))?,
         total_ns: u64_field(j, "total_ns")?,
         phase_ns,
+        // Absent on pre-span peers (and on span-disabled events, which
+        // omit the all-zero summary): default.
+        span: match j.get("span") {
+            Some(s) => span_from_json(s)?,
+            None => SpanSummary::default(),
+        },
     })
 }
 
@@ -487,6 +559,10 @@ impl Request {
                 ("after", Json::Int(*after as i64)),
                 ("max", Json::Int(*max as i64)),
             ]),
+            Request::Subscribe { after } => Json::obj([
+                ("t", Json::str("subscribe")),
+                ("after", Json::Int(*after as i64)),
+            ]),
             Request::End { session } => Json::obj([
                 ("t", Json::str("end")),
                 ("session", Json::Int(*session as i64)),
@@ -531,6 +607,9 @@ impl Request {
             "journal" => Ok(Request::Journal {
                 after: u64_field(&j, "after")?,
                 max: u64_field(&j, "max")?,
+            }),
+            "subscribe" => Ok(Request::Subscribe {
+                after: u64_field(&j, "after")?,
             }),
             "end" => Ok(Request::End {
                 session: u64_field(&j, "session")?,
@@ -625,6 +704,12 @@ impl Response {
                 ("published", Json::Int(*published as i64)),
                 ("evicted", Json::Int(*evicted as i64)),
             ]),
+            Response::Subscribed => Json::obj([("t", Json::str("subscribed"))]),
+            Response::Events { events, dropped } => Json::obj([
+                ("t", Json::str("events")),
+                ("events", events_to_json(events)),
+                ("dropped", Json::Int(*dropped as i64)),
+            ]),
             Response::Ended { was_live } => Json::obj([
                 ("t", Json::str("ended")),
                 ("was_live", Json::Bool(*was_live)),
@@ -716,6 +801,11 @@ impl Response {
                 published: u64_field(&j, "published")?,
                 evicted: u64_field(&j, "evicted")?,
             }),
+            "subscribed" => Ok(Response::Subscribed),
+            "events" => Ok(Response::Events {
+                events: events_from_json(field(&j, "events")?)?,
+                dropped: u64_field(&j, "dropped")?,
+            }),
             "ended" => Ok(Response::Ended {
                 was_live: field(&j, "was_live")?
                     .as_bool()
@@ -755,6 +845,22 @@ mod tests {
             negative_template_hit: seq % 2 == 1,
             total_ns: 80_000,
             phase_ns,
+            // Odd seqs carry solver work, even seqs are span-disabled
+            // (all-zero, omitted on the wire) — both shapes round-trip.
+            span: if seq % 2 == 1 {
+                SpanSummary {
+                    rewrite_iterations: 3 + seq as u32,
+                    containment_checks: 40,
+                    hom_nodes: 200,
+                    hom_backtracks: 17,
+                    cert_replays: 2,
+                    cert_fallbacks: 1,
+                    spans: 9,
+                    truncated: seq == 1,
+                }
+            } else {
+                SpanSummary::default()
+            },
         }
     }
 
@@ -765,6 +871,29 @@ mod tests {
             let wire = event_to_json(&ev).to_wire();
             assert_eq!(event_from_json(&Json::parse(&wire).unwrap()).unwrap(), ev);
         }
+    }
+
+    #[test]
+    fn span_summaries_are_omitted_when_empty_and_default_when_absent() {
+        // Span-disabled events carry no "span" member at all.
+        let wire = event_to_json(&sample_event(0)).to_wire();
+        assert!(
+            !wire.contains("\"span\""),
+            "empty summary serialized: {wire}"
+        );
+        // A frame from a pre-span peer decodes with the default summary.
+        let legacy = r#"{"seq":3,"session":7,"hash":"00000000000000ff","verdict":"allowed",
+                         "tier":"template-proof","neg":false,"total_ns":10,"phases":[]}"#;
+        let ev = event_from_json(&Json::parse(legacy).unwrap()).unwrap();
+        assert_eq!(ev.span, SpanSummary::default());
+        // A span object with unknown-to-us extra members still decodes.
+        let extended = r#"{"seq":3,"session":7,"hash":"ff","verdict":"allowed",
+                           "tier":"template-proof","neg":false,"total_ns":10,"phases":[],
+                           "span":{"rw":5,"cc":6,"future_field":1}}"#;
+        let ev = event_from_json(&Json::parse(extended).unwrap()).unwrap();
+        assert_eq!(ev.span.rewrite_iterations, 5);
+        assert_eq!(ev.span.containment_checks, 6);
+        assert_eq!(ev.span.hom_nodes, 0);
     }
 
     #[test]
@@ -830,6 +959,7 @@ mod tests {
                 after: 128,
                 max: 64,
             },
+            Request::Subscribe { after: 900 },
             Request::End { session: 42 },
             Request::Shutdown,
         ];
@@ -877,6 +1007,11 @@ mod tests {
                 events: vec![sample_event(1), sample_event(2)],
                 published: 77,
                 evicted: 13,
+            },
+            Response::Subscribed,
+            Response::Events {
+                events: vec![sample_event(4), sample_event(5)],
+                dropped: 6,
             },
             Response::Stats(WireStats {
                 allowed: 1,

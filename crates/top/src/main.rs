@@ -1,0 +1,456 @@
+//! `bep-top` — a live terminal view of a running enforcement server.
+//!
+//! Two connections do all the work. The first `subscribe`s to the
+//! decision journal and folds every pushed event into per-template
+//! panes: decision counts, verdict split, latency, solver-span counter
+//! averages, and which cache tier answered. The second scrapes the
+//! Prometheus exposition and `stats` snapshot each frame for the
+//! byte-accurate memory gauges (`bep_mem_bytes{component=...}`) and the
+//! server-wide latency percentiles.
+//!
+//! Point it at a server (for example `serve_calendar`):
+//!
+//! ```text
+//! bep-top 127.0.0.1:4270
+//! ```
+//!
+//! Or let it spin up its own in-process demo server with synthetic
+//! traffic — also the CI smoke path, since it needs no orchestration:
+//!
+//! ```text
+//! bep-top --demo --frames 3 --interval-ms 200
+//! ```
+//!
+//! Flags:
+//!
+//! * `--frames N` — render `N` frames to stdout and exit (headless mode,
+//!   plain text). Without it, bep-top runs until interrupted and
+//!   repaints the terminal in place.
+//! * `--interval-ms M` — frame interval (default 1000).
+//! * `--top K` — show the `K` busiest templates (default 10).
+//! * `--demo` — serve a tiny calendar policy locally and generate
+//!   alternating allowed/blocked traffic against it.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bep_core::{schema_of_database, ComplianceChecker, Policy, ProxyConfig, SqlProxy, Verdict};
+use bep_server::{Client, ClientError, EventBatch, Server, ServerConfig, WireStats};
+use minidb::Database;
+use sqlir::Value;
+
+/// How long one `next_events` read may block inside a frame: short
+/// enough to keep the frame cadence honest, long enough to not spin.
+const STREAM_TICK: Duration = Duration::from_millis(200);
+
+fn main() {
+    let mut opts = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--demo" => opts.demo = true,
+            "--frames" => opts.frames = req_num(&mut args, "--frames"),
+            "--interval-ms" => {
+                opts.interval = Duration::from_millis(req_num(&mut args, "--interval-ms"))
+            }
+            "--top" => opts.top = req_num(&mut args, "--top") as usize,
+            "--help" | "-h" => {
+                println!("usage: bep-top [ADDR] [--demo] [--frames N] [--interval-ms M] [--top K]");
+                return;
+            }
+            other => opts.addr = other.to_string(),
+        }
+    }
+
+    let demo = if opts.demo {
+        let d = DemoServer::start();
+        opts.addr = d.addr.to_string();
+        Some(d)
+    } else {
+        None
+    };
+
+    let outcome = run(&opts);
+    if let Some(d) = demo {
+        d.stop();
+    }
+    if let Err(e) = outcome {
+        eprintln!("bep-top: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn req_num(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("bep-top: {flag} needs a numeric argument");
+        std::process::exit(2);
+    })
+}
+
+struct Opts {
+    addr: String,
+    /// 0 means run forever (interactive mode).
+    frames: u64,
+    interval: Duration,
+    top: usize,
+    demo: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            addr: "127.0.0.1:4270".into(),
+            frames: 0,
+            interval: Duration::from_millis(1000),
+            top: 10,
+            demo: false,
+        }
+    }
+}
+
+fn run(opts: &Opts) -> Result<(), String> {
+    let addr: SocketAddr = opts
+        .addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {}: {e}", opts.addr))?
+        .next()
+        .ok_or_else(|| format!("resolve {}: no address", opts.addr))?;
+
+    let io = Duration::from_secs(5);
+    let mut scrape = Client::connect(addr, io).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut sub = Client::connect(addr, io).map_err(|e| format!("connect {addr}: {e}"))?;
+    sub.subscribe(0).map_err(|e| format!("subscribe: {e}"))?;
+    sub.set_io_timeout(STREAM_TICK.min(opts.interval))
+        .map_err(|e| format!("set stream timeout: {e}"))?;
+
+    let interactive = opts.frames == 0;
+    let mut agg = Aggregate::default();
+    let mut frame = 0u64;
+    loop {
+        frame += 1;
+        // Drain the stream until the frame interval elapses; each read
+        // blocks at most STREAM_TICK, so an idle server still renders.
+        let deadline = Instant::now() + opts.interval;
+        let mut fresh = 0usize;
+        loop {
+            match sub.next_events() {
+                Ok(batch) => {
+                    fresh += batch.events.len();
+                    agg.ingest(batch);
+                }
+                Err(ClientError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) => {}
+                Err(e) => return Err(format!("stream: {e}")),
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+
+        let stats = scrape.stats().map_err(|e| format!("stats: {e}"))?;
+        let text = scrape.metrics().map_err(|e| format!("metrics: {e}"))?;
+        let mem = parse_mem_gauges(&text);
+
+        if interactive {
+            // Repaint in place: clear screen, home the cursor.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render(opts, frame, fresh, &agg, &stats, &mem));
+        if !interactive && frame >= opts.frames {
+            return Ok(());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation: fold the event stream into per-template panes.
+
+/// One template's pane: everything shown about it comes from folding the
+/// pushed [`bep_core::DecisionEvent`]s, never from re-querying the server.
+#[derive(Default)]
+struct Pane {
+    count: u64,
+    allowed: u64,
+    total_ns: u64,
+    max_ns: u64,
+    rewrite_iterations: u64,
+    containment_checks: u64,
+    hom_nodes: u64,
+    /// Decisions answered by each cache tier, keyed by tier label.
+    tiers: HashMap<&'static str, u64>,
+}
+
+#[derive(Default)]
+struct Aggregate {
+    panes: HashMap<u64, Pane>,
+    delivered: u64,
+    dropped: u64,
+}
+
+impl Aggregate {
+    fn ingest(&mut self, batch: EventBatch) {
+        self.dropped = batch.dropped;
+        self.delivered += batch.events.len() as u64;
+        for e in batch.events {
+            let pane = self.panes.entry(e.template_hash).or_default();
+            pane.count += 1;
+            if e.verdict == Verdict::Allowed {
+                pane.allowed += 1;
+            }
+            pane.total_ns += e.total_ns;
+            pane.max_ns = pane.max_ns.max(e.total_ns);
+            pane.rewrite_iterations += e.span.rewrite_iterations as u64;
+            pane.containment_checks += e.span.containment_checks as u64;
+            pane.hom_nodes += e.span.hom_nodes as u64;
+            *pane.tiers.entry(e.tier.label()).or_insert(0) += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics scrape: pull the byte-accurate gauges out of the exposition.
+
+/// Extracts `bep_mem_bytes{component="X"} N` samples, in exposition order.
+fn parse_mem_gauges(text: &str) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("bep_mem_bytes{component=\"") else {
+            continue;
+        };
+        let Some((component, value)) = rest.split_once("\"}") else {
+            continue;
+        };
+        if let Ok(bytes) = value.trim().parse::<u64>() {
+            out.push((component.to_string(), bytes));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+
+fn render(
+    opts: &Opts,
+    frame: u64,
+    fresh: usize,
+    agg: &Aggregate,
+    stats: &WireStats,
+    mem: &[(String, u64)],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("bep-top — {} — frame {frame}\n", opts.addr));
+    out.push_str(&format!(
+        "server: allowed {}  blocked {}  sessions {}  p50 {}  p95 {}  p99 {}\n",
+        stats.allowed,
+        stats.blocked,
+        stats.sessions,
+        fmt_us(stats.p50_ns),
+        fmt_us(stats.p95_ns),
+        fmt_us(stats.p99_ns),
+    ));
+    out.push_str(&format!(
+        "stream: delivered {}  dropped {}  (+{fresh} this frame)\n",
+        agg.delivered, agg.dropped
+    ));
+    let gauges: Vec<String> = mem
+        .iter()
+        .map(|(c, b)| format!("{c} {}", fmt_bytes(*b)))
+        .collect();
+    out.push_str(&format!("mem: {}\n", gauges.join("  ")));
+
+    out.push_str(&format!(
+        "{:<17} {:>7} {:>6} {:>6} {:>8} {:>8} {:>5} {:>5} {:>6}  {}\n",
+        "TEMPLATE", "COUNT", "ALLOW", "BLOCK", "MEAN_US", "MAX_US", "RW", "CC", "HN", "TIERS"
+    ));
+    let mut rows: Vec<(&u64, &Pane)> = agg.panes.iter().collect();
+    rows.sort_by(|a, b| b.1.count.cmp(&a.1.count).then(a.0.cmp(b.0)));
+    for (hash, p) in rows.iter().take(opts.top) {
+        let per = |sum: u64| sum as f64 / p.count as f64;
+        let mut tiers: Vec<(&&str, &u64)> = p.tiers.iter().collect();
+        tiers.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let tiers: Vec<String> = tiers
+            .iter()
+            .map(|(label, n)| format!("{}:{n}", tier_abbrev(label)))
+            .collect();
+        out.push_str(&format!(
+            "{hash:016x}  {:>7} {:>6} {:>6} {:>8.1} {:>8.1} {:>5.1} {:>5.1} {:>6.1}  {}\n",
+            p.count,
+            p.allowed,
+            p.count - p.allowed,
+            per(p.total_ns) / 1_000.0,
+            p.max_ns as f64 / 1_000.0,
+            per(p.rewrite_iterations),
+            per(p.containment_checks),
+            per(p.hom_nodes),
+            tiers.join(" "),
+        ));
+    }
+    if agg.panes.len() > opts.top {
+        out.push_str(&format!(
+            "… and {} more template(s)\n",
+            agg.panes.len() - opts.top
+        ));
+    }
+    out
+}
+
+/// Abbreviates a tier label by its hyphen-separated initials:
+/// `template-cache` → `tc`, `uncached` → `u`.
+fn tier_abbrev(label: &str) -> String {
+    label.split('-').filter_map(|w| w.chars().next()).collect()
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}us", ns as f64 / 1_000.0)
+}
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1}MiB", b as f64 / (1 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / (1 << 10) as f64)
+    } else {
+        format!("{b}B")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Demo mode: an in-process server plus a synthetic traffic generator, so
+// `bep-top --demo --frames N` is fully self-contained (used by CI).
+
+struct DemoServer {
+    addr: SocketAddr,
+    server: Server,
+    stop: Arc<AtomicBool>,
+    traffic: std::thread::JoinHandle<()>,
+}
+
+impl DemoServer {
+    fn start() -> DemoServer {
+        let mut db = Database::new();
+        db.execute_sql("CREATE TABLE Events (EId INT PRIMARY KEY, Title TEXT, Kind TEXT)")
+            .unwrap();
+        db.execute_sql(
+            "CREATE TABLE Attendance (UId INT, EId INT, Notes TEXT, PRIMARY KEY (UId, EId))",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Events (EId, Title, Kind) VALUES (2, 'standup', 'work'), (3, 'party', 'fun')",
+        )
+        .unwrap();
+        db.execute_sql(
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 2, NULL), (2, 3, 'cake')",
+        )
+        .unwrap();
+        let schema = schema_of_database(&db);
+        let policy = Policy::from_sql(
+            &schema,
+            &[
+                ("V1", "SELECT EId FROM Attendance WHERE UId = ?MyUId"),
+                ("V2", "SELECT EId, Title FROM Events"),
+            ],
+        )
+        .unwrap();
+        let proxy = Arc::new(SqlProxy::new(
+            db,
+            ComplianceChecker::new(schema, policy),
+            ProxyConfig {
+                spans: true,
+                exemplars_per_template: 2,
+                ..ProxyConfig::default()
+            },
+        ));
+        let server =
+            Server::start(proxy, ServerConfig::default(), "127.0.0.1:0").expect("bind demo server");
+        let addr = server.addr();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let traffic = std::thread::Builder::new()
+            .name("demo-traffic".into())
+            .spawn(move || {
+                let mut c = Client::connect(addr, Duration::from_secs(5)).expect("demo connect");
+                let session = c
+                    .begin(vec![("MyUId".into(), Value::Int(1))])
+                    .expect("demo session");
+                // Three templates with different verdicts and costs, so
+                // the panes have something to disagree about.
+                let stmts = [
+                    "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+                    "SELECT Title FROM Events WHERE EId = ?e",
+                    "SELECT Kind FROM Events WHERE EId = ?e",
+                ];
+                let mut i = 0usize;
+                while !stop2.load(Ordering::Relaxed) {
+                    let batch: Vec<(String, Vec<(String, Value)>)> = (0..24)
+                        .map(|k| {
+                            (
+                                stmts[(i + k) % stmts.len()].to_string(),
+                                vec![("e".into(), Value::Int(2))],
+                            )
+                        })
+                        .collect();
+                    i += batch.len();
+                    if c.execute_pipelined(session, &batch).is_err() {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                let _ = c.end(session);
+            })
+            .expect("spawn demo traffic");
+
+        println!("demo: serving a calendar policy on {addr}");
+        DemoServer {
+            addr,
+            server,
+            stop,
+            traffic,
+        }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.traffic.join();
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_gauges_parse_from_exposition_text() {
+        let text = "# HELP bep_mem_bytes Heap bytes\n\
+                    # TYPE bep_mem_bytes gauge\n\
+                    bep_mem_bytes{component=\"plan-cache\"} 1024\n\
+                    bep_mem_bytes{component=\"journal\"} 2048\n\
+                    bep_decisions_total{verdict=\"allowed\"} 7\n";
+        assert_eq!(
+            parse_mem_gauges(text),
+            vec![("plan-cache".into(), 1024), ("journal".into(), 2048)]
+        );
+    }
+
+    #[test]
+    fn tier_abbreviations_are_initials() {
+        assert_eq!(tier_abbrev("template-cache"), "tc");
+        assert_eq!(tier_abbrev("concrete-proof"), "cp");
+        assert_eq!(tier_abbrev("uncached"), "u");
+    }
+
+    #[test]
+    fn bytes_format_human_readably() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+}

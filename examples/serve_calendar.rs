@@ -25,12 +25,22 @@
 //! Prometheus text exposition (CI greps it for the expected metric
 //! families); in serving mode the drained server prints a final
 //! exposition snapshot on shutdown.
+//!
+//! Add `--journal-tail` to follow the live decision journal over the
+//! wire: a second client `subscribe`s and prints one human-readable line
+//! per decision (in smoke mode, the pushed batch for the smoke decision
+//! itself — CI greps the lines).
+//!
+//! At startup, the proxy lints every handler SQL template of the calendar
+//! application against the policy's view heads and prints any columns a
+//! handler selects that no view projects (such templates are denied for
+//! *every* session, which differential testing cannot surface).
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use appsim::{seed_app, Scale, CALENDAR};
-use bep_server::{Client, ExecOutcome, Server, ServerConfig};
+use bep_server::{Client, EventBatch, ExecOutcome, Server, ServerConfig};
 use beyond_enforcement::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -42,26 +52,96 @@ fn calendar_proxy() -> Arc<SqlProxy> {
     seed_app("calendar", &mut db, &mut rng, &Scale::medium());
     let schema = CALENDAR.schema();
     let policy = CALENDAR.policy().expect("calendar policy compiles");
-    Arc::new(SqlProxy::new(
+    let proxy = Arc::new(SqlProxy::new(
         db,
         ComplianceChecker::new(schema, policy),
-        ProxyConfig::default(),
-    ))
+        ProxyConfig {
+            spans: true,
+            exemplars_per_template: 4,
+            ..ProxyConfig::default()
+        },
+    ));
+
+    // Startup policy lint: every column the application's handlers select
+    // must appear in some view's head, or the query is uniformly denied.
+    let mut templates = Vec::new();
+    for handler in &CALENDAR.app().handlers {
+        for stmt in &handler.body {
+            stmt.walk_sql(&mut |sql| templates.push(sql.to_string()));
+        }
+    }
+    let warnings = proxy.lint_templates(templates.iter().map(String::as_str));
+    if warnings.is_empty() {
+        println!(
+            "lint: policy view heads cover all {} handler template(s)",
+            templates.len()
+        );
+    } else {
+        for w in &warnings {
+            println!("lint: warning: {w}");
+        }
+    }
+    proxy
+}
+
+/// Renders one decision event as a human-readable tail line.
+fn tail_line(e: &bep_core::DecisionEvent, dropped: u64) -> String {
+    format!(
+        "journal: seq={} session={} verdict={} tier={} hash={:016x} total_us={:.1} \
+         spans={} rw={} cc={} dropped={}",
+        e.seq,
+        e.session,
+        e.verdict.label(),
+        e.tier.label(),
+        e.template_hash,
+        e.total_ns as f64 / 1_000.0,
+        e.span.spans,
+        e.span.rewrite_iterations,
+        e.span.containment_checks,
+        dropped,
+    )
+}
+
+/// Follows the live journal on its own connection, printing one line per
+/// decision until the server goes away.
+fn tail_journal(addr: std::net::SocketAddr) {
+    let _ = std::thread::Builder::new()
+        .name("journal-tail".into())
+        .spawn(move || {
+            let mut c = match Client::connect(addr, Duration::from_secs(3600)) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("journal: tail connect failed: {e}");
+                    return;
+                }
+            };
+            if let Err(e) = c.subscribe(0) {
+                eprintln!("journal: subscribe failed: {e}");
+                return;
+            }
+            while let Ok(EventBatch { events, dropped }) = c.next_events() {
+                for e in &events {
+                    println!("{}", tail_line(e, dropped));
+                }
+            }
+        });
 }
 
 fn main() {
     let mut smoke_mode = false;
     let mut metrics = false;
+    let mut journal_tail = false;
     let mut bind = "127.0.0.1:4270".to_string();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke_mode = true,
             "--metrics" => metrics = true,
+            "--journal-tail" => journal_tail = true,
             other => bind = other.to_string(),
         }
     }
     if smoke_mode {
-        smoke(metrics);
+        smoke(metrics, journal_tail);
         return;
     }
 
@@ -79,6 +159,10 @@ fn main() {
     if metrics {
         println!("  metrics  : scrape with a `metrics` frame (Prometheus text)");
     }
+    if journal_tail {
+        println!("  journal  : tailing live decisions on a subscribed connection");
+        tail_journal(server.addr());
+    }
     println!("  stop with: a client `shutdown` request");
     server.wait();
     println!("bep-server: drained and stopped");
@@ -90,8 +174,10 @@ fn main() {
 
 /// The CI smoke check: one full client round-trip and a clean shutdown.
 /// With `metrics`, the client also scrapes the exposition endpoint and
-/// the full Prometheus text is printed for CI to grep.
-fn smoke(metrics: bool) {
+/// the full Prometheus text is printed for CI to grep. With
+/// `journal_tail`, a second connection subscribes to the live journal and
+/// the pushed batch for the smoke decision is printed for CI to grep.
+fn smoke(metrics: bool, journal_tail: bool) {
     let proxy = calendar_proxy();
     let server = Server::start(Arc::clone(&proxy), ServerConfig::default(), "127.0.0.1:0")
         .expect("bind enforcement server");
@@ -130,6 +216,22 @@ fn smoke(metrics: bool) {
         assert!(c.end(session).expect("end"), "session was live");
         assert!(!c.end(session).expect("end again"), "second end is a no-op");
         println!("smoke: session ended cleanly");
+
+        if journal_tail {
+            // Subscribe on a second connection: the smoke decision above
+            // is already published, so the first pushed batch carries it.
+            let mut tail = Client::connect(addr, Duration::from_secs(10)).expect("tail connect");
+            tail.subscribe(0).expect("subscribe");
+            let EventBatch { events, dropped } = tail.next_events().expect("pushed batch");
+            assert!(
+                events.iter().any(|e| e.verdict.label() == "allowed"),
+                "stream carries the allowed smoke decision"
+            );
+            assert_eq!(dropped, 0, "nothing evicted under smoke load");
+            for e in &events {
+                println!("{}", tail_line(e, dropped));
+            }
+        }
 
         if metrics {
             // Scrape the observability surface over the wire: the journal
