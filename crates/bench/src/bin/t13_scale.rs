@@ -30,6 +30,11 @@
 //! (seconds); the full run covers all 18 cells at 10^5 users and writes
 //! `BENCH_t13.json`.
 //!
+//! `--users N` (e.g. `--users 1000000`) is the host-gated big cell: the
+//! gate, then a single event-driven soak of the first fleet app at N
+//! users. Populating 10^6 users takes minutes and gigabytes, so this
+//! cell never runs in CI — results are recorded in `EXPERIMENTS.md`.
+//!
 //! Run: `cargo run -p bep-bench --bin t13_scale --release [-- --smoke]`
 
 use std::sync::{Arc, Barrier};
@@ -595,6 +600,15 @@ fn json_of(
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    // `--users N`: the host-gated single-cell run (see the module docs).
+    let users_override = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--users").map(|i| {
+            args.get(i + 1)
+                .and_then(|v| v.parse::<u64>().ok())
+                .expect("--users takes a positive integer")
+        })
+    };
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -619,13 +633,16 @@ fn main() {
     );
 
     // Phase 2: populate at scale and soak.
-    let users = if smoke { USERS_SMOKE } else { USERS_FULL };
+    let users = users_override.unwrap_or(if smoke { USERS_SMOKE } else { USERS_FULL });
     let (phases, phase_ops) = if smoke {
         (PHASES_SMOKE, PHASE_OPS_SMOKE)
     } else {
         (PHASES_FULL, PHASE_OPS_FULL)
     };
-    let apps = if smoke {
+    // The big host-gated cell runs one app in one mode at one worker
+    // count — the point is the population size, not the cell matrix.
+    let single_app = smoke || users_override.is_some();
+    let apps = if single_app {
         fleet(FLEET_SEED, users)
             .into_iter()
             .take(1)
@@ -633,7 +650,18 @@ fn main() {
     } else {
         fleet(FLEET_SEED, users)
     };
-    let sweep: &[usize] = if smoke { &[1] } else { &SWEEP };
+    let sweep: &[usize] = if users_override.is_some() {
+        &[2]
+    } else if smoke {
+        &[1]
+    } else {
+        &SWEEP
+    };
+    let modes: &[ServerMode] = if users_override.is_some() {
+        &[ServerMode::EventDriven]
+    } else {
+        &[ServerMode::Blocking, ServerMode::EventDriven]
+    };
 
     let preps: Vec<PreparedApp> = apps
         .into_iter()
@@ -658,7 +686,7 @@ fn main() {
     let mut results: Vec<CellResult> = Vec::new();
     for prep in &preps {
         for &m in sweep {
-            for mode in [ServerMode::Blocking, ServerMode::EventDriven] {
+            for &mode in modes {
                 let r = soak(prep, mode, m, phases, phase_ops);
                 let last = r.phases.last().expect("phases");
                 row(
@@ -693,24 +721,42 @@ fn main() {
         );
     }
 
-    // The memory claim (generous bound): steady-state resident growth per
-    // live session stays tiny — sessions are cheap, the population is not
-    // re-materialized per session.
+    // The memory claim. At the standard populations: a generous absolute
+    // bound — steady-state resident bytes per live session stay tiny,
+    // sessions are cheap, the population is not re-materialized per
+    // session. At `--users` override scale the population's fixed RSS
+    // dominates the numerator (10^6 users is gigabytes of base data
+    // divided by ~10^2 live sessions), so the absolute ratio is
+    // meaningless; what must still hold is the *trajectory* — per-session
+    // residency flat across phases instead of growing with traffic.
     for r in &results {
+        let first = r.phases.first().expect("phases");
         let last = r.phases.last().expect("phases");
-        assert!(
-            last.rss_per_session_bytes < 8 * 1024 * 1024,
-            "{} {} m={}: {} bytes resident per live session",
-            r.app,
-            r.mode,
-            r.workers,
-            last.rss_per_session_bytes
-        );
+        if users_override.is_none() {
+            assert!(
+                last.rss_per_session_bytes < 8 * 1024 * 1024,
+                "{} {} m={}: {} bytes resident per live session",
+                r.app,
+                r.mode,
+                r.workers,
+                last.rss_per_session_bytes
+            );
+        } else {
+            assert!(
+                last.rss_per_session_bytes <= 2 * first.rss_per_session_bytes,
+                "{} {} m={}: per-session residency grew across phases: {} -> {}",
+                r.app,
+                r.mode,
+                r.workers,
+                first.rss_per_session_bytes,
+                last.rss_per_session_bytes
+            );
+        }
     }
 
     // Thread sweep: only assert scaling behavior when the host can
     // actually run workers in parallel; a 1-core host just records it.
-    if !smoke && cores >= 2 {
+    if !smoke && users_override.is_none() && cores >= 2 {
         for prep in &preps {
             for mode in ["event", "blocking"] {
                 let of = |m: usize| {
@@ -742,6 +788,19 @@ fn main() {
 
     if smoke {
         println!("smoke: gate clean ({gate_entries} log entries), soak cells error-free");
+        return;
+    }
+    if users_override.is_some() {
+        let r = results.first().expect("one cell ran");
+        let last = r.phases.last().expect("phases");
+        println!(
+            "\nbig cell: {} at {} users, {:.1} ops/s, {} KiB resident per live \
+             session, 0 decision errors (record in EXPERIMENTS.md)",
+            r.app,
+            users,
+            r.throughput,
+            last.rss_per_session_bytes / 1024,
+        );
         return;
     }
 

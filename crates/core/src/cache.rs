@@ -1,0 +1,368 @@
+//! Bounded key→value cache with SIEVE eviction.
+//!
+//! Every decision-amortizing map in the proxy (template plans, per-session
+//! allow/deny caches) used to grow without bound — fatal at the
+//! million-user scale ROADMAP item 2 targets. [`BoundedCache`] bounds both
+//! the entry count and the resident byte total (callers supply per-entry
+//! byte weights from the [`crate::mem::HeapUsage`] substrate) and evicts
+//! with SIEVE (Zhang et al., NSDI '24): entries sit in insertion order, a
+//! hand sweeps oldest→newest, a hit only sets a per-entry visited bit, and
+//! the hand evicts the first unvisited entry it meets (clearing bits as it
+//! passes). SIEVE is scan-resistant (a one-pass scan cannot flush the
+//! working set: scanned-once entries are never re-visited, so the hand
+//! takes them first) and lock-light: a hit is a single relaxed atomic
+//! store, so reads stay reads under the proxy's `RwLock` sharding — no
+//! per-hit LRU reordering, no write lock on the read path.
+//!
+//! Observational contract (property-tested in `tests/bounded_cache.rs`):
+//! a hit always returns exactly the value originally inserted — the cache
+//! differs from an unbounded map only by *misses*, never by wrong values —
+//! and `inserted_total - evicted_total - removed == len()` at all times.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::mem::size_of;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One resident entry: the value, its accounted byte weight, and the SIEVE
+/// visited bit (atomic so hits can set it through a shared reference).
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    bytes: usize,
+    visited: AtomicBool,
+}
+
+/// A bounded map with SIEVE eviction. See the module docs for the policy
+/// and the observational contract.
+#[derive(Debug)]
+pub struct BoundedCache<K, V> {
+    map: HashMap<K, Slot<V>>,
+    /// Insertion order, oldest first — the SIEVE ring.
+    order: Vec<K>,
+    /// Next position in `order` the SIEVE hand examines.
+    hand: usize,
+    /// Maximum resident entries; `0` = unlimited.
+    max_entries: usize,
+    /// Maximum resident bytes (sum of per-entry weights); `0` = unlimited.
+    budget_bytes: usize,
+    resident_bytes: usize,
+    inserted: u64,
+    evicted: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedCache<K, V> {
+    /// Creates a cache bounded by `max_entries` entries and `budget_bytes`
+    /// resident bytes; either bound may be `0` for "unlimited".
+    pub fn new(max_entries: usize, budget_bytes: usize) -> BoundedCache<K, V> {
+        BoundedCache {
+            map: HashMap::new(),
+            order: Vec::new(),
+            hand: 0,
+            max_entries,
+            budget_bytes,
+            resident_bytes: 0,
+            inserted: 0,
+            evicted: 0,
+        }
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Sum of the byte weights of resident entries.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// The configured byte budget (`0` = unlimited).
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+
+    /// Total inserts of *new* keys over the cache's lifetime.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Total SIEVE evictions over the cache's lifetime.
+    pub fn evicted_total(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Looks a key up, marking the entry visited (the SIEVE hit path — a
+    /// relaxed store, safe under a shared/read lock).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| {
+            s.visited.store(true, Ordering::Relaxed);
+            &s.value
+        })
+    }
+
+    /// Mutable lookup; also a SIEVE hit. Callers that change the value's
+    /// footprint must follow up with [`BoundedCache::set_bytes`].
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        self.map.get_mut(key).map(|s| {
+            s.visited.store(true, Ordering::Relaxed);
+            &mut s.value
+        })
+    }
+
+    /// Whether the key is resident, *without* marking it visited.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Looks a key up *without* marking it visited — for maintenance scans
+    /// (byte re-accounting, persistence walks) that should not count as
+    /// recency signal.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|s| &s.value)
+    }
+
+    /// Inserts (or updates) an entry with the given byte weight, then
+    /// enforces both bounds. Returns the evicted `(key, value)` pairs
+    /// (usually empty — no allocation on the happy path). The key just
+    /// inserted is never evicted by its own insertion.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize) -> Vec<(K, V)> {
+        match self.map.get_mut(&key) {
+            Some(slot) => {
+                self.resident_bytes = self.resident_bytes - slot.bytes + bytes;
+                slot.value = value;
+                slot.bytes = bytes;
+                slot.visited.store(true, Ordering::Relaxed);
+            }
+            None => {
+                self.map.insert(
+                    key.clone(),
+                    Slot {
+                        value,
+                        bytes,
+                        visited: AtomicBool::new(false),
+                    },
+                );
+                self.order.push(key.clone());
+                self.resident_bytes += bytes;
+                self.inserted += 1;
+            }
+        }
+        self.enforce(&key)
+    }
+
+    /// Removes an entry outright (not counted as an eviction).
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let slot = self.map.remove(key)?;
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+            if pos < self.hand {
+                self.hand -= 1;
+            }
+        }
+        self.resident_bytes -= slot.bytes;
+        Some(slot.value)
+    }
+
+    /// Re-accounts an entry's byte weight (for values whose footprint is
+    /// only known lazily, e.g. plans compiled after insertion), then
+    /// enforces the byte budget. The re-accounted key itself is protected.
+    pub fn set_bytes(&mut self, key: &K, bytes: usize) -> Vec<(K, V)> {
+        if let Some(slot) = self.map.get_mut(key) {
+            self.resident_bytes = self.resident_bytes - slot.bytes + bytes;
+            slot.bytes = bytes;
+        }
+        self.enforce(key)
+    }
+
+    /// Iterates resident entries in no particular order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, s)| (k, &s.value))
+    }
+
+    /// Structural heap bytes (ring + table) plus the accounted resident
+    /// bytes of the values themselves.
+    pub fn heap_bytes(&self) -> usize {
+        self.resident_bytes
+            + self.order.capacity() * size_of::<K>()
+            + self.map.capacity() * size_of::<(K, Slot<V>)>()
+    }
+
+    fn over_bounds(&self) -> bool {
+        (self.max_entries != 0 && self.map.len() > self.max_entries)
+            || (self.budget_bytes != 0 && self.resident_bytes > self.budget_bytes)
+    }
+
+    /// The SIEVE sweep: clear visited bits as the hand passes, evict the
+    /// first unvisited entry, repeat until both bounds hold. `protect` (the
+    /// entry that triggered enforcement) is skipped, so a single entry
+    /// larger than the whole budget stays resident rather than thrashing.
+    fn enforce(&mut self, protect: &K) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        while self.over_bounds() && self.map.len() > 1 {
+            if self.hand >= self.order.len() {
+                self.hand = 0;
+            }
+            let key = self.order[self.hand].clone();
+            if key == *protect {
+                self.hand += 1;
+                continue;
+            }
+            let visited = self
+                .map
+                .get(&key)
+                .expect("order and map agree")
+                .visited
+                .swap(false, Ordering::Relaxed);
+            if visited {
+                self.hand += 1;
+                continue;
+            }
+            let slot = self.map.remove(&key).expect("order and map agree");
+            self.order.remove(self.hand); // successor shifts into `hand`
+            self.resident_bytes -= slot.bytes;
+            self.evicted += 1;
+            out.push((key, slot.value));
+        }
+        out
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Clone for BoundedCache<K, V> {
+    fn clone(&self) -> BoundedCache<K, V> {
+        BoundedCache {
+            map: self
+                .map
+                .iter()
+                .map(|(k, s)| {
+                    (
+                        k.clone(),
+                        Slot {
+                            value: s.value.clone(),
+                            bytes: s.bytes,
+                            visited: AtomicBool::new(s.visited.load(Ordering::Relaxed)),
+                        },
+                    )
+                })
+                .collect(),
+            order: self.order.clone(),
+            hand: self.hand,
+            max_entries: self.max_entries,
+            budget_bytes: self.budget_bytes,
+            resident_bytes: self.resident_bytes,
+            inserted: self.inserted,
+            evicted: self.evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_returns_inserted_value_and_marks_visited() {
+        let mut c: BoundedCache<u64, String> = BoundedCache::new(4, 0);
+        c.insert(1, "one".into(), 3);
+        assert_eq!(c.get(&1).map(String::as_str), Some("one"));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn entry_bound_evicts_unvisited_oldest_first() {
+        let mut c: BoundedCache<u64, u64> = BoundedCache::new(3, 0);
+        let mut evicted = Vec::new();
+        for k in 0..5 {
+            evicted.extend(c.insert(k, k * 10, 8).into_iter().map(|(k, _)| k));
+        }
+        assert_eq!(c.len(), 3);
+        // Nothing was ever hit, so the hand took the oldest each time.
+        assert_eq!(evicted, vec![0, 1]);
+        assert!(c.get(&4).is_some(), "newest always survives its insert");
+    }
+
+    #[test]
+    fn sieve_is_scan_resistant() {
+        // A frequently-hit entry survives a scan of one-shot keys that
+        // overflows the cache several times over.
+        let mut c: BoundedCache<u64, u64> = BoundedCache::new(4, 0);
+        c.insert(999, 1, 8);
+        for k in 0..16 {
+            c.get(&999); // keep the working set hot
+            c.insert(k, k, 8);
+        }
+        assert!(c.get(&999).is_some(), "hot entry must survive the scan");
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn byte_budget_is_enforced() {
+        let mut c: BoundedCache<u64, Vec<u8>> = BoundedCache::new(0, 100);
+        for k in 0..10 {
+            c.insert(k, vec![0u8; 30], 30);
+        }
+        assert!(c.resident_bytes() <= 100);
+        assert!(c.evicted_total() > 0);
+    }
+
+    #[test]
+    fn oversized_entry_is_protected_not_thrashed() {
+        let mut c: BoundedCache<u64, u64> = BoundedCache::new(0, 10);
+        c.insert(1, 1, 50); // alone over budget: stays
+        assert_eq!(c.len(), 1);
+        c.insert(2, 2, 4); // newcomer protected; 1 is evictable now
+        assert!(c.get(&2).is_some());
+    }
+
+    #[test]
+    fn counters_account_exactly() {
+        let mut c: BoundedCache<u64, u64> = BoundedCache::new(3, 0);
+        for k in 0..10 {
+            c.insert(k, k, 8);
+        }
+        c.insert(5, 50, 8); // update, not an insert
+        let removed = u64::from(c.remove(&9).is_some());
+        assert_eq!(
+            c.inserted_total() - c.evicted_total() - removed,
+            c.len() as u64
+        );
+    }
+
+    #[test]
+    fn update_replaces_value_and_bytes() {
+        let mut c: BoundedCache<u64, String> = BoundedCache::new(0, 0);
+        c.insert(1, "a".into(), 10);
+        c.insert(1, "b".into(), 25);
+        assert_eq!(c.get(&1).map(String::as_str), Some("b"));
+        assert_eq!(c.resident_bytes(), 25);
+        assert_eq!(c.inserted_total(), 1);
+    }
+
+    #[test]
+    fn set_bytes_reaccounts_and_enforces() {
+        let mut c: BoundedCache<u64, u64> = BoundedCache::new(0, 100);
+        c.insert(1, 1, 10);
+        c.insert(2, 2, 10);
+        let evicted = c.set_bytes(&1, 95);
+        assert_eq!(evicted.len(), 1, "re-accounting 1 pushed 2 out");
+        assert_eq!(evicted[0].0, 2);
+        assert!(c.get(&1).is_some(), "re-accounted key is protected");
+    }
+
+    #[test]
+    fn remove_adjusts_hand() {
+        let mut c: BoundedCache<u64, u64> = BoundedCache::new(0, 0);
+        for k in 0..4 {
+            c.insert(k, k, 1);
+        }
+        c.remove(&0);
+        c.remove(&3);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&1).is_some() && c.get(&2).is_some());
+    }
+}

@@ -19,6 +19,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod checker;
 pub mod decision;
 pub mod error;
@@ -30,9 +31,11 @@ pub mod obs;
 pub mod plan;
 pub mod policy;
 pub mod proxy;
+pub mod snapshot;
 pub mod span;
 pub mod trace;
 
+pub use cache::BoundedCache;
 pub use checker::ComplianceChecker;
 pub use decision::{Decision, DecisionSource, DenyReason};
 pub use error::CoreError;
@@ -50,5 +53,9 @@ pub use plan::{
 };
 pub use policy::{schema_of_database, Policy, ViewDef};
 pub use proxy::{BatchItem, BatchStmt, ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
+pub use snapshot::{
+    load_snapshot_file, policy_fingerprint, save_snapshot_file, SnapshotError, SnapshotLoadReport,
+    SnapshotSaveReport,
+};
 pub use span::{SpanKind, SpanRecord, SpanSummary, SPAN_ARENA_CAPACITY};
 pub use trace::{Observation, Trace, TraceEntry};

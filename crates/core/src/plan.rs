@@ -27,15 +27,15 @@
 //! told apart by full-SQL comparison, so a collision costs a string
 //! compare, never a wrong plan.
 
-use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 use qlogic::{candidate_view_indices, Cq};
 use sqlir::{parse_statement, Statement};
 
+use crate::cache::BoundedCache;
 use crate::checker::ComplianceChecker;
-use crate::obs::{template_hash, Phase};
+use crate::obs::{template_hash, Counter, Phase};
 
 /// Number of plan-cache shards (power of two; the shard index is the low
 /// bits of the template hash, which FNV-1a mixes well).
@@ -141,6 +141,17 @@ impl TemplatePlan {
             PlanBody::Select(s) => Some(s),
             _ => None,
         }
+    }
+
+    /// Injects a template verdict into a `SELECT` plan compiled with
+    /// `attempt_template` off. Snapshot load uses this to install verdicts
+    /// it has re-verified against the current policy, skipping the symbolic
+    /// proof; non-`SELECT` bodies are returned unchanged.
+    pub(crate) fn with_template_verdict(mut self, verdict: TemplateVerdict) -> TemplatePlan {
+        if let PlanBody::Select(sp) = &mut self.body {
+            sp.template = Some(verdict);
+        }
+        self
     }
 }
 
@@ -253,25 +264,34 @@ struct PlanEntry {
 }
 
 struct PlanShard {
-    /// Collision chains: distinct templates sharing a 64-bit hash live in
-    /// one bucket and are told apart by full-SQL comparison.
-    map: HashMap<u64, Vec<PlanEntry>>,
-    /// Insertion order of bucket keys, for FIFO eviction.
-    order: Vec<u64>,
+    /// Collision chains keyed by template hash: distinct templates sharing
+    /// a 64-bit hash live in one bucket and are told apart by full-SQL
+    /// comparison. Bounded (count and bytes) with SIEVE eviction at bucket
+    /// granularity — a hit is one visited-bit store under the read lock.
+    chains: BoundedCache<u64, Vec<PlanEntry>>,
     /// Total entries across all chains in this shard.
     entries: usize,
+    /// Buckets holding cells published but not yet compiled: their plan
+    /// bytes are unknown at insert time, so they are re-accounted on the
+    /// next write-lock acquisition ("lazy" because compilation happens
+    /// outside all locks).
+    pending: Vec<u64>,
 }
 
-/// Sharded, hash-keyed cache of compiled template plans with a bounded
-/// capacity (FIFO eviction) and prove-once misses.
+/// Sharded, hash-keyed cache of compiled template plans with bounded
+/// count *and* bytes (SIEVE eviction, scan-resistant) and prove-once
+/// misses.
 ///
 /// The lookup key is the 64-bit [`template_hash`] — computed without
 /// allocating — and the warm path is one shard read lock plus one string
-/// *comparison* (never a string allocation). See the module docs for the
-/// insert protocol.
+/// *comparison* (never a string allocation) plus one relaxed visited-bit
+/// store. See the module docs for the insert protocol.
 pub struct PlanCache {
     shards: Vec<RwLock<PlanShard>>,
     per_shard_capacity: usize,
+    /// Optional eviction counter (`bep_cache_evictions_total{tier="plan"}`)
+    /// bumped once per evicted template entry.
+    evictions: Option<Arc<Counter>>,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -285,19 +305,38 @@ impl std::fmt::Debug for PlanCache {
 
 impl PlanCache {
     /// Creates a cache retaining at most `capacity` compiled templates
-    /// (rounded up to a multiple of the shard count).
+    /// (rounded up to a multiple of the shard count), with no byte budget
+    /// and no eviction counter.
     pub fn new(capacity: usize) -> PlanCache {
+        PlanCache::with_budget(capacity, 0, None)
+    }
+
+    /// Creates a cache bounded by `capacity` entries and `budget_bytes`
+    /// resident bytes (`0` = count-bounded only; the budget is split evenly
+    /// across shards), reporting evictions to `evictions` when given.
+    pub fn with_budget(
+        capacity: usize,
+        budget_bytes: usize,
+        evictions: Option<Arc<Counter>>,
+    ) -> PlanCache {
+        let per_shard_capacity = capacity.div_ceil(PLAN_SHARDS).max(1);
+        let per_shard_budget = budget_bytes.div_ceil(PLAN_SHARDS);
         PlanCache {
             shards: (0..PLAN_SHARDS)
                 .map(|_| {
                     RwLock::new(PlanShard {
-                        map: HashMap::new(),
-                        order: Vec::new(),
+                        // +1: BoundedCache evicts *after* insert, protecting
+                        // the newcomer, so `> capacity` means at most
+                        // `capacity` survivors — match the old semantics of
+                        // "at most capacity retained".
+                        chains: BoundedCache::new(per_shard_capacity, per_shard_budget),
                         entries: 0,
+                        pending: Vec::new(),
                     })
                 })
                 .collect(),
-            per_shard_capacity: capacity.div_ceil(PLAN_SHARDS).max(1),
+            per_shard_capacity,
+            evictions,
         }
     }
 
@@ -313,6 +352,47 @@ impl PlanCache {
     /// `true` when no template is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Lifetime count of evicted template entries across all shards.
+    pub fn evicted_total(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.read().chains.evicted_total())
+            .sum()
+    }
+
+    /// Books evicted chains out of the shard's entry count and into the
+    /// eviction counter.
+    fn book_evictions(&self, s: &mut PlanShard, evicted: Vec<(u64, Vec<PlanEntry>)>) {
+        for (_, chain) in evicted {
+            s.entries -= chain.len();
+            if let Some(c) = &self.evictions {
+                c.add(chain.len() as u64);
+            }
+        }
+    }
+
+    /// Re-accounts buckets whose plans have compiled since insertion.
+    /// Called with the shard write lock held; cheap when nothing is
+    /// pending.
+    fn sweep_pending(&self, s: &mut PlanShard) {
+        if s.pending.is_empty() {
+            return;
+        }
+        let pending = std::mem::take(&mut s.pending);
+        for hash in pending {
+            let Some(chain) = s.chains.peek(&hash) else {
+                continue; // bucket evicted before it compiled
+            };
+            if chain.iter().any(|e| e.cell.get().is_none()) {
+                s.pending.push(hash); // still compiling; try again later
+                continue;
+            }
+            let bytes = chain_heap_bytes(chain);
+            let evicted = s.chains.set_bytes(&hash, bytes);
+            self.book_evictions(s, evicted);
+        }
     }
 
     /// The prove-once cell for a template: `(cell, existed)`. When
@@ -332,43 +412,101 @@ impl PlanCache {
         let shard = self.shard(hash);
         {
             let s = shard.read();
-            if let Some(chain) = s.map.get(&hash) {
+            if let Some(chain) = s.chains.get(&hash) {
                 if let Some(e) = chain.iter().find(|e| e.sql == sql) {
                     return (e.cell.clone(), true);
                 }
             }
         }
         let mut s = shard.write();
+        self.sweep_pending(&mut s);
         // Double-check: another thread may have inserted while we upgraded.
-        if let Some(chain) = s.map.get(&hash) {
+        if let Some(chain) = s.chains.get(&hash) {
             if let Some(e) = chain.iter().find(|e| e.sql == sql) {
                 return (e.cell.clone(), true);
             }
         }
-        while s.entries >= self.per_shard_capacity && !s.order.is_empty() {
-            let oldest = s.order.remove(0);
-            if let Some(chain) = s.map.remove(&oldest) {
-                s.entries -= chain.len();
+        let cell = Arc::new(OnceLock::new());
+        let entry = PlanEntry {
+            sql: sql.to_string(),
+            cell: cell.clone(),
+        };
+        let evicted = match s.chains.get_mut(&hash) {
+            Some(chain) => {
+                chain.push(entry);
+                let bytes = chain_heap_bytes(s.chains.peek(&hash).expect("just updated"));
+                s.chains.set_bytes(&hash, bytes)
+            }
+            None => {
+                let bytes = chain_heap_bytes(std::slice::from_ref(&entry));
+                s.chains.insert(hash, vec![entry], bytes)
+            }
+        };
+        s.entries += 1;
+        s.pending.push(hash);
+        self.book_evictions(&mut s, evicted);
+        (cell, false)
+    }
+
+    /// Installs an already-compiled plan (warm-start snapshot load). The
+    /// cell is published pre-filled, so readers never see an empty cell and
+    /// nothing recompiles. A template already resident is left untouched.
+    /// Returns how many entries the insertion evicted.
+    pub fn insert_compiled(&self, plan: Arc<TemplatePlan>) -> usize {
+        let hash = plan.hash();
+        let shard = self.shard(hash);
+        let mut s = shard.write();
+        self.sweep_pending(&mut s);
+        if let Some(chain) = s.chains.peek(&hash) {
+            if chain.iter().any(|e| e.sql == plan.sql()) {
+                return 0;
             }
         }
         let cell = Arc::new(OnceLock::new());
-        let chain = s.map.entry(hash).or_default();
-        if chain.is_empty() {
-            s.order.push(hash);
-        }
-        s.map.entry(hash).or_default().push(PlanEntry {
-            sql: sql.to_string(),
-            cell: cell.clone(),
-        });
+        let _ = cell.set(plan.clone());
+        let entry = PlanEntry {
+            sql: plan.sql().to_string(),
+            cell,
+        };
+        let evicted = match s.chains.get_mut(&hash) {
+            Some(chain) => {
+                chain.push(entry);
+                let bytes = chain_heap_bytes(s.chains.peek(&hash).expect("just updated"));
+                s.chains.set_bytes(&hash, bytes)
+            }
+            None => {
+                let bytes = chain_heap_bytes(std::slice::from_ref(&entry));
+                s.chains.insert(hash, vec![entry], bytes)
+            }
+        };
         s.entries += 1;
-        (cell, false)
+        let n: usize = evicted.iter().map(|(_, c)| c.len()).sum();
+        self.book_evictions(&mut s, evicted);
+        n
+    }
+
+    /// Every fully compiled plan currently resident (a maintenance walk —
+    /// does not touch visited bits). Snapshot save iterates this.
+    pub fn compiled_plans(&self) -> Vec<Arc<TemplatePlan>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read();
+            for (_, chain) in s.chains.iter() {
+                for e in chain {
+                    if let Some(plan) = e.cell.get() {
+                        out.push(plan.clone());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// The cached plan for a template, if present and fully compiled.
     pub fn get(&self, sql: &str) -> Option<Arc<TemplatePlan>> {
         let hash = template_hash(sql);
         let s = self.shard(hash).read();
-        s.map
+        s.chains
             .get(&hash)?
             .iter()
             .find(|e| e.sql == sql)
@@ -376,12 +514,25 @@ impl PlanCache {
     }
 }
 
+/// Accounted heap bytes of one collision chain: entry slots, template SQL,
+/// and each compiled plan (uncompiled cells count their SQL only; the
+/// pending sweep re-accounts them once compiled).
+fn chain_heap_bytes(chain: &[PlanEntry]) -> usize {
+    std::mem::size_of_val(chain)
+        + chain
+            .iter()
+            .map(|e| {
+                e.sql.capacity() + e.cell.get().map(|p| plan_heap_bytes(p)).unwrap_or_default()
+            })
+            .sum::<usize>()
+}
+
 /// Heap bytes owned by one compiled plan. The parsed [`Statement`] is
 /// opaque to this crate, so it is approximated by the template's source
 /// text (an AST over interned operators is the same order of magnitude as
 /// its source); everything else — translation CQs, candidate-view lists,
 /// certificates — is counted exactly from vector capacities.
-fn plan_heap_bytes(plan: &TemplatePlan) -> usize {
+pub(crate) fn plan_heap_bytes(plan: &TemplatePlan) -> usize {
     use crate::mem::cq_heap_bytes;
     use std::mem::size_of;
     let mut b = size_of::<TemplatePlan>() + plan.sql.capacity();
@@ -414,15 +565,16 @@ fn plan_heap_bytes(plan: &TemplatePlan) -> usize {
 
 impl crate::mem::HeapUsage for PlanCache {
     /// Walks every shard under its read lock: entry chains, template SQL,
-    /// and each compiled plan's translation and certificates.
+    /// and each compiled plan's translation and certificates. This is the
+    /// exact walk; the per-shard `BoundedCache` accounting it cross-checks
+    /// may briefly lag for plans compiled but not yet swept.
     fn heap_bytes(&self) -> usize {
         use std::mem::size_of;
         let mut total = 0;
         for shard in &self.shards {
             let s = shard.read();
-            total += s.order.capacity() * size_of::<u64>();
-            total += s.map.capacity() * (size_of::<u64>() + size_of::<Vec<PlanEntry>>());
-            for chain in s.map.values() {
+            total += s.pending.capacity() * size_of::<u64>();
+            for (_, chain) in s.chains.iter() {
                 total += chain.capacity() * size_of::<PlanEntry>();
                 for e in chain {
                     total += e.sql.capacity();
@@ -583,9 +735,11 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_the_cache_with_fifo_eviction() {
-        // Per-shard FIFO: total retained entries never exceed the rounded
+    fn capacity_bounds_the_cache_with_sieve_eviction() {
+        // Per-shard SIEVE: total retained entries never exceed the rounded
         // capacity, and re-asking for an evicted template recompiles it.
+        // With no hits between inserts every entry is unvisited, so the
+        // hand takes the oldest each time (FIFO degenerate case).
         let cache = PlanCache::new(1); // rounds to 1 per shard
         let c = checker();
         let sqls: Vec<String> = (0..200)
@@ -600,11 +754,80 @@ mod tests {
             "len {} exceeds capacity",
             cache.len()
         );
+        assert!(cache.evicted_total() > 0);
         // The newest template of some shard is still present; the oldest
         // overall is gone and comes back as a fresh (uncompiled) cell.
         assert!(cache.get(&sqls[199]).is_some());
         let (_, existed) = cache.entry(&sqls[0]);
         assert!(!existed, "evicted template must be re-inserted");
+    }
+
+    #[test]
+    fn byte_budget_bounds_resident_plans() {
+        use crate::mem::HeapUsage;
+        // A tiny byte budget with a huge count capacity: the budget alone
+        // must bound residency, and the eviction counter must report it.
+        let evictions = Arc::new(Counter::default());
+        let cache = PlanCache::with_budget(1_000_000, 8 * 1024, Some(evictions.clone()));
+        let c = checker();
+        for i in 0..200 {
+            let sql = format!("SELECT * FROM Events WHERE EId = {i}");
+            let (cell, _) = cache.entry(&sql);
+            cell.get_or_init(|| Arc::new(compile(&c, &sql, true)));
+        }
+        // Force the lazy re-accounting sweep in every shard, then check the
+        // exact walk against the budget (generous slack: per-shard split,
+        // one protected entry per shard, and sweep laziness).
+        for i in 200..232 {
+            let sql = format!("SELECT * FROM Events WHERE EId = {i}");
+            let (cell, _) = cache.entry(&sql);
+            cell.get_or_init(|| Arc::new(compile(&c, &sql, true)));
+        }
+        assert!(evictions.get() > 0, "budget must force evictions");
+        assert!(
+            cache.len() < 200,
+            "resident count {} not bounded",
+            cache.len()
+        );
+        let walked = cache.heap_bytes();
+        assert!(
+            walked < 64 * 1024,
+            "heap bytes {walked} far exceed an 8 KiB budget"
+        );
+    }
+
+    #[test]
+    fn frequently_hit_plans_survive_one_shot_scans() {
+        let cache = PlanCache::new(32); // 2 per shard
+        let c = checker();
+        let hot = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        let (cell, _) = cache.entry(hot);
+        cell.get_or_init(|| Arc::new(compile(&c, hot, false)));
+        for i in 0..400 {
+            assert!(cache.get(hot).is_some(), "hot plan evicted at scan {i}");
+            let sql = format!("SELECT * FROM Events WHERE EId = {i}");
+            let (cell, _) = cache.entry(&sql);
+            cell.get_or_init(|| Arc::new(compile(&c, &sql, false)));
+        }
+        assert!(cache.get(hot).is_some(), "scan-resistance violated");
+    }
+
+    #[test]
+    fn insert_compiled_publishes_prefilled_cell() {
+        let cache = PlanCache::new(64);
+        let c = checker();
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        let plan = Arc::new(compile(&c, sql, true));
+        assert_eq!(cache.insert_compiled(plan.clone()), 0);
+        let got = cache.get(sql).expect("resident and compiled");
+        assert!(Arc::ptr_eq(&got, &plan));
+        let (cell, existed) = cache.entry(sql);
+        assert!(existed, "no recompilation after warm install");
+        assert!(cell.get().is_some());
+        // Idempotent: a second install of the same template is a no-op.
+        assert_eq!(cache.insert_compiled(plan), 0);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.compiled_plans().len(), 1);
     }
 
     #[test]

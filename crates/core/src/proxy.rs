@@ -102,15 +102,17 @@
 //! grow, so an allow proved under any earlier fact set stays valid forever;
 //! write-back needs no validity stamp.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use minidb::{Database, Rows};
 use parking_lot::RwLock;
 use sqlir::{bind_statement, parse_statement, ParamBindings, Statement, Value};
 
+use crate::cache::BoundedCache;
 use crate::checker::ComplianceChecker;
 use crate::decision::{Decision, DecisionSource, DenyReason};
 use crate::error::CoreError;
@@ -122,6 +124,7 @@ use crate::obs::{
     MetricsRegistry, Phase, PhaseTimer, Verdict, PHASE_COUNT,
 };
 use crate::plan::{compile_plan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict};
+use crate::snapshot::{SnapshotError, SnapshotLoadReport, SnapshotSaveReport};
 use crate::span::{self, SpanKind, SpanSummary};
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
 
@@ -166,6 +169,19 @@ pub struct ProxyConfig {
     /// Slowest decisions retained per template with their full span trees
     /// (0 disables the exemplar store).
     pub exemplars_per_template: usize,
+    /// Compact session traces after each recording: drop entries and facts
+    /// homomorphically implied by what remains. Decision-invisible (the
+    /// fact set stays logically equivalent; see `Trace::compact`) and keeps
+    /// session state O(distinct information) instead of O(requests).
+    pub compaction: bool,
+    /// Byte budget for resident compiled plans (0 = count-bounded only by
+    /// [`plan_capacity`](Self::plan_capacity)). Enforced with SIEVE
+    /// eviction, reported via `bep_cache_evictions_total{tier="plan"}`.
+    pub plan_budget_bytes: usize,
+    /// Per-session byte budget for the concrete allow/deny caches, split
+    /// evenly between the two tiers (0 = unbounded). Evictions are counted
+    /// in `bep_cache_evictions_total{tier="session-allow"|"session-deny"}`.
+    pub session_cache_budget_bytes: usize,
 }
 
 impl Default for ProxyConfig {
@@ -182,6 +198,12 @@ impl Default for ProxyConfig {
             spans: false,
             span_sample_every: 0,
             exemplars_per_template: 0,
+            compaction: true,
+            // Generous defaults: bounded (the million-user north star needs
+            // every tier capped) but far above what steady workloads use,
+            // so eviction only kicks in under genuine pressure.
+            plan_budget_bytes: 32 << 20,
+            session_cache_budget_bytes: 1 << 20,
         }
     }
 }
@@ -325,31 +347,49 @@ struct SessionState {
     /// copying (sessions never rebind; the `Arc` is cloned per request).
     bindings: Arc<Vec<(String, Value)>>,
     trace: Trace,
-    allowed_cache: HashSet<ConcreteKey>,
-    /// Denials keyed by concrete fingerprint, valid while the fact count
-    /// they were proved at is unchanged (more facts can flip a denial,
-    /// never fewer). The stored query is the disjunct that failed, replayed
-    /// on cache hits so diagnosis consumers see the real reason.
-    denied_cache: HashMap<ConcreteKey, (usize, qlogic::Cq)>,
+    /// Allowals keyed by concrete fingerprint; SIEVE-bounded. A hit is a
+    /// visited-bit store, so it works under the shard *read* lock.
+    allowed_cache: BoundedCache<ConcreteKey, ()>,
+    /// Denials keyed by concrete fingerprint, stamped with the trace's
+    /// fact-set *version* they were proved at (more facts can flip a
+    /// denial; compaction changes the version too, so a stale stamp is
+    /// never served — a plain fact count would be ambiguous once compaction
+    /// can shrink the set). The stored query is the disjunct that failed,
+    /// replayed on cache hits so diagnosis consumers see the real reason.
+    /// Its `Cq` byte weight is accounted at insert, so `HeapUsage` and the
+    /// byte budget both see it.
+    denied_cache: BoundedCache<ConcreteKey, (u64, qlogic::Cq)>,
+}
+
+/// Wall-clock seconds since the Unix epoch (for the snapshot-age gauge).
+fn epoch_seconds() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Accounted weight of one allow-cache entry.
+fn allow_entry_bytes() -> usize {
+    std::mem::size_of::<ConcreteKey>()
+}
+
+/// Accounted weight of one deny-cache entry: the slot plus the stored
+/// counterexample CQ's heap bytes (interned-id vectors — invisible to a
+/// capacity-only walk, so it must ride on the entry weight).
+fn deny_entry_bytes(query: &qlogic::Cq) -> usize {
+    std::mem::size_of::<(ConcreteKey, (u64, qlogic::Cq))>() + cq_heap_bytes(query)
 }
 
 /// Heap bytes owned by one session's state: the binding list (counted at
 /// this holder even though it is shared by `Arc` — see [`crate::mem`]),
-/// the trace, and both concrete caches.
+/// the trace, and both concrete caches (structural tables plus accounted
+/// entry weights, deny-cache counterexample CQs included).
 fn session_state_bytes(state: &SessionState) -> usize {
-    use std::mem::size_of;
     bindings_heap_bytes(&state.bindings)
         + state.trace.heap_bytes()
-        + state.allowed_cache.capacity() * size_of::<ConcreteKey>()
-        + state
-            .denied_cache
-            .capacity()
-            .saturating_mul(size_of::<(ConcreteKey, (usize, qlogic::Cq))>())
-        + state
-            .denied_cache
-            .values()
-            .map(|(_, q)| cq_heap_bytes(q))
-            .sum::<usize>()
+        + state.allowed_cache.heap_bytes()
+        + state.denied_cache.heap_bytes()
 }
 
 /// Fingerprint of one (template, bindings) pair — the session-cache key.
@@ -520,6 +560,23 @@ pub struct SqlProxy {
     session_state_bytes_hist: Arc<LatencyHistogram>,
     /// Policy-lint warnings emitted (`bep_policy_lint_warnings`).
     lint_warnings: Arc<Counter>,
+    /// Cache evictions (`bep_cache_evictions_total{tier=...}`): plan,
+    /// session-allow, session-deny — in that order.
+    eviction_counters: [Arc<Counter>; 3],
+    /// Warm-start snapshot gauges (`bep_snapshot_entries{outcome=...}`,
+    /// `bep_snapshot_bytes`, `bep_snapshot_timestamp_seconds`): entries
+    /// loaded, entries rejected by the verification gate, file bytes, and
+    /// the unix time of the last successful load/save.
+    snapshot_loaded: Arc<Gauge>,
+    snapshot_rejected: Arc<Gauge>,
+    snapshot_bytes: Arc<Gauge>,
+    snapshot_timestamp: Arc<Gauge>,
+    /// Live session-state heap bytes, maintained incrementally: every
+    /// session mutation adjusts this by the before/after delta of
+    /// `session_state_bytes`, and session end subtracts the final size —
+    /// so the `bep_mem_bytes{component="session-state"}` gauge is O(shards)
+    /// to refresh instead of an O(sessions) walk.
+    session_bytes: AtomicU64,
 }
 
 impl SqlProxy {
@@ -582,6 +639,30 @@ impl SqlProxy {
             "Startup policy-lint warnings (handler columns missing from view heads)",
             &[],
         );
+        let evictions = "Bounded-cache evictions by tier (SIEVE)";
+        let eviction_counters = ["plan", "session-allow", "session-deny"]
+            .map(|t| registry.counter("bep_cache_evictions_total", evictions, &[("tier", t)]));
+        let snap_entries = "Warm-start snapshot entries by load outcome";
+        let snapshot_loaded = registry.gauge(
+            "bep_snapshot_entries",
+            snap_entries,
+            &[("outcome", "loaded")],
+        );
+        let snapshot_rejected = registry.gauge(
+            "bep_snapshot_entries",
+            snap_entries,
+            &[("outcome", "rejected")],
+        );
+        let snapshot_bytes = registry.gauge(
+            "bep_snapshot_bytes",
+            "Size of the last snapshot file loaded or saved",
+            &[],
+        );
+        let snapshot_timestamp = registry.gauge(
+            "bep_snapshot_timestamp_seconds",
+            "Unix time of the last successful snapshot load or save",
+            &[],
+        );
         SqlProxy {
             db: RwLock::new(db),
             checker,
@@ -590,7 +671,11 @@ impl SqlProxy {
                 .map(|_| RwLock::new(HashMap::new()))
                 .collect(),
             next_session: AtomicU64::new(1),
-            plans: PlanCache::new(config.plan_capacity),
+            plans: PlanCache::with_budget(
+                config.plan_capacity,
+                config.plan_budget_bytes,
+                Some(eviction_counters[0].clone()),
+            ),
             stats,
             registry,
             journal: EventJournal::with_capacity(config.journal_capacity),
@@ -608,6 +693,24 @@ impl SqlProxy {
             exemplar_count,
             session_state_bytes_hist,
             lint_warnings,
+            eviction_counters,
+            snapshot_loaded,
+            snapshot_rejected,
+            snapshot_bytes,
+            snapshot_timestamp,
+            session_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Adjusts the incremental session-state byte account by the
+    /// before/after delta of one session mutation.
+    fn adjust_session_bytes(&self, before: usize, after: usize) {
+        if after >= before {
+            self.session_bytes
+                .fetch_add((after - before) as u64, Ordering::Relaxed);
+        } else {
+            self.session_bytes
+                .fetch_sub((before - after) as u64, Ordering::Relaxed);
         }
     }
 
@@ -623,28 +726,38 @@ impl SqlProxy {
     /// (e.g. `MyUId = 1`).
     pub fn begin_session(&self, bindings: Vec<(String, Value)>) -> u64 {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        self.shard(id).write().insert(
-            id,
-            SessionState {
-                bindings: Arc::new(bindings),
-                trace: Trace::new(),
-                allowed_cache: HashSet::new(),
-                denied_cache: HashMap::new(),
-            },
-        );
+        // Each concrete-cache tier gets half the per-session budget
+        // (0 stays 0 = unbounded).
+        let per_tier = self.config.session_cache_budget_bytes / 2;
+        let state = SessionState {
+            bindings: Arc::new(bindings),
+            trace: Trace::new(),
+            allowed_cache: BoundedCache::new(0, per_tier),
+            denied_cache: BoundedCache::new(0, per_tier),
+        };
+        let bytes = session_state_bytes(&state);
+        self.shard(id).write().insert(id, state);
+        self.session_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         id
     }
 
     /// Ends a session, discarding its trace. Idempotent: ending an already
     /// ended (or never begun) session is a no-op, and the return value says
     /// whether the session was live. The session's final state size is
-    /// recorded into the `bep_session_state_bytes` histogram.
+    /// recorded into the `bep_session_state_bytes` histogram and subtracted
+    /// from the live session-state byte account (the
+    /// `bep_mem_bytes{component="session-state"}` gauge path), so ended
+    /// sessions stop weighing on the gauge immediately.
     pub fn end_session(&self, id: u64) -> bool {
         let state = self.shard(id).write().remove(&id);
         match state {
             Some(state) => {
+                let bytes = session_state_bytes(&state);
                 self.session_state_bytes_hist
-                    .record(Duration::from_nanos(session_state_bytes(&state) as u64));
+                    .record(Duration::from_nanos(bytes as u64));
+                self.session_bytes
+                    .fetch_sub(bytes as u64, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -699,7 +812,9 @@ impl SqlProxy {
         self.memory.sample();
         let [plan_cache, session_state, journal, exemplars] = &self.mem_gauges;
         plan_cache.set(self.plans.heap_bytes() as u64);
-        session_state.set(self.sessions_heap_bytes() as u64);
+        // Incremental account + shard tables: O(shards), not O(sessions) —
+        // a scrape must not walk a million sessions.
+        session_state.set(self.sessions_heap_bytes_fast() as u64);
         journal.set(self.journal.heap_bytes() as u64);
         exemplars.set(self.exemplars.heap_bytes() as u64);
         self.exemplar_count.set(self.exemplars.count() as u64);
@@ -717,10 +832,50 @@ impl SqlProxy {
     pub fn component_heap_bytes(&self) -> [(&'static str, usize); 4] {
         [
             ("plan-cache", self.plans.heap_bytes()),
-            ("session-state", self.sessions_heap_bytes()),
+            ("session-state", self.sessions_heap_bytes_fast()),
             ("journal", self.journal.heap_bytes()),
             ("exemplars", self.exemplars.heap_bytes()),
         ]
+    }
+
+    /// Lifetime cache evictions per tier, in `bep_cache_evictions_total`
+    /// label order: plan, session-allow, session-deny.
+    pub fn cache_eviction_counts(&self) -> [(&'static str, u64); 3] {
+        let [plan, allow, deny] = &self.eviction_counters;
+        [
+            ("plan", plan.get()),
+            ("session-allow", allow.get()),
+            ("session-deny", deny.get()),
+        ]
+    }
+
+    /// Loads a warm-start snapshot: every entry is verification-gated
+    /// against the live policy (see [`crate::snapshot`]), survivors are
+    /// installed into the plan cache as pre-compiled template verdicts, and
+    /// the `bep_snapshot_*` gauges record the outcome. Whole-file failures
+    /// (missing, corrupt, wrong version, different policy) return the typed
+    /// error and install nothing — the proxy simply starts cold.
+    pub fn load_snapshot(&self, path: &Path) -> Result<SnapshotLoadReport, SnapshotError> {
+        let (plans, report) = crate::snapshot::load_snapshot_file(&self.checker, path)?;
+        for plan in plans {
+            self.plans.insert_compiled(plan);
+        }
+        self.snapshot_loaded.set(report.loaded as u64);
+        self.snapshot_rejected.set(report.rejected as u64);
+        self.snapshot_bytes.set(report.bytes);
+        self.snapshot_timestamp.set(epoch_seconds());
+        Ok(report)
+    }
+
+    /// Persists every compiled template verdict to `path` (atomic
+    /// tmp-and-rename write) so the next process can warm-start. Typically
+    /// called at drain time, after in-flight requests finish.
+    pub fn save_snapshot(&self, path: &Path) -> Result<SnapshotSaveReport, SnapshotError> {
+        let plans = self.plans.compiled_plans();
+        let report = crate::snapshot::save_snapshot_file(&self.checker, &plans, path)?;
+        self.snapshot_bytes.set(report.bytes);
+        self.snapshot_timestamp.set(epoch_seconds());
+        Ok(report)
     }
 
     /// Distribution of per-session state sizes, recorded once per session
@@ -746,7 +901,9 @@ impl SqlProxy {
     }
 
     /// Heap bytes owned by all live session state, including the shard
-    /// tables themselves.
+    /// tables themselves. The exact O(sessions) walk — the gauges use
+    /// [`SqlProxy::sessions_heap_bytes_fast`] instead; this stays as the
+    /// ground truth the incremental account is tested against.
     pub fn sessions_heap_bytes(&self) -> usize {
         self.shards
             .iter()
@@ -756,6 +913,19 @@ impl SqlProxy {
                     + shard.values().map(session_state_bytes).sum::<usize>()
             })
             .sum()
+    }
+
+    /// Heap bytes owned by all live session state, from the incremental
+    /// per-mutation account plus the shard tables: O(shards) and
+    /// scrape-safe at any session count. Equals
+    /// [`SqlProxy::sessions_heap_bytes`] whenever the proxy is quiescent.
+    pub fn sessions_heap_bytes_fast(&self) -> usize {
+        self.session_bytes.load(Ordering::Relaxed) as usize
+            + self
+                .shards
+                .iter()
+                .map(|shard| shard.read().capacity() * std::mem::size_of::<(u64, SessionState)>())
+                .sum::<usize>()
     }
 
     /// Runs `f` with shared access to the wrapped database (e.g. for test
@@ -1369,12 +1539,12 @@ impl SqlProxy {
         prov: &mut Prov,
         prove: impl FnOnce(&ComplianceChecker, &Trace) -> Decision,
     ) -> Result<Decision, CoreError> {
-        let (decision, fact_count) = {
+        let (decision, trace_version) = {
             let sessions = self.shard(session_id).read();
             let session = sessions
                 .get(&session_id)
                 .ok_or(CoreError::NoSuchSession(session_id))?;
-            if self.config.session_cache && session.allowed_cache.contains(&concrete_key) {
+            if self.config.session_cache && session.allowed_cache.get(&concrete_key).is_some() {
                 prov.lap(Phase::ConcreteLookup);
                 prov.tier = CacheTier::SessionCache;
                 self.stats.session_cache_hits.inc();
@@ -1383,10 +1553,10 @@ impl SqlProxy {
                     rewritings: Vec::new(),
                 });
             }
-            let fact_count = session.trace.facts().len();
+            let trace_version = session.trace.version();
             if self.config.session_cache {
                 if let Some((at, query)) = session.denied_cache.get(&concrete_key) {
-                    if *at == fact_count {
+                    if *at == trace_version {
                         prov.lap(Phase::ConcreteLookup);
                         prov.tier = CacheTier::DenyCache;
                         self.stats.deny_cache_hits.inc();
@@ -1406,7 +1576,7 @@ impl SqlProxy {
             } else {
                 &empty
             };
-            (prove(&self.checker, trace), fact_count)
+            (prove(&self.checker, trace), trace_version)
         };
         // Whether allowed or denied, the verdict came from the fresh
         // concrete proof; cache write-back below is attributed back to the
@@ -1419,19 +1589,31 @@ impl SqlProxy {
             // itself is still valid for this request.
             let mut sessions = self.shard(session_id).write();
             if let Some(session) = sessions.get_mut(&session_id) {
+                let before = session_state_bytes(session);
                 if decision.is_allowed() {
-                    session.allowed_cache.insert(concrete_key);
+                    let evicted =
+                        session
+                            .allowed_cache
+                            .insert(concrete_key, (), allow_entry_bytes());
+                    self.eviction_counters[1].add(evicted.len() as u64);
                 } else if let Decision::Denied {
                     reason: DenyReason::NotDetermined { query },
                 } = &decision
                 {
-                    // Stamped with the fact count read before the proof: if
-                    // facts grew since, the stamp is already stale and the
-                    // entry will never be served.
-                    session
-                        .denied_cache
-                        .insert(concrete_key, (fact_count, query.clone()));
+                    // Stamped with the trace version read before the proof:
+                    // if the fact set changed since (growth *or*
+                    // compaction), the stamp is already stale and the entry
+                    // will never be served.
+                    let bytes = deny_entry_bytes(query);
+                    let evicted = session.denied_cache.insert(
+                        concrete_key,
+                        (trace_version, query.clone()),
+                        bytes,
+                    );
+                    self.eviction_counters[2].add(evicted.len() as u64);
                 }
+                let after = session_state_bytes(session);
+                self.adjust_session_bytes(before, after);
             }
             prov.lap(Phase::ConcreteLookup);
         }
@@ -1505,7 +1687,17 @@ impl SqlProxy {
         }
         let obs = Observation::from_rows(&rows.rows, MAX_FACT_ROWS);
         if let Some(session) = self.shard(session_id).write().get_mut(&session_id) {
+            let before = session_state_bytes(session);
             session.trace.record(cq, obs);
+            if self.config.compaction {
+                // Subsumption compaction keeps the trace O(distinct
+                // information): decision-invisible (the fact set stays
+                // logically equivalent), and any removal bumps the trace
+                // version, so stamped denials never serve stale.
+                session.trace.compact();
+            }
+            let after = session_state_bytes(session);
+            self.adjust_session_bytes(before, after);
         }
     }
 
@@ -2016,6 +2208,114 @@ mod tests {
         assert!(text.contains("bep_phase_latency_ns_count{phase=\"proof\"}"));
         assert!(text.contains("# TYPE bep_process_resident_bytes gauge\n"));
         assert!(text.contains("# TYPE bep_process_vm_hwm_bytes gauge\n"));
+        assert!(text.contains("# TYPE bep_cache_evictions_total counter\n"));
+        assert!(text.contains("bep_cache_evictions_total{tier=\"plan\"} 0\n"));
+        assert!(text.contains("bep_cache_evictions_total{tier=\"session-allow\"} 0\n"));
+        assert!(text.contains("bep_cache_evictions_total{tier=\"session-deny\"} 0\n"));
+        assert!(text.contains("bep_snapshot_entries{outcome=\"loaded\"} 0\n"));
+        assert!(text.contains("bep_snapshot_entries{outcome=\"rejected\"} 0\n"));
+        assert!(text.contains("# TYPE bep_snapshot_bytes gauge\n"));
+        assert!(text.contains("# TYPE bep_snapshot_timestamp_seconds gauge\n"));
+    }
+
+    #[test]
+    fn incremental_session_accounting_matches_exact_walk() {
+        let p = proxy(ProxyConfig::default());
+        let mut sessions = Vec::new();
+        for uid in 1..=3 {
+            let s = p.begin_session(vec![("MyUId".into(), Value::Int(uid))]);
+            // A mix of allows, denials (deny-cache writes, counterexample
+            // CQ retained), probes (trace facts), and repeats (cache hits).
+            p.execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+                .unwrap();
+            p.execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
+                .unwrap();
+            p.execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
+                .unwrap();
+            p.execute(
+                s,
+                "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
+                &[],
+            )
+            .unwrap();
+            sessions.push(s);
+        }
+        assert_eq!(
+            p.sessions_heap_bytes_fast(),
+            p.sessions_heap_bytes(),
+            "incremental account drifts from the exact walk"
+        );
+        // Ending sessions must subtract their bytes (the gauge regression
+        // this PR fixes): after all end, only empty shard tables remain.
+        for s in sessions {
+            assert!(p.end_session(s));
+        }
+        assert_eq!(p.sessions_heap_bytes_fast(), p.sessions_heap_bytes());
+        assert_eq!(p.session_count(), 0);
+        let residual = p.sessions_heap_bytes();
+        let tables_only: usize = (0..SESSION_SHARDS)
+            .map(|i| p.shards[i].read().capacity() * std::mem::size_of::<(u64, SessionState)>())
+            .sum();
+        assert_eq!(residual, tables_only, "ended sessions left bytes behind");
+    }
+
+    #[test]
+    fn compaction_does_not_resurrect_stale_denials() {
+        // With the deny cache stamped by fact *count* this sequence could
+        // go stale: duplicate probes push then compact away facts, so the
+        // count can repeat while the knowledge changed. The version stamp
+        // is monotone through both pushes and compaction removals.
+        for compaction in [false, true] {
+            let p = proxy(ProxyConfig {
+                template_cache: false,
+                compaction,
+                ..Default::default()
+            });
+            let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+            let fetch = "SELECT * FROM Events WHERE EId = 2";
+            let probe = "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2";
+            assert!(!p.execute(s, fetch, &[]).unwrap().is_allowed());
+            assert!(p.execute(s, probe, &[]).unwrap().is_allowed());
+            assert!(p.execute(s, probe, &[]).unwrap().is_allowed());
+            assert!(
+                p.execute(s, fetch, &[]).unwrap().is_allowed(),
+                "stale denial served (compaction={compaction})"
+            );
+        }
+    }
+
+    #[test]
+    fn proxy_snapshot_roundtrip_preloads_the_plan_cache() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("bep-proxy-snap-{}.bin", std::process::id()));
+        let sql = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+
+        let p1 = proxy(ProxyConfig::default());
+        let s = p1.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p1.execute(s, sql, &[]).unwrap();
+        let save = p1.save_snapshot(&path).unwrap();
+        assert_eq!(save.entries, 1);
+
+        let p2 = proxy(ProxyConfig::default());
+        assert!(p2.plan_cache().get(sql).is_none(), "fresh proxy is cold");
+        let report = p2.load_snapshot(&path).unwrap();
+        assert_eq!(report.loaded, 1);
+        assert_eq!(report.rejected, 0);
+        let plan = p2.plan_cache().get(sql).expect("snapshot preloaded plan");
+        assert!(matches!(
+            plan.select().unwrap().template,
+            Some(TemplateVerdict::Allowed(_))
+        ));
+        // The warm plan must decide identically to a cold compile.
+        let s2 = p2.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        assert!(p2.execute(s2, sql, &[]).unwrap().is_allowed());
+        let text = p2.metrics_text();
+        assert!(
+            text.contains("bep_snapshot_entries{outcome=\"loaded\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("bep_snapshot_bytes"), "{text}");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

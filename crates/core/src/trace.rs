@@ -40,7 +40,7 @@ impl Observation {
 }
 
 /// One trace entry: an (instantiated) query and what it returned.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEntry {
     /// The query, parameters already bound.
     pub query: Cq,
@@ -54,6 +54,11 @@ pub struct Trace {
     entries: Vec<TraceEntry>,
     facts: Vec<Atom>,
     skolem_counter: u64,
+    /// Bumped whenever the fact set changes (push *or* compaction removal).
+    /// Cached decisions that depended on the facts stamp this; a plain
+    /// `facts().len()` stamp would be unsound once compaction can shrink the
+    /// set (the same count can name a different set).
+    version: u64,
 }
 
 /// Maximum rows per observation that contribute facts (keeps fact sets and
@@ -112,6 +117,7 @@ impl Trace {
             let fact = qlogic::cq::apply_atom(atom, &subst);
             if !self.facts.contains(&fact) {
                 self.facts.push(fact);
+                self.version += 1;
             }
         }
     }
@@ -141,7 +147,60 @@ impl Trace {
     pub fn assume_fact(&mut self, fact: Atom) {
         if !self.facts.contains(&fact) {
             self.facts.push(fact);
+            self.version += 1;
         }
+    }
+
+    /// Monotone fact-set version: changes (strictly increases) whenever the
+    /// fact set changes in any way. Decision caches stamp this instead of
+    /// `facts().len()`, which compaction can make ambiguous.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Subsumption-based compaction: drops every entry that is an exact
+    /// duplicate of an earlier one, and every fact homomorphically implied
+    /// by the remaining facts (identity-pinned on shared labeled nulls, so
+    /// the existential conjunction — and hence every compliance decision,
+    /// which is monotone in it — is unchanged). Returns how many entries
+    /// plus facts were dropped.
+    ///
+    /// Soundness: the fact set before and after is logically *equivalent*
+    /// (each dropped fact is entailed by what stays), so trace-aware proofs
+    /// succeed after compaction exactly when they succeeded before.
+    pub fn compact(&mut self) -> usize {
+        let mut dropped = 0;
+
+        // Entries: exact (query, observation) duplicates carry no new
+        // information — the first occurrence already witnessed everything.
+        let mut kept: Vec<TraceEntry> = Vec::with_capacity(self.entries.len());
+        for e in self.entries.drain(..) {
+            if kept.contains(&e) {
+                dropped += 1;
+            } else {
+                kept.push(e);
+            }
+        }
+        self.entries = kept;
+
+        // Facts: greedy single-pass sweep. Dropping is order-dependent but
+        // always sound; sweeping oldest-first lets a later, more specific
+        // fact absorb an earlier Skolemized one.
+        let mut i = 0;
+        while i < self.facts.len() {
+            let fact = self.facts[i].clone();
+            let mut remainder = Vec::with_capacity(self.facts.len() - 1);
+            remainder.extend_from_slice(&self.facts[..i]);
+            remainder.extend_from_slice(&self.facts[i + 1..]);
+            if qlogic::fact_implied(&fact, &remainder) {
+                self.facts.remove(i);
+                self.version += 1;
+                dropped += 1;
+            } else {
+                i += 1;
+            }
+        }
+        dropped
     }
 }
 
@@ -296,5 +355,90 @@ mod tests {
         let mut t = Trace::new();
         t.record(q, Observation::NonEmpty);
         assert_eq!(t.facts().len(), 1);
+    }
+
+    #[test]
+    fn version_changes_on_fact_pushes_and_removals_only() {
+        let mut t = Trace::new();
+        let v0 = t.version();
+        t.record(q1(), Observation::Empty); // no facts
+        assert_eq!(t.version(), v0);
+        t.record(q1(), Observation::NonEmpty);
+        let v1 = t.version();
+        assert!(v1 > v0);
+        // A second identical NonEmpty adds a fresh-Skolem fact (new version);
+        // compaction then removes it (another version change) — the stamp
+        // never repeats for a different fact set.
+        t.record(q1(), Observation::NonEmpty);
+        let v2 = t.version();
+        assert!(v2 > v1);
+        let dropped = t.compact();
+        assert!(dropped > 0);
+        assert!(t.version() > v2);
+    }
+
+    #[test]
+    fn compact_drops_skolem_duplicates_but_keeps_information() {
+        let mut t = Trace::new();
+        t.record(q1(), Observation::NonEmpty);
+        t.record(q1(), Observation::NonEmpty);
+        t.record(q1(), Observation::NonEmpty);
+        assert_eq!(t.facts().len(), 3, "each repeat mints a fresh Skolem");
+        assert_eq!(t.len(), 3);
+        let dropped = t.compact();
+        assert_eq!(dropped, 4, "two duplicate entries + two implied facts");
+        assert_eq!(t.facts().len(), 1);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn compact_keeps_facts_with_shared_skolems() {
+        // A join witnesses two atoms sharing one Skolem: neither atom may be
+        // dropped, because the other still references that labeled null.
+        let q = Cq::new(
+            vec![Term::var("t")],
+            vec![
+                Atom::new("Events", vec![Term::var("e"), Term::var("t")]),
+                Atom::new(
+                    "Attendance",
+                    vec![Term::int(1), Term::var("e"), Term::var("n")],
+                ),
+            ],
+            vec![],
+        );
+        let mut t = Trace::new();
+        t.record(q, Observation::NonEmpty);
+        assert_eq!(t.facts().len(), 2);
+        assert_eq!(t.compact(), 0);
+        assert_eq!(t.facts().len(), 2);
+    }
+
+    #[test]
+    fn compact_absorbs_skolemized_fact_into_specific_row() {
+        // NonEmpty first (Skolemized event id), then the concrete row: the
+        // generic fact is implied by the specific one and gets dropped.
+        let generic = Cq::new(
+            vec![Term::int(1)],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::var("e"), Term::var("n")],
+            )],
+            vec![],
+        );
+        let specific = Cq::new(
+            vec![Term::int(1)],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::int(2), Term::var("n")],
+            )],
+            vec![],
+        );
+        let mut t = Trace::new();
+        t.record(generic, Observation::NonEmpty);
+        t.record(specific, Observation::NonEmpty);
+        assert_eq!(t.facts().len(), 2);
+        assert!(t.compact() > 0);
+        assert_eq!(t.facts().len(), 1);
+        assert_eq!(t.facts()[0].args[1], Term::int(2), "specific fact stays");
     }
 }

@@ -76,6 +76,45 @@ pub fn for_each_homomorphism(p: &HomProblem<'_>, emit: &mut dyn FnMut(&Subst) ->
     search(p, emit);
 }
 
+/// Whether `fact` is homomorphically implied by `remainder`: the existential
+/// conjunction of `remainder` alone entails the conjunction with `fact`
+/// included, so `fact` can be dropped without changing what the fact set
+/// means (trace compaction).
+///
+/// Variables of `fact` that also occur in `remainder` are pinned to
+/// themselves — they are shared labeled nulls whose identity the remainder
+/// still refers to, so the mapping must be the identity on them. Variables
+/// private to `fact` may map anywhere. Under that pinning, any homomorphism
+/// from `{fact}` into `remainder` extends (by the identity) to a
+/// homomorphism from the full set into `remainder`, which is exactly the
+/// implication `remainder ⊨ remainder ∧ fact`.
+pub fn fact_implied(fact: &Atom, remainder: &[Atom]) -> bool {
+    if remainder.is_empty() {
+        return false;
+    }
+    let ctx = CmpContext::new(&[]);
+    let mut initial = Subst::new();
+    for t in &fact.args {
+        if let Term::Var(v) = t {
+            let pinned = Term::Var(*v);
+            if initial.contains_key(v) {
+                continue;
+            }
+            if remainder.iter().any(|a| a.args.contains(&pinned)) {
+                initial.insert(*v, pinned);
+            }
+        }
+    }
+    find_homomorphism(&HomProblem {
+        source_atoms: std::slice::from_ref(fact),
+        source_comparisons: &[],
+        target_atoms: remainder,
+        target_ctx: &ctx,
+        initial,
+    })
+    .is_some()
+}
+
 /// A source-atom argument, resolved against the slot table.
 enum CArg {
     /// A variable's slot.
@@ -508,5 +547,59 @@ mod tests {
         };
         let xs: Vec<Term> = find_homomorphisms(&p, 10).iter().map(|h| h["x"]).collect();
         assert_eq!(xs, vec![Term::int(3), Term::int(1), Term::int(2)]);
+    }
+
+    #[test]
+    fn fact_implied_by_exact_duplicate() {
+        let fact = Atom::new("R", vec![Term::int(1), Term::int(2)]);
+        let rem = [Atom::new("R", vec![Term::int(1), Term::int(2)])];
+        assert!(fact_implied(&fact, &rem));
+    }
+
+    #[test]
+    fn fact_with_private_null_implied_by_more_specific_fact() {
+        // R(1, sk0) with sk0 private is implied by R(1, 2): the existential
+        // "there is some second column for 1" is witnessed by the concrete 2.
+        let fact = Atom::new("R", vec![Term::int(1), Term::var("sk0")]);
+        let rem = [Atom::new("R", vec![Term::int(1), Term::int(2)])];
+        assert!(fact_implied(&fact, &rem));
+    }
+
+    #[test]
+    fn shared_null_is_pinned_to_itself() {
+        // sk0 also appears in the remainder (S(sk0)), so R(1, sk0) may only
+        // be dropped if R(1, sk0) itself is present — R(1, 2) is not enough,
+        // because the remainder still talks about *that* null.
+        let fact = Atom::new("R", vec![Term::int(1), Term::var("sk0")]);
+        let rem = [
+            Atom::new("R", vec![Term::int(1), Term::int(2)]),
+            Atom::new("S", vec![Term::var("sk0")]),
+        ];
+        assert!(!fact_implied(&fact, &rem));
+        let rem_with_identity = [
+            Atom::new("R", vec![Term::int(1), Term::var("sk0")]),
+            Atom::new("S", vec![Term::var("sk0")]),
+        ];
+        assert!(fact_implied(&fact, &rem_with_identity));
+    }
+
+    #[test]
+    fn constant_mismatch_is_not_implied() {
+        let fact = Atom::new("R", vec![Term::int(1)]);
+        let rem = [Atom::new("R", vec![Term::int(2)])];
+        assert!(!fact_implied(&fact, &rem));
+    }
+
+    #[test]
+    fn empty_remainder_never_implies() {
+        let fact = Atom::new("R", vec![Term::var("x")]);
+        assert!(!fact_implied(&fact, &[]));
+    }
+
+    #[test]
+    fn generic_fact_not_implied_by_unrelated_relation() {
+        let fact = Atom::new("R", vec![Term::var("x")]);
+        let rem = [Atom::new("S", vec![Term::int(1)])];
+        assert!(!fact_implied(&fact, &rem));
     }
 }

@@ -53,6 +53,9 @@ pub use deps::{chase_fds, chase_full, normalize_cq, ChaseOutcome, Dependencies, 
 pub use error::LogicError;
 pub use from_sql::{cq_to_sql, sql_to_cq, sql_to_ucq, RelSchema};
 pub use generalize::{anti_unify, anti_unify_all, canonicalize_vars, const_to_param};
+pub use homomorphism::{
+    fact_implied, find_homomorphism, find_homomorphisms, for_each_homomorphism, HomProblem,
+};
 pub use instance::Instance;
 pub use minimize::minimize;
 pub use probe::SolverCounters;

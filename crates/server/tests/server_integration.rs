@@ -838,3 +838,79 @@ fn unknown_plan_id_is_typed_no_such_plan() {
         .is_allowed());
     server.shutdown();
 }
+
+#[test]
+fn warm_start_snapshot_survives_server_generations() {
+    let path = std::env::temp_dir().join(format!("bep-server-snap-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let template = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+
+    // Generation 1: cold start (no file yet), serve one template-allowed
+    // query, drain — the shutdown persists the compiled verdict.
+    let proxy1 = calendar_proxy();
+    let server1 = Server::start_with_snapshot(
+        Arc::clone(&proxy1),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+        &path,
+    )
+    .expect("bind");
+    let mut c = Client::connect(server1.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+    assert!(matches!(
+        c.execute(s, template, &[]).unwrap(),
+        ExecOutcome::Rows(_)
+    ));
+    drop(c);
+    server1.shutdown();
+    assert!(path.exists(), "drain persisted a snapshot");
+
+    // Generation 2: the plan cache is warm before the first request, and
+    // the warm plan answers identically.
+    let proxy2 = calendar_proxy();
+    let server2 = Server::start_with_snapshot(
+        Arc::clone(&proxy2),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+        &path,
+    )
+    .expect("bind");
+    let warm = proxy2.plan_cache().get(template);
+    assert!(warm.is_some(), "snapshot preloaded the template plan");
+    let mut c = Client::connect(server2.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(1)).unwrap();
+    assert!(matches!(
+        c.execute(s, template, &[]).unwrap(),
+        ExecOutcome::Rows(_)
+    ));
+    drop(c);
+    server2.shutdown();
+
+    // Generation 3: a corrupted snapshot degrades to a cold start — the
+    // server still boots and enforces.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x55;
+    std::fs::write(&path, &bytes).unwrap();
+    let proxy3 = calendar_proxy();
+    let server3 = Server::start_with_snapshot(
+        Arc::clone(&proxy3),
+        ServerConfig::default(),
+        "127.0.0.1:0",
+        &path,
+    )
+    .expect("bind");
+    assert!(
+        proxy3.plan_cache().get(template).is_none(),
+        "corrupt snapshot must not install anything"
+    );
+    let mut c = Client::connect(server3.addr(), IO).unwrap();
+    let s = c.begin(uid_bindings(2)).unwrap();
+    assert!(matches!(
+        c.execute(s, template, &[]).unwrap(),
+        ExecOutcome::Rows(_)
+    ));
+    drop(c);
+    server3.shutdown();
+    std::fs::remove_file(&path).ok();
+}

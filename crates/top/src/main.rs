@@ -129,6 +129,8 @@ fn run(opts: &Opts) -> Result<(), String> {
     let interactive = opts.frames == 0;
     let mut agg = Aggregate::default();
     let mut frame = 0u64;
+    let mut prev_evictions: Vec<(String, u64)> = Vec::new();
+    let mut prev_scrape = Instant::now();
     loop {
         frame += 1;
         // Drain the stream until the frame interval elapses; each read
@@ -156,12 +158,21 @@ fn run(opts: &Opts) -> Result<(), String> {
         let stats = scrape.stats().map_err(|e| format!("stats: {e}"))?;
         let text = scrape.metrics().map_err(|e| format!("metrics: {e}"))?;
         let mem = parse_mem_gauges(&text);
+        let evictions = parse_eviction_counters(&text);
+        let now = Instant::now();
+        let rates = eviction_rates(&prev_evictions, &evictions, now - prev_scrape);
+        prev_evictions = evictions;
+        prev_scrape = now;
+        let snapshot = parse_snapshot_gauges(&text);
 
         if interactive {
             // Repaint in place: clear screen, home the cursor.
             print!("\x1b[2J\x1b[H");
         }
-        print!("{}", render(opts, frame, fresh, &agg, &stats, &mem));
+        print!(
+            "{}",
+            render(opts, frame, fresh, &agg, &stats, &mem, &rates, &snapshot)
+        );
         if !interactive && frame >= opts.frames {
             return Ok(());
         }
@@ -218,24 +229,87 @@ impl Aggregate {
 
 /// Extracts `bep_mem_bytes{component="X"} N` samples, in exposition order.
 fn parse_mem_gauges(text: &str) -> Vec<(String, u64)> {
+    parse_labeled(text, "bep_mem_bytes{component=\"")
+}
+
+/// Extracts `bep_cache_evictions_total{tier="X"} N` counters, in
+/// exposition order (plan, session-allow, session-deny).
+fn parse_eviction_counters(text: &str) -> Vec<(String, u64)> {
+    parse_labeled(text, "bep_cache_evictions_total{tier=\"")
+}
+
+fn parse_labeled(text: &str, prefix: &str) -> Vec<(String, u64)> {
     let mut out = Vec::new();
     for line in text.lines() {
-        let Some(rest) = line.strip_prefix("bep_mem_bytes{component=\"") else {
+        let Some(rest) = line.strip_prefix(prefix) else {
             continue;
         };
-        let Some((component, value)) = rest.split_once("\"}") else {
+        let Some((label, value)) = rest.split_once("\"}") else {
             continue;
         };
-        if let Ok(bytes) = value.trim().parse::<u64>() {
-            out.push((component.to_string(), bytes));
+        if let Ok(n) = value.trim().parse::<u64>() {
+            out.push((label.to_string(), n));
         }
     }
     out
 }
 
+/// The warm-start snapshot gauges: entries loaded/rejected at the last
+/// load (or saved at the last save), file bytes, and the epoch-seconds
+/// stamp of whichever happened last.
+#[derive(Debug, Default, PartialEq)]
+struct SnapshotGauges {
+    loaded: u64,
+    rejected: u64,
+    bytes: u64,
+    timestamp: u64,
+}
+
+fn parse_snapshot_gauges(text: &str) -> SnapshotGauges {
+    let mut g = SnapshotGauges::default();
+    for (outcome, n) in parse_labeled(text, "bep_snapshot_entries{outcome=\"") {
+        match outcome.as_str() {
+            "loaded" => g.loaded = n,
+            "rejected" => g.rejected = n,
+            _ => {}
+        }
+    }
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("bep_snapshot_bytes ") {
+            g.bytes = v.trim().parse().unwrap_or(0);
+        } else if let Some(v) = line.strip_prefix("bep_snapshot_timestamp_seconds ") {
+            g.timestamp = v.trim().parse().unwrap_or(0);
+        }
+    }
+    g
+}
+
+/// Turns two scrapes of the cumulative eviction counters into per-second
+/// rates. Tiers are matched by label; a missing or reset counter (new
+/// server behind the same address) clamps to zero instead of going
+/// negative.
+fn eviction_rates(
+    prev: &[(String, u64)],
+    cur: &[(String, u64)],
+    elapsed: Duration,
+) -> Vec<(String, f64)> {
+    let secs = elapsed.as_secs_f64().max(1e-9);
+    cur.iter()
+        .map(|(tier, n)| {
+            let before = prev
+                .iter()
+                .find(|(t, _)| t == tier)
+                .map(|(_, n)| *n)
+                .unwrap_or(0);
+            (tier.clone(), n.saturating_sub(before) as f64 / secs)
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------------
 // Rendering.
 
+#[allow(clippy::too_many_arguments)]
 fn render(
     opts: &Opts,
     frame: u64,
@@ -243,6 +317,8 @@ fn render(
     agg: &Aggregate,
     stats: &WireStats,
     mem: &[(String, u64)],
+    eviction_rates: &[(String, f64)],
+    snapshot: &SnapshotGauges,
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("bep-top — {} — frame {frame}\n", opts.addr));
@@ -264,6 +340,14 @@ fn render(
         .map(|(c, b)| format!("{c} {}", fmt_bytes(*b)))
         .collect();
     out.push_str(&format!("mem: {}\n", gauges.join("  ")));
+    if !eviction_rates.is_empty() {
+        let rates: Vec<String> = eviction_rates
+            .iter()
+            .map(|(tier, r)| format!("{tier} {r:.1}/s"))
+            .collect();
+        out.push_str(&format!("evictions: {}\n", rates.join("  ")));
+    }
+    out.push_str(&format!("snapshot: {}\n", fmt_snapshot(snapshot)));
 
     out.push_str(&format!(
         "{:<17} {:>7} {:>6} {:>6} {:>8} {:>8} {:>5} {:>5} {:>6}  {}\n",
@@ -305,6 +389,41 @@ fn render(
 /// `template-cache` → `tc`, `uncached` → `u`.
 fn tier_abbrev(label: &str) -> String {
     label.split('-').filter_map(|w| w.chars().next()).collect()
+}
+
+/// One line for the warm-start snapshot: entry counts, file size, and
+/// age relative to this process's clock. Timestamp 0 means the server
+/// has neither loaded nor saved one.
+fn fmt_snapshot(s: &SnapshotGauges) -> String {
+    if s.timestamp == 0 {
+        return "none".to_string();
+    }
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let age = now.saturating_sub(s.timestamp);
+    let rejected = if s.rejected > 0 {
+        format!("  rejected {}", s.rejected)
+    } else {
+        String::new()
+    };
+    format!(
+        "{} entries{rejected}  {}  age {}",
+        s.loaded,
+        fmt_bytes(s.bytes),
+        fmt_age(age)
+    )
+}
+
+fn fmt_age(secs: u64) -> String {
+    if secs >= 3600 {
+        format!("{:.1}h", secs as f64 / 3600.0)
+    } else if secs >= 60 {
+        format!("{:.1}m", secs as f64 / 60.0)
+    } else {
+        format!("{secs}s")
+    }
 }
 
 fn fmt_us(ns: u64) -> String {
@@ -452,5 +571,58 @@ mod tests {
         assert_eq!(fmt_bytes(512), "512B");
         assert_eq!(fmt_bytes(2048), "2.0KiB");
         assert_eq!(fmt_bytes(3 << 20), "3.0MiB");
+    }
+
+    #[test]
+    fn eviction_counters_parse_and_turn_into_rates() {
+        let t0 = "bep_cache_evictions_total{tier=\"plan\"} 10\n\
+                  bep_cache_evictions_total{tier=\"session-allow\"} 0\n\
+                  bep_cache_evictions_total{tier=\"session-deny\"} 3\n";
+        let t1 = "bep_cache_evictions_total{tier=\"plan\"} 30\n\
+                  bep_cache_evictions_total{tier=\"session-allow\"} 0\n\
+                  bep_cache_evictions_total{tier=\"session-deny\"} 3\n";
+        let prev = parse_eviction_counters(t0);
+        let cur = parse_eviction_counters(t1);
+        assert_eq!(prev.len(), 3);
+        let rates = eviction_rates(&prev, &cur, Duration::from_secs(2));
+        assert_eq!(rates[0], ("plan".to_string(), 10.0));
+        assert_eq!(rates[1], ("session-allow".to_string(), 0.0));
+        assert_eq!(rates[2], ("session-deny".to_string(), 0.0));
+    }
+
+    #[test]
+    fn a_counter_reset_clamps_the_rate_to_zero() {
+        // A restarted server resets its counters; the rate must not
+        // underflow.
+        let prev = vec![("plan".to_string(), 100u64)];
+        let cur = vec![("plan".to_string(), 5u64)];
+        let rates = eviction_rates(&prev, &cur, Duration::from_secs(1));
+        assert_eq!(rates[0].1, 0.0);
+    }
+
+    #[test]
+    fn snapshot_gauges_parse_from_exposition_text() {
+        let text = "bep_snapshot_entries{outcome=\"loaded\"} 48\n\
+                    bep_snapshot_entries{outcome=\"rejected\"} 2\n\
+                    bep_snapshot_bytes 27622\n\
+                    bep_snapshot_timestamp_seconds 1700000000\n";
+        assert_eq!(
+            parse_snapshot_gauges(text),
+            SnapshotGauges {
+                loaded: 48,
+                rejected: 2,
+                bytes: 27622,
+                timestamp: 1700000000,
+            }
+        );
+        assert_eq!(parse_snapshot_gauges(""), SnapshotGauges::default());
+        assert_eq!(fmt_snapshot(&SnapshotGauges::default()), "none");
+    }
+
+    #[test]
+    fn ages_format_in_the_right_unit() {
+        assert_eq!(fmt_age(45), "45s");
+        assert_eq!(fmt_age(90), "1.5m");
+        assert_eq!(fmt_age(7200), "2.0h");
     }
 }
