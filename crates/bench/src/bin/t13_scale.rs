@@ -197,7 +197,7 @@ fn gate_run(prep: &PreparedApp, mode: ServerMode, seed: u64) -> GateRun {
                 client.end(id).expect("end");
                 log.push("end".to_string());
             }
-            TrafficOp::RawProbe { slot, sql } => {
+            TrafficOp::RawProbe { slot, sql } | TrafficOp::RawWriteProbe { slot, sql } => {
                 let id = sessions[slot].expect("live session");
                 let out = client.execute(id, &sql, &[]).expect("raw probe executes");
                 log.push(format!("raw {out:?}"));
@@ -398,7 +398,8 @@ fn soak(
                                     let id = sessions[slot].take().expect("live session");
                                     client.end(id).expect("end");
                                 }
-                                TrafficOp::RawProbe { slot, sql } => {
+                                TrafficOp::RawProbe { slot, sql }
+                                | TrafficOp::RawWriteProbe { slot, sql } => {
                                     let id = sessions[slot].expect("live session");
                                     match client.execute(id, &sql, &[]) {
                                         Ok(ExecOutcome::Blocked { .. }) => {}

@@ -299,7 +299,7 @@ fn memory_soak(users: u64, ops: usize) -> MemReport {
             TrafficOp::End { slot } => {
                 proxy.end_session(sessions[slot].take().expect("live session"));
             }
-            TrafficOp::RawProbe { slot, sql } => {
+            TrafficOp::RawProbe { slot, sql } | TrafficOp::RawWriteProbe { slot, sql } => {
                 let session = sessions[slot].expect("live session");
                 let mut port = ProxyPort {
                     proxy: &proxy,

@@ -161,7 +161,7 @@ fn gate_run(prep: &PreparedApp, config: ProxyConfig, seed: u64) -> GateRun {
                 proxy.end_session(id);
                 log.push("end".to_string());
             }
-            TrafficOp::RawProbe { slot, sql } => {
+            TrafficOp::RawProbe { slot, sql } | TrafficOp::RawWriteProbe { slot, sql } => {
                 let id = sessions[slot].expect("live session");
                 let out = proxy.execute(id, &sql, &[]).expect("raw probe executes");
                 log.push(format!("raw {out:?}"));
@@ -366,7 +366,8 @@ fn soak(prep: &PreparedApp, m: usize, phases: usize, phase_ops: usize) -> SoakRe
                                     let id = sessions[slot].take().expect("live session");
                                     client.end(id).expect("end");
                                 }
-                                TrafficOp::RawProbe { slot, sql } => {
+                                TrafficOp::RawProbe { slot, sql }
+                                | TrafficOp::RawWriteProbe { slot, sql } => {
                                     let id = sessions[slot].expect("live session");
                                     match client.execute(id, &sql, &[]) {
                                         Ok(ExecOutcome::Blocked { .. }) => {}

@@ -1,0 +1,110 @@
+//! Statement classification: what kind of access a statement performs and
+//! whether a session's access mode permits it.
+//!
+//! Classification is structural — it inspects the parsed
+//! [`sqlir::Statement`], never the SQL text — so a mutation can never
+//! masquerade as a read through formatting, comments, or casing tricks.
+
+use sqlir::Statement;
+
+/// The broad access class of a statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatementClass {
+    /// A `SELECT`: reads data, never changes it.
+    Read,
+    /// An `INSERT`, `UPDATE`, or `DELETE`: changes row data.
+    Write,
+    /// DDL (`CREATE TABLE`): changes schema, not rows.
+    Ddl,
+}
+
+impl StatementClass {
+    /// Classifies a parsed statement. Purely structural.
+    pub fn of(stmt: &Statement) -> StatementClass {
+        match stmt {
+            Statement::Select(_) => StatementClass::Read,
+            Statement::Insert(_) | Statement::Update(_) | Statement::Delete(_) => {
+                StatementClass::Write
+            }
+            Statement::CreateTable(_) => StatementClass::Ddl,
+        }
+    }
+
+    /// A short stable label for reporting.
+    pub fn label(self) -> &'static str {
+        match self {
+            StatementClass::Read => "read",
+            StatementClass::Write => "write",
+            StatementClass::Ddl => "ddl",
+        }
+    }
+}
+
+/// What a session is allowed to do, independent of any policy question.
+///
+/// The mode is a per-session capability: a `ReadOnly` session gets every
+/// mutation denied up front with [`crate::DenyReason::ReadOnlySession`],
+/// before policy coverage is even considered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessMode {
+    /// The session may only read.
+    ReadOnly,
+    /// The session may read and mutate (the default).
+    #[default]
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Whether this mode permits a statement of the given class. DDL is
+    /// treated as a write for permission purposes.
+    pub fn permits(self, class: StatementClass) -> bool {
+        match self {
+            AccessMode::ReadWrite => true,
+            AccessMode::ReadOnly => class == StatementClass::Read,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlir::parse_statement;
+
+    fn class_of(sql: &str) -> StatementClass {
+        StatementClass::of(&parse_statement(sql).expect("parse"))
+    }
+
+    #[test]
+    fn classification_is_structural() {
+        assert_eq!(class_of("SELECT 1 FROM T"), StatementClass::Read);
+        assert_eq!(
+            class_of("INSERT INTO T (A) VALUES (1)"),
+            StatementClass::Write
+        );
+        assert_eq!(class_of("UPDATE T SET A = 1"), StatementClass::Write);
+        assert_eq!(class_of("DELETE FROM T WHERE A = 1"), StatementClass::Write);
+        assert_eq!(
+            class_of("CREATE TABLE T (A INT PRIMARY KEY)"),
+            StatementClass::Ddl
+        );
+    }
+
+    #[test]
+    fn read_only_mode_permits_only_reads() {
+        assert!(AccessMode::ReadOnly.permits(StatementClass::Read));
+        assert!(!AccessMode::ReadOnly.permits(StatementClass::Write));
+        assert!(!AccessMode::ReadOnly.permits(StatementClass::Ddl));
+        for class in [
+            StatementClass::Read,
+            StatementClass::Write,
+            StatementClass::Ddl,
+        ] {
+            assert!(AccessMode::ReadWrite.permits(class));
+        }
+    }
+
+    #[test]
+    fn default_mode_is_read_write() {
+        assert_eq!(AccessMode::default(), AccessMode::ReadWrite);
+    }
+}

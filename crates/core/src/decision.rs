@@ -31,6 +31,15 @@ pub enum DenyReason {
     ParseError(String),
     /// Writes are blocked by proxy configuration.
     WriteBlocked,
+    /// The session was opened read-only; all mutations are denied.
+    ReadOnlySession,
+    /// A mutation's written rows are not contained in any updatable policy
+    /// view. Carries the written row as a conjunctive query (head = the
+    /// row's terms, body = the written atom) for diagnosis.
+    WriteNotCovered {
+        /// The uncovered written row, as a CQ.
+        query: Cq,
+    },
 }
 
 impl DenyReason {
@@ -41,6 +50,8 @@ impl DenyReason {
             DenyReason::OutOfFragment(_) => "out-of-fragment",
             DenyReason::ParseError(_) => "parse-error",
             DenyReason::WriteBlocked => "write-blocked",
+            DenyReason::ReadOnlySession => "read-only-session",
+            DenyReason::WriteNotCovered { .. } => "write-not-covered",
         }
     }
 }

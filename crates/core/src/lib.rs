@@ -21,6 +21,7 @@
 
 pub mod cache;
 pub mod checker;
+pub mod classify;
 pub mod decision;
 pub mod error;
 pub mod exemplar;
@@ -34,9 +35,11 @@ pub mod proxy;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
+pub mod write;
 
 pub use cache::BoundedCache;
 pub use checker::ComplianceChecker;
+pub use classify::{AccessMode, StatementClass};
 pub use decision::{Decision, DecisionSource, DenyReason};
 pub use error::CoreError;
 pub use exemplar::{Exemplar, ExemplarStore};
@@ -50,6 +53,7 @@ pub use obs::{
 };
 pub use plan::{
     compile_plan, DisjunctPlan, PlanBody, PlanCache, SelectPlan, TemplatePlan, TemplateVerdict,
+    WritePlan,
 };
 pub use policy::{schema_of_database, Policy, ViewDef};
 pub use proxy::{BatchItem, BatchStmt, ProxyConfig, ProxyResponse, ProxyStats, SqlProxy};
@@ -59,3 +63,6 @@ pub use snapshot::{
 };
 pub use span::{SpanKind, SpanRecord, SpanSummary, SPAN_ARENA_CAPACITY};
 pub use trace::{Observation, Trace, TraceEntry};
+pub use write::{
+    check_write_concrete, compile_write_template, WriteTemplate, WriteTemplateVerdict,
+};

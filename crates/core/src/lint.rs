@@ -17,6 +17,14 @@
 //! which traces built from *denied* queries never produce. Absence of
 //! warnings does not promise the template is allowed (joins, comparisons,
 //! and parameter equalities still decide that).
+//!
+//! The same pitfall exists on the write path with the roles reversed:
+//! **every column a mutation binds to a concrete value must be projected
+//! (or rigidly pinned) by some policy view over that table**. Write
+//! coverage unifies the written row against a view's body atom, and a
+//! rigid written value at a position the view neither exports in its head
+//! nor pins to a value can never unify — the mutation is denied for every
+//! session, again uniformly, so differential gates are blind to it.
 
 use qlogic::{Cq, Sym, Term};
 use sqlir::{parse_statement, Statement};
@@ -60,14 +68,69 @@ fn column_name(checker: &ComplianceChecker, rel: Sym, pos: usize) -> String {
     }
 }
 
+/// The set of `(relation, column)` positions a mutation may bind rigidly
+/// and still have a chance of coverage: positions some view exports in
+/// its head, plus positions some view pins to a rigid term (a constant
+/// or session parameter the written value could equal).
+fn writable_positions(checker: &ComplianceChecker) -> Exported {
+    let mut out = exported_columns(checker);
+    for view in checker.policy().views() {
+        for atom in &view.cq.atoms {
+            for (pos, arg) in atom.args.iter().enumerate() {
+                if arg.is_rigid() {
+                    out.insert((atom.relation, pos));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lints a mutation template: every rigidly bound column of each written
+/// row must be exported or pinned by some policy view, else the write can
+/// never be covered. Extraction failures (unknown table, arity mismatch)
+/// produce no warnings — the decision path reports those as denials.
+fn lint_mutation(checker: &ComplianceChecker, stmt: &Statement) -> Vec<String> {
+    let Ok((atoms, _)) = crate::write::extract_written_atoms(stmt, checker.schema()) else {
+        return Vec::new();
+    };
+    let writable = writable_positions(checker);
+    let mut warnings = Vec::new();
+    for atom in &atoms {
+        for (pos, arg) in atom.args.iter().enumerate() {
+            if !arg.is_rigid() || writable.contains(&(atom.relation, pos)) {
+                continue;
+            }
+            let w = format!(
+                "mutation binds {col} but no policy view projects or pins it; \
+                 every such write is denied (add {col} to an updatable view's SELECT list)",
+                col = column_name(checker, atom.relation, pos)
+            );
+            if !warnings.contains(&w) {
+                warnings.push(w);
+            }
+        }
+    }
+    warnings
+}
+
 /// Lints one SQL template against the policy's projected columns.
 ///
-/// Returns one warning per selected column that no policy view's head
-/// exposes. Non-`SELECT` statements, parse failures, and out-of-fragment
-/// queries produce no warnings (other machinery reports those).
+/// For `SELECT`s, returns one warning per selected column that no policy
+/// view's head exposes. For mutations, returns one warning per rigidly
+/// bound column no view exports or pins. Parse failures and
+/// out-of-fragment queries produce no warnings (other machinery reports
+/// those).
 pub fn lint_template(checker: &ComplianceChecker, sql: &str) -> Vec<String> {
-    let Ok(Statement::Select(q)) = parse_statement(sql) else {
-        return Vec::new();
+    let q = match parse_statement(sql) {
+        Ok(Statement::Select(q)) => q,
+        Ok(stmt)
+            if crate::classify::StatementClass::of(&stmt)
+                == crate::classify::StatementClass::Write =>
+        {
+            return lint_mutation(checker, &stmt);
+        }
+        _ => return Vec::new(),
     };
     let Ok(ucq) = checker.translate(&q) else {
         return Vec::new();
@@ -173,10 +236,51 @@ mod tests {
     }
 
     #[test]
-    fn non_selects_and_parse_errors_are_silent() {
+    fn parse_errors_and_unknown_tables_are_silent() {
         let c = checker(&[("MyOrders", "SELECT OId FROM Orders WHERE MId = ?MyMId")]);
-        assert!(lint_template(&c, "INSERT INTO Orders VALUES (1, 2, 3)").is_empty());
         assert!(lint_template(&c, "SELEC nonsense").is_empty());
+        assert!(lint_template(&c, "INSERT INTO Nope (X) VALUES (1)").is_empty());
+        assert!(lint_template(&c, "CREATE TABLE Scratch (X INT PRIMARY KEY)").is_empty());
+    }
+
+    #[test]
+    fn mutation_binding_an_unwritable_column_warns() {
+        // The view projects OId and pins MId, but Total is neither: any
+        // insert that gives Total a value (even the implicit NULL of an
+        // unlisted column) can never be covered.
+        let c = checker(&[("MyOrders", "SELECT OId FROM Orders WHERE MId = ?MyMId")]);
+        let warnings = lint_template(
+            &c,
+            "INSERT INTO Orders (OId, MId, Total) VALUES (?o, ?MyMId, 100)",
+        );
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("Orders.Total"), "{}", warnings[0]);
+        let implicit = lint_template(&c, "INSERT INTO Orders (OId, MId) VALUES (?o, ?MyMId)");
+        assert_eq!(implicit, warnings, "unlisted column binds NULL");
+        // A delete touches every column, but binds only the pinned one.
+        assert!(lint_template(&c, "DELETE FROM Orders WHERE MId = ?MyMId").is_empty());
+    }
+
+    #[test]
+    fn fully_projected_mutations_are_clean() {
+        let c = checker(&[(
+            "MyOrders",
+            "SELECT OId, MId, Total FROM Orders WHERE MId = ?MyMId",
+        )]);
+        assert!(lint_template(
+            &c,
+            "INSERT INTO Orders (OId, MId, Total) VALUES (?o, ?MyMId, 100)"
+        )
+        .is_empty());
+        assert!(lint_template(&c, "UPDATE Orders SET Total = ?t WHERE MId = ?MyMId").is_empty());
+    }
+
+    #[test]
+    fn update_of_unprojected_column_warns() {
+        let c = checker(&[("MyOrders", "SELECT OId FROM Orders WHERE MId = ?MyMId")]);
+        let warnings = lint_template(&c, "UPDATE Orders SET Total = 0 WHERE MId = ?MyMId");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("Orders.Total"), "{}", warnings[0]);
     }
 
     #[test]

@@ -36,6 +36,7 @@ use sqlir::{parse_statement, Statement};
 use crate::cache::BoundedCache;
 use crate::checker::ComplianceChecker;
 use crate::obs::{template_hash, Counter, Phase};
+use crate::write::WriteTemplate;
 
 /// Number of plan-cache shards (power of two; the shard index is the low
 /// bits of the template hash, which FNV-1a mixes well).
@@ -98,12 +99,25 @@ pub struct SelectPlan {
     pub template: Option<TemplateVerdict>,
 }
 
+/// The compiled body of a row mutation (`INSERT`/`UPDATE`/`DELETE`).
+#[derive(Debug)]
+pub struct WritePlan {
+    /// The parsed statement, kept whole for binding and execution.
+    pub stmt: Statement,
+    /// The extracted write template with its session-independent verdict,
+    /// or the extraction error replayed as an out-of-fragment denial per
+    /// request.
+    pub template: Result<WriteTemplate, String>,
+}
+
 /// What a template compiles to.
 #[derive(Debug)]
 pub enum PlanBody {
     /// A `SELECT` with its decision plan.
     Select(SelectPlan),
-    /// A non-`SELECT` statement (DML/DDL pass-through).
+    /// A row mutation with its write-coverage plan.
+    Write(WritePlan),
+    /// A non-row statement (DDL pass-through).
     Other(Statement),
     /// The SQL does not parse; the message is replayed per request.
     ParseError(String),
@@ -186,6 +200,22 @@ pub fn compile_plan(
         }
     };
     let Statement::Select(q) = &stmt else {
+        if crate::classify::StatementClass::of(&stmt) == crate::classify::StatementClass::Write {
+            let template = {
+                let _span = crate::span::guard(crate::span::SpanKind::TemplateProof);
+                crate::write::compile_write_template(
+                    &stmt,
+                    checker.policy().views(),
+                    checker.schema(),
+                )
+            };
+            lap(Phase::Proof);
+            return TemplatePlan {
+                sql: sql.to_string(),
+                hash,
+                body: PlanBody::Write(WritePlan { stmt, template }),
+            };
+        }
         return TemplatePlan {
             sql: sql.to_string(),
             hash,
@@ -539,6 +569,13 @@ pub(crate) fn plan_heap_bytes(plan: &TemplatePlan) -> usize {
     match &plan.body {
         PlanBody::ParseError(m) => b += m.capacity(),
         PlanBody::Other(_) => b += plan.sql.len(),
+        PlanBody::Write(wp) => {
+            b += plan.sql.len(); // the parsed Statement, approximated
+            match &wp.template {
+                Ok(t) => b += t.heap_bytes(),
+                Err(m) => b += m.capacity(),
+            }
+        }
         PlanBody::Select(sp) => {
             b += plan.sql.len(); // the parsed Statement, approximated
             match &sp.translation {
@@ -665,10 +702,43 @@ mod tests {
             compile(&c, "SELEC whoops", true).body(),
             PlanBody::ParseError(_)
         ));
+        match compile(&c, "DELETE FROM Events WHERE EId = 1", true).body() {
+            // Events appears in no view with a deletable shape pinned to
+            // the session: Title/Kind are fresh post-extraction and V2
+            // joins through Attendance.
+            PlanBody::Write(wp) => {
+                let t = wp.template.as_ref().expect("extractable");
+                assert_eq!(t.atoms.len(), 1);
+            }
+            other => panic!("expected write body, got {other:?}"),
+        }
         assert!(matches!(
-            compile(&c, "DELETE FROM Events WHERE EId = 1", true).body(),
+            compile(&c, "CREATE TABLE Scratch (A INT PRIMARY KEY)", true).body(),
             PlanBody::Other(_)
         ));
+    }
+
+    #[test]
+    fn write_plan_carries_template_verdict() {
+        use crate::write::WriteTemplateVerdict;
+        let c = checker();
+        let verdict = |sql: &str| match compile(&c, sql, true).body() {
+            PlanBody::Write(wp) => wp.template.as_ref().expect("extractable").verdict,
+            other => panic!("expected write body, got {other:?}"),
+        };
+        // Deleting one's own attendance: V1's body atom unifies directly
+        // (EId/Notes are undetermined), no remaining atoms — allowed for
+        // every session.
+        assert_eq!(
+            verdict("DELETE FROM Attendance WHERE UId = ?MyUId"),
+            WriteTemplateVerdict::Allowed
+        );
+        // Inserting with a known Notes value: V1 hides Notes, and V2's
+        // Events join can only be discharged by trace facts — concrete.
+        assert_eq!(
+            verdict("INSERT INTO Attendance (UId, EId, Notes) VALUES (?MyUId, ?e, ?n)"),
+            WriteTemplateVerdict::Undecidable
+        );
     }
 
     #[test]

@@ -114,6 +114,7 @@ use sqlir::{bind_statement, parse_statement, ParamBindings, Statement, Value};
 
 use crate::cache::BoundedCache;
 use crate::checker::ComplianceChecker;
+use crate::classify::{AccessMode, StatementClass};
 use crate::decision::{Decision, DecisionSource, DenyReason};
 use crate::error::CoreError;
 use crate::exemplar::ExemplarStore;
@@ -127,6 +128,7 @@ use crate::plan::{compile_plan, PlanBody, PlanCache, SelectPlan, TemplatePlan, T
 use crate::snapshot::{SnapshotError, SnapshotLoadReport, SnapshotSaveReport};
 use crate::span::{self, SpanKind, SpanSummary};
 use crate::trace::{Observation, Trace, MAX_FACT_ROWS};
+use crate::write::{WriteTemplate, WriteTemplateVerdict};
 
 /// Number of session shards. Sixteen keeps per-shard contention negligible
 /// for hundreds of concurrent sessions while costing one cache line of
@@ -145,6 +147,12 @@ pub struct ProxyConfig {
     pub session_cache: bool,
     /// Whether DML statements pass through or are blocked.
     pub allow_writes: bool,
+    /// Enforce mutation policies: an `INSERT`/`UPDATE`/`DELETE` is allowed
+    /// iff its written rows are contained in a policy view (see
+    /// [`crate::write`]). Off (the default, pending migration), mutations
+    /// pass through as before and are counted as
+    /// `bep_write_decisions_total{verdict="passthrough"}`.
+    pub enforce_writes: bool,
     /// Compile and cache template plans. Off, every request parses,
     /// translates, and proves from scratch (the naive baseline; template
     /// verdicts are then *never* memoized).
@@ -191,6 +199,7 @@ impl Default for ProxyConfig {
             template_cache: true,
             session_cache: true,
             allow_writes: true,
+            enforce_writes: false,
             plan_cache: true,
             plan_capacity: 1024,
             observe: true,
@@ -231,6 +240,15 @@ pub struct ProxyStats {
     pub concrete_proofs: u64,
     /// DML statements passed through.
     pub writes: u64,
+    /// Write decisions allowed by an enforcement proof.
+    pub write_allowed: u64,
+    /// Write decisions blocked (coverage, config, or read-only session).
+    pub write_blocked: u64,
+    /// Write (and DDL) statements executed without coverage enforcement.
+    pub write_passthrough: u64,
+    /// Statements run through [`SqlProxy::execute_unchecked`] — traffic
+    /// invisible to enforcement, audited during migration.
+    pub unchecked_statements: u64,
     /// Per-decision latency of [`SqlProxy::execute`], from the lock-free
     /// log-bucketed histogram (the single source both the benches and the
     /// server's `Stats` response report percentiles from).
@@ -251,6 +269,10 @@ struct AtomicProxyStats {
     deny_cache_hits: Arc<Counter>,
     concrete_proofs: Arc<Counter>,
     writes: Arc<Counter>,
+    write_allowed: Arc<Counter>,
+    write_blocked: Arc<Counter>,
+    write_passthrough: Arc<Counter>,
+    unchecked_statements: Arc<Counter>,
     latency: Arc<LatencyHistogram>,
 }
 
@@ -273,6 +295,26 @@ impl AtomicProxyStats {
             deny_cache_hits: r.counter("bep_cache_hits_total", hits, &[("tier", "deny")]),
             concrete_proofs: r.counter("bep_proofs_total", proofs, &[("kind", "concrete")]),
             writes: r.counter("bep_writes_total", "DML statements passed through", &[]),
+            write_allowed: r.counter(
+                "bep_write_decisions_total",
+                "Write decisions by verdict",
+                &[("verdict", "allowed")],
+            ),
+            write_blocked: r.counter(
+                "bep_write_decisions_total",
+                "Write decisions by verdict",
+                &[("verdict", "blocked")],
+            ),
+            write_passthrough: r.counter(
+                "bep_write_decisions_total",
+                "Write decisions by verdict",
+                &[("verdict", "passthrough")],
+            ),
+            unchecked_statements: r.counter(
+                "bep_unchecked_statements_total",
+                "Statements executed with enforcement bypassed",
+                &[],
+            ),
             latency: r.histogram(
                 "bep_decision_latency_ns",
                 "End-to-end execute latency in nanoseconds",
@@ -292,6 +334,10 @@ impl AtomicProxyStats {
             deny_cache_hits: self.deny_cache_hits.get(),
             concrete_proofs: self.concrete_proofs.get(),
             writes: self.writes.get(),
+            write_allowed: self.write_allowed.get(),
+            write_blocked: self.write_blocked.get(),
+            write_passthrough: self.write_passthrough.get(),
+            unchecked_statements: self.unchecked_statements.get(),
             latency: self.latency.snapshot(),
         }
     }
@@ -346,6 +392,9 @@ struct SessionState {
     /// Policy-parameter bindings, shared so `execute` can use them without
     /// copying (sessions never rebind; the `Arc` is cloned per request).
     bindings: Arc<Vec<(String, Value)>>,
+    /// What the session may do at all (read-only sessions get every
+    /// mutation denied before policy coverage is considered).
+    mode: AccessMode,
     trace: Trace,
     /// Allowals keyed by concrete fingerprint; SIEVE-bounded. A hit is a
     /// visited-bit store, so it works under the shard *read* lock.
@@ -357,9 +406,24 @@ struct SessionState {
     /// can shrink the set). The stored query is the disjunct that failed,
     /// replayed on cache hits so diagnosis consumers see the real reason.
     /// Its `Cq` byte weight is accounted at insert, so `HeapUsage` and the
-    /// byte budget both see it.
-    denied_cache: BoundedCache<ConcreteKey, (u64, qlogic::Cq)>,
+    /// byte budget both see it. The [`DenyKind`] replays the right
+    /// [`DenyReason`] variant: a cached read denial is `NotDetermined`, a
+    /// cached write denial is `WriteNotCovered`.
+    denied_cache: BoundedCache<ConcreteKey, (u64, DenyKind, qlogic::Cq)>,
 }
+
+/// Which pipeline a cached denial came from (selects the replayed
+/// [`DenyReason`] variant on deny-cache hits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DenyKind {
+    /// Read path: replayed as [`DenyReason::NotDetermined`].
+    Read,
+    /// Write path: replayed as [`DenyReason::WriteNotCovered`].
+    Write,
+}
+
+/// A session's policy bindings (shared by `Arc`) plus its access mode.
+type SessionMeta = (Arc<Vec<(String, Value)>>, AccessMode);
 
 /// Wall-clock seconds since the Unix epoch (for the snapshot-age gauge).
 fn epoch_seconds() -> u64 {
@@ -378,7 +442,7 @@ fn allow_entry_bytes() -> usize {
 /// counterexample CQ's heap bytes (interned-id vectors — invisible to a
 /// capacity-only walk, so it must ride on the entry weight).
 fn deny_entry_bytes(query: &qlogic::Cq) -> usize {
-    std::mem::size_of::<(ConcreteKey, (u64, qlogic::Cq))>() + cq_heap_bytes(query)
+    std::mem::size_of::<(ConcreteKey, (u64, DenyKind, qlogic::Cq))>() + cq_heap_bytes(query)
 }
 
 /// Heap bytes owned by one session's state: the binding list (counted at
@@ -725,12 +789,20 @@ impl SqlProxy {
     /// Opens a session with the given policy-parameter bindings
     /// (e.g. `MyUId = 1`).
     pub fn begin_session(&self, bindings: Vec<(String, Value)>) -> u64 {
+        self.begin_session_with_mode(bindings, AccessMode::ReadWrite)
+    }
+
+    /// Opens a session with an explicit [`AccessMode`]. A
+    /// [`AccessMode::ReadOnly`] session gets every mutation denied with
+    /// [`DenyReason::ReadOnlySession`], before any policy reasoning.
+    pub fn begin_session_with_mode(&self, bindings: Vec<(String, Value)>, mode: AccessMode) -> u64 {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
         // Each concrete-cache tier gets half the per-session budget
         // (0 stays 0 = unbounded).
         let per_tier = self.config.session_cache_budget_bytes / 2;
         let state = SessionState {
             bindings: Arc::new(bindings),
+            mode,
             trace: Trace::new(),
             allowed_cache: BoundedCache::new(0, per_tier),
             denied_cache: BoundedCache::new(0, per_tier),
@@ -1218,15 +1290,13 @@ impl SqlProxy {
         (plan, built)
     }
 
-    /// The session's policy bindings, shared by `Arc`.
-    fn session_bindings(&self, session_id: u64) -> Result<Arc<Vec<(String, Value)>>, CoreError> {
-        Ok(self
-            .shard(session_id)
-            .read()
+    /// The session's policy bindings (shared by `Arc`) and access mode.
+    fn session_meta(&self, session_id: u64) -> Result<SessionMeta, CoreError> {
+        let shard = self.shard(session_id).read();
+        let session = shard
             .get(&session_id)
-            .ok_or(CoreError::NoSuchSession(session_id))?
-            .bindings
-            .clone())
+            .ok_or(CoreError::NoSuchSession(session_id))?;
+        Ok((session.bindings.clone(), session.mode))
     }
 
     /// Decides and executes one request through a compiled plan.
@@ -1244,7 +1314,7 @@ impl SqlProxy {
             self.stats.blocked.inc();
             return Ok(ProxyResponse::Blocked(DenyReason::ParseError(msg.clone())));
         }
-        let session_bindings = self.session_bindings(session_id)?;
+        let (session_bindings, mode) = self.session_meta(session_id)?;
         let merged = merge_bindings(&session_bindings, extra_bindings);
         let bindings: &[(String, Value)] = merged.as_deref().unwrap_or(&session_bindings);
         match plan.body() {
@@ -1255,7 +1325,17 @@ impl SqlProxy {
                     self.record_observation_planned(session_id, sp, bindings, rows)
                 })
             }
-            PlanBody::Other(stmt) => self.run_write(stmt, bindings, prov),
+            PlanBody::Write(wp) => self.decide_and_run_write(
+                session_id,
+                plan.hash(),
+                &wp.stmt,
+                &wp.template,
+                built,
+                bindings,
+                mode,
+                prov,
+            ),
+            PlanBody::Other(stmt) => self.run_other(stmt, bindings, mode, prov),
             PlanBody::ParseError(_) => unreachable!("handled before session lookup"),
         }
     }
@@ -1283,7 +1363,7 @@ impl SqlProxy {
                 )));
             }
         };
-        let session_bindings = self.session_bindings(session_id)?;
+        let (session_bindings, mode) = self.session_meta(session_id)?;
         let merged = merge_bindings(&session_bindings, extra_bindings);
         let bindings: &[(String, Value)] = merged.as_deref().unwrap_or(&session_bindings);
         match &stmt {
@@ -1293,7 +1373,21 @@ impl SqlProxy {
                     self.record_observation_naive(session_id, q, bindings, rows)
                 })
             }
-            _ => self.run_write(&stmt, bindings, prov),
+            _ if StatementClass::of(&stmt) == StatementClass::Write => {
+                // The naive baseline compiles the write template from
+                // scratch on every request (no memoization), mirroring the
+                // read path's fresh symbolic proof.
+                let template = crate::write::compile_write_template(
+                    &stmt,
+                    self.checker.policy().views(),
+                    self.checker.schema(),
+                );
+                prov.lap(Phase::Proof);
+                self.decide_and_run_write(
+                    session_id, hash, &stmt, &template, true, bindings, mode, prov,
+                )
+            }
+            _ => self.run_other(&stmt, bindings, mode, prov),
         }
     }
 
@@ -1335,17 +1429,141 @@ impl SqlProxy {
         }
     }
 
-    /// Executes a pass-through (non-`SELECT`) statement.
-    fn run_write(
+    /// The write decision pipeline: session mode, config gates, then the
+    /// template/concrete coverage tiers, then execution.
+    ///
+    /// `built` attributes the template verdict the same way the read path
+    /// does: this request paid the compilation (a fresh template proof) or
+    /// reused a cached plan. Writes never record trace facts: the trace
+    /// stays a record of what the session *observed*, so read decisions
+    /// are bit-identical with enforcement on or off.
+    #[allow(clippy::too_many_arguments)]
+    fn decide_and_run_write(
+        &self,
+        session_id: u64,
+        hash: u64,
+        stmt: &Statement,
+        template: &Result<WriteTemplate, String>,
+        built: bool,
+        bindings: &[(String, Value)],
+        mode: AccessMode,
+        prov: &mut Prov,
+    ) -> Result<ProxyResponse, CoreError> {
+        if !mode.permits(StatementClass::Write) {
+            return Ok(self.block_write(DenyReason::ReadOnlySession));
+        }
+        if !self.config.allow_writes {
+            return Ok(self.block_write(DenyReason::WriteBlocked));
+        }
+        if !self.config.enforce_writes {
+            self.stats.write_passthrough.inc();
+            return self.execute_statement(stmt, bindings, prov);
+        }
+        let template = match template {
+            Ok(t) => t,
+            Err(msg) => {
+                return Ok(self.block_write(DenyReason::OutOfFragment(msg.clone())));
+            }
+        };
+        // 1. Template tier: the session-independent verdict compiled into
+        //    the plan (or just computed, on the naive path).
+        if self.config.template_cache {
+            match template.verdict {
+                WriteTemplateVerdict::Allowed => {
+                    if built {
+                        prov.tier = CacheTier::TemplateProof;
+                        self.stats.template_proofs.inc();
+                    } else {
+                        prov.tier = CacheTier::TemplateCache;
+                        self.stats.template_cache_hits.inc();
+                    }
+                    self.stats.write_allowed.inc();
+                    return self.execute_statement(stmt, bindings, prov);
+                }
+                WriteTemplateVerdict::NeverCovered => {
+                    // Permanently uncoverable, for any session or history.
+                    if built {
+                        prov.tier = CacheTier::TemplateProof;
+                    } else {
+                        prov.tier = CacheTier::TemplateCache;
+                    }
+                    let query = template
+                        .uncovered_query()
+                        .unwrap_or_else(|| crate::write::atom_query(&template.atoms[0]));
+                    return Ok(self.block_write(DenyReason::WriteNotCovered { query }));
+                }
+                WriteTemplateVerdict::Undecidable => {
+                    if !built {
+                        prov.negative_template_hit = true;
+                        self.stats.template_negative_hits.inc();
+                    }
+                }
+            }
+        }
+        // 2. Concrete tier, through the same session caches as reads
+        //    (allowals are monotone in the facts; denials are stamped with
+        //    the trace version and replayed as `WriteNotCovered`).
+        let key = ConcreteKey::new(hash, bindings);
+        let decision = self.decide_concrete(session_id, key, prov, |checker, trace| {
+            match crate::write::check_write_concrete(
+                template,
+                checker.policy().views(),
+                bindings,
+                trace.facts(),
+            ) {
+                Ok(()) => Decision::Allowed {
+                    source: DecisionSource::ConcreteProof,
+                    rewritings: Vec::new(),
+                },
+                Err(query) => Decision::Denied {
+                    reason: DenyReason::WriteNotCovered { query },
+                },
+            }
+        })?;
+        match decision {
+            Decision::Allowed { .. } => {
+                self.stats.write_allowed.inc();
+                self.execute_statement(stmt, bindings, prov)
+            }
+            Decision::Denied { reason } => Ok(self.block_write(reason)),
+        }
+    }
+
+    /// Counts and wraps one blocked write.
+    fn block_write(&self, reason: DenyReason) -> ProxyResponse {
+        self.stats.blocked.inc();
+        self.stats.write_blocked.inc();
+        ProxyResponse::Blocked(reason)
+    }
+
+    /// Executes a pass-through non-row statement (DDL). Row mutations go
+    /// through [`decide_and_run_write`](Self::decide_and_run_write).
+    fn run_other(
+        &self,
+        stmt: &Statement,
+        bindings: &[(String, Value)],
+        mode: AccessMode,
+        prov: &mut Prov,
+    ) -> Result<ProxyResponse, CoreError> {
+        if !mode.permits(StatementClass::Ddl) {
+            return Ok(self.block_write(DenyReason::ReadOnlySession));
+        }
+        if !self.config.allow_writes {
+            return Ok(self.block_write(DenyReason::WriteBlocked));
+        }
+        // DDL writes no rows, so there is no coverage question; it is
+        // counted as passthrough traffic either way.
+        self.stats.write_passthrough.inc();
+        self.execute_statement(stmt, bindings, prov)
+    }
+
+    /// Binds and executes one mutation/DDL statement against the store.
+    fn execute_statement(
         &self,
         stmt: &Statement,
         bindings: &[(String, Value)],
         prov: &mut Prov,
     ) -> Result<ProxyResponse, CoreError> {
-        if !self.config.allow_writes {
-            self.stats.blocked.inc();
-            return Ok(ProxyResponse::Blocked(DenyReason::WriteBlocked));
-        }
         let bound = match bind_to_statement(stmt, bindings) {
             Ok(b) => b,
             Err(CoreError::Parse(msg)) => {
@@ -1370,6 +1588,7 @@ impl SqlProxy {
         sql: &str,
         bindings: &[(String, Value)],
     ) -> Result<ProxyResponse, CoreError> {
+        self.stats.unchecked_statements.inc();
         let stmt = parse_statement(sql).map_err(|e| CoreError::Parse(e.to_string()))?;
         let bound = bind_to_statement(&stmt, bindings)?;
         if let Statement::Select(q) = &bound {
@@ -1555,16 +1774,20 @@ impl SqlProxy {
             }
             let trace_version = session.trace.version();
             if self.config.session_cache {
-                if let Some((at, query)) = session.denied_cache.get(&concrete_key) {
+                if let Some((at, kind, query)) = session.denied_cache.get(&concrete_key) {
                     if *at == trace_version {
                         prov.lap(Phase::ConcreteLookup);
                         prov.tier = CacheTier::DenyCache;
                         self.stats.deny_cache_hits.inc();
-                        return Ok(Decision::Denied {
-                            reason: DenyReason::NotDetermined {
+                        let reason = match kind {
+                            DenyKind::Read => DenyReason::NotDetermined {
                                 query: query.clone(),
                             },
-                        });
+                            DenyKind::Write => DenyReason::WriteNotCovered {
+                                query: query.clone(),
+                            },
+                        };
+                        return Ok(Decision::Denied { reason });
                     }
                 }
             }
@@ -1596,21 +1819,27 @@ impl SqlProxy {
                             .allowed_cache
                             .insert(concrete_key, (), allow_entry_bytes());
                     self.eviction_counters[1].add(evicted.len() as u64);
-                } else if let Decision::Denied {
-                    reason: DenyReason::NotDetermined { query },
-                } = &decision
-                {
-                    // Stamped with the trace version read before the proof:
-                    // if the fact set changed since (growth *or*
-                    // compaction), the stamp is already stale and the entry
-                    // will never be served.
-                    let bytes = deny_entry_bytes(query);
-                    let evicted = session.denied_cache.insert(
-                        concrete_key,
-                        (trace_version, query.clone()),
-                        bytes,
-                    );
-                    self.eviction_counters[2].add(evicted.len() as u64);
+                } else if let Decision::Denied { reason } = &decision {
+                    // Only the two fact-dependent denials are cacheable;
+                    // config/mode denials never reach this tier.
+                    let cached = match reason {
+                        DenyReason::NotDetermined { query } => Some((DenyKind::Read, query)),
+                        DenyReason::WriteNotCovered { query } => Some((DenyKind::Write, query)),
+                        _ => None,
+                    };
+                    if let Some((kind, query)) = cached {
+                        // Stamped with the trace version read before the
+                        // proof: if the fact set changed since (growth *or*
+                        // compaction), the stamp is already stale and the
+                        // entry will never be served.
+                        let bytes = deny_entry_bytes(query);
+                        let evicted = session.denied_cache.insert(
+                            concrete_key,
+                            (trace_version, kind, query.clone()),
+                            bytes,
+                        );
+                        self.eviction_counters[2].add(evicted.len() as u64);
+                    }
                 }
                 let after = session_state_bytes(session);
                 self.adjust_session_bytes(before, after);
@@ -1970,6 +2199,238 @@ mod tests {
     }
 
     #[test]
+    fn enforced_session_pinned_write_rides_the_template_tier() {
+        let p = proxy(ProxyConfig {
+            enforce_writes: true,
+            ..Default::default()
+        });
+        // DELETE pinned to ?MyUId unifies with V1's Attendance atom at the
+        // template level: allowed for every session, no concrete proof.
+        let sql = "DELETE FROM Attendance WHERE UId = ?MyUId";
+        let s1 = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let s2 = p.begin_session(vec![("MyUId".into(), Value::Int(2))]);
+        assert_eq!(p.execute(s1, sql, &[]).unwrap(), ProxyResponse::Affected(1));
+        assert_eq!(p.execute(s2, sql, &[]).unwrap(), ProxyResponse::Affected(1));
+        let stats = p.stats();
+        assert_eq!(stats.write_allowed, 2);
+        assert_eq!(stats.write_blocked, 0);
+        assert_eq!(stats.template_proofs, 1, "first request pays the proof");
+        assert_eq!(stats.template_cache_hits, 1, "second rides the plan");
+        assert_eq!(stats.writes, 2);
+    }
+
+    #[test]
+    fn enforced_write_for_another_user_is_blocked_and_deny_cached() {
+        let p = proxy(ProxyConfig {
+            enforce_writes: true,
+            ..Default::default()
+        });
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        // Writing user 2's attendance row can never be covered by the
+        // session's views; the denial replays from the deny cache.
+        let sql = "INSERT INTO Attendance (UId, EId, Notes) VALUES (2, 3, 'x')";
+        for _ in 0..2 {
+            let r = p.execute(s, sql, &[]).unwrap();
+            assert!(matches!(
+                r,
+                ProxyResponse::Blocked(DenyReason::WriteNotCovered { .. })
+            ));
+        }
+        let stats = p.stats();
+        assert_eq!(stats.write_blocked, 2);
+        assert_eq!(stats.write_allowed, 0);
+        assert_eq!(stats.deny_cache_hits, 1, "second denial replays");
+        assert_eq!(stats.writes, 0, "nothing reached the store");
+    }
+
+    #[test]
+    fn adversarial_writes_block_and_never_panic() {
+        let p = proxy(ProxyConfig {
+            enforce_writes: true,
+            ..Default::default()
+        });
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        // Malformed mutation SQL: a typed parse denial, not an error.
+        let r = p
+            .execute(s, "INSERT INTO Attendance VALUES (", &[])
+            .unwrap();
+        assert!(matches!(
+            r,
+            ProxyResponse::Blocked(DenyReason::ParseError(_))
+        ));
+        // Unknown table: out of fragment, denied before any store access.
+        let r = p
+            .execute(s, "INSERT INTO Nope (X) VALUES (1)", &[])
+            .unwrap();
+        assert!(matches!(
+            r,
+            ProxyResponse::Blocked(DenyReason::OutOfFragment(_))
+        ));
+        // Unbound parameter: the write must not reach the store.
+        let r = p
+            .execute(
+                s,
+                "INSERT INTO Attendance (UId, EId, Notes) VALUES (?MyUId, ?nope, NULL)",
+                &[],
+            )
+            .unwrap();
+        assert!(matches!(r, ProxyResponse::Blocked(_)), "got {r:?}");
+        assert_eq!(p.stats().writes, 0, "nothing reached the store");
+    }
+
+    #[test]
+    fn concrete_write_coverage_uses_trace_facts() {
+        let p = proxy(ProxyConfig {
+            enforce_writes: true,
+            ..Default::default()
+        });
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        // Inserting my own attendance with a visible Notes value needs V2
+        // (V1 hides Notes), and V2's Events join atom is only implied once
+        // the session has observed the event row.
+        let write = "INSERT INTO Attendance (UId, EId, Notes) VALUES (?MyUId, 2, 'note')";
+        let r = p.execute(s, write, &[]).unwrap();
+        assert!(
+            matches!(
+                r,
+                ProxyResponse::Blocked(DenyReason::WriteNotCovered { .. })
+            ),
+            "before the event is visible the write is uncovered: {r:?}"
+        );
+        // Probe then fetch: the trace now holds the Events(2, ...) fact.
+        p.execute(
+            s,
+            "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
+            &[],
+        )
+        .unwrap();
+        assert!(p
+            .execute(s, "SELECT * FROM Events WHERE EId = 2", &[])
+            .unwrap()
+            .is_allowed());
+        // Delete my original row first so the insert does not collide with
+        // the (UId, EId) primary key.
+        assert_eq!(
+            p.execute(s, "DELETE FROM Attendance WHERE UId = ?MyUId", &[])
+                .unwrap(),
+            ProxyResponse::Affected(1)
+        );
+        assert_eq!(
+            p.execute(s, write, &[]).unwrap(),
+            ProxyResponse::Affected(1)
+        );
+    }
+
+    #[test]
+    fn read_only_session_denies_all_mutations() {
+        let p = proxy(ProxyConfig {
+            enforce_writes: true,
+            ..Default::default()
+        });
+        let s =
+            p.begin_session_with_mode(vec![("MyUId".into(), Value::Int(1))], AccessMode::ReadOnly);
+        // Reads still work.
+        assert!(p
+            .execute(s, "SELECT EId FROM Attendance WHERE UId = ?MyUId", &[])
+            .unwrap()
+            .is_allowed());
+        // A mutation the policy would allow is denied by the mode alone,
+        // before coverage is considered; DDL likewise.
+        for sql in [
+            "DELETE FROM Attendance WHERE UId = ?MyUId",
+            "CREATE TABLE Scratch (X INT PRIMARY KEY)",
+        ] {
+            assert_eq!(
+                p.execute(s, sql, &[]).unwrap(),
+                ProxyResponse::Blocked(DenyReason::ReadOnlySession)
+            );
+        }
+        assert_eq!(p.stats().write_blocked, 2);
+    }
+
+    #[test]
+    fn unenforced_writes_count_as_passthrough() {
+        let p = proxy(ProxyConfig::default());
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        p.execute(
+            s,
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (9, 9, 'x')",
+            &[],
+        )
+        .unwrap();
+        p.execute(s, "CREATE TABLE Scratch (X INT PRIMARY KEY)", &[])
+            .unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.write_passthrough, 2);
+        assert_eq!(stats.write_allowed, 0);
+        assert_eq!(stats.write_blocked, 0);
+    }
+
+    #[test]
+    fn read_decisions_are_identical_with_write_enforcement_on() {
+        // The same mixed workload (reads + authorized writes) must produce
+        // bit-identical responses whether write enforcement is on or off:
+        // writes never feed the trace, so they cannot perturb reads.
+        let run = |enforce_writes: bool| -> Vec<ProxyResponse> {
+            let p = proxy(ProxyConfig {
+                enforce_writes,
+                ..Default::default()
+            });
+            let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+            [
+                "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+                "SELECT * FROM Events WHERE EId = 3",
+                "SELECT 1 FROM Attendance WHERE UId = ?MyUId AND EId = 2",
+                "SELECT * FROM Events WHERE EId = 2",
+                "DELETE FROM Attendance WHERE UId = ?MyUId",
+                "SELECT EId FROM Attendance WHERE UId = ?MyUId",
+                "SELECT * FROM Events WHERE EId = 2",
+            ]
+            .iter()
+            .map(|sql| p.execute(s, sql, &[]).unwrap())
+            .collect()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn batch_preserves_read_write_order_per_session() {
+        let p = proxy(ProxyConfig {
+            enforce_writes: true,
+            ..Default::default()
+        });
+        let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
+        let read = "SELECT EId FROM Attendance WHERE UId = ?MyUId";
+        let items: Vec<BatchItem> = [read, "DELETE FROM Attendance WHERE UId = ?MyUId", read]
+            .iter()
+            .map(|sql| BatchItem {
+                session: s,
+                stmt: BatchStmt::Sql((*sql).to_string()),
+                bindings: Vec::new(),
+            })
+            .collect();
+        let results: Vec<ProxyResponse> = p
+            .execute_batch(&items)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        // The read before the enforced delete sees the row; the read
+        // after it does not: batch order is session order.
+        assert_eq!(results[0].rows().unwrap().len(), 1);
+        assert_eq!(results[1], ProxyResponse::Affected(1));
+        assert_eq!(results[2].rows().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unchecked_statements_are_audited() {
+        let p = proxy(ProxyConfig::default());
+        p.execute_unchecked("SELECT * FROM Events", &[]).unwrap();
+        p.execute_unchecked("DELETE FROM Attendance WHERE UId = 1", &[])
+            .unwrap();
+        assert_eq!(p.stats().unchecked_statements, 2);
+    }
+
+    #[test]
     fn unparseable_sql_is_blocked_not_error() {
         let p = proxy(ProxyConfig::default());
         let s = p.begin_session(vec![("MyUId".into(), Value::Int(1))]);
@@ -2195,14 +2656,27 @@ mod tests {
             .unwrap();
         p.execute(s, "SELECT * FROM Events WHERE EId = 3", &[])
             .unwrap();
+        p.execute(
+            s,
+            "INSERT INTO Attendance (UId, EId, Notes) VALUES (9, 9, 'x')",
+            &[],
+        )
+        .unwrap();
+        p.execute_unchecked("SELECT 1 FROM Events", &[]).unwrap();
         let text = p.metrics_text();
         assert!(text.contains("bep_decisions_total{decision=\"allowed\"} 1\n"));
         assert!(text.contains("bep_decisions_total{decision=\"blocked\"} 1\n"));
+        assert!(text.contains("# TYPE bep_write_decisions_total counter\n"));
+        assert!(text.contains("bep_write_decisions_total{verdict=\"allowed\"} 0\n"));
+        assert!(text.contains("bep_write_decisions_total{verdict=\"blocked\"} 0\n"));
+        assert!(text.contains("bep_write_decisions_total{verdict=\"passthrough\"} 1\n"));
+        assert!(text.contains("# TYPE bep_unchecked_statements_total counter\n"));
+        assert!(text.contains("bep_unchecked_statements_total 1\n"));
         assert!(text.contains("# TYPE bep_cache_hits_total counter\n"));
         assert!(text.contains("# TYPE bep_decision_latency_ns summary\n"));
-        assert!(text.contains("bep_decision_latency_ns_count 2\n"));
+        assert!(text.contains("bep_decision_latency_ns_count 3\n"));
         assert!(text.contains("bep_sessions 1\n"));
-        assert!(text.contains("bep_journal_published 2\n"));
+        assert!(text.contains("bep_journal_published 3\n"));
         assert!(text.contains("bep_journal_evicted 0\n"));
         assert!(text.contains("bep_phase_latency_ns{phase=\"parse\",quantile=\"0.5\"}"));
         assert!(text.contains("bep_phase_latency_ns_count{phase=\"proof\"}"));

@@ -86,6 +86,53 @@ pub fn diagnose(input: &DiagnosisInput<'_>) -> Result<DiagnosisReport, DiagnoseE
     Ok(report)
 }
 
+/// Runs the diagnosis pipeline for a rejected mutation.
+///
+/// `input.query` is the written-row query the proxy attaches to a
+/// `WriteNotCovered` denial: head = the written row's terms, body = the
+/// written atom. Unlike [`diagnose`], no compliance re-check gates the
+/// pipeline — write coverage is decided by unifying the written row
+/// against view bodies, not by equivalent rewriting, so the proxy's
+/// verdict is taken as given and a row query that happens to be
+/// *readable* still gets a report rather than [`DiagnoseError::NotBlocked`].
+///
+/// The patch set reads the same way as for reads, with one omission:
+/// query patches (maximally-contained narrowing) are skipped, because
+/// silently writing a narrower row than the application asked for would
+/// change its semantics. An access-check patch means "the application
+/// should verify this row is visible to the session before writing it";
+/// a counterexample is a pair of databases the policy cannot tell apart
+/// that disagree on the written row.
+pub fn diagnose_write(input: &DiagnosisInput<'_>) -> Result<DiagnosisReport, DiagnoseError> {
+    let counterexample = find_counterexample(input.query, input.views, input.trace_facts);
+
+    let mut patches: Vec<Patch> = Vec::new();
+    for p in abduce_checks(
+        input.query,
+        input.views,
+        input.trace_facts,
+        input.schema,
+        AbductionOptions::default(),
+    ) {
+        patches.push(Patch::AccessCheck(p));
+    }
+    if let Some(extracted) = input.extracted {
+        let current: Vec<Cq> = input.views.views().to_vec();
+        if let Some(p) = policy_patch::propose(&current, extracted, input.query, input.trace_facts)?
+        {
+            patches.push(Patch::Policy(p));
+        }
+    }
+
+    let mut report = DiagnosisReport {
+        query: input.query.clone(),
+        counterexample,
+        patches,
+    };
+    report.sort();
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +233,69 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err, DiagnoseError::NotBlocked);
+    }
+
+    #[test]
+    fn rejected_write_gets_counterexample_and_check_patch() {
+        // The row query of a blocked
+        // `INSERT INTO Attendance (UId, EId, Notes) VALUES (1, 2, 'x')`:
+        // V1 hides Notes, and V2's Events join is undischarged without a
+        // trace fact, so the proxy denied it.
+        let w = Cq::new(
+            vec![Term::int(1), Term::int(2), Term::var("w0")],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::int(2), Term::var("w0")],
+            )],
+            vec![],
+        );
+        let views = calendar_views();
+        let schema = schema();
+        let report = diagnose_write(&DiagnosisInput {
+            query: &w,
+            views: &views,
+            trace_facts: &[],
+            schema: &schema,
+            extracted: None,
+        })
+        .unwrap();
+        assert!(report.counterexample.is_some());
+        // The abduced check is the paper's §5.2.2 shape: verify database
+        // content (the joined Events row) before performing the write.
+        assert!(
+            report
+                .patches
+                .iter()
+                .any(|p| matches!(p, Patch::AccessCheck(_))),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn diagnose_write_skips_the_compliance_gate() {
+        // This row query is equivalent-rewritable over V1 (it asks only
+        // for the EId), so `diagnose` would refuse with NotBlocked — but
+        // write coverage is a different judgment, and the caller already
+        // holds a denial. The write variant must still report.
+        let q = Cq::new(
+            vec![Term::int(2)],
+            vec![Atom::new(
+                "Attendance",
+                vec![Term::int(1), Term::int(2), Term::var("n")],
+            )],
+            vec![],
+        );
+        let views = calendar_views();
+        let schema = schema();
+        let input = DiagnosisInput {
+            query: &q,
+            views: &views,
+            trace_facts: &[],
+            schema: &schema,
+            extracted: None,
+        };
+        assert_eq!(diagnose(&input).unwrap_err(), DiagnoseError::NotBlocked);
+        assert!(diagnose_write(&input).is_ok());
     }
 
     #[test]

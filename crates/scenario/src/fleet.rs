@@ -133,6 +133,17 @@ impl GeneratedApp {
             Family::Review => review::raw_probe(self.users, i, rng),
         }
     }
+
+    /// A raw SQL *mutation* bypassing the handlers: a write whose rows no
+    /// policy view covers for this session, which the proxy must block
+    /// when write enforcement is on.
+    pub fn raw_write_probe(&self, i: u64, rng: &mut SplitMix64, fresh: &mut i64) -> String {
+        match self.family {
+            Family::Social => social::raw_write_probe(self.seed, self.users, i, rng, fresh),
+            Family::Store => store::raw_write_probe(self.seed, self.users, i, rng, fresh),
+            Family::Review => review::raw_write_probe(self.seed, self.users, i, rng, fresh),
+        }
+    }
 }
 
 impl AppSpec for GeneratedApp {

@@ -338,3 +338,44 @@ pub(crate) fn raw_probe(users: u64, i: u64, rng: &mut SplitMix64) -> String {
     }
     format!("SELECT PaperId FROM Conflicts WHERE UId = {}", uid(j))
 }
+
+pub(crate) fn raw_write_probe(
+    _seed: u64,
+    users: u64,
+    i: u64,
+    rng: &mut SplitMix64,
+    fresh: &mut i64,
+) -> String {
+    // Tamper with another PC member's conflict or authorship records:
+    // `MyConflicts`/`MyAuthorships` pin UId to the session, so every such
+    // row is uncoverable. (Reviews are deliberately avoided — `PcReviews`
+    // exposes the whole table, so any Reviews insert is policy-allowed
+    // and only the handler's conflict check narrows it.)
+    let mut j = (i + 1) % users.max(1);
+    for _ in 0..8 {
+        let cand = rng.gen_range(0..users.max(1));
+        if cand != i {
+            j = cand;
+            break;
+        }
+    }
+    match rng.gen_range(0..3u64) {
+        0 => {
+            *fresh += 1;
+            format!(
+                "INSERT INTO Conflicts (PaperId, UId) VALUES ({}, {})",
+                *fresh,
+                uid(j)
+            )
+        }
+        1 => format!("DELETE FROM Conflicts WHERE UId = {}", uid(j)),
+        _ => {
+            *fresh += 1;
+            format!(
+                "INSERT INTO Authors (PaperId, UId) VALUES ({}, {})",
+                *fresh,
+                uid(j)
+            )
+        }
+    }
+}

@@ -269,3 +269,43 @@ pub(crate) fn raw_probe(users: u64, i: u64, rng: &mut SplitMix64) -> String {
     }
     format!("SELECT BlockedId FROM Blocks WHERE BlockerId = {}", uid(j))
 }
+
+pub(crate) fn raw_write_probe(
+    seed: u64,
+    users: u64,
+    i: u64,
+    rng: &mut SplitMix64,
+    fresh: &mut i64,
+) -> String {
+    // Mutate the posts of an author user `i` does *not* follow: neither
+    // `MyOwnPosts` (AuthorId pinned to the session) nor `MyFolloweePosts`
+    // (needs a `Follows(me, author)` fact, which a non-followee can never
+    // witness) covers the written rows — always denied. Followees are
+    // excluded precisely because write coverage, like read compliance, is
+    // trace-aware: a followee's posts *are* in `MyFolloweePosts`.
+    let f = followees(seed, i, users);
+    let mut j = (i + 1) % users.max(1);
+    for _ in 0..8 {
+        let cand = rng.gen_range(0..users.max(1));
+        if cand != i && !f.contains(&cand) {
+            j = cand;
+            break;
+        }
+    }
+    match rng.gen_range(0..3u64) {
+        0 => {
+            *fresh += 1;
+            format!(
+                "INSERT INTO Posts (PId, AuthorId, Title, Body) \
+                 VALUES ({}, {}, 'spoofed', 'x')",
+                *fresh,
+                uid(j)
+            )
+        }
+        1 => format!(
+            "UPDATE Posts SET Title = 'defaced' WHERE AuthorId = {}",
+            uid(j)
+        ),
+        _ => format!("DELETE FROM Posts WHERE AuthorId = {}", uid(j)),
+    }
+}

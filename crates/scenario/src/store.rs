@@ -329,3 +329,39 @@ pub(crate) fn raw_probe(users: u64, i: u64, rng: &mut SplitMix64) -> String {
     }
     format!("SELECT OId, PId, Qty FROM Orders WHERE UId = {}", uid(j))
 }
+
+pub(crate) fn raw_write_probe(
+    _seed: u64,
+    users: u64,
+    i: u64,
+    rng: &mut SplitMix64,
+    fresh: &mut i64,
+) -> String {
+    // Forge state for another customer: `MyOrders`/`MyStaff` pin UId to
+    // the session, and `MyStoreOrders` needs a Products fact for the
+    // order's PId — a fresh (nonexistent) product id keeps the insert
+    // uncoverable even for staff sessions with storefront facts.
+    let mut j = (i + 1) % users.max(1);
+    for _ in 0..8 {
+        let cand = rng.gen_range(0..users.max(1));
+        if cand != i {
+            j = cand;
+            break;
+        }
+    }
+    match rng.gen_range(0..3u64) {
+        0 => {
+            *fresh += 1;
+            let oid = *fresh;
+            *fresh += 1;
+            format!(
+                "INSERT INTO Orders (OId, UId, PId, Qty) VALUES ({}, {}, {}, 1)",
+                oid,
+                uid(j),
+                *fresh
+            )
+        }
+        1 => format!("UPDATE Orders SET Qty = 0 WHERE UId = {}", uid(j)),
+        _ => format!("INSERT INTO Staff (UId, MId) VALUES ({}, 1)", uid(j)),
+    }
+}

@@ -31,6 +31,11 @@ pub struct TrafficConfig {
     /// Fraction of requests that are raw SQL probes (expected proxy
     /// blocks).
     pub raw_probe_fraction: f64,
+    /// Fraction of requests that are raw SQL *write* probes (mutations
+    /// targeting another principal's rows; with write enforcement on the
+    /// proxy must block every one). Defaults to 0 so existing replayed
+    /// workloads keep a byte-identical op stream.
+    pub write_probe_fraction: f64,
     /// Principal popularity skew in quarter-exponents (4 = Zipf θ 1).
     pub principal_quarters: u32,
     /// Template popularity skew in quarter-exponents.
@@ -44,6 +49,7 @@ impl Default for TrafficConfig {
             mean_session_len: 20.0,
             probe_fraction: 0.15,
             raw_probe_fraction: 0.05,
+            write_probe_fraction: 0.0,
             principal_quarters: 4,
             template_quarters: 3,
         }
@@ -83,6 +89,15 @@ pub enum TrafficOp {
     /// Issue a raw SQL query (bypassing handlers) on the session in
     /// `slot`; the proxy is expected to block it.
     RawProbe {
+        /// Slot index.
+        slot: usize,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Issue a raw SQL mutation (bypassing handlers) on the session in
+    /// `slot`, targeting another principal's rows; with write enforcement
+    /// on the proxy is expected to block it.
+    RawWriteProbe {
         /// Slot index.
         slot: usize,
         /// The SQL text.
@@ -204,6 +219,13 @@ impl<'a> TrafficEngine<'a> {
         session.remaining -= 1;
         let i = session.user_index;
 
+        // The `> 0.0` guard keeps the rng stream byte-identical to engines
+        // built before write probes existed when the fraction is 0 (the
+        // default): replayed workloads and differential gates depend on it.
+        if self.cfg.write_probe_fraction > 0.0 && self.rng.gen_bool(self.cfg.write_probe_fraction) {
+            let sql = self.app.raw_write_probe(i, &mut self.rng, &mut self.fresh);
+            return TrafficOp::RawWriteProbe { slot, sql };
+        }
         if self.rng.gen_bool(self.cfg.raw_probe_fraction) {
             let sql = self.app.raw_probe(i, &mut self.rng);
             return TrafficOp::RawProbe { slot, sql };
@@ -285,6 +307,49 @@ mod tests {
             assert!(auth > 1000, "{}: {auth}", app.name);
             assert!(probe > 100, "{}: {probe}", app.name);
             assert!(raw > 30, "{}: {raw}", app.name);
+        }
+    }
+
+    #[test]
+    fn zero_write_fraction_keeps_the_stream_byte_identical() {
+        // Turning the knob to exactly 0.0 must not consume any rng draws:
+        // the op stream matches a config that predates write probes.
+        let app = &fleet(5, 64)[2];
+        let run = |cfg: TrafficConfig| {
+            let mut eng = TrafficEngine::new(app, cfg, 41);
+            (0..2000).map(|_| eng.next_op()).collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(TrafficConfig::default()),
+            run(TrafficConfig {
+                write_probe_fraction: 0.0,
+                ..TrafficConfig::default()
+            })
+        );
+    }
+
+    #[test]
+    fn write_probes_mix_in_when_enabled() {
+        for app in &fleet(11, 32) {
+            let cfg = TrafficConfig {
+                write_probe_fraction: 0.10,
+                ..TrafficConfig::default()
+            };
+            let mut eng = TrafficEngine::new(app, cfg, 29);
+            let mut writes = 0;
+            for _ in 0..3000 {
+                if let TrafficOp::RawWriteProbe { sql, .. } = eng.next_op() {
+                    writes += 1;
+                    assert!(
+                        sql.starts_with("INSERT")
+                            || sql.starts_with("UPDATE")
+                            || sql.starts_with("DELETE"),
+                        "{}: {sql}",
+                        app.name
+                    );
+                }
+            }
+            assert!(writes > 100, "{}: {writes} write probes", app.name);
         }
     }
 

@@ -22,6 +22,9 @@ fn traffic_cfg() -> TrafficConfig {
     TrafficConfig {
         target_sessions: 6,
         mean_session_len: 8.0,
+        // Mixed read/write traffic: raw write probes must all be blocked
+        // by write enforcement (handler-level writes stay allowed).
+        write_probe_fraction: 0.08,
         ..TrafficConfig::default()
     }
 }
@@ -61,7 +64,14 @@ fn enforcement_run(app: &GeneratedApp, seed: u64, ops: usize) -> Vec<String> {
     let mut db = app.empty_db();
     app.populate(&mut db).expect("populate");
     let checker = ComplianceChecker::new(app.schema(), app.policy().expect("policy"));
-    let proxy = SqlProxy::new(db, checker, ProxyConfig::default());
+    let proxy = SqlProxy::new(
+        db,
+        checker,
+        ProxyConfig {
+            enforce_writes: true,
+            ..ProxyConfig::default()
+        },
+    );
     let parsed = app.app();
     let mut engine = TrafficEngine::new(app, traffic_cfg(), seed);
     let mut sessions: Vec<Option<u64>> = vec![None; traffic_cfg().target_sessions];
@@ -94,6 +104,21 @@ fn enforcement_run(app: &GeneratedApp, seed: u64, ops: usize) -> Vec<String> {
                 assert_eq!(
                     verdict, "blocked",
                     "{}: raw probe `{sql}` must be denied",
+                    app.name
+                );
+            }
+            TrafficOp::RawWriteProbe { slot, sql } => {
+                let id = sessions[slot].expect("live session");
+                let resp = proxy.execute(id, &sql, &[]).expect("write probe executes");
+                let verdict = match resp {
+                    ProxyResponse::Blocked(_) => "blocked",
+                    ProxyResponse::Rows(_) => "rows",
+                    ProxyResponse::Affected(_) => "affected",
+                };
+                log.push(format!("raww {verdict}"));
+                assert_eq!(
+                    verdict, "blocked",
+                    "{}: raw write probe `{sql}` must be denied",
                     app.name
                 );
             }
@@ -143,9 +168,15 @@ fn enforcement_decisions_are_identical_across_same_seed_runs() {
         let oks = a.iter().filter(|l| l.contains("Ok")).count();
         let denials = a.iter().filter(|l| l.contains("Http")).count();
         let blocks = a.iter().filter(|l| l.contains("raw blocked")).count();
+        let write_blocks = a.iter().filter(|l| l.contains("raww blocked")).count();
         assert!(oks > 0, "{}: some requests succeed", app.name);
         assert!(denials > 0, "{}: some probes are refused", app.name);
         assert!(blocks > 0, "{}: some raw probes are blocked", app.name);
+        assert!(
+            write_blocks > 0,
+            "{}: some raw write probes are blocked",
+            app.name
+        );
     }
 }
 

@@ -94,6 +94,10 @@ pub(crate) fn wire_stats(proxy: &SqlProxy) -> WireStats {
         session_cache_hits: s.session_cache_hits,
         concrete_proofs: s.concrete_proofs,
         writes: s.writes,
+        write_allowed: s.write_allowed,
+        write_blocked: s.write_blocked,
+        write_passthrough: s.write_passthrough,
+        unchecked_statements: s.unchecked_statements,
         sessions: proxy.session_count() as u64,
         latency_count: s.latency.count,
         p50_ns: s.latency.p50_ns,
@@ -164,15 +168,19 @@ impl ConnCore {
 
     /// Decodes one frame payload into a request, mapping UTF-8 and
     /// protocol failures to the typed error response the peer should see
-    /// (the connection survives either).
-    pub(crate) fn parse(payload: &[u8]) -> Result<Request, Response> {
-        let text = std::str::from_utf8(payload).map_err(|_| Response::Error {
-            kind: ErrorKind::Malformed,
-            msg: "frame is not valid UTF-8".into(),
+    /// (the connection survives either; boxed to keep the `Err` slim).
+    pub(crate) fn parse(payload: &[u8]) -> Result<Request, Box<Response>> {
+        let text = std::str::from_utf8(payload).map_err(|_| {
+            Box::new(Response::Error {
+                kind: ErrorKind::Malformed,
+                msg: "frame is not valid UTF-8".into(),
+            })
         })?;
-        Request::from_wire(text).map_err(|e| Response::Error {
-            kind: ErrorKind::Malformed,
-            msg: e.to_string(),
+        Request::from_wire(text).map_err(|e| {
+            Box::new(Response::Error {
+                kind: ErrorKind::Malformed,
+                msg: e.to_string(),
+            })
         })
     }
 
@@ -458,9 +466,11 @@ pub(crate) fn exec_response(result: Result<ProxyResponse, CoreError>) -> Respons
             reason: reason.label().to_string(),
             detail: match &reason {
                 bep_core::DenyReason::NotDetermined { query } => format!("{query:?}"),
+                bep_core::DenyReason::WriteNotCovered { query } => format!("{query:?}"),
                 bep_core::DenyReason::OutOfFragment(m) => m.clone(),
                 bep_core::DenyReason::ParseError(m) => m.clone(),
                 bep_core::DenyReason::WriteBlocked => String::new(),
+                bep_core::DenyReason::ReadOnlySession => String::new(),
             },
         },
         Err(e) => core_error(e),

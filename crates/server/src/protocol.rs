@@ -199,6 +199,14 @@ pub struct WireStats {
     pub concrete_proofs: u64,
     /// DML statements passed through.
     pub writes: u64,
+    /// Mutations allowed by write enforcement.
+    pub write_allowed: u64,
+    /// Mutations blocked (mode, config, or coverage).
+    pub write_blocked: u64,
+    /// Mutations executed without coverage checking.
+    pub write_passthrough: u64,
+    /// Statements executed with enforcement bypassed entirely.
+    pub unchecked_statements: u64,
     /// Live sessions server-wide.
     pub sessions: u64,
     /// Decisions measured by the latency histogram.
@@ -683,6 +691,13 @@ impl Response {
                 ("session_cache_hits", Json::Int(s.session_cache_hits as i64)),
                 ("concrete_proofs", Json::Int(s.concrete_proofs as i64)),
                 ("writes", Json::Int(s.writes as i64)),
+                ("write_allowed", Json::Int(s.write_allowed as i64)),
+                ("write_blocked", Json::Int(s.write_blocked as i64)),
+                ("write_passthrough", Json::Int(s.write_passthrough as i64)),
+                (
+                    "unchecked_statements",
+                    Json::Int(s.unchecked_statements as i64),
+                ),
                 ("sessions", Json::Int(s.sessions as i64)),
                 ("latency_count", Json::Int(s.latency_count as i64)),
                 ("p50_ns", Json::Int(s.p50_ns as i64)),
@@ -786,6 +801,18 @@ impl Response {
                 session_cache_hits: u64_field(&j, "session_cache_hits")?,
                 concrete_proofs: u64_field(&j, "concrete_proofs")?,
                 writes: u64_field(&j, "writes")?,
+                // Write-enforcement counters default to 0 so frames from a
+                // pre-write-path server still decode.
+                write_allowed: j.get("write_allowed").and_then(Json::as_u64).unwrap_or(0),
+                write_blocked: j.get("write_blocked").and_then(Json::as_u64).unwrap_or(0),
+                write_passthrough: j
+                    .get("write_passthrough")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                unchecked_statements: j
+                    .get("unchecked_statements")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
                 sessions: u64_field(&j, "sessions")?,
                 latency_count: u64_field(&j, "latency_count")?,
                 p50_ns: u64_field(&j, "p50_ns")?,
@@ -1021,6 +1048,10 @@ mod tests {
                 session_cache_hits: 5,
                 concrete_proofs: 6,
                 writes: 7,
+                write_allowed: 14,
+                write_blocked: 15,
+                write_passthrough: 16,
+                unchecked_statements: 17,
                 sessions: 8,
                 latency_count: 9,
                 p50_ns: 10,

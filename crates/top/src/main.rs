@@ -164,6 +164,7 @@ fn run(opts: &Opts) -> Result<(), String> {
         prev_evictions = evictions;
         prev_scrape = now;
         let snapshot = parse_snapshot_gauges(&text);
+        let writes = parse_write_counters(&text);
 
         if interactive {
             // Repaint in place: clear screen, home the cursor.
@@ -171,7 +172,7 @@ fn run(opts: &Opts) -> Result<(), String> {
         }
         print!(
             "{}",
-            render(opts, frame, fresh, &agg, &stats, &mem, &rates, &snapshot)
+            render(opts, frame, fresh, &agg, &stats, &mem, &rates, &snapshot, &writes)
         );
         if !interactive && frame >= opts.frames {
             return Ok(());
@@ -236,6 +237,18 @@ fn parse_mem_gauges(text: &str) -> Vec<(String, u64)> {
 /// exposition order (plan, session-allow, session-deny).
 fn parse_eviction_counters(text: &str) -> Vec<(String, u64)> {
     parse_labeled(text, "bep_cache_evictions_total{tier=\"")
+}
+
+/// Extracts the write-decision verdict counters and the unchecked-traffic
+/// audit counter: `(allowed/blocked/passthrough, unchecked)`.
+fn parse_write_counters(text: &str) -> (Vec<(String, u64)>, u64) {
+    let verdicts = parse_labeled(text, "bep_write_decisions_total{verdict=\"");
+    let unchecked = text
+        .lines()
+        .find_map(|l| l.strip_prefix("bep_unchecked_statements_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0);
+    (verdicts, unchecked)
 }
 
 fn parse_labeled(text: &str, prefix: &str) -> Vec<(String, u64)> {
@@ -319,6 +332,7 @@ fn render(
     mem: &[(String, u64)],
     eviction_rates: &[(String, f64)],
     snapshot: &SnapshotGauges,
+    writes: &(Vec<(String, u64)>, u64),
 ) -> String {
     let mut out = String::new();
     out.push_str(&format!("bep-top — {} — frame {frame}\n", opts.addr));
@@ -331,6 +345,14 @@ fn render(
         fmt_us(stats.p95_ns),
         fmt_us(stats.p99_ns),
     ));
+    let (verdicts, unchecked) = writes;
+    if !verdicts.is_empty() {
+        let parts: Vec<String> = verdicts.iter().map(|(v, n)| format!("{v} {n}")).collect();
+        out.push_str(&format!(
+            "writes: {}  unchecked {unchecked}\n",
+            parts.join("  ")
+        ));
+    }
     out.push_str(&format!(
         "stream: delivered {}  dropped {}  (+{fresh} this frame)\n",
         agg.delivered, agg.dropped
@@ -499,12 +521,15 @@ impl DemoServer {
                 let session = c
                     .begin(vec![("MyUId".into(), Value::Int(1))])
                     .expect("demo session");
-                // Three templates with different verdicts and costs, so
-                // the panes have something to disagree about.
+                // Four templates with different verdicts and costs, so
+                // the panes have something to disagree about. The DELETE
+                // matches no row (EId 99 is never seeded): it exercises
+                // the write path every round without disturbing the data.
                 let stmts = [
                     "SELECT EId FROM Attendance WHERE UId = ?MyUId",
                     "SELECT Title FROM Events WHERE EId = ?e",
                     "SELECT Kind FROM Events WHERE EId = ?e",
+                    "DELETE FROM Attendance WHERE UId = ?MyUId AND EId = 99",
                 ];
                 let mut i = 0usize;
                 while !stop2.load(Ordering::Relaxed) {
@@ -557,6 +582,26 @@ mod tests {
             parse_mem_gauges(text),
             vec![("plan-cache".into(), 1024), ("journal".into(), 2048)]
         );
+    }
+
+    #[test]
+    fn write_counters_parse_from_exposition_text() {
+        let text = "# TYPE bep_write_decisions_total counter\n\
+                    bep_write_decisions_total{verdict=\"allowed\"} 5\n\
+                    bep_write_decisions_total{verdict=\"blocked\"} 2\n\
+                    bep_write_decisions_total{verdict=\"passthrough\"} 1\n\
+                    bep_unchecked_statements_total 9\n";
+        let (verdicts, unchecked) = parse_write_counters(text);
+        assert_eq!(
+            verdicts,
+            vec![
+                ("allowed".into(), 5),
+                ("blocked".into(), 2),
+                ("passthrough".into(), 1)
+            ]
+        );
+        assert_eq!(unchecked, 9);
+        assert_eq!(parse_write_counters(""), (Vec::new(), 0));
     }
 
     #[test]

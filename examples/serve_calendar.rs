@@ -166,6 +166,15 @@ fn main() {
     println!("  stop with: a client `shutdown` request");
     server.wait();
     println!("bep-server: drained and stopped");
+    let stats = proxy.stats();
+    println!(
+        "audit: writes allowed={} blocked={} passthrough={}; {} statement(s) \
+         bypassed enforcement via execute_unchecked",
+        stats.write_allowed,
+        stats.write_blocked,
+        stats.write_passthrough,
+        stats.unchecked_statements
+    );
     if metrics {
         println!("\nfinal metrics exposition:");
         print!("{}", proxy.metrics_text());
@@ -266,6 +275,14 @@ fn smoke(metrics: bool, journal_tail: bool) {
         "smoke: clean shutdown verified (allowed={}, p50={:.1}us)",
         stats.allowed,
         stats.latency.p50_us()
+    );
+    println!(
+        "audit: writes allowed={} blocked={} passthrough={}; {} statement(s) \
+         bypassed enforcement via execute_unchecked",
+        stats.write_allowed,
+        stats.write_blocked,
+        stats.write_passthrough,
+        stats.unchecked_statements
     );
     println!("smoke: OK");
 }

@@ -75,7 +75,7 @@ pub mod prelude {
         DenyReason, EventJournal, JournalCursor, MetricsRegistry, Observation, Phase, Policy,
         ProxyConfig, ProxyResponse, SqlProxy, Trace, Verdict, PHASE_COUNT,
     };
-    pub use bep_diagnose::{diagnose, DiagnosisInput, DiagnosisReport, Patch};
+    pub use bep_diagnose::{diagnose, diagnose_write, DiagnosisInput, DiagnosisReport, Patch};
     pub use bep_disclose::{audit, BayesConfig, RelationSpec, Universe};
     pub use bep_extract::{
         collect_traces, extract_mined, extract_symbolic, mine_policy, score_exact,
@@ -158,6 +158,28 @@ impl Lifecycle {
             .map_err(|e| bep_diagnose::DiagnoseError::Logic(e.to_string()))?;
         bep_diagnose::diagnose(&DiagnosisInput {
             query,
+            views: &views,
+            trace_facts,
+            schema: &self.schema,
+            extracted: None,
+        })
+    }
+
+    /// §5, write path: diagnoses a rejected mutation under the installed
+    /// policy. `row_query` is the written-row query the proxy attaches to
+    /// a `WriteNotCovered` denial.
+    pub fn diagnose_rejected_write(
+        &self,
+        row_query: &Cq,
+        bindings: &[(String, Value)],
+        trace_facts: &[qlogic::Atom],
+    ) -> Result<DiagnosisReport, bep_diagnose::DiagnoseError> {
+        let views = self
+            .policy
+            .instantiate(bindings)
+            .map_err(|e| bep_diagnose::DiagnoseError::Logic(e.to_string()))?;
+        bep_diagnose::diagnose_write(&DiagnosisInput {
+            query: row_query,
             views: &views,
             trace_facts,
             schema: &self.schema,
